@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end compile time per application (the compile
+//! time column of Figure 11, measured rather than one-shot).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use p4all_bench::bench_netcache_options;
+use p4all_core::Compiler;
+use p4all_elastic::apps::{conquest, netcache, precision, sketchlearn};
+use p4all_pisa::presets;
+
+fn bench_compiles(c: &mut Criterion) {
+    let target = presets::paper_eval(1 << 16);
+    let apps: Vec<(&str, String)> = vec![
+        ("netcache", netcache::source(&bench_netcache_options())),
+        ("sketchlearn", sketchlearn::source(&Default::default())),
+        ("precision", precision::source(&Default::default())),
+        ("conquest", conquest::source(&Default::default())),
+    ];
+    let mut group = c.benchmark_group("compile_times");
+    group.sample_size(10);
+    for (name, src) in apps {
+        let compiler = Compiler::new(target.clone());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let c = compiler.compile(std::hint::black_box(&src)).expect("compiles");
+                std::hint::black_box(c.layout.objective)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend_only(c: &mut Criterion) {
+    let src = netcache::source(&bench_netcache_options());
+    c.bench_function("parse_netcache", |b| {
+        b.iter(|| p4all_lang::parse(std::hint::black_box(&src)).expect("parses"))
+    });
+}
+
+criterion_group!(benches, bench_compiles, bench_frontend_only);
+criterion_main!(benches);

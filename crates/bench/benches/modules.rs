@@ -1,0 +1,66 @@
+//! Criterion bench: the Rust reference data structures (sanity substrate —
+//! these are the ground-truth implementations the simulator is validated
+//! against).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use p4all_elastic::modules::bloom::BloomFilter;
+use p4all_elastic::modules::cms::CountMinSketch;
+use p4all_elastic::modules::hashtable::MultiStageHashTable;
+
+fn bench_cms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_cms");
+    group.throughput(Throughput::Elements(1));
+    let mut cms = CountMinSketch::new(4, 4096);
+    let mut k = 0u64;
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            std::hint::black_box(cms.insert(k % 10_000))
+        })
+    });
+    group.bench_function("estimate", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            std::hint::black_box(cms.estimate(k % 10_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_bloom");
+    group.throughput(Throughput::Elements(1));
+    let mut bf = BloomFilter::new(4, 1 << 16);
+    let mut k = 0u64;
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            bf.insert(k % 50_000);
+        })
+    });
+    group.bench_function("contains", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            std::hint::black_box(bf.contains(k % 50_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_hashtable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_hashtable");
+    group.throughput(Throughput::Elements(1));
+    let mut ht = MultiStageHashTable::new(3, 4096);
+    let mut k = 0u64;
+    group.bench_function("observe", |b| {
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            std::hint::black_box(ht.observe(k % 9_999 + 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cms, bench_bloom, bench_hashtable);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: packet throughput of the behavioral simulator running
+//! the compiled NetCache pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use p4all_bench::{bench_netcache_options, build_netcache};
+use p4all_pisa::presets;
+use p4all_workloads::zipf_trace;
+
+fn bench_netcache_sim(c: &mut Criterion) {
+    let target = presets::paper_eval(1 << 15);
+    let opts = bench_netcache_options();
+    let (mut rt, _) = build_netcache(&opts, &target, 4, 0).expect("netcache builds");
+    let trace = zipf_trace(5_000, 1.0, 10_000, 99);
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("netcache_pipeline", |b| {
+        b.iter(|| {
+            for p in &trace.packets {
+                let r = rt.process(p.key, p.value).expect("sim");
+                std::hint::black_box(r);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netcache_sim);
+criterion_main!(benches);

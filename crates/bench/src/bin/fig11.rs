@@ -1,0 +1,71 @@
+//! Figure 11 — the application table: lines of code (hand-written P4 vs
+//! P4All), compile time, and ILP size (variables, constraints) for
+//! NetCache, SketchLearn, PRECISION, and ConQuest.
+
+use p4all_bench::{bench_netcache_options, emit_tsv};
+use p4all_core::{loc, Compiler};
+use p4all_elastic::apps::{conquest, netcache, precision, sketchlearn};
+use p4all_elastic::baselines;
+use p4all_pisa::presets;
+
+fn main() {
+    let target = presets::paper_eval(1 << 16);
+    let apps: Vec<(&str, String, String)> = vec![
+        (
+            "NetCache",
+            netcache::source(&bench_netcache_options()),
+            baselines::netcache_p4(),
+        ),
+        (
+            "SketchLearn",
+            sketchlearn::source(&Default::default()),
+            baselines::sketchlearn_p4(),
+        ),
+        (
+            "Precision",
+            precision::source(&Default::default()),
+            baselines::precision_p4(),
+        ),
+        (
+            "ConQuest",
+            conquest::source(&Default::default()),
+            baselines::conquest_p4(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, elastic_src, baseline_src) in apps {
+        let compiler = Compiler::new(target.clone());
+        match compiler.compile(&elastic_src) {
+            Ok(c) => {
+                rows.push(format!(
+                    "{name}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{:?}",
+                    loc(&baseline_src),
+                    loc(&elastic_src),
+                    loc(&c.p4_text),
+                    c.timings.total.as_secs_f64(),
+                    c.ilp_stats.num_vars,
+                    c.ilp_stats.num_constraints,
+                    c.solve_stats.status,
+                ));
+                eprintln!(
+                    "{name}: P4 {} LoC, P4All {} LoC, compile {:.3}s, ILP ({}, {})",
+                    loc(&baseline_src),
+                    loc(&elastic_src),
+                    c.timings.total.as_secs_f64(),
+                    c.ilp_stats.num_vars,
+                    c.ilp_stats.num_constraints
+                );
+            }
+            Err(e) => {
+                rows.push(format!("{name}\t{}\t{}\t-\t-\t-\t-\t{e}", loc(&baseline_src), loc(&elastic_src)));
+                eprintln!("{name}: compile failed: {e}");
+            }
+        }
+    }
+    emit_tsv(
+        "fig11_applications",
+        "app\tp4_loc\tp4all_loc\tgenerated_loc\tcompile_s\tilp_vars\tilp_constraints\tstatus",
+        &rows,
+    );
+}

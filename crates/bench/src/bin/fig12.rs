@@ -1,0 +1,60 @@
+//! Figure 12 — sizes of the NetCache data structures as per-stage memory
+//! grows. The ILP should stretch both structures, with the key-value store
+//! taking the larger share (its items are 128-bit values vs the sketch's
+//! 32-bit counters, and the utility weighs it 0.6 vs 0.4).
+
+use p4all_bench::{bench_netcache_options, emit_tsv};
+use p4all_core::Compiler;
+use p4all_elastic::apps::netcache;
+use p4all_pisa::presets;
+
+fn main() {
+    let mut rows = Vec::new();
+    for shift in [13u32, 14, 15, 16, 17, 18, 19, 20] {
+        let mem = 1u64 << shift;
+        let target = presets::paper_eval(mem);
+        let opts = bench_netcache_options();
+        let src = netcache::source(&opts);
+        match Compiler::new(target).compile(&src) {
+            Ok(c) => {
+                let r = c.layout.symbol_values["cms_rows"];
+                let w = c.layout.symbol_values["cms_cols"];
+                let s = c.layout.symbol_values["kv_slices"];
+                let k = c.layout.symbol_values["kv_cols"];
+                let cms_bits: u64 = c
+                    .layout
+                    .registers
+                    .iter()
+                    .filter(|x| x.reg == "cms")
+                    .map(|x| x.bits())
+                    .sum();
+                let kv_bits: u64 = c
+                    .layout
+                    .registers
+                    .iter()
+                    .filter(|x| x.reg == "kvs")
+                    .map(|x| x.bits())
+                    .sum();
+                rows.push(format!(
+                    "{mem}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{cms_bits}\t{kv_bits}",
+                    r * w,
+                    s * k
+                ));
+                eprintln!(
+                    "M={mem}: cms {r}x{w} ({} counters, {cms_bits}b), kv {s}x{k} ({} items, {kv_bits}b)",
+                    r * w,
+                    s * k
+                );
+            }
+            Err(e) => {
+                rows.push(format!("{mem}\t-\t-\t-\t-\t-\t-\t-\t- ({e})"));
+                eprintln!("M={mem}: {e}");
+            }
+        }
+    }
+    emit_tsv(
+        "fig12_elastic_stretch",
+        "mem_bits_per_stage\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\tcms_bits\tkv_bits",
+        &rows,
+    );
+}

@@ -1,0 +1,85 @@
+//! Figure 4 — NetCache quality (cache hit rate) across resource
+//! combinations of the count-min sketch and the key-value store.
+//!
+//! For each pinned CMS shape `(rows, cols)` the key-value store stretches
+//! to fill whatever the ILP can still place (`optimize kv_items`); the
+//! compiled program then serves a Zipf key-request trace end to end in the
+//! behavioral simulator, measuring the cache hit rate. The final row
+//! reports the configuration the ILP itself picks under the paper's
+//! utility `0.4*(rows*cols) + 0.6*kv_items` — Figure 4's starred optimum.
+
+use p4all_bench::{bench_netcache_options, build_netcache, emit_tsv, run_netcache};
+use p4all_pisa::presets;
+use p4all_workloads::zipf_trace;
+
+fn main() {
+    // Six stages with 32 Kb each: tight enough that every count-min row
+    // displaces key-value capacity — the tradeoff Figure 4 plots.
+    let mut target = presets::paper_eval(1 << 15);
+    target.stages = 6;
+    let trace = zipf_trace(10_000, 0.99, 200_000, 4);
+    let threshold = 4;
+    let epoch = 50_000;
+
+    let mut rows_out = Vec::new();
+    for cms_rows in [1u64, 2, 3] {
+        for cms_cols in [64u64, 256, 1024] {
+            let mut opts = bench_netcache_options();
+            opts.kvs.max_slices = None; // let the store take every free stage
+            opts.cms.min_rows = cms_rows;
+            opts.cms.max_rows = cms_rows;
+            opts.cms.min_cols = cms_cols;
+            opts.cms.max_cols = Some(cms_cols);
+            // Stretch only the store.
+            opts.cms_weight = 0.0;
+            opts.kv_weight = 1.0;
+            match build_netcache(&opts, &target, threshold, epoch) {
+                Ok((mut rt, c)) => {
+                    let kv_items = c.layout.symbol_values["kv_slices"]
+                        * c.layout.symbol_values["kv_cols"];
+                    let hit = run_netcache(&mut rt, &trace);
+                    rows_out.push(format!(
+                        "{cms_rows}\t{cms_cols}\t{kv_items}\t{:.4}",
+                        hit
+                    ));
+                    eprintln!(
+                        "cms {cms_rows}x{cms_cols}: kv_items={kv_items} hit_rate={hit:.4}"
+                    );
+                }
+                Err(e) => {
+                    rows_out.push(format!("{cms_rows}\t{cms_cols}\t-\t- ({e})"));
+                }
+            }
+        }
+    }
+
+    // The ILP's own choice under two utilities: the paper's 0.4/0.6 split
+    // and a cache-leaning 0.1/0.9 split (the utility is the programmer's
+    // quality model — §6.2 notes its choice is theirs to tune).
+    for (mark, cms_w, kv_w) in [("*", 0.4, 0.6), ("+", 0.1, 0.9)] {
+        let mut opts = bench_netcache_options();
+        opts.kvs.max_slices = None;
+        opts.cms_weight = cms_w;
+        opts.kv_weight = kv_w;
+        match build_netcache(&opts, &target, threshold, epoch) {
+            Ok((mut rt, c)) => {
+                let r = c.layout.symbol_values["cms_rows"];
+                let w = c.layout.symbol_values["cms_cols"];
+                let kv =
+                    c.layout.symbol_values["kv_slices"] * c.layout.symbol_values["kv_cols"];
+                let hit = run_netcache(&mut rt, &trace);
+                rows_out.push(format!("{r}{mark}\t{w}{mark}\t{kv}\t{hit:.4}"));
+                eprintln!(
+                    "ILP optimum ({cms_w}/{kv_w}): cms {r}x{w}, kv_items={kv}, hit_rate={hit:.4}"
+                );
+            }
+            Err(e) => eprintln!("ILP-optimal compile failed: {e}"),
+        }
+    }
+
+    emit_tsv(
+        "fig4_netcache_quality",
+        "cms_rows\tcms_cols\tkv_items\thit_rate",
+        &rows_out,
+    );
+}

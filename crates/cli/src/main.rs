@@ -1,0 +1,183 @@
+//! `p4allc` — the P4All command-line compiler.
+//!
+//! ```text
+//! p4allc PROGRAM.p4all [options]
+//!
+//!   --target NAME        tofino | paper-eval | paper-example | small
+//!                        (default: tofino)
+//!   --stages N           override pipeline stage count
+//!   --memory BITS        override per-stage register memory
+//!   --stateful-alus N    override stateful ALUs per stage
+//!   --stateless-alus N   override stateless ALUs per stage
+//!   --phv BITS           override PHV size
+//!   --emit WHAT          p4 | layout | stats | all   (default: all)
+//!   --out FILE           write the generated P4 to FILE
+//!   --greedy             use the greedy first-fit allocator instead of
+//!                        the ILP (baseline / quick feasibility check)
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 compile error.
+
+use std::process::ExitCode;
+
+use p4all_core::{CompileError, Compiler};
+use p4all_pisa::{presets, TargetSpec};
+
+struct Args {
+    input: String,
+    target: TargetSpec,
+    emit_p4: bool,
+    emit_layout: bool,
+    emit_stats: bool,
+    out: Option<String>,
+    greedy: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: p4allc PROGRAM.p4all [--target tofino|paper-eval|paper-example|small] \
+     [--stages N] [--memory BITS] [--stateful-alus N] [--stateless-alus N] \
+     [--phv BITS] [--emit p4|layout|stats|all] [--out FILE] [--greedy]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut input: Option<String> = None;
+    let mut target = presets::tofino_like();
+    let mut emit = "all".to_string();
+    let mut out = None;
+    let mut greedy = false;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--target" => {
+                target = match next(&mut i, "--target")?.as_str() {
+                    "tofino" => presets::tofino_like(),
+                    "paper-eval" => presets::paper_eval(1_750_000),
+                    "paper-example" => presets::paper_example(),
+                    "small" => presets::small_switch(),
+                    other => return Err(format!("unknown target `{other}`")),
+                };
+            }
+            "--stages" => {
+                target.stages = next(&mut i, "--stages")?
+                    .parse()
+                    .map_err(|_| "--stages needs an integer".to_string())?;
+            }
+            "--memory" => {
+                target.memory_bits = next(&mut i, "--memory")?
+                    .parse()
+                    .map_err(|_| "--memory needs an integer".to_string())?;
+            }
+            "--stateful-alus" => {
+                target.stateful_alus = next(&mut i, "--stateful-alus")?
+                    .parse()
+                    .map_err(|_| "--stateful-alus needs an integer".to_string())?;
+            }
+            "--stateless-alus" => {
+                target.stateless_alus = next(&mut i, "--stateless-alus")?
+                    .parse()
+                    .map_err(|_| "--stateless-alus needs an integer".to_string())?;
+            }
+            "--phv" => {
+                target.phv_bits = next(&mut i, "--phv")?
+                    .parse()
+                    .map_err(|_| "--phv needs an integer".to_string())?;
+            }
+            "--emit" => emit = next(&mut i, "--emit")?,
+            "--out" => out = Some(next(&mut i, "--out")?),
+            "--greedy" => greedy = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()))
+            }
+            file => {
+                if input.replace(file.to_string()).is_some() {
+                    return Err("multiple input files".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let input = input.ok_or_else(|| usage().to_string())?;
+    let (emit_p4, emit_layout, emit_stats) = match emit.as_str() {
+        "p4" => (true, false, false),
+        "layout" => (false, true, false),
+        "stats" => (false, false, true),
+        "all" => (true, true, true),
+        other => return Err(format!("unknown --emit `{other}` (p4|layout|stats|all)")),
+    };
+    target.validate().map_err(|e| format!("invalid target: {e}"))?;
+    Ok(Args { input, target, emit_p4, emit_layout, emit_stats, out, greedy })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let src = std::fs::read_to_string(&args.input)
+        .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+    eprintln!("target: {}", args.target);
+
+    let compiler = Compiler::new(args.target);
+    if args.greedy {
+        let layout = compiler.compile_greedy(&src).map_err(|e| render(e, &src))?;
+        println!("{}", layout.render());
+        return Ok(());
+    }
+
+    let c = compiler.compile(&src).map_err(|e| render(e, &src))?;
+    if args.emit_layout {
+        println!("{}", c.layout.render());
+    }
+    if args.emit_stats {
+        println!("unroll bounds:");
+        for (sym, k) in &c.upper_bounds {
+            println!("  {sym} <= {k}");
+        }
+        println!("ILP: {}", c.ilp_stats);
+        println!(
+            "solve: {:?} in {:.3}s ({} nodes, {} LPs); total compile {:.3}s",
+            c.solve_stats.status,
+            c.timings.solve.as_secs_f64(),
+            c.solve_stats.nodes,
+            c.solve_stats.lp_solves,
+            c.timings.total.as_secs_f64()
+        );
+        println!("generated P4: {} lines", p4all_core::loc(&c.p4_text));
+    }
+    match (&args.out, args.emit_p4) {
+        (Some(path), _) => {
+            std::fs::write(path, &c.p4_text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        (None, true) => println!("{}", c.p4_text),
+        _ => {}
+    }
+    Ok(())
+}
+
+fn render(e: CompileError, src: &str) -> String {
+    match e {
+        CompileError::Lang(le) => le.render(src),
+        other => other.to_string(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end tests of the `p4allc` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p4allc"))
+}
+
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/p4all").join(name)
+}
+
+#[test]
+fn compiles_cms_example() {
+    let out = bin()
+        .arg(example("cms.p4all"))
+        .args(["--target", "paper-example", "--emit", "layout"])
+        .output()
+        .expect("p4allc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("symbolic assignment"), "{stdout}");
+    assert!(stdout.contains("rows ="), "{stdout}");
+}
+
+#[test]
+fn emits_p4_to_file() {
+    let dir = std::env::temp_dir().join("p4allc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_file = dir.join("cms.p4");
+    let out = bin()
+        .arg(example("cms.p4all"))
+        .args(["--target", "small", "--out"])
+        .arg(&out_file)
+        .output()
+        .expect("p4allc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let p4 = std::fs::read_to_string(&out_file).unwrap();
+    assert!(p4.contains("@stage("));
+    assert!(p4.contains("register<bit<32>>"));
+}
+
+#[test]
+fn greedy_mode_prints_layout() {
+    let out = bin()
+        .arg(example("bloom_firewall.p4all"))
+        .args(["--target", "small", "--greedy"])
+        .output()
+        .expect("p4allc runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("pipeline layout"));
+}
+
+#[test]
+fn missing_file_exits_2() {
+    let out = bin().arg("no_such_file.p4all").output().expect("p4allc runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_flag_exits_1() {
+    let out = bin().arg("--frobnicate").output().expect("p4allc runs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn parse_error_is_rendered_with_caret() {
+    let dir = std::env::temp_dir().join("p4allc_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.p4all");
+    std::fs::write(&bad, "symbolic int rows;\nassume rows >= oops;\n").unwrap();
+    let out = bin().arg(&bad).output().expect("p4allc runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("^"), "no caret in: {err}");
+}

@@ -1,0 +1,217 @@
+//! Elastic NetCache: count-min sketch (popularity) + key-value store
+//! (hot-key serving) — the paper's flagship application (§3, §6.2).
+
+use crate::modules::{cms, compose_with_apply, kvs};
+
+/// Application-level knobs.
+#[derive(Debug, Clone)]
+pub struct NetCacheOptions {
+    /// Utility weight on the CMS term `rows * cols`.
+    pub cms_weight: f64,
+    /// Utility weight on the KVS term `kv_items`.
+    pub kv_weight: f64,
+    /// CMS shape bounds.
+    pub cms: cms::CmsParams,
+    /// KVS shape bounds.
+    pub kvs: kvs::KvsParams,
+    /// Guarantee at least this many key-value items (§6.2 uses an assume
+    /// to reserve 8 Mb for the store, i.e. `bits / value_bits` items).
+    pub min_kv_items: Option<u64>,
+    /// Measure the utility in memory bits instead of item counts
+    /// (`rows*cols*counter_bits` / `kv_items*value_bits`). With items of
+    /// different widths, bit-valued utility makes the weights directly
+    /// steer the memory split — the Figure 13 experiment uses this.
+    pub utility_in_bits: bool,
+}
+
+impl Default for NetCacheOptions {
+    fn default() -> Self {
+        NetCacheOptions {
+            cms_weight: 0.4,
+            kv_weight: 0.6,
+            cms: cms::CmsParams {
+                prefix: "cms".into(),
+                key_expr: "hdr.key".into(),
+                min_rows: 1,
+                max_rows: 4,
+                min_cols: 16,
+                max_cols: None,
+                counter_bits: 32,
+            },
+            kvs: kvs::KvsParams {
+                prefix: "kv".into(),
+                key_expr: "hdr.key".into(),
+                value_bits: 128,
+                min_slices: 1,
+                max_slices: None,
+                min_cols: 16,
+                max_cols: None,
+                table_size: 65536,
+            },
+            min_kv_items: None,
+            utility_in_bits: false,
+        }
+    }
+}
+
+impl NetCacheOptions {
+    /// The paper's default utility: `0.4 * (rows*cols) + 0.6 * kv_items`.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Figure 13's flipped utility: `0.6 * (rows*cols) + 0.4 * kv_items`.
+    pub fn cms_heavy() -> Self {
+        NetCacheOptions { cms_weight: 0.6, kv_weight: 0.4, ..Self::default() }
+    }
+
+    /// The utility expression for these options.
+    pub fn utility(&self) -> String {
+        if self.utility_in_bits {
+            format!(
+                "{} * ({} * {}) + {} * ({} * {})",
+                self.cms_weight,
+                self.cms.utility_term(),
+                self.cms.counter_bits,
+                self.kv_weight,
+                self.kvs.items_term(),
+                self.kvs.value_bits
+            )
+        } else {
+            format!(
+                "{} * {} + {} * {}",
+                self.cms_weight,
+                self.cms.utility_term(),
+                self.kv_weight,
+                self.kvs.items_term()
+            )
+        }
+    }
+}
+
+/// Generate the NetCache P4All program.
+pub fn source(opts: &NetCacheOptions) -> String {
+    let mut cms_frag = cms::fragment(&opts.cms);
+    if let Some(min_items) = opts.min_kv_items {
+        cms_frag.assumes.push(format!("{} >= {min_items}", opts.kvs.items_term()));
+    }
+    let kvs_frag = kvs::fragment(&opts.kvs);
+    // NetCache pipeline order: cache lookup, popularity count, minimum,
+    // then serve cached values.
+    let apply = vec![
+        format!("{}_lookup.apply();", opts.kvs.prefix),
+        format!("{}_sketch.apply();", opts.cms.prefix),
+        format!("{}_minimum.apply();", opts.cms.prefix),
+        format!("{}_serve.apply();", opts.kvs.prefix),
+    ];
+    compose_with_apply(
+        &[("key", 32)],
+        &opts.utility(),
+        vec![cms_frag, kvs_frag],
+        Some(apply),
+    )
+}
+
+/// Simulator runtime configuration matching [`source`]'s naming.
+pub fn runtime_config(opts: &NetCacheOptions) -> RuntimeNames {
+    RuntimeNames {
+        cache_table: opts.kvs.table(),
+        hit_action: opts.kvs.hit_action(),
+        hit_flag_meta: opts.kvs.hit_meta(),
+        min_meta: opts.cms.min_meta(),
+        slice_meta: opts.kvs.slice_meta(),
+        idx_meta: opts.kvs.idx_meta(),
+        value_meta: opts.kvs.value_meta(),
+        kv_register: opts.kvs.register(),
+        cms_register: opts.cms.prefix.clone(),
+        key_header: "key".into(),
+    }
+}
+
+/// Name bundle consumed by `p4all_sim::NetCacheConfig` (kept stringly here
+/// to avoid an elastic → sim dependency).
+#[derive(Debug, Clone)]
+pub struct RuntimeNames {
+    pub cache_table: String,
+    pub hit_action: String,
+    pub hit_flag_meta: String,
+    pub min_meta: String,
+    pub slice_meta: String,
+    pub idx_meta: String,
+    pub value_meta: String,
+    pub kv_register: String,
+    pub cms_register: String,
+    pub key_header: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4all_core::Compiler;
+    use p4all_pisa::presets;
+
+    #[test]
+    fn source_parses() {
+        let src = source(&NetCacheOptions::default());
+        let p = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
+        assert!(p.register("cms").is_some());
+        assert!(p.register("kvs").is_some());
+        assert!(p.table("kv_cache").is_some());
+        assert!(p.optimize.is_some());
+    }
+
+    #[test]
+    fn compiles_on_eval_target() {
+        let mut opts = NetCacheOptions::default();
+        // Keep the test-time ILP small.
+        opts.cms.max_rows = 2;
+        opts.kvs.max_slices = Some(3);
+        let src = source(&opts);
+        let c = Compiler::new(presets::paper_eval(1 << 16)).compile(&src).unwrap();
+        assert!(c.layout.symbol_values["cms_rows"] >= 1);
+        assert!(c.layout.symbol_values["kv_slices"] >= 1);
+        p4all_pisa::validate(&c.layout.usage, &presets::paper_eval(1 << 16)).unwrap();
+    }
+
+    #[test]
+    fn kv_weight_prioritizes_store() {
+        // With the KVS favoured and values 4x wider than counters, the
+        // store should take the larger share of total memory.
+        let mut opts = NetCacheOptions::default();
+        opts.cms.max_rows = 2;
+        opts.kvs.max_slices = Some(3);
+        let src = source(&opts);
+        let c = Compiler::new(presets::paper_eval(1 << 16)).compile(&src).unwrap();
+        let kv_bits: u64 = c
+            .layout
+            .registers
+            .iter()
+            .filter(|r| r.reg == "kvs")
+            .map(|r| r.bits())
+            .sum();
+        let cms_bits: u64 = c
+            .layout
+            .registers
+            .iter()
+            .filter(|r| r.reg == "cms")
+            .map(|r| r.bits())
+            .sum();
+        assert!(
+            kv_bits > cms_bits,
+            "store should dominate memory: kv {kv_bits} vs cms {cms_bits}"
+        );
+    }
+
+    #[test]
+    fn min_kv_items_assume_enforced() {
+        let mut opts = NetCacheOptions::default();
+        opts.cms.max_rows = 2;
+        opts.kvs.max_slices = Some(3);
+        opts.min_kv_items = Some(100);
+        let src = source(&opts);
+        let c = Compiler::new(presets::paper_eval(1 << 16)).compile(&src).unwrap();
+        let items =
+            c.layout.symbol_values["kv_slices"] * c.layout.symbol_values["kv_cols"];
+        assert!(items >= 100, "assume must guarantee 100 items, got {items}");
+    }
+}

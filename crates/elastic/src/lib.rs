@@ -1,0 +1,27 @@
+//! # p4all-elastic — reusable elastic modules and benchmark applications
+//!
+//! The library the paper's evaluation is built on:
+//!
+//! - **modules** — elastic count-min sketch, Bloom filter, key-value
+//!   store, multi-stage hash table, ID-indexed table, and hierarchical
+//!   sketch (every structure family in the paper's Figure 1), each as a
+//!   composable P4All [`modules::Fragment`], most with a Rust reference
+//!   implementation used as ground truth in tests;
+//! - **apps** — the four benchmark applications of Figure 11 (NetCache,
+//!   SketchLearn, PRECISION, ConQuest) assembled from those modules, plus
+//!   a FlowRadar-style flow recorder demonstrating Bloom + hash-table
+//!   composition;
+//! - **baselines** — fixed-size, manually-unrolled P4 stand-ins for the
+//!   hand-written originals (the Figure 11 LoC comparison).
+
+pub mod apps {
+    pub mod conquest;
+    pub mod flowradar;
+    pub mod netcache;
+    pub mod precision;
+    pub mod sketchlearn;
+}
+pub mod baselines;
+pub mod modules;
+
+pub use modules::{compose, compose_with_apply, Fragment};

@@ -1,0 +1,210 @@
+//! Elastic Bloom filter module, plus a Rust reference implementation.
+//!
+//! The data-plane encoding uses one 1-bit register row per hash function
+//! (an elastic array of rows, like the CMS): insertion sets one bit per
+//! row; membership is the AND of the probed bits, accumulated in a
+//! metadata flag.
+
+use super::Fragment;
+
+/// Parameters of one Bloom filter instantiation.
+#[derive(Debug, Clone)]
+pub struct BloomParams {
+    pub prefix: String,
+    pub key_expr: String,
+    /// Bounds on the number of hash functions.
+    pub min_hashes: u64,
+    pub max_hashes: u64,
+    /// Minimum bits per row.
+    pub min_bits: u64,
+    pub max_bits: Option<u64>,
+}
+
+impl Default for BloomParams {
+    fn default() -> Self {
+        BloomParams {
+            prefix: "bf".into(),
+            key_expr: "hdr.key".into(),
+            min_hashes: 1,
+            max_hashes: 4,
+            min_bits: 64,
+            max_bits: None,
+        }
+    }
+}
+
+impl BloomParams {
+    pub fn hashes_sym(&self) -> String {
+        format!("{}_hashes", self.prefix)
+    }
+
+    pub fn bits_sym(&self) -> String {
+        format!("{}_bits", self.prefix)
+    }
+
+    /// Metadata flag: 1 after the query controls if the key may be present.
+    pub fn member_meta(&self) -> String {
+        format!("{}_member", self.prefix)
+    }
+
+    pub fn utility_term(&self) -> String {
+        format!("({} * {})", self.hashes_sym(), self.bits_sym())
+    }
+}
+
+/// Generate the Bloom filter fragment: a `<prefix>_insert` control that
+/// sets bits, and a `<prefix>_query` control that ANDs probed bits into
+/// `<prefix>_member`. A header flag `hdr.<prefix>_op` (set by the harness)
+/// selects insert (1) vs query (0).
+pub fn fragment(p: &BloomParams) -> Fragment {
+    let pre = &p.prefix;
+    let h = p.hashes_sym();
+    let b = p.bits_sym();
+    let key = &p.key_expr;
+
+    let mut assumes = vec![
+        format!("{h} >= {} && {h} <= {}", p.min_hashes, p.max_hashes),
+        format!("{b} >= {}", p.min_bits),
+    ];
+    if let Some(mb) = p.max_bits {
+        assumes.push(format!("{b} <= {mb}"));
+    }
+
+    Fragment {
+        symbolics: vec![h.clone(), b.clone()],
+        assumes,
+        metadata: vec![
+            format!("bit<32>[{h}] {pre}_slot;"),
+            format!("bit<8>[{h}] {pre}_probe;"),
+            format!("bit<8> {pre}_member;"),
+        ],
+        registers: vec![format!("register<bit<8>>[{b}][{h}] {pre};")],
+        actions: vec![
+            format!(
+                "action {pre}_set()[int i] {{\n    meta.{pre}_slot[i] = hash({key}, {b});\n    \
+                 {pre}[i][meta.{pre}_slot[i]] = 1;\n}}"
+            ),
+            format!(
+                "action {pre}_get()[int i] {{\n    meta.{pre}_slot[i] = hash({key}, {b});\n    \
+                 meta.{pre}_probe[i] = {pre}[i][meta.{pre}_slot[i]];\n}}"
+            ),
+            format!("action {pre}_init() {{\n    meta.{pre}_member = 1;\n}}"),
+            format!("action {pre}_clear()[int i] {{\n    meta.{pre}_member = 0;\n}}"),
+        ],
+        tables: vec![],
+        controls: vec![
+            format!(
+                "control {pre}_insert() {{\n    apply {{\n        if (hdr.{pre}_op == 1) {{\n            \
+                 for (i < {h}) {{ {pre}_set()[i]; }}\n        }}\n    }}\n}}"
+            ),
+            format!(
+                "control {pre}_query() {{\n    apply {{\n        if (hdr.{pre}_op == 0) {{\n            \
+                 {pre}_init();\n            for (i < {h}) {{ {pre}_get()[i]; }}\n        }}\n    }}\n}}"
+            ),
+            format!(
+                "control {pre}_decide() {{\n    apply {{\n        if (hdr.{pre}_op == 0) {{\n            \
+                 for (i < {h}) {{\n                if (meta.{pre}_probe[i] == 0) {{ \
+                 {pre}_clear()[i]; }}\n            }}\n        }}\n    }}\n}}"
+            ),
+        ],
+        apply: vec![
+            format!("{pre}_insert.apply();"),
+            format!("{pre}_query.apply();"),
+            format!("{pre}_decide.apply();"),
+        ],
+    }
+}
+
+/// Header fields this module expects (merge into the app's header list).
+pub fn header_fields(p: &BloomParams) -> Vec<(String, u32)> {
+    vec![(format!("{}_op", p.prefix), 8)]
+}
+
+// ------------------------------------------------------------- reference
+
+/// Reference Bloom filter.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    hashes: usize,
+    bits_per_row: usize,
+    rows: Vec<Vec<bool>>,
+}
+
+impl BloomFilter {
+    pub fn new(hashes: usize, bits_per_row: usize) -> Self {
+        assert!(hashes > 0 && bits_per_row > 0);
+        BloomFilter { hashes, bits_per_row, rows: vec![vec![false; bits_per_row]; hashes] }
+    }
+
+    fn slot(&self, row: usize, key: u64) -> usize {
+        let mut z = (row as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ key;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) % self.bits_per_row as u64) as usize
+    }
+
+    pub fn insert(&mut self, key: u64) {
+        for r in 0..self.hashes {
+            let s = self.slot(r, key);
+            self.rows[r][s] = true;
+        }
+    }
+
+    /// May return false positives, never false negatives.
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.hashes).all(|r| self.rows[r][self.slot(r, key)])
+    }
+
+    /// Fraction of set bits (diagnostic for false-positive estimation).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: usize = self.rows.iter().flatten().filter(|&&b| b).count();
+        set as f64 / (self.hashes * self.bits_per_row) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_parses() {
+        let p = BloomParams::default();
+        let mut hdr: Vec<(String, u32)> = vec![("key".into(), 32)];
+        hdr.extend(header_fields(&p));
+        let hdr_refs: Vec<(&str, u32)> = hdr.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+        let src = super::super::compose(&hdr_refs, &p.utility_term(), vec![fragment(&p)]);
+        p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(3, 256);
+        for k in 0..100u64 {
+            bf.insert(k * 7);
+        }
+        for k in 0..100u64 {
+            assert!(bf.contains(k * 7), "false negative for {}", k * 7);
+        }
+    }
+
+    #[test]
+    fn mostly_negative_for_absent_keys() {
+        let mut bf = BloomFilter::new(4, 4096);
+        for k in 0..50u64 {
+            bf.insert(k);
+        }
+        let fp = (1000..2000u64).filter(|&k| bf.contains(k)).count();
+        assert!(fp < 50, "false positive rate too high: {fp}/1000");
+    }
+
+    #[test]
+    fn fill_ratio_grows() {
+        let mut bf = BloomFilter::new(2, 128);
+        let before = bf.fill_ratio();
+        for k in 0..60u64 {
+            bf.insert(k);
+        }
+        assert!(bf.fill_ratio() > before);
+        assert!(bf.fill_ratio() <= 1.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Elastic count-min sketch module (the paper's running example), plus a
+//! Rust reference implementation used as ground truth in tests.
+
+use super::Fragment;
+
+/// Parameters of one CMS instantiation.
+#[derive(Debug, Clone)]
+pub struct CmsParams {
+    /// Name prefix for all generated identifiers (allows several CMS
+    /// instances per program).
+    pub prefix: String,
+    /// Expression hashed as the key (e.g. `hdr.key`).
+    pub key_expr: String,
+    /// Bounds fed into `assume` (the paper: experience says more than four
+    /// hash functions gives diminishing returns).
+    pub min_rows: u64,
+    pub max_rows: u64,
+    pub min_cols: u64,
+    /// Optional cap on columns.
+    pub max_cols: Option<u64>,
+    /// Counter width in bits.
+    pub counter_bits: u32,
+}
+
+impl Default for CmsParams {
+    fn default() -> Self {
+        CmsParams {
+            prefix: "cms".into(),
+            key_expr: "hdr.key".into(),
+            min_rows: 1,
+            max_rows: 4,
+            min_cols: 16,
+            max_cols: None,
+            counter_bits: 32,
+        }
+    }
+}
+
+impl CmsParams {
+    /// Symbolic name of the row count.
+    pub fn rows_sym(&self) -> String {
+        format!("{}_rows", self.prefix)
+    }
+
+    /// Symbolic name of the column count.
+    pub fn cols_sym(&self) -> String {
+        format!("{}_cols", self.prefix)
+    }
+
+    /// Metadata field carrying the minimum estimate.
+    pub fn min_meta(&self) -> String {
+        format!("{}_min", self.prefix)
+    }
+
+    /// The `rows * cols` utility term for this instance.
+    pub fn utility_term(&self) -> String {
+        format!("({} * {})", self.rows_sym(), self.cols_sym())
+    }
+}
+
+/// Generate the CMS fragment: per-row hash+increment, then a guarded
+/// minimum scan leaving the estimate in `<prefix>_min`.
+pub fn fragment(p: &CmsParams) -> Fragment {
+    let pre = &p.prefix;
+    let rows = p.rows_sym();
+    let cols = p.cols_sym();
+    let key = &p.key_expr;
+    let bits = p.counter_bits;
+
+    let mut assumes = vec![
+        format!("{rows} >= {} && {rows} <= {}", p.min_rows, p.max_rows),
+        format!("{cols} >= {}", p.min_cols),
+    ];
+    if let Some(mc) = p.max_cols {
+        assumes.push(format!("{cols} <= {mc}"));
+    }
+
+    Fragment {
+        symbolics: vec![rows.clone(), cols.clone()],
+        assumes,
+        metadata: vec![
+            format!("bit<32>[{rows}] {pre}_index;"),
+            format!("bit<{bits}>[{rows}] {pre}_count;"),
+            format!("bit<{bits}> {pre}_min;"),
+        ],
+        registers: vec![format!("register<bit<{bits}>>[{cols}][{rows}] {pre};")],
+        actions: vec![
+            format!(
+                "action {pre}_incr()[int i] {{\n    meta.{pre}_index[i] = hash({key}, {cols});\n    \
+                 {pre}[i][meta.{pre}_index[i]] = {pre}[i][meta.{pre}_index[i]] + 1;\n    \
+                 meta.{pre}_count[i] = {pre}[i][meta.{pre}_index[i]];\n}}"
+            ),
+            format!(
+                "action {pre}_set_min()[int i] {{\n    meta.{pre}_min = meta.{pre}_count[i];\n}}"
+            ),
+        ],
+        tables: vec![],
+        controls: vec![
+            format!(
+                "control {pre}_sketch() {{ apply {{ for (i < {rows}) {{ {pre}_incr()[i]; }} }} }}"
+            ),
+            format!(
+                "control {pre}_minimum() {{\n    apply {{\n        for (i < {rows}) {{\n            \
+                 if (meta.{pre}_count[i] < meta.{pre}_min || meta.{pre}_min == 0) {{ \
+                 {pre}_set_min()[i]; }}\n        }}\n    }}\n}}"
+            ),
+        ],
+        apply: vec![format!("{pre}_sketch.apply();"), format!("{pre}_minimum.apply();")],
+    }
+}
+
+// ------------------------------------------------------------- reference
+
+/// Reference count-min sketch (ground truth for simulator equivalence and
+/// accuracy experiments).
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    rows: usize,
+    cols: usize,
+    counts: Vec<u64>,
+}
+
+impl CountMinSketch {
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0);
+        CountMinSketch { rows, cols, counts: vec![0; rows * cols] }
+    }
+
+    fn index(&self, row: usize, key: u64) -> usize {
+        row * self.cols + (hash_row(row, key) % self.cols as u64) as usize
+    }
+
+    /// Record one occurrence; returns the updated minimum estimate.
+    pub fn insert(&mut self, key: u64) -> u64 {
+        let mut min = u64::MAX;
+        for r in 0..self.rows {
+            let i = self.index(r, key);
+            self.counts[i] += 1;
+            min = min.min(self.counts[i]);
+        }
+        min
+    }
+
+    /// Current estimate (no update).
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.rows).map(|r| self.counts[self.index(r, key)]).min().unwrap_or(0)
+    }
+
+    /// Zero all counters.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+fn hash_row(row: usize, key: u64) -> u64 {
+    let mut z = (row as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ key;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_compiles() {
+        let src = super::super::compose(
+            &[("key", 32)],
+            &CmsParams::default().utility_term(),
+            vec![fragment(&CmsParams::default())],
+        );
+        let p = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+        assert!(p.symbolic("cms_rows").is_some());
+        assert!(p.register("cms").is_some());
+    }
+
+    #[test]
+    fn two_instances_coexist() {
+        let a = fragment(&CmsParams { prefix: "fast".into(), ..Default::default() });
+        let b = fragment(&CmsParams { prefix: "slow".into(), ..Default::default() });
+        let src = super::super::compose(&[("key", 32)], "fast_rows + slow_rows", vec![a, b]);
+        let p = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+        assert!(p.register("fast").is_some());
+        assert!(p.register("slow").is_some());
+    }
+
+    #[test]
+    fn reference_never_underestimates() {
+        let mut cms = CountMinSketch::new(3, 64);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..500u64 {
+            let key = i % 40;
+            cms.insert(key);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        for (key, count) in truth {
+            assert!(cms.estimate(key) >= count);
+        }
+    }
+
+    #[test]
+    fn reference_exact_without_collisions() {
+        let mut cms = CountMinSketch::new(4, 4096);
+        for _ in 0..10 {
+            cms.insert(7);
+        }
+        // With 1 key there are no collisions at all.
+        assert_eq!(cms.estimate(7), 10);
+        assert_eq!(cms.estimate(8), 0);
+    }
+
+    #[test]
+    fn more_columns_reduce_error() {
+        let keys: Vec<u64> = (0..200).collect();
+        let err = |cols: usize| -> u64 {
+            let mut cms = CountMinSketch::new(2, cols);
+            for &k in &keys {
+                cms.insert(k);
+            }
+            keys.iter().map(|&k| cms.estimate(k) - 1).sum()
+        };
+        assert!(err(1024) < err(32), "wider sketch must reduce total overestimate");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cms = CountMinSketch::new(2, 32);
+        cms.insert(1);
+        cms.clear();
+        assert_eq!(cms.estimate(1), 0);
+    }
+}

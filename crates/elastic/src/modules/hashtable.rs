@@ -1,0 +1,235 @@
+//! Elastic multi-stage hash table module (the PRECISION/HashPipe family),
+//! plus a Rust reference implementation.
+//!
+//! One table stage per elastic iteration: each stage hashes the key into a
+//! slot, records the key fingerprint in a key register and bumps a count
+//! register when the fingerprint matches; the first empty slot adopts the
+//! key. More stages ⇒ fewer collisions evict tracked flows — exactly the
+//! elasticity PRECISION wants.
+//!
+//! (Stateful-action atomicity: each register is touched by its own action,
+//! so the per-stage work is split into `probe` — fingerprint check/adopt —
+//! and `bump` — counter update.)
+
+use super::Fragment;
+
+/// Parameters of one multi-stage hash table.
+#[derive(Debug, Clone)]
+pub struct HashTableParams {
+    pub prefix: String,
+    pub key_expr: String,
+    pub min_stages: u64,
+    pub max_stages: u64,
+    pub min_slots: u64,
+    pub max_slots: Option<u64>,
+    pub counter_bits: u32,
+}
+
+impl Default for HashTableParams {
+    fn default() -> Self {
+        HashTableParams {
+            prefix: "ht".into(),
+            key_expr: "hdr.key".into(),
+            min_stages: 1,
+            max_stages: 4,
+            min_slots: 16,
+            max_slots: None,
+            counter_bits: 32,
+        }
+    }
+}
+
+impl HashTableParams {
+    pub fn stages_sym(&self) -> String {
+        format!("{}_stages", self.prefix)
+    }
+
+    pub fn slots_sym(&self) -> String {
+        format!("{}_slots", self.prefix)
+    }
+
+    pub fn utility_term(&self) -> String {
+        format!("({} * {})", self.stages_sym(), self.slots_sym())
+    }
+
+    /// Metadata flag: 1 once the key found (or adopted) a slot.
+    pub fn tracked_meta(&self) -> String {
+        format!("{}_tracked", self.prefix)
+    }
+}
+
+/// Generate the hash-table fragment.
+pub fn fragment(p: &HashTableParams) -> Fragment {
+    let pre = &p.prefix;
+    let stages = p.stages_sym();
+    let slots = p.slots_sym();
+    let key = &p.key_expr;
+    let cbits = p.counter_bits;
+
+    let mut assumes = vec![
+        format!("{stages} >= {} && {stages} <= {}", p.min_stages, p.max_stages),
+        format!("{slots} >= {}", p.min_slots),
+    ];
+    if let Some(ms) = p.max_slots {
+        assumes.push(format!("{slots} <= {ms}"));
+    }
+
+    Fragment {
+        symbolics: vec![stages.clone(), slots.clone()],
+        assumes,
+        metadata: vec![
+            format!("bit<32>[{stages}] {pre}_slot;"),
+            format!("bit<32>[{stages}] {pre}_stored;"),
+            format!("bit<{cbits}> {pre}_count;"),
+            format!("bit<8> {pre}_tracked;"),
+        ],
+        registers: vec![
+            format!("register<bit<32>>[{slots}][{stages}] {pre}_keys;"),
+            format!("register<bit<{cbits}>>[{slots}][{stages}] {pre}_counts;"),
+        ],
+        actions: vec![
+            // Probe: adopt-if-empty, and report the stored fingerprint.
+            format!(
+                "action {pre}_probe()[int i] {{\n    meta.{pre}_slot[i] = hash({key}, {slots});\n    \
+                 if ({pre}_keys[i][meta.{pre}_slot[i]] == 0) {{\n        \
+                 {pre}_keys[i][meta.{pre}_slot[i]] = {key};\n    }}\n    \
+                 meta.{pre}_stored[i] = {pre}_keys[i][meta.{pre}_slot[i]];\n}}"
+            ),
+            // Bump: count when this stage tracks the key.
+            format!(
+                "action {pre}_bump()[int i] {{\n    \
+                 {pre}_counts[i][meta.{pre}_slot[i]] = {pre}_counts[i][meta.{pre}_slot[i]] + 1;\n    \
+                 meta.{pre}_count = {pre}_counts[i][meta.{pre}_slot[i]];\n}}"
+            ),
+            format!("action {pre}_mark()[int i] {{\n    meta.{pre}_tracked = 1;\n}}"),
+        ],
+        tables: vec![],
+        controls: vec![
+            format!(
+                "control {pre}_probe_all() {{ apply {{ for (i < {stages}) {{ {pre}_probe()[i]; }} }} }}"
+            ),
+            format!(
+                "control {pre}_update() {{\n    apply {{\n        for (i < {stages}) {{\n            \
+                 if (meta.{pre}_stored[i] == {key} && meta.{pre}_tracked == 0) {{\n                \
+                 {pre}_bump()[i];\n                {pre}_mark()[i];\n            }}\n        \
+                 }}\n    }}\n}}"
+            ),
+        ],
+        apply: vec![format!("{pre}_probe_all.apply();"), format!("{pre}_update.apply();")],
+    }
+}
+
+// ------------------------------------------------------------- reference
+
+/// Reference multi-stage hash table with the same adopt-if-empty policy.
+#[derive(Debug, Clone)]
+pub struct MultiStageHashTable {
+    stages: usize,
+    slots: usize,
+    keys: Vec<u64>,
+    counts: Vec<u64>,
+}
+
+impl MultiStageHashTable {
+    pub fn new(stages: usize, slots: usize) -> Self {
+        MultiStageHashTable {
+            stages,
+            slots,
+            keys: vec![0; stages * slots],
+            counts: vec![0; stages * slots],
+        }
+    }
+
+    fn slot(&self, stage: usize, key: u64) -> usize {
+        let mut z = (stage as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ key;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        stage * self.slots + ((z ^ (z >> 31)) % self.slots as u64) as usize
+    }
+
+    /// Process one packet of `key` (nonzero). Returns `true` if some stage
+    /// tracked it.
+    pub fn observe(&mut self, key: u64) -> bool {
+        assert_ne!(key, 0, "key 0 is the empty marker");
+        for s in 0..self.stages {
+            let i = self.slot(s, key);
+            if self.keys[i] == 0 {
+                self.keys[i] = key;
+            }
+            if self.keys[i] == key {
+                self.counts[i] += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Count recorded for `key` (0 if untracked).
+    pub fn count(&self, key: u64) -> u64 {
+        for s in 0..self.stages {
+            let i = self.slot(s, key);
+            if self.keys[i] == key {
+                return self.counts[i];
+            }
+        }
+        0
+    }
+
+    /// All tracked `(key, count)` pairs.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        self.keys
+            .iter()
+            .zip(&self.counts)
+            .filter(|(&k, _)| k != 0)
+            .map(|(&k, &c)| (k, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_parses() {
+        let p = HashTableParams::default();
+        let src = super::super::compose(&[("key", 32)], &p.utility_term(), vec![fragment(&p)]);
+        let prog = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
+        assert!(prog.register("ht_keys").is_some());
+        assert!(prog.register("ht_counts").is_some());
+    }
+
+    #[test]
+    fn reference_tracks_and_counts() {
+        let mut ht = MultiStageHashTable::new(2, 64);
+        for _ in 0..5 {
+            assert!(ht.observe(42));
+        }
+        assert_eq!(ht.count(42), 5);
+        assert_eq!(ht.count(43), 0);
+    }
+
+    #[test]
+    fn reference_more_stages_track_more_keys() {
+        let keys: Vec<u64> = (1..=200).collect();
+        let tracked = |stages: usize| -> usize {
+            let mut ht = MultiStageHashTable::new(stages, 64);
+            for &k in &keys {
+                ht.observe(k);
+            }
+            keys.iter().filter(|&&k| ht.count(k) > 0).count()
+        };
+        assert!(tracked(4) > tracked(1), "more stages must track more keys");
+    }
+
+    #[test]
+    fn entries_lists_tracked_keys() {
+        let mut ht = MultiStageHashTable::new(2, 16);
+        ht.observe(7);
+        ht.observe(7);
+        ht.observe(9);
+        let mut es = ht.entries();
+        es.sort_unstable();
+        assert_eq!(es, vec![(7, 2), (9, 1)]);
+    }
+}

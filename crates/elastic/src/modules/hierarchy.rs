@@ -1,0 +1,133 @@
+//! Elastic hierarchical sketch (Figure 1 lists it via SketchLearn): a
+//! stack of count rows whose widths shrink level by level — coarse levels
+//! aggregate many keys per counter, fine levels resolve individuals. Each
+//! level's width is its own size symbolic, with `assume`s tying
+//! neighbouring levels (`level(l+1) <= level(l)`), so the whole pyramid
+//! stretches coherently.
+
+use super::Fragment;
+
+/// Parameters of one hierarchical sketch.
+#[derive(Debug, Clone)]
+pub struct HierarchyParams {
+    pub prefix: String,
+    pub key_expr: String,
+    /// Number of levels (a fixed structural constant, like the key width).
+    pub levels: usize,
+    /// Minimum width of the finest (widest) level.
+    pub min_base_cols: u64,
+    pub counter_bits: u32,
+}
+
+impl Default for HierarchyParams {
+    fn default() -> Self {
+        HierarchyParams {
+            prefix: "hs".into(),
+            key_expr: "hdr.key".into(),
+            levels: 3,
+            min_base_cols: 64,
+            counter_bits: 32,
+        }
+    }
+}
+
+impl HierarchyParams {
+    pub fn cols_sym(&self, level: usize) -> String {
+        format!("{}_cols{level}", self.prefix)
+    }
+
+    /// Sum of all level widths — the utility term.
+    pub fn utility_term(&self) -> String {
+        (0..self.levels).map(|l| self.cols_sym(l)).collect::<Vec<_>>().join(" + ")
+    }
+}
+
+/// Generate the hierarchical-sketch fragment.
+pub fn fragment(p: &HierarchyParams) -> Fragment {
+    let pre = &p.prefix;
+    let bits = p.counter_bits;
+    let key = &p.key_expr;
+
+    let mut symbolics = Vec::new();
+    let mut assumes = Vec::new();
+    let mut registers = Vec::new();
+    let mut metadata = Vec::new();
+    let mut actions = Vec::new();
+    let mut controls = Vec::new();
+    let mut apply = Vec::new();
+
+    for l in 0..p.levels {
+        let cols = p.cols_sym(l);
+        symbolics.push(cols.clone());
+        if l == 0 {
+            assumes.push(format!("{cols} >= {}", p.min_base_cols));
+        } else {
+            // Coarser levels are narrower, but never vanish.
+            assumes.push(format!("{cols} >= 2"));
+            assumes.push(format!("{cols} <= {}", p.cols_sym(l - 1)));
+        }
+        metadata.push(format!("bit<32> {pre}_idx{l};"));
+        metadata.push(format!("bit<{bits}> {pre}_cnt{l};"));
+        registers.push(format!("register<bit<{bits}>>[{cols}] {pre}_lv{l};"));
+        actions.push(format!(
+            "action {pre}_bump{l}() {{\n    meta.{pre}_idx{l} = hash({key}, {cols});\n    \
+             {pre}_lv{l}[meta.{pre}_idx{l}] = {pre}_lv{l}[meta.{pre}_idx{l}] + 1;\n    \
+             meta.{pre}_cnt{l} = {pre}_lv{l}[meta.{pre}_idx{l}];\n}}"
+        ));
+        controls.push(format!(
+            "control {pre}_level{l}() {{ apply {{ {pre}_bump{l}(); }} }}"
+        ));
+        apply.push(format!("{pre}_level{l}.apply();"));
+    }
+
+    Fragment { symbolics, assumes, metadata, registers, actions, tables: vec![], controls, apply }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4all_core::Compiler;
+    use p4all_pisa::presets;
+
+    #[test]
+    fn fragment_parses() {
+        let p = HierarchyParams::default();
+        let src = super::super::compose(&[("key", 32)], &p.utility_term(), vec![fragment(&p)]);
+        let prog = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
+        for l in 0..3 {
+            assert!(prog.register(&format!("hs_lv{l}")).is_some());
+        }
+    }
+
+    #[test]
+    fn level_widths_are_monotone() {
+        let p = HierarchyParams::default();
+        let src = super::super::compose(&[("key", 32)], &p.utility_term(), vec![fragment(&p)]);
+        let c = Compiler::new(presets::paper_eval(1 << 13)).compile(&src).unwrap();
+        let w0 = c.layout.symbol_values["hs_cols0"];
+        let w1 = c.layout.symbol_values["hs_cols1"];
+        let w2 = c.layout.symbol_values["hs_cols2"];
+        assert!(w0 >= w1 && w1 >= w2, "widths must shrink: {w0} {w1} {w2}");
+        assert!(w2 >= 2);
+        assert!(w0 >= 64);
+    }
+
+    #[test]
+    fn levels_count_independently() {
+        use p4all_sim::Switch;
+        let p = HierarchyParams { levels: 2, ..Default::default() };
+        let src = super::super::compose(&[("key", 32)], &p.utility_term(), vec![fragment(&p)]);
+        let c = Compiler::new(presets::paper_eval(1 << 13)).compile(&src).unwrap();
+        let prog = p4all_lang::parse(&src).unwrap();
+        let mut sw = Switch::build(&c.concrete, &prog).unwrap();
+        for _ in 0..3 {
+            sw.begin_packet();
+            sw.set_header("key", 11).unwrap();
+            sw.run_packet().unwrap();
+        }
+        assert_eq!(sw.meta("hs_cnt0").unwrap(), 3);
+        // The coarse level may alias other keys but for one key it equals
+        // the fine level here.
+        assert_eq!(sw.meta("hs_cnt1").unwrap(), 3);
+    }
+}

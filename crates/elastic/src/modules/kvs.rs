@@ -1,0 +1,239 @@
+//! Elastic key-value store module (the NetCache value store), plus a Rust
+//! reference implementation.
+//!
+//! Layout: an elastic array of value-register slices; an exact-match table
+//! maps cached keys to `(slice, index)` action data; per-slice guarded read
+//! actions serve the value into metadata. Slices stretch across stages, so
+//! `kv_slices * kv_cols` — the cache capacity — is the elastic quantity
+//! NetCache's utility maximizes.
+
+use super::Fragment;
+
+/// Parameters of one key-value store instantiation.
+#[derive(Debug, Clone)]
+pub struct KvsParams {
+    pub prefix: String,
+    pub key_expr: String,
+    /// Value width in bits (NetCache values are large relative to CMS
+    /// counters; the paper's Figure 12 notes this asymmetry).
+    pub value_bits: u32,
+    pub min_slices: u64,
+    pub max_slices: Option<u64>,
+    pub min_cols: u64,
+    pub max_cols: Option<u64>,
+    /// Exact-match table capacity (entries).
+    pub table_size: u64,
+}
+
+impl Default for KvsParams {
+    fn default() -> Self {
+        KvsParams {
+            prefix: "kv".into(),
+            key_expr: "hdr.key".into(),
+            value_bits: 64,
+            min_slices: 1,
+            max_slices: None,
+            min_cols: 16,
+            max_cols: None,
+            table_size: 65536,
+        }
+    }
+}
+
+impl KvsParams {
+    pub fn slices_sym(&self) -> String {
+        format!("{}_slices", self.prefix)
+    }
+
+    pub fn cols_sym(&self) -> String {
+        format!("{}_cols", self.prefix)
+    }
+
+    /// `slices * cols` — the store's item capacity (the paper's
+    /// `kv_items`).
+    pub fn items_term(&self) -> String {
+        format!("({} * {})", self.slices_sym(), self.cols_sym())
+    }
+
+    /// Register holding the values.
+    pub fn register(&self) -> String {
+        format!("{}s", self.prefix)
+    }
+
+    pub fn table(&self) -> String {
+        format!("{}_cache", self.prefix)
+    }
+
+    pub fn hit_action(&self) -> String {
+        format!("{}_hit_act", self.prefix)
+    }
+
+    pub fn hit_meta(&self) -> String {
+        format!("{}_hit", self.prefix)
+    }
+
+    pub fn value_meta(&self) -> String {
+        format!("{}_val", self.prefix)
+    }
+
+    pub fn slice_meta(&self) -> String {
+        format!("{}_slice", self.prefix)
+    }
+
+    pub fn idx_meta(&self) -> String {
+        format!("{}_idx", self.prefix)
+    }
+}
+
+/// Generate the key-value store fragment.
+pub fn fragment(p: &KvsParams) -> Fragment {
+    let pre = &p.prefix;
+    let slices = p.slices_sym();
+    let cols = p.cols_sym();
+    let reg = p.register();
+    let key = &p.key_expr;
+    let vbits = p.value_bits;
+
+    let mut assumes = vec![format!("{slices} >= {}", p.min_slices), format!("{cols} >= {}", p.min_cols)];
+    if let Some(ms) = p.max_slices {
+        assumes.push(format!("{slices} <= {ms}"));
+    }
+    if let Some(mc) = p.max_cols {
+        assumes.push(format!("{cols} <= {mc}"));
+    }
+
+    Fragment {
+        symbolics: vec![slices.clone(), cols.clone()],
+        assumes,
+        metadata: vec![
+            format!("bit<8> {pre}_hit;"),
+            format!("bit<32> {pre}_slice;"),
+            format!("bit<32> {pre}_idx;"),
+            format!("bit<{vbits}> {pre}_val;"),
+        ],
+        registers: vec![format!("register<bit<{vbits}>>[{cols}][{slices}] {reg};")],
+        actions: vec![
+            format!("action {pre}_hit_act() {{\n    meta.{pre}_hit = 1;\n}}"),
+            format!("action {pre}_miss_act() {{\n    meta.{pre}_hit = 0;\n}}"),
+            format!(
+                "action {pre}_read()[int j] {{\n    meta.{pre}_val = {reg}[j][meta.{pre}_idx];\n}}"
+            ),
+        ],
+        tables: vec![format!(
+            "table {} {{\n    key = {{ {key}; }}\n    actions = {{ {pre}_hit_act; \
+             {pre}_miss_act; }}\n    size = {};\n    default_action = {pre}_miss_act;\n}}",
+            p.table(),
+            p.table_size
+        )],
+        controls: vec![
+            format!("control {pre}_lookup() {{ apply {{ {}.apply(); }} }}", p.table()),
+            format!(
+                "control {pre}_serve() {{\n    apply {{\n        for (j < {slices}) {{\n            \
+                 if (meta.{pre}_hit == 1 && meta.{pre}_slice == j) {{ {pre}_read()[j]; }}\n        \
+                 }}\n    }}\n}}"
+            ),
+        ],
+        apply: vec![format!("{pre}_lookup.apply();"), format!("{pre}_serve.apply();")],
+    }
+}
+
+// ------------------------------------------------------------- reference
+
+/// Reference fixed-capacity key-value cache with the same slot structure
+/// (slices x columns) as the data-plane store.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    slices: usize,
+    cols: usize,
+    values: Vec<Option<(u64, u64)>>, // (key, value) per slot
+    index: std::collections::HashMap<u64, usize>,
+}
+
+impl KvStore {
+    pub fn new(slices: usize, cols: usize) -> Self {
+        KvStore {
+            slices,
+            cols,
+            values: vec![None; slices * cols],
+            index: std::collections::HashMap::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slices * self.cols
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Insert into the first free slot; returns `(slice, col)` or `None`
+    /// when full.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<(usize, usize)> {
+        if let Some(&slot) = self.index.get(&key) {
+            self.values[slot] = Some((key, value));
+            return Some((slot / self.cols, slot % self.cols));
+        }
+        let slot = self.values.iter().position(|v| v.is_none())?;
+        self.values[slot] = Some((key, value));
+        self.index.insert(key, slot);
+        Some((slot / self.cols, slot % self.cols))
+    }
+
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.index.get(&key).and_then(|&s| self.values[s]).map(|(_, v)| v)
+    }
+
+    pub fn remove(&mut self, key: u64) -> bool {
+        if let Some(slot) = self.index.remove(&key) {
+            self.values[slot] = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_parses() {
+        let p = KvsParams::default();
+        let src = super::super::compose(&[("key", 32)], &p.items_term(), vec![fragment(&p)]);
+        let prog = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
+        assert!(prog.table("kv_cache").is_some());
+        assert!(prog.register("kvs").is_some());
+    }
+
+    #[test]
+    fn reference_round_trip() {
+        let mut kv = KvStore::new(2, 4);
+        assert_eq!(kv.capacity(), 8);
+        let slot = kv.insert(10, 100).unwrap();
+        assert!(slot.0 < 2 && slot.1 < 4);
+        assert_eq!(kv.get(10), Some(100));
+        assert_eq!(kv.get(11), None);
+        assert!(kv.remove(10));
+        assert_eq!(kv.get(10), None);
+        assert!(!kv.remove(10));
+    }
+
+    #[test]
+    fn reference_capacity_bound() {
+        let mut kv = KvStore::new(1, 3);
+        for k in 0..3 {
+            assert!(kv.insert(k, k).is_some());
+        }
+        assert!(kv.insert(99, 99).is_none(), "store must reject when full");
+        assert_eq!(kv.len(), 3);
+        // Updating an existing key works even when full.
+        assert!(kv.insert(1, 111).is_some());
+        assert_eq!(kv.get(1), Some(111));
+    }
+}

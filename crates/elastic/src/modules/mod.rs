@@ -1,0 +1,156 @@
+//! Reusable elastic modules.
+//!
+//! Each module is a [`Fragment`]: named sections of P4All source that an
+//! application composes with other fragments and a utility function. This
+//! is the paper's modular-reuse story — a count-min sketch written once is
+//! dropped into NetCache, SketchLearn, and ConQuest, stretching differently
+//! in each, because the compiler (not the module author) picks its size.
+
+pub mod bloom;
+pub mod cms;
+pub mod hashtable;
+pub mod hierarchy;
+pub mod idtable;
+pub mod kvs;
+
+/// Sections of P4All source contributed by one module.
+#[derive(Debug, Clone, Default)]
+pub struct Fragment {
+    /// Symbolic value names (`symbolic int <name>;` each).
+    pub symbolics: Vec<String>,
+    /// Assume expressions (without the keyword/semicolon).
+    pub assumes: Vec<String>,
+    /// Lines inside `struct metadata { ... }`.
+    pub metadata: Vec<String>,
+    /// Full register declarations.
+    pub registers: Vec<String>,
+    /// Full action declarations.
+    pub actions: Vec<String>,
+    /// Full table declarations.
+    pub tables: Vec<String>,
+    /// Full control declarations (leaf controls).
+    pub controls: Vec<String>,
+    /// `x.apply();` lines for the program's `Main`, in order.
+    pub apply: Vec<String>,
+}
+
+impl Fragment {
+    /// Append another fragment's sections after this one's.
+    pub fn merge(mut self, other: Fragment) -> Fragment {
+        self.symbolics.extend(other.symbolics);
+        self.assumes.extend(other.assumes);
+        self.metadata.extend(other.metadata);
+        self.registers.extend(other.registers);
+        self.actions.extend(other.actions);
+        self.tables.extend(other.tables);
+        self.controls.extend(other.controls);
+        self.apply.extend(other.apply);
+        self
+    }
+}
+
+/// Compose fragments into a complete P4All program.
+///
+/// `header_fields`: `(name, bits)` of the single flat header. `utility`:
+/// the `optimize` expression (empty = none, compiler default applies).
+pub fn compose(
+    header_fields: &[(&str, u32)],
+    utility: &str,
+    fragments: Vec<Fragment>,
+) -> String {
+    compose_with_apply(header_fields, utility, fragments, None)
+}
+
+/// Like [`compose`], but with an explicit `Main` apply order (applications
+/// often interleave module controls, e.g. NetCache looks up the cache
+/// before the sketch counts and serves values after).
+pub fn compose_with_apply(
+    header_fields: &[(&str, u32)],
+    utility: &str,
+    fragments: Vec<Fragment>,
+    apply_override: Option<Vec<String>>,
+) -> String {
+    let mut f = fragments.into_iter().fold(Fragment::default(), Fragment::merge);
+    if let Some(apply) = apply_override {
+        f.apply = apply;
+    }
+    let mut out = String::new();
+    for s in &f.symbolics {
+        out.push_str(&format!("symbolic int {s};\n"));
+    }
+    for a in &f.assumes {
+        out.push_str(&format!("assume {a};\n"));
+    }
+    if !utility.is_empty() {
+        out.push_str(&format!("optimize {utility};\n"));
+    }
+    out.push_str("\nheader pkt {\n");
+    for (name, bits) in header_fields {
+        out.push_str(&format!("    bit<{bits}> {name};\n"));
+    }
+    out.push_str("}\n\nstruct metadata {\n");
+    for m in &f.metadata {
+        out.push_str(&format!("    {m}\n"));
+    }
+    out.push_str("}\n\n");
+    for r in &f.registers {
+        out.push_str(r);
+        out.push('\n');
+    }
+    out.push('\n');
+    for a in &f.actions {
+        out.push_str(a);
+        out.push('\n');
+    }
+    for t in &f.tables {
+        out.push_str(t);
+        out.push('\n');
+    }
+    for c in &f.controls {
+        out.push_str(c);
+        out.push('\n');
+    }
+    out.push_str("control Main() {\n    apply {\n");
+    for a in &f.apply {
+        out.push_str(&format!("        {a}\n"));
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_produces_parseable_program() {
+        let frag = Fragment {
+            symbolics: vec!["n".into()],
+            assumes: vec!["n >= 1 && n <= 4".into()],
+            metadata: vec!["bit<32>[n] slot;".into(), "bit<32> out;".into()],
+            registers: vec!["register<bit<32>>[64][n] tallies;".into()],
+            actions: vec![
+                "action bump()[int i] {\n    meta.slot[i] = hash(hdr.key, 64);\n    \
+                 tallies[i][meta.slot[i]] = tallies[i][meta.slot[i]] + 1;\n}"
+                    .into(),
+            ],
+            tables: vec![],
+            controls: vec![
+                "control counting() { apply { for (i < n) { bump()[i]; } } }".into(),
+            ],
+            apply: vec!["counting.apply();".into()],
+        };
+        let src = compose(&[("key", 32)], "n", vec![frag]);
+        let p = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+        assert_eq!(p.symbolics.len(), 1);
+        assert_eq!(p.entry_control().unwrap().name, "Main");
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let a = Fragment { apply: vec!["first.apply();".into()], ..Default::default() };
+        let b = Fragment { apply: vec!["second.apply();".into()], ..Default::default() };
+        let m = a.merge(b);
+        assert_eq!(m.apply, vec!["first.apply();".to_string(), "second.apply();".to_string()]);
+    }
+}

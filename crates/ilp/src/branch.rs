@@ -1,0 +1,548 @@
+//! Branch-and-bound driver for mixed-integer programs.
+//!
+//! Depth-first search over bound-tightened subproblems, each relaxed and
+//! solved by the [simplex](crate::simplex) module. A root diving heuristic
+//! finds an early incumbent so that the LP bound can prune aggressively.
+
+use std::time::{Duration, Instant};
+
+use crate::model::{Model, Sense, Solution, VarKind};
+use crate::presolve::{presolve, Presolved};
+use crate::simplex::{solve_lp, LpError, LpResult};
+
+/// Knobs for [`solve_with`].
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Give up (returning the incumbent, if any) after this wall-clock time.
+    pub time_limit: Option<Duration>,
+    /// Give up after exploring this many nodes.
+    pub node_limit: usize,
+    /// Values within this distance of an integer count as integral.
+    pub int_tol: f64,
+    /// A node is pruned when its LP bound cannot beat the incumbent by
+    /// more than this amount.
+    pub gap_tol: f64,
+    /// Relative optimality gap: additionally prune nodes whose bound is
+    /// within `rel_gap * |incumbent|` of the incumbent. Zero for exact
+    /// proofs; compilers use ~1e-6 (a millionth of the utility).
+    pub rel_gap: f64,
+    /// Maximum depth of the root diving heuristic (0 disables it).
+    pub dive_limit: usize,
+    /// Optional warm-start assignment (one value per variable). If it is
+    /// feasible for the model it seeds the incumbent, activating bound
+    /// pruning from the first node.
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            time_limit: Some(Duration::from_secs(300)),
+            node_limit: 200_000,
+            int_tol: 1e-6,
+            gap_tol: 1e-6,
+            rel_gap: 0.0,
+            dive_limit: 400,
+            warm_start: None,
+        }
+    }
+}
+
+/// Final status of a MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// The returned solution is proven optimal.
+    Optimal,
+    /// A feasible solution was found but a limit stopped the proof.
+    Feasible,
+    /// No integral assignment satisfies the constraints.
+    Infeasible,
+    /// The relaxation (and the MIP) is unbounded.
+    Unbounded,
+    /// A limit was reached before any feasible solution was found.
+    Unknown,
+}
+
+/// Outcome of [`solve`] / [`solve_with`].
+#[derive(Debug, Clone)]
+pub struct MipOutcome {
+    pub status: SolveStatus,
+    /// Best solution found (present for `Optimal` and `Feasible`).
+    pub solution: Option<Solution>,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+    /// Total LP relaxations solved (including heuristic dives).
+    pub lp_solves: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Solve with default options.
+pub fn solve(model: &Model) -> Result<MipOutcome, LpError> {
+    solve_with(model, &SolveOptions::default())
+}
+
+struct Node {
+    bounds: Vec<(f64, f64)>,
+    /// LP bound inherited from the parent (in "higher is better" score).
+    parent_score: f64,
+}
+
+/// Solve `model` to proven optimality (subject to limits).
+pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpError> {
+    let start = Instant::now();
+    let sgn = match model.sense() {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+
+    let root_bounds = match presolve(model) {
+        Presolved::Bounds(b) => b,
+        Presolved::Infeasible { .. } => {
+            return Ok(MipOutcome {
+                status: SolveStatus::Infeasible,
+                solution: None,
+                nodes: 0,
+                lp_solves: 0,
+                elapsed: start.elapsed(),
+            });
+        }
+    };
+
+    let mut lp_solves = 0usize;
+    let mut nodes = 0usize;
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (score, values)
+
+    // Seed the incumbent from a caller-provided warm start, if feasible.
+    if let Some(ws) = &opts.warm_start {
+        if ws.len() != model.num_vars() {
+            if std::env::var("ILP_DEBUG").is_ok() {
+                eprintln!("warm start: wrong length {} vs {}", ws.len(), model.num_vars());
+            }
+        } else {
+            match model.check_feasible(ws, 1e-5) {
+                Ok(()) => {
+                    incumbent = Some((sgn * model.objective_value(ws), ws.clone()));
+                    if std::env::var("ILP_DEBUG").is_ok() {
+                        eprintln!("warm start accepted: obj {}", model.objective_value(ws));
+                    }
+                }
+                Err(e) => {
+                    if std::env::var("ILP_DEBUG").is_ok() {
+                        eprintln!("warm start rejected: {e}");
+                    }
+                }
+            }
+        }
+    }
+
+    // Integral variables, binaries first so we branch on placements before
+    // memory sizes.
+    let mut int_vars: Vec<usize> = model
+        .vars()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_integral())
+        .map(|(j, _)| j)
+        .collect();
+    int_vars.sort_by_key(|&j| match model.var(crate::VarId(j)).kind {
+        VarKind::Binary => 0u8,
+        VarKind::Integer => 1,
+        VarKind::Continuous => 2,
+    });
+
+    let frac_of = |x: f64| (x - x.round()).abs();
+    // Selection key: highest branch priority, then binaries before general
+    // integers, then most fractional.
+    let pick_branch_var = |x: &[f64], tol: f64| -> Option<(usize, f64)> {
+        let mut best: Option<(usize, (i32, u8, f64))> = None;
+        for &j in &int_vars {
+            let f = frac_of(x[j]);
+            if f > tol {
+                let var = model.var(crate::VarId(j));
+                let class = match var.kind {
+                    VarKind::Binary => 0u8,
+                    _ => 1,
+                };
+                let fr_score = 0.5 - (x[j] - x[j].floor() - 0.5).abs();
+                let key = (-var.branch_priority, class, -fr_score);
+                match &best {
+                    Some((_, bk)) if key >= *bk => {}
+                    _ => best = Some((j, key)),
+                }
+            }
+        }
+        best.map(|(j, _)| (j, x[j]))
+    };
+
+    let snap = |x: &[f64]| -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(j, &v)| if model.var(crate::VarId(j)).is_integral() { v.round() } else { v })
+            .collect()
+    };
+
+    // --- Root LP ---
+    let root_lp = {
+        lp_solves += 1;
+        solve_lp(model, &root_bounds)?
+    };
+    let (root_x, root_score) = match root_lp {
+        LpResult::Infeasible => {
+            return Ok(MipOutcome {
+                status: SolveStatus::Infeasible,
+                solution: None,
+                nodes: 1,
+                lp_solves,
+                elapsed: start.elapsed(),
+            });
+        }
+        LpResult::Unbounded => {
+            return Ok(MipOutcome {
+                status: SolveStatus::Unbounded,
+                solution: None,
+                nodes: 1,
+                lp_solves,
+                elapsed: start.elapsed(),
+            });
+        }
+        LpResult::Optimal { x, obj } => (x, sgn * obj),
+    };
+
+    // Integral already?
+    if pick_branch_var(&root_x, opts.int_tol).is_none() {
+        let vals = snap(&root_x);
+        if model.check_feasible(&vals, 1e-5).is_ok() {
+            let obj = model.objective_value(&vals);
+            return Ok(MipOutcome {
+                status: SolveStatus::Optimal,
+                solution: Some(Solution { values: vals, objective: obj }),
+                nodes: 1,
+                lp_solves,
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+
+    // --- Root diving heuristic for an early incumbent ---
+    if opts.dive_limit > 0 {
+        let mut dive_bounds = root_bounds.clone();
+        let mut cur = root_x.clone();
+        for _ in 0..opts.dive_limit {
+            match pick_branch_var(&cur, opts.int_tol) {
+                None => {
+                    let vals = snap(&cur);
+                    if model.check_feasible(&vals, 1e-5).is_ok() {
+                        let score = sgn * model.objective_value(&vals);
+                        incumbent = Some((score, vals));
+                    }
+                    break;
+                }
+                Some((j, v)) => {
+                    // Round to the nearest integer and fix; on infeasibility
+                    // backtrack once to the other side before giving up.
+                    let (lo, hi) = dive_bounds[j];
+                    let r = v.round().clamp(lo, hi);
+                    dive_bounds[j] = (r, r);
+                    lp_solves += 1;
+                    match solve_lp(model, &dive_bounds)? {
+                        LpResult::Optimal { x, .. } => cur = x,
+                        _ => {
+                            let alt = if r > v { v.floor() } else { v.ceil() };
+                            let alt = alt.clamp(lo, hi);
+                            if alt == r {
+                                break;
+                            }
+                            dive_bounds[j] = (alt, alt);
+                            lp_solves += 1;
+                            match solve_lp(model, &dive_bounds)? {
+                                LpResult::Optimal { x, .. } => cur = x,
+                                _ => break, // both sides infeasible; give up
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- DFS branch and bound ---
+    let mut stack: Vec<Node> = vec![Node { bounds: root_bounds, parent_score: root_score }];
+    let mut proven = true;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= opts.node_limit {
+            proven = false;
+            break;
+        }
+        if let Some(limit) = opts.time_limit {
+            if start.elapsed() > limit {
+                proven = false;
+                break;
+            }
+        }
+        // Parent-bound prune (cheap, before the LP).
+        if let Some((inc_score, _)) = &incumbent {
+            let gap = opts.gap_tol.max(opts.rel_gap * inc_score.abs());
+            if node.parent_score <= *inc_score + gap {
+                continue;
+            }
+        }
+        nodes += 1;
+        lp_solves += 1;
+        let lp = solve_lp(model, &node.bounds)?;
+        let (x, score) = match lp {
+            LpResult::Infeasible => continue,
+            LpResult::Unbounded => {
+                return Ok(MipOutcome {
+                    status: SolveStatus::Unbounded,
+                    solution: None,
+                    nodes,
+                    lp_solves,
+                    elapsed: start.elapsed(),
+                });
+            }
+            LpResult::Optimal { x, obj } => (x, sgn * obj),
+        };
+        if let Some((inc_score, _)) = &incumbent {
+            let gap = opts.gap_tol.max(opts.rel_gap * inc_score.abs());
+            if score <= *inc_score + gap {
+                continue;
+            }
+        }
+        match pick_branch_var(&x, opts.int_tol) {
+            None => {
+                let vals = snap(&x);
+                if model.check_feasible(&vals, 1e-5).is_ok() {
+                    let s = sgn * model.objective_value(&vals);
+                    let better = incumbent.as_ref().map_or(true, |(b, _)| s > *b + 1e-12);
+                    if better {
+                        incumbent = Some((s, vals));
+                    }
+                }
+                // If snapping broke feasibility the LP point was integral
+                // within tolerance but unsafe; treat as explored.
+            }
+            Some((j, v)) => {
+                debug_assert!(
+                    v >= node.bounds[j].0 - 1e-5 && v <= node.bounds[j].1 + 1e-5,
+                    "LP value {} for variable {} escapes node bounds {:?}",
+                    v, j, node.bounds[j]
+                );
+                let floor = v.floor();
+                let mut down = node.bounds.clone();
+                down[j].1 = down[j].1.min(floor);
+                let mut up = node.bounds.clone();
+                up[j].0 = up[j].0.max(floor + 1.0);
+                // Explore the child nearest the LP value first (pushed last).
+                let (first, second) = if v - floor <= 0.5 { (up, down) } else { (down, up) };
+                if first[j].0 <= first[j].1 {
+                    stack.push(Node { bounds: first, parent_score: score });
+                }
+                if second[j].0 <= second[j].1 {
+                    stack.push(Node { bounds: second, parent_score: score });
+                }
+            }
+        }
+    }
+
+    let elapsed = start.elapsed();
+    match incumbent {
+        Some((_, values)) => {
+            let objective = model.objective_value(&values);
+            Ok(MipOutcome {
+                status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
+                solution: Some(Solution { values, objective }),
+                nodes,
+                lp_solves,
+                elapsed,
+            })
+        }
+        None => Ok(MipOutcome {
+            status: if proven { SolveStatus::Infeasible } else { SolveStatus::Unknown },
+            solution: None,
+            nodes,
+            lp_solves,
+            elapsed,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{brute_force, LinExpr, Model, Sense};
+
+    fn assert_matches_brute_force(m: &Model) {
+        let bf = brute_force(m, 5_000_000);
+        let out = solve(m).expect("solve");
+        match bf {
+            None => assert_eq!(out.status, SolveStatus::Infeasible, "expected infeasible"),
+            Some(ref_sol) => {
+                assert_eq!(out.status, SolveStatus::Optimal);
+                let got = out.solution.expect("solution");
+                assert!(
+                    (got.objective - ref_sol.objective).abs() < 1e-5,
+                    "solver found {}, brute force found {}",
+                    got.objective,
+                    ref_sol.objective
+                );
+                m.check_feasible(&got.values, 1e-5).expect("solver solution feasible");
+            }
+        }
+    }
+
+    #[test]
+    fn knapsack_small() {
+        let mut m = Model::new();
+        let weights = [4.0, 3.0, 5.0, 6.0, 2.0];
+        let values = [7.0, 4.0, 9.0, 10.0, 3.0];
+        let xs: Vec<_> = (0..5).map(|i| m.binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for i in 0..5 {
+            cap += LinExpr::term(xs[i], weights[i]);
+            obj += LinExpr::term(xs[i], values[i]);
+        }
+        m.le("cap", cap, 10.0);
+        m.set_objective(obj, Sense::Maximize);
+        assert_matches_brute_force(&m);
+    }
+
+    #[test]
+    fn integer_variables_branching() {
+        // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, x,y integer >= 0.
+        // LP optimum (3, 1.5); ILP optimum (3, 1) = 19? check (2,2): 18. (4,0): 20>24? 6*4=24<=24, x+2y=4<=6 -> obj 20.
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 10.0);
+        let y = m.integer("y", 0.0, 10.0);
+        m.le("c1", LinExpr::term(x, 6.0) + LinExpr::term(y, 4.0), 24.0);
+        m.le("c2", LinExpr::from(x) + LinExpr::term(y, 2.0), 6.0);
+        m.set_objective(LinExpr::term(x, 5.0) + LinExpr::term(y, 4.0), Sense::Maximize);
+        let out = solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!((out.solution.unwrap().objective - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.ge("ge", LinExpr::from(x) + LinExpr::from(y), 2.0);
+        m.le("le", LinExpr::from(x) + LinExpr::from(y), 1.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let out = solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_mip() {
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let out = solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn minimization_set_cover() {
+        // Min-cost cover of {1,2,3} by sets A={1,2} ($3), B={2,3} ($3), C={1,3} ($3), D={1,2,3} ($5).
+        // Optimum: two of A/B/C for $6 vs D+nothing ($5)? D covers all -> $5.
+        let mut m = Model::new();
+        let a = m.binary("A");
+        let b = m.binary("B");
+        let c = m.binary("C");
+        let d = m.binary("D");
+        m.ge("e1", LinExpr::from(a) + LinExpr::from(c) + LinExpr::from(d), 1.0);
+        m.ge("e2", LinExpr::from(a) + LinExpr::from(b) + LinExpr::from(d), 1.0);
+        m.ge("e3", LinExpr::from(b) + LinExpr::from(c) + LinExpr::from(d), 1.0);
+        m.set_objective(
+            LinExpr::term(a, 3.0) + LinExpr::term(b, 3.0) + LinExpr::term(c, 3.0)
+                + LinExpr::term(d, 5.0),
+            Sense::Minimize,
+        );
+        let out = solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        assert!((out.solution.unwrap().objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_linked_integers() {
+        // x == 3y, maximize x with x <= 10 -> x=9, y=3.
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 10.0);
+        let y = m.integer("y", 0.0, 10.0);
+        m.eq("link", LinExpr::from(x) - LinExpr::term(y, 3.0), 0.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let out = solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let sol = out.solution.unwrap();
+        assert_eq!(sol.int_value(x), 9);
+        assert_eq!(sol.int_value(y), 3);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 2x + y, x binary, y continuous <= 1.5, x + y <= 2 -> x=1, y=1 -> 3.
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 1.5);
+        m.le("cap", LinExpr::from(x) + LinExpr::from(y), 2.0);
+        m.set_objective(LinExpr::term(x, 2.0) + LinExpr::from(y), Sense::Maximize);
+        let out = solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let sol = out.solution.unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        assert_eq!(sol.int_value(x), 1);
+        assert!((sol.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_or_unknown() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..14).map(|i| m.binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            cap += LinExpr::term(x, (i % 5 + 1) as f64 + 0.5);
+            obj += LinExpr::term(x, (i % 7 + 1) as f64 + 0.3);
+        }
+        m.le("cap", cap, 17.0);
+        m.set_objective(obj, Sense::Maximize);
+        let opts = SolveOptions { node_limit: 2, dive_limit: 0, ..Default::default() };
+        let out = solve_with(&m, &opts).unwrap();
+        assert!(matches!(out.status, SolveStatus::Feasible | SolveStatus::Unknown));
+    }
+
+    #[test]
+    fn placement_like_structure() {
+        // Mimic a tiny stage-placement ILP: two actions, three stages,
+        // precedence a before b, maximize placements.
+        let mut m = Model::new();
+        let a: Vec<_> = (0..3).map(|s| m.binary(format!("a_{s}"))).collect();
+        let b: Vec<_> = (0..3).map(|s| m.binary(format!("b_{s}"))).collect();
+        let sum_a = LinExpr::from(a[0]) + LinExpr::from(a[1]) + LinExpr::from(a[2]);
+        let sum_b = LinExpr::from(b[0]) + LinExpr::from(b[1]) + LinExpr::from(b[2]);
+        m.le("a_once", sum_a.clone(), 1.0);
+        m.le("b_once", sum_b.clone(), 1.0);
+        // b in stage s implies a placed in an earlier stage.
+        for s in 0..3 {
+            let mut earlier = LinExpr::zero();
+            for t in 0..s {
+                earlier += LinExpr::from(a[t]);
+            }
+            m.le(format!("prec_{s}"), LinExpr::from(b[s]) - earlier, 0.0);
+        }
+        m.set_objective(sum_a + sum_b, Sense::Maximize);
+        let out = solve(&m).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let sol = out.solution.unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-6);
+        // b must come strictly after a.
+        let a_stage = (0..3).find(|&s| sol.int_value(a[s]) == 1).unwrap();
+        let b_stage = (0..3).find(|&s| sol.int_value(b[s]) == 1).unwrap();
+        assert!(a_stage < b_stage);
+    }
+}
+

@@ -1,0 +1,47 @@
+//! # p4all-ilp — exact MILP solver for the P4All compiler
+//!
+//! The P4All compiler (HotNets 2020) resolves symbolic program parameters
+//! by solving an integer linear program over action placements, register
+//! memory, and metadata allocation. The paper used the Gurobi Optimizer;
+//! this crate is a self-contained replacement: a model-building API, a
+//! bound-propagation presolve, a bounded-variable two-phase primal simplex
+//! for LP relaxations, and a depth-first branch-and-bound with a root
+//! diving heuristic.
+//!
+//! The solver is exact: when it reports [`SolveStatus::Optimal`], the
+//! returned solution maximizes (or minimizes) the objective over all
+//! integral assignments. It is sized for compiler workloads — hundreds to
+//! a few thousand variables — not for industrial MIP benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use p4all_ilp::{Model, LinExpr, Sense, solve, SolveStatus};
+//!
+//! // max 3a + 4b + 5c  s.t. 2a + 3b + 4c <= 6  (binary knapsack)
+//! let mut m = Model::new();
+//! let a = m.binary("a");
+//! let b = m.binary("b");
+//! let c = m.binary("c");
+//! m.le("cap", LinExpr::term(a, 2.0) + LinExpr::term(b, 3.0) + LinExpr::term(c, 4.0), 6.0);
+//! m.set_objective(LinExpr::term(a, 3.0) + LinExpr::term(b, 4.0) + LinExpr::term(c, 5.0),
+//!                 Sense::Maximize);
+//! let out = solve(&m).unwrap();
+//! assert_eq!(out.status, SolveStatus::Optimal);
+//! assert_eq!(out.solution.unwrap().objective, 8.0);
+//! ```
+
+pub mod branch;
+pub mod lpwrite;
+pub mod model;
+pub mod presolve;
+pub mod simplex;
+
+pub use branch::{solve, solve_with, MipOutcome, SolveOptions, SolveStatus};
+pub use model::{
+    brute_force, Cmp, Constraint, LinExpr, Model, ModelStats, Sense, Solution, VarId, VarKind,
+    Variable,
+};
+pub use lpwrite::write_lp;
+pub use presolve::{presolve, Presolved};
+pub use simplex::{solve_lp, LpError, LpResult};

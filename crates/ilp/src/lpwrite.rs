@@ -1,0 +1,156 @@
+//! Export a [`Model`](crate::Model) in CPLEX LP text format.
+//!
+//! Lets a compiler user inspect the generated program or cross-check our
+//! solver against an external one (`gurobi_cl model.lp`, `glpsol --lp`),
+//! which is how the encoding was validated during development.
+
+use std::fmt::Write;
+
+use crate::model::{Cmp, Model, Sense, VarKind};
+
+/// Render the model as LP-format text.
+pub fn write_lp(model: &Model) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\\ {} variables, {} constraints",
+        model.num_vars(),
+        model.num_constraints()
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        match model.sense() {
+            Sense::Maximize => "Maximize",
+            Sense::Minimize => "Minimize",
+        }
+    );
+    let mut obj = String::from(" obj:");
+    if model.objective().terms.is_empty() {
+        obj.push_str(" 0 x0");
+    }
+    for &(v, c) in &model.objective().terms {
+        let _ = write!(obj, " {} {}", signed(c), ident(model, v.index()));
+    }
+    let _ = writeln!(out, "{obj}");
+
+    let _ = writeln!(out, "Subject To");
+    for (i, con) in model.constraints().iter().enumerate() {
+        let mut row = format!(" c{i}:");
+        for &(v, c) in &con.terms {
+            let _ = write!(row, " {} {}", signed(c), ident(model, v.index()));
+        }
+        let op = match con.cmp {
+            Cmp::Le => "<=",
+            Cmp::Ge => ">=",
+            Cmp::Eq => "=",
+        };
+        let _ = writeln!(out, "{row} {op} {}", con.rhs);
+    }
+
+    let _ = writeln!(out, "Bounds");
+    for (j, var) in model.vars().iter().enumerate() {
+        if var.kind == VarKind::Binary {
+            continue; // covered by the Binary section
+        }
+        let ub = if var.ub.is_finite() { format!("{}", var.ub) } else { "+inf".into() };
+        let _ = writeln!(out, " {} <= {} <= {}", var.lb, ident(model, j), ub);
+    }
+
+    let generals: Vec<String> = model
+        .vars()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Integer)
+        .map(|(j, _)| ident(model, j))
+        .collect();
+    if !generals.is_empty() {
+        let _ = writeln!(out, "Generals");
+        let _ = writeln!(out, " {}", generals.join(" "));
+    }
+    let binaries: Vec<String> = model
+        .vars()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.kind == VarKind::Binary)
+        .map(|(j, _)| ident(model, j))
+        .collect();
+    if !binaries.is_empty() {
+        let _ = writeln!(out, "Binary");
+        let _ = writeln!(out, " {}", binaries.join(" "));
+    }
+    let _ = writeln!(out, "End");
+    out
+}
+
+/// LP-format identifiers exclude most punctuation; sanitize the model's
+/// human-readable names deterministically and keep them unique via the
+/// variable index.
+fn ident(model: &Model, j: usize) -> String {
+    let raw = &model.vars()[j].name;
+    let mut s: String = raw
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'v');
+    }
+    format!("{s}__{j}")
+}
+
+fn signed(c: f64) -> String {
+    if c < 0.0 {
+        format!("- {}", -c)
+    } else {
+        format!("+ {c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinExpr;
+
+    #[test]
+    fn lp_text_contains_all_sections() {
+        let mut m = Model::new();
+        let a = m.binary("x[a][0]");
+        let b = m.integer("cells", 0.0, 100.0);
+        let c = m.continuous("slack", 0.0, f64::INFINITY);
+        m.le("cap", LinExpr::from(a) + LinExpr::term(b, 32.0) + LinExpr::from(c), 64.0);
+        m.ge("floor", LinExpr::from(b) - LinExpr::term(a, 5.0), 1.0);
+        m.set_objective(LinExpr::term(b, 1.0) + LinExpr::term(a, -2.0), Sense::Maximize);
+        let lp = write_lp(&m);
+        assert!(lp.contains("Maximize"));
+        assert!(lp.contains("Subject To"));
+        assert!(lp.contains("Bounds"));
+        assert!(lp.contains("Generals"));
+        assert!(lp.contains("Binary"));
+        assert!(lp.contains("End"));
+        // Sanitized, index-suffixed names.
+        assert!(lp.contains("x_a__0___0"), "{lp}");
+        assert!(lp.contains("cells__1"));
+        assert!(lp.contains("<= 64"));
+        assert!(lp.contains(">= 1"));
+        assert!(lp.contains("+inf"));
+    }
+
+    #[test]
+    fn minimize_and_eq_render() {
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 9.0);
+        m.eq("pin", LinExpr::from(x), 3.0);
+        m.set_objective(LinExpr::from(x), Sense::Minimize);
+        let lp = write_lp(&m);
+        assert!(lp.contains("Minimize"));
+        assert!(lp.contains("= 3"));
+    }
+
+    #[test]
+    fn empty_objective_still_valid() {
+        let mut m = Model::new();
+        let _ = m.binary("only");
+        let lp = write_lp(&m);
+        assert!(lp.contains("obj: 0 x0"));
+    }
+}

@@ -1,0 +1,643 @@
+//! Model-building API for mixed-integer linear programs.
+//!
+//! A [`Model`] owns a set of variables (continuous, general integer, or
+//! binary), a set of linear constraints, and a linear objective. The P4All
+//! compiler builds one `Model` per compilation and hands it to
+//! [`crate::solve`]; the model type is also usable standalone.
+//!
+//! All variables must have a finite lower bound; upper bounds may be
+//! `f64::INFINITY`. Constraints compare a [`LinExpr`] against a constant
+//! with `<=`, `>=`, or `==`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Handle to a variable inside a [`Model`].
+///
+/// `VarId`s are only meaningful for the model that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of this variable in the model's variable list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Integrality class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued variable.
+    Continuous,
+    /// Integer-valued variable (bounds may be any finite/infinite range).
+    Integer,
+    /// Integer variable with implicit bounds `[0, 1]`.
+    Binary,
+}
+
+/// A variable: name (for diagnostics), kind, and bounds.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    pub name: String,
+    pub kind: VarKind,
+    pub lb: f64,
+    pub ub: f64,
+    /// Branch-and-bound picks fractional variables with higher priority
+    /// first (ties broken by fractionality). Default 0.
+    pub branch_priority: i32,
+}
+
+impl Variable {
+    /// True if this variable must take an integer value.
+    pub fn is_integral(&self) -> bool {
+        matches!(self.kind, VarKind::Integer | VarKind::Binary)
+    }
+}
+
+/// A linear expression: `sum(coef * var) + constant`.
+///
+/// Supports `+`, `-`, scaling by `f64`, and building from `VarId`.
+/// Duplicate variable terms are allowed during construction and merged by
+/// [`LinExpr::normalize`] (called automatically when the expression enters
+/// a model).
+#[derive(Debug, Clone, Default)]
+pub struct LinExpr {
+    pub terms: Vec<(VarId, f64)>,
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        LinExpr { terms: Vec::new(), constant: c }
+    }
+
+    /// A single-variable term `coef * var`.
+    pub fn term(var: VarId, coef: f64) -> Self {
+        LinExpr { terms: vec![(var, coef)], constant: 0.0 }
+    }
+
+    /// Add `coef * var` in place.
+    pub fn add_term(&mut self, var: VarId, coef: f64) {
+        self.terms.push((var, coef));
+    }
+
+    /// Merge duplicate variables and drop (near-)zero coefficients.
+    pub fn normalize(&mut self) {
+        if self.terms.is_empty() {
+            return;
+        }
+        self.terms.sort_by_key(|(v, _)| *v);
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
+        for &(v, c) in &self.terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c.abs() > 1e-12);
+        self.terms = out;
+    }
+
+    /// Evaluate against an assignment vector indexed by variable id.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * values[v.0])
+                .sum::<f64>()
+    }
+
+    /// True if the expression contains no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.iter().all(|&(_, c)| c.abs() <= 1e-12)
+    }
+
+    /// Sum an iterator of expressions.
+    pub fn sum<I: IntoIterator<Item = LinExpr>>(items: I) -> Self {
+        let mut acc = LinExpr::zero();
+        for e in items {
+            acc += e;
+        }
+        acc
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.terms.push((v, -c));
+        }
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for t in &mut self.terms {
+            t.1 = -t.1;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        for t in &mut self.terms {
+            t.1 *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+/// Comparison operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Le,
+    Ge,
+    Eq,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmp::Le => write!(f, "<="),
+            Cmp::Ge => write!(f, ">="),
+            Cmp::Eq => write!(f, "=="),
+        }
+    }
+}
+
+/// A linear constraint `expr cmp rhs` (the expression's constant has been
+/// folded into `rhs` on entry to the model).
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    pub name: String,
+    pub terms: Vec<(VarId, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Check satisfaction under an assignment, within `tol`.
+    pub fn satisfied(&self, values: &[f64], tol: f64) -> bool {
+        let lhs: f64 = self.terms.iter().map(|&(v, c)| c * values[v.0]).sum();
+        match self.cmp {
+            Cmp::Le => lhs <= self.rhs + tol,
+            Cmp::Ge => lhs >= self.rhs - tol,
+            Cmp::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sense {
+    #[default]
+    Maximize,
+    Minimize,
+}
+
+/// A mixed-integer linear program under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) cons: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) sense: Sense,
+    name_index: HashMap<String, VarId>,
+}
+
+/// Size statistics of a model (reported in the Fig. 11 reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelStats {
+    pub num_vars: usize,
+    pub num_binary: usize,
+    pub num_integer: usize,
+    pub num_continuous: usize,
+    pub num_constraints: usize,
+    pub num_nonzeros: usize,
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vars ({} bin, {} int, {} cont), {} constraints, {} nonzeros",
+            self.num_vars,
+            self.num_binary,
+            self.num_integer,
+            self.num_continuous,
+            self.num_constraints,
+            self.num_nonzeros
+        )
+    }
+}
+
+impl Model {
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Add a binary (0/1) variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> VarId {
+        self.add_var(name.into(), VarKind::Binary, 0.0, 1.0)
+    }
+
+    /// Add a general integer variable with bounds `[lb, ub]`.
+    pub fn integer(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        self.add_var(name.into(), VarKind::Integer, lb, ub)
+    }
+
+    /// Add a continuous variable with bounds `[lb, ub]`.
+    pub fn continuous(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        self.add_var(name.into(), VarKind::Continuous, lb, ub)
+    }
+
+    fn add_var(&mut self, name: String, kind: VarKind, lb: f64, ub: f64) -> VarId {
+        assert!(lb.is_finite(), "variable {name}: lower bound must be finite");
+        assert!(!ub.is_nan() && ub >= lb, "variable {name}: bad bounds [{lb}, {ub}]");
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable { name: name.clone(), kind, lb, ub, branch_priority: 0 });
+        self.name_index.insert(name, id);
+        id
+    }
+
+    /// Look up a variable by name (diagnostics / tests).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Variable metadata.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.0]
+    }
+
+    /// All variables, in id order.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.cons
+    }
+
+    /// Add the constraint `expr cmp rhs`. The expression's constant term is
+    /// folded into the right-hand side.
+    pub fn constrain(&mut self, name: impl Into<String>, mut expr: LinExpr, cmp: Cmp, rhs: f64) {
+        expr.normalize();
+        let adjusted_rhs = rhs - expr.constant;
+        self.cons.push(Constraint {
+            name: name.into(),
+            terms: expr.terms,
+            cmp,
+            rhs: adjusted_rhs,
+        });
+    }
+
+    /// Convenience: `lhs <= rhs`.
+    pub fn le(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) {
+        self.constrain(name, lhs, Cmp::Le, rhs);
+    }
+
+    /// Convenience: `lhs >= rhs`.
+    pub fn ge(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) {
+        self.constrain(name, lhs, Cmp::Ge, rhs);
+    }
+
+    /// Convenience: `lhs == rhs`.
+    pub fn eq(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) {
+        self.constrain(name, lhs, Cmp::Eq, rhs);
+    }
+
+    /// Set a variable's branch priority (higher = branched earlier).
+    pub fn set_branch_priority(&mut self, var: VarId, priority: i32) {
+        self.vars[var.0].branch_priority = priority;
+    }
+
+    /// Set the objective expression and direction.
+    pub fn set_objective(&mut self, mut expr: LinExpr, sense: Sense) {
+        expr.normalize();
+        self.objective = expr;
+        self.sense = sense;
+    }
+
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    pub fn num_constraints(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> ModelStats {
+        let mut num_binary = 0;
+        let mut num_integer = 0;
+        let mut num_continuous = 0;
+        for v in &self.vars {
+            match v.kind {
+                VarKind::Binary => num_binary += 1,
+                VarKind::Integer => num_integer += 1,
+                VarKind::Continuous => num_continuous += 1,
+            }
+        }
+        ModelStats {
+            num_vars: self.vars.len(),
+            num_binary,
+            num_integer,
+            num_continuous,
+            num_constraints: self.cons.len(),
+            num_nonzeros: self.cons.iter().map(|c| c.terms.len()).sum(),
+        }
+    }
+
+    /// Check that an assignment satisfies every bound, integrality
+    /// requirement, and constraint within `tol`. Returns the first
+    /// violation as an error string.
+    pub fn check_feasible(&self, values: &[f64], tol: f64) -> Result<(), String> {
+        if values.len() != self.vars.len() {
+            return Err(format!(
+                "assignment has {} values for {} variables",
+                values.len(),
+                self.vars.len()
+            ));
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            let x = values[i];
+            if x < v.lb - tol || x > v.ub + tol {
+                return Err(format!("{}: value {} outside [{}, {}]", v.name, x, v.lb, v.ub));
+            }
+            if v.is_integral() && (x - x.round()).abs() > tol {
+                return Err(format!("{}: value {} not integral", v.name, x));
+            }
+        }
+        for c in &self.cons {
+            if !c.satisfied(values, tol) {
+                let lhs: f64 = c.terms.iter().map(|&(v, k)| k * values[v.0]).sum();
+                return Err(format!("{}: {} {} {} violated", c.name, lhs, c.cmp, c.rhs));
+            }
+        }
+        Ok(())
+    }
+
+    /// Objective value of an assignment.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.objective.eval(values)
+    }
+}
+
+/// A feasible assignment with its objective value.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub values: Vec<f64>,
+    pub objective: f64,
+}
+
+impl Solution {
+    /// Value of a variable, rounded for integral variables by the solver.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// Value of a variable rounded to the nearest integer (convenience for
+    /// binary/integer variables).
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.values[var.0].round() as i64
+    }
+}
+
+/// Exhaustively solve a model whose integral variables all have finite,
+/// small ranges; continuous variables are not supported. Used as the
+/// reference oracle in tests. Returns `None` if infeasible.
+///
+/// Panics if the search space exceeds `max_points`.
+pub fn brute_force(model: &Model, max_points: u64) -> Option<Solution> {
+    let mut ranges: Vec<(i64, i64)> = Vec::with_capacity(model.vars.len());
+    let mut space: u64 = 1;
+    for v in &model.vars {
+        assert!(
+            v.is_integral(),
+            "brute_force: continuous variable {} unsupported",
+            v.name
+        );
+        assert!(v.ub.is_finite(), "brute_force: unbounded variable {}", v.name);
+        let lo = v.lb.ceil() as i64;
+        let hi = v.ub.floor() as i64;
+        if lo > hi {
+            return None;
+        }
+        let width = (hi - lo + 1) as u64;
+        space = space.saturating_mul(width);
+        assert!(space <= max_points, "brute_force: search space too large");
+        ranges.push((lo, hi));
+    }
+
+    let n = ranges.len();
+    let mut current: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    loop {
+        let values: Vec<f64> = current.iter().map(|&x| x as f64).collect();
+        if model.check_feasible(&values, 1e-6).is_ok() {
+            let obj = model.objective_value(&values);
+            let better = match (&best, model.sense) {
+                (None, _) => true,
+                (Some((b, _)), Sense::Maximize) => obj > *b + 1e-12,
+                (Some((b, _)), Sense::Minimize) => obj < *b - 1e-12,
+            };
+            if better {
+                best = Some((obj, values));
+            }
+        }
+        // advance odometer
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best.map(|(objective, values)| Solution { values, objective });
+            }
+            current[i] += 1;
+            if current[i] <= ranges[i].1 {
+                break;
+            }
+            current[i] = ranges[i].0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linexpr_normalize_merges_duplicates() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        let mut e = LinExpr::term(x, 1.0) + LinExpr::term(y, 2.0) + LinExpr::term(x, 3.0);
+        e.normalize();
+        assert_eq!(e.terms.len(), 2);
+        assert_eq!(e.terms[0], (x, 4.0));
+        assert_eq!(e.terms[1], (y, 2.0));
+    }
+
+    #[test]
+    fn linexpr_normalize_drops_zeros() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let mut e = LinExpr::term(x, 1.0) - LinExpr::term(x, 1.0);
+        e.normalize();
+        assert!(e.terms.is_empty());
+        assert!(e.is_constant());
+    }
+
+    #[test]
+    fn linexpr_eval() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 10.0);
+        let y = m.continuous("y", 0.0, 10.0);
+        let e = LinExpr::term(x, 2.0) + LinExpr::term(y, -1.0) + LinExpr::constant(5.0);
+        assert_eq!(e.eval(&[3.0, 4.0]), 2.0 * 3.0 - 4.0 + 5.0);
+    }
+
+    #[test]
+    fn linexpr_ops() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let e = (LinExpr::from(x) * 3.0 - LinExpr::constant(1.0)).neg();
+        assert_eq!(e.constant, 1.0);
+        assert_eq!(e.terms[0].1, -3.0);
+    }
+
+    #[test]
+    fn constraint_constant_folding() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        // x + 5 <= 6  ==>  x <= 1
+        m.le("c", LinExpr::from(x) + LinExpr::constant(5.0), 6.0);
+        assert_eq!(m.cons[0].rhs, 1.0);
+    }
+
+    #[test]
+    fn check_feasible_detects_violations() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.le("sum", LinExpr::from(x) + LinExpr::from(y), 1.0);
+        assert!(m.check_feasible(&[1.0, 0.0], 1e-6).is_ok());
+        assert!(m.check_feasible(&[1.0, 1.0], 1e-6).is_err());
+        assert!(m.check_feasible(&[0.5, 0.0], 1e-6).is_err()); // not integral
+        assert!(m.check_feasible(&[2.0, 0.0], 1e-6).is_err()); // out of bounds
+    }
+
+    #[test]
+    fn brute_force_knapsack() {
+        // max 3a + 4b + 5c  s.t. 2a + 3b + 4c <= 6
+        let mut m = Model::new();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.le(
+            "cap",
+            LinExpr::term(a, 2.0) + LinExpr::term(b, 3.0) + LinExpr::term(c, 4.0),
+            6.0,
+        );
+        m.set_objective(
+            LinExpr::term(a, 3.0) + LinExpr::term(b, 4.0) + LinExpr::term(c, 5.0),
+            Sense::Maximize,
+        );
+        let sol = brute_force(&m, 1_000).expect("feasible");
+        assert_eq!(sol.objective, 8.0); // a + c (weight 6, value 8)
+        assert_eq!(sol.int_value(a), 1);
+        assert_eq!(sol.int_value(b), 0);
+        assert_eq!(sol.int_value(c), 1);
+    }
+
+    #[test]
+    fn brute_force_detects_infeasible() {
+        let mut m = Model::new();
+        let a = m.binary("a");
+        m.ge("impossible", LinExpr::from(a), 2.0);
+        assert!(brute_force(&m, 100).is_none());
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut m = Model::new();
+        let a = m.binary("a");
+        let b = m.integer("b", 0.0, 9.0);
+        m.continuous("c", 0.0, 1.0);
+        m.le("c1", LinExpr::from(a) + LinExpr::from(b), 5.0);
+        let s = m.stats();
+        assert_eq!(s.num_vars, 3);
+        assert_eq!(s.num_binary, 1);
+        assert_eq!(s.num_integer, 1);
+        assert_eq!(s.num_continuous, 1);
+        assert_eq!(s.num_constraints, 1);
+        assert_eq!(s.num_nonzeros, 2);
+    }
+
+    #[test]
+    fn var_by_name_lookup() {
+        let mut m = Model::new();
+        let a = m.binary("alpha");
+        assert_eq!(m.var_by_name("alpha"), Some(a));
+        assert_eq!(m.var_by_name("beta"), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! Lightweight presolve: iterated bound propagation.
+//!
+//! Presolve never rewrites the model; it produces a tightened copy of the
+//! variable bounds (and may prove infeasibility outright). Branch-and-bound
+//! seeds its root node with these bounds, which both shrinks the LP
+//! relaxation's feasible region and lets integral rounding fix variables
+//! before any LP is solved.
+
+use crate::model::{Cmp, Model};
+
+/// Result of presolving a model.
+#[derive(Debug, Clone)]
+pub enum Presolved {
+    /// Tightened `(lb, ub)` per variable, in variable order.
+    Bounds(Vec<(f64, f64)>),
+    /// The constraint system admits no assignment at all.
+    Infeasible { reason: String },
+}
+
+const TOL: f64 = 1e-9;
+const MAX_ROUNDS: usize = 16;
+
+/// Run bound propagation to a fixpoint (or `MAX_ROUNDS`).
+pub fn presolve(model: &Model) -> Presolved {
+    let mut lb: Vec<f64> = model.vars().iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = model.vars().iter().map(|v| v.ub).collect();
+
+    // Integral rounding of the original bounds.
+    for (j, v) in model.vars().iter().enumerate() {
+        if v.is_integral() {
+            lb[j] = (lb[j] - TOL).ceil();
+            if ub[j].is_finite() {
+                ub[j] = (ub[j] + TOL).floor();
+            }
+        }
+        if lb[j] > ub[j] + TOL {
+            return Presolved::Infeasible {
+                reason: format!("variable {} has empty domain [{}, {}]", v.name, lb[j], ub[j]),
+            };
+        }
+    }
+
+    for _round in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for con in model.constraints() {
+            // Treat Eq as both Le and Ge.
+            let passes: &[Cmp] = match con.cmp {
+                Cmp::Le => &[Cmp::Le],
+                Cmp::Ge => &[Cmp::Ge],
+                Cmp::Eq => &[Cmp::Le, Cmp::Ge],
+            };
+            for &pass in passes {
+                // Normalize to sum a_j x_j <= b.
+                let sign = if pass == Cmp::Le { 1.0 } else { -1.0 };
+                let b = sign * con.rhs;
+                // Minimum activity given bounds.
+                let mut min_act = 0.0f64;
+                let mut n_inf = 0usize; // number of terms with -inf min contribution
+                for &(v, c0) in &con.terms {
+                    let c = sign * c0;
+                    let contrib = if c > 0.0 { c * lb[v.index()] } else { c * ub[v.index()] };
+                    if contrib.is_finite() {
+                        min_act += contrib;
+                    } else {
+                        n_inf += 1;
+                    }
+                }
+                if n_inf == 0 && min_act > b + 1e-6 {
+                    return Presolved::Infeasible {
+                        reason: format!(
+                            "constraint {}: minimum activity {} exceeds bound {}",
+                            con.name, min_act, b
+                        ),
+                    };
+                }
+                // Propagate each term: c x <= b - (min_act - own_min_contrib).
+                if n_inf > 1 {
+                    continue; // cannot compute a finite residual for anyone
+                }
+                for &(v, c0) in &con.terms {
+                    let j = v.index();
+                    let c = sign * c0;
+                    let own = if c > 0.0 { c * lb[j] } else { c * ub[j] };
+                    if n_inf == 1 && own.is_finite() {
+                        continue; // the infinite contribution is elsewhere
+                    }
+                    let rest = if own.is_finite() { min_act - own } else { min_act };
+                    let slack = b - rest;
+                    if c > TOL {
+                        let new_ub = slack / c;
+                        let new_ub = if model.var(v).is_integral() {
+                            (new_ub + 1e-6).floor()
+                        } else {
+                            new_ub
+                        };
+                        if new_ub < ub[j] - 1e-9 {
+                            ub[j] = new_ub;
+                            changed = true;
+                        }
+                    } else if c < -TOL {
+                        let new_lb = slack / c;
+                        let new_lb = if model.var(v).is_integral() {
+                            (new_lb - 1e-6).ceil()
+                        } else {
+                            new_lb
+                        };
+                        if new_lb > lb[j] + 1e-9 {
+                            lb[j] = new_lb;
+                            changed = true;
+                        }
+                    }
+                    if lb[j] > ub[j] + 1e-9 {
+                        return Presolved::Infeasible {
+                            reason: format!(
+                                "variable {} forced into empty domain [{}, {}] by {}",
+                                model.var(v).name,
+                                lb[j],
+                                ub[j],
+                                con.name
+                            ),
+                        };
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Presolved::Bounds(lb.into_iter().zip(ub).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model};
+
+    #[test]
+    fn tightens_singleton_upper_bound() {
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 100.0);
+        m.le("cap", LinExpr::term(x, 2.0), 11.0);
+        match presolve(&m) {
+            Presolved::Bounds(b) => assert_eq!(b[0], (0.0, 5.0)), // floor(11/2)
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tightens_through_other_terms() {
+        // x + y <= 5 with y >= 3 forces x <= 2.
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 100.0);
+        let y = m.integer("y", 3.0, 100.0);
+        m.le("cap", LinExpr::from(x) + LinExpr::from(y), 5.0);
+        match presolve(&m) {
+            Presolved::Bounds(b) => {
+                assert_eq!(b[x.index()].1, 2.0);
+                assert_eq!(b[y.index()].1, 5.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible_activity() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.ge("too_much", LinExpr::from(x) + LinExpr::from(y), 3.0);
+        assert!(matches!(presolve(&m), Presolved::Infeasible { .. }));
+    }
+
+    #[test]
+    fn ge_propagates_lower_bounds() {
+        // x >= 4 via 2x >= 8
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 10.0);
+        m.ge("floor", LinExpr::term(x, 2.0), 8.0);
+        match presolve(&m) {
+            Presolved::Bounds(b) => assert_eq!(b[0].0, 4.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_propagates_both_ways() {
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 100.0);
+        let y = m.integer("y", 0.0, 3.0);
+        m.eq("link", LinExpr::from(x) - LinExpr::from(y), 0.0);
+        match presolve(&m) {
+            Presolved::Bounds(b) => assert_eq!(b[x.index()], (0.0, 3.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn handles_infinite_bounds_gracefully() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.le("cap", LinExpr::from(x) + LinExpr::from(y), 7.5);
+        match presolve(&m) {
+            Presolved::Bounds(b) => {
+                assert_eq!(b[0].1, 7.5);
+                assert_eq!(b[1].1, 7.5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

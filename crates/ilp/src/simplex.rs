@@ -1,0 +1,947 @@
+//! Bounded-variable two-phase primal simplex.
+//!
+//! Solves the LP relaxation of a [`Model`](crate::Model): maximize `c·x`
+//! subject to `A x {<=,>=,==} b` and `l <= x <= u`. Variables may have
+//! infinite upper bounds; lower bounds of structural variables must be
+//! finite (enforced by `Model`), while slack variables may be free on one
+//! side.
+//!
+//! Implementation notes:
+//! - one slack per row converts the system to equalities; equality rows get
+//!   a slack fixed to `[0, 0]`;
+//! - phase 1 introduces artificial variables only for rows whose slack
+//!   basis is infeasible, and minimizes their sum;
+//! - the basis inverse `B^-1` is kept explicitly (dense) and updated by
+//!   elementary row operations per pivot; it is refactorized from scratch
+//!   when a residual check fails;
+//! - Dantzig pricing with an automatic switch to Bland's rule after a run
+//!   of degenerate pivots guarantees termination.
+
+use crate::model::{Cmp, Model, Sense};
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone)]
+pub enum LpResult {
+    /// Optimal solution: structural variable values and objective (in the
+    /// model's original sense).
+    Optimal { x: Vec<f64>, obj: f64 },
+    Infeasible,
+    Unbounded,
+}
+
+/// Hard solver failure (numerical breakdown, iteration limit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    IterationLimit,
+    Numerical(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::Numerical(m) => write!(f, "numerical failure in simplex: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+const FEAS_TOL: f64 = 1e-7;
+const PIVOT_TOL: f64 = 1e-8;
+const COST_TOL: f64 = 1e-7;
+const DEGENERATE_SWITCH: usize = 60;
+const REFRESH_PERIOD: usize = 128;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStat {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Nonbasic at value zero with both bounds infinite.
+    Free,
+}
+
+/// Solve the LP relaxation of `model`, with per-variable bound overrides.
+///
+/// `bounds[j]` replaces the bounds of structural variable `j` (branch-and-
+/// bound tightens bounds this way). Integrality is ignored. The returned
+/// objective is in the model's own sense.
+pub fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, LpError> {
+    assert_eq!(bounds.len(), model.num_vars());
+    let mut sx = Simplex::build(model, bounds);
+    match sx.solve() {
+        Err(LpError::Numerical(_)) => {
+            // Numerical breakdown (ill-conditioned basis): restart from the
+            // slack basis under Bland's rule — slower, but immune to the
+            // aggressive pivoting that got us here.
+            let mut retry = Simplex::build(model, bounds);
+            retry.force_bland = true;
+            retry.solve()
+        }
+        other => other,
+    }
+}
+
+struct Simplex {
+    /// structural count
+    n: usize,
+    /// row count
+    m: usize,
+    /// sparse columns for structural + slack + artificial vars
+    cols: Vec<Vec<(usize, f64)>>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// phase-2 objective (maximization), length grows with artificials
+    obj: Vec<f64>,
+    rhs: Vec<f64>,
+    /// 1.0 when original sense was Maximize, -1.0 for Minimize
+    sense_sign: f64,
+    /// dense row-major m*m basis inverse
+    binv: Vec<f64>,
+    basis: Vec<usize>,
+    xb: Vec<f64>,
+    stat: Vec<VStat>,
+    /// variables that may never (re-)enter the basis (artificials in phase 2)
+    banned: Vec<bool>,
+    degenerate_run: usize,
+    pivots: usize,
+    /// Use Bland's rule from the first pivot (robust restart mode).
+    force_bland: bool,
+}
+
+impl Simplex {
+    fn build(model: &Model, bounds: &[(f64, f64)]) -> Simplex {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n + m];
+        let mut lb = vec![0.0f64; n + m];
+        let mut ub = vec![0.0f64; n + m];
+        let mut obj = vec![0.0f64; n + m];
+        let mut rhs = vec![0.0f64; m];
+
+        let sense_sign = match model.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        for (j, &(l, u)) in bounds.iter().enumerate() {
+            debug_assert!(l.is_finite(), "structural lower bounds must be finite");
+            lb[j] = l;
+            ub[j] = u;
+        }
+        for &(v, c) in &model.objective().terms {
+            obj[v.index()] = sense_sign * c;
+        }
+        for (i, con) in model.constraints().iter().enumerate() {
+            // Row equilibration: divide each row by its largest coefficient
+            // so pivot tolerances are meaningful regardless of the model's
+            // units (compiler models mix 0/1 placements with memory
+            // capacities in the tens of thousands).
+            let scale = con
+                .terms
+                .iter()
+                .fold(1.0f64, |acc, &(_, c)| acc.max(c.abs()));
+            rhs[i] = con.rhs / scale;
+            for &(v, c) in &con.terms {
+                cols[v.index()].push((i, c / scale));
+            }
+            let s = n + i;
+            cols[s].push((i, 1.0));
+            match con.cmp {
+                Cmp::Le => {
+                    lb[s] = 0.0;
+                    ub[s] = f64::INFINITY;
+                }
+                Cmp::Ge => {
+                    lb[s] = f64::NEG_INFINITY;
+                    ub[s] = 0.0;
+                }
+                Cmp::Eq => {
+                    lb[s] = 0.0;
+                    ub[s] = 0.0;
+                }
+            }
+        }
+
+        Simplex {
+            n,
+            m,
+            cols,
+            lb,
+            ub,
+            obj,
+            rhs,
+            sense_sign,
+            binv: Vec::new(),
+            basis: Vec::new(),
+            xb: Vec::new(),
+            stat: Vec::new(),
+            banned: Vec::new(),
+            degenerate_run: 0,
+            pivots: 0,
+            force_bland: false,
+        }
+    }
+
+    /// Resting value of a nonbasic variable.
+    fn nb_value(&self, j: usize) -> f64 {
+        match self.stat[j] {
+            VStat::AtLower => self.lb[j],
+            VStat::AtUpper => self.ub[j],
+            VStat::Free => 0.0,
+            VStat::Basic(r) => self.xb[r],
+        }
+    }
+
+    /// Initial nonbasic status for a variable given its bounds.
+    fn rest_status(lb: f64, ub: f64) -> VStat {
+        if lb.is_finite() {
+            VStat::AtLower
+        } else if ub.is_finite() {
+            VStat::AtUpper
+        } else {
+            VStat::Free
+        }
+    }
+
+    fn solve(&mut self) -> Result<LpResult, LpError> {
+        let n = self.n;
+        let m = self.m;
+        let nv = n + m;
+        self.stat = (0..nv)
+            .map(|j| Self::rest_status(self.lb[j], self.ub[j]))
+            .collect();
+        self.banned = vec![false; nv];
+        self.binv = identity(m);
+        self.basis = (0..m).map(|i| n + i).collect();
+        self.xb = vec![0.0; m];
+
+        // Slack basis values: s_i = b_i - A_i * v_N (structural resting values).
+        let mut resid = self.rhs.clone();
+        for j in 0..n {
+            let v = self.nb_value(j);
+            if v != 0.0 {
+                for &(r, a) in &self.cols[j] {
+                    resid[r] -= a * v;
+                }
+            }
+        }
+        // Slack starts basic; detect rows whose slack violates its bounds
+        // and patch them with artificial variables.
+        let mut artificials: Vec<usize> = Vec::new();
+        for i in 0..m {
+            let s = n + i;
+            let v = resid[i];
+            if v >= self.lb[s] - FEAS_TOL && v <= self.ub[s] + FEAS_TOL {
+                self.stat[s] = VStat::Basic(i);
+                self.xb[i] = v;
+            } else {
+                // clamp slack to nearest bound, make it nonbasic there
+                let beta = if v < self.lb[s] { self.lb[s] } else { self.ub[s] };
+                self.stat[s] = if beta == self.lb[s] { VStat::AtLower } else { VStat::AtUpper };
+                let violation = v - beta;
+                let g = if violation >= 0.0 { 1.0 } else { -1.0 };
+                let a = self.cols.len();
+                self.cols.push(vec![(i, g)]);
+                // The basis column for this row is now `g`, not the slack's
+                // +1: keep B^-1 consistent (B is diagonal at this point).
+                self.binv[i * m + i] = 1.0 / g;
+                self.lb.push(0.0);
+                self.ub.push(f64::INFINITY);
+                self.obj.push(0.0);
+                self.stat.push(VStat::Basic(i));
+                self.banned.push(false);
+                self.basis[i] = a;
+                self.xb[i] = violation.abs();
+                artificials.push(a);
+            }
+        }
+
+        if !artificials.is_empty() {
+            // Phase 1: maximize -(sum of artificials).
+            let mut p1 = vec![0.0; self.cols.len()];
+            for &a in &artificials {
+                p1[a] = -1.0;
+            }
+            self.run(&p1)?;
+            let infeas: f64 = artificials.iter().map(|&a| self.var_value(a).max(0.0)).sum();
+            if infeas > 1e-6 {
+                return Ok(LpResult::Infeasible);
+            }
+            // Drive artificials out of the basis where possible; ban all of
+            // them from phase 2 either way (fix bounds to [0,0]).
+            for &a in &artificials {
+                if let VStat::Basic(r) = self.stat[a] {
+                    self.pivot_out_artificial(a, r)?;
+                }
+            }
+            for &a in &artificials {
+                self.banned[a] = true;
+                self.lb[a] = 0.0;
+                self.ub[a] = 0.0;
+                if !matches!(self.stat[a], VStat::Basic(_)) {
+                    self.stat[a] = VStat::AtLower;
+                }
+            }
+            // Clear any residual infeasibility noise.
+            self.refresh_values();
+        }
+
+        // Phase 2.
+        let obj = self.obj.clone();
+        self.degenerate_run = 0;
+        match self.run(&obj)? {
+            RunOutcome::Optimal => {
+                let x: Vec<f64> = (0..n).map(|j| self.var_value(j)).collect();
+                let mut obj_val = 0.0;
+                for j in 0..n {
+                    obj_val += self.obj[j] * x[j];
+                }
+                Ok(LpResult::Optimal { x, obj: self.sense_sign * obj_val })
+            }
+            RunOutcome::Unbounded => Ok(LpResult::Unbounded),
+        }
+    }
+
+    fn var_value(&self, j: usize) -> f64 {
+        match self.stat[j] {
+            VStat::Basic(r) => self.xb[r],
+            VStat::AtLower => self.lb[j],
+            VStat::AtUpper => self.ub[j],
+            VStat::Free => 0.0,
+        }
+    }
+
+    /// Degenerate pivot to remove a zero-valued basic artificial. If the
+    /// whole row is zero over real columns the row is redundant and the
+    /// artificial stays basic (fixed at zero).
+    fn pivot_out_artificial(&mut self, art: usize, row: usize) -> Result<(), LpError> {
+        let nv = self.n + self.m;
+        for j in 0..nv {
+            if matches!(self.stat[j], VStat::Basic(_)) || self.banned[j] {
+                continue;
+            }
+            // (B^-1 A_j)[row]
+            let mut w_r = 0.0;
+            for &(r, a) in &self.cols[j] {
+                w_r += self.binv[row * self.m + r] * a;
+            }
+            if w_r.abs() > 1e-6 {
+                let w = self.ftran(j);
+                self.do_pivot(j, row, &w, self.var_value(j));
+                // old artificial leaves at value ~0 -> rest at lower
+                self.stat[art] = VStat::AtLower;
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// w = B^-1 * A_j
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(r, a) in &self.cols[j] {
+            let col = r;
+            for i in 0..m {
+                w[i] += self.binv[i * m + col] * a;
+            }
+        }
+        w
+    }
+
+    /// Replace basis entry in `row` with variable `j`, updating `B^-1`.
+    fn do_pivot(&mut self, j: usize, row: usize, w: &[f64], enter_value: f64) {
+        let m = self.m;
+        let piv = w[row];
+        debug_assert!(piv.abs() > PIVOT_TOL * 0.01, "pivot too small: {piv}");
+        // binv[row] /= piv ; binv[i] -= w[i] * binv[row]
+        let inv = 1.0 / piv;
+        for k in 0..m {
+            self.binv[row * m + k] *= inv;
+        }
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let f = w[i];
+            if f != 0.0 {
+                for k in 0..m {
+                    self.binv[i * m + k] -= f * self.binv[row * m + k];
+                }
+            }
+        }
+        let old = self.basis[row];
+        debug_assert!(matches!(self.stat[old], VStat::Basic(r) if r == row));
+        self.basis[row] = j;
+        self.stat[j] = VStat::Basic(row);
+        self.xb[row] = enter_value;
+        self.pivots += 1;
+    }
+
+    /// Recompute basic values from the current nonbasic resting point.
+    fn refresh_values(&mut self) {
+        let m = self.m;
+        let mut resid = self.rhs.clone();
+        for j in 0..self.cols.len() {
+            if matches!(self.stat[j], VStat::Basic(_)) {
+                continue;
+            }
+            let v = self.nb_value(j);
+            if v != 0.0 {
+                for &(r, a) in &self.cols[j] {
+                    resid[r] -= a * v;
+                }
+            }
+        }
+        for i in 0..m {
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += self.binv[i * m + k] * resid[k];
+            }
+            self.xb[i] = acc;
+        }
+    }
+
+    /// Rebuild `B^-1` from scratch by Gauss-Jordan elimination.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m;
+        if std::env::var("ILP_DEBUG").is_ok() {
+            let mut sorted = self.basis.clone();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            if sorted.len() != before {
+                eprintln!("DUPLICATE BASIS ENTRIES: {:?}", self.basis);
+            }
+            for (i, &b) in self.basis.iter().enumerate() {
+                if !matches!(self.stat[b], VStat::Basic(r) if r == i) {
+                    eprintln!("basis[{i}]={b} but stat={:?}", self.stat[b]);
+                }
+            }
+            let empty: Vec<usize> = self.basis.iter().filter(|&&b| self.cols[b].is_empty()).copied().collect();
+            if !empty.is_empty() {
+                eprintln!("basis vars with EMPTY columns: {empty:?}");
+            }
+        }
+        // Dense B from basis columns.
+        let mut bmat = vec![0.0f64; m * m];
+        for (col, &j) in self.basis.iter().enumerate() {
+            for &(r, a) in &self.cols[j] {
+                bmat[r * m + col] = a;
+            }
+        }
+        let mut inv = identity(m);
+        // Gauss-Jordan with partial pivoting.
+        for c in 0..m {
+            let mut best = c;
+            let mut best_abs = bmat[c * m + c].abs();
+            for r in (c + 1)..m {
+                let a = bmat[r * m + c].abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+            // Relative threshold: coefficients in compiler models span
+            // ~1e4 (memory capacities), so judge singularity against the
+            // remaining submatrix scale.
+            let scale = bmat
+                .iter()
+                .fold(1.0f64, |acc, &v| acc.max(v.abs()));
+            if best_abs < 1e-13 * scale {
+                return Err(LpError::Numerical("singular basis during refactorization".into()));
+            }
+            if best != c {
+                for k in 0..m {
+                    bmat.swap(c * m + k, best * m + k);
+                    inv.swap(c * m + k, best * m + k);
+                }
+            }
+            let piv = bmat[c * m + c];
+            let pinv = 1.0 / piv;
+            for k in 0..m {
+                bmat[c * m + k] *= pinv;
+                inv[c * m + k] *= pinv;
+            }
+            for r in 0..m {
+                if r == c {
+                    continue;
+                }
+                let f = bmat[r * m + c];
+                if f != 0.0 {
+                    for k in 0..m {
+                        bmat[r * m + k] -= f * bmat[c * m + k];
+                        inv[r * m + k] -= f * inv[c * m + k];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.refresh_values();
+        Ok(())
+    }
+
+    /// Run the simplex loop for a given (maximization) objective vector.
+    fn run(&mut self, c: &[f64]) -> Result<RunOutcome, LpError> {
+        let m = self.m;
+        let max_iters = 20_000 + 200 * (self.n + m);
+        let mut since_refresh = 0usize;
+        for _iter in 0..max_iters {
+            // y = c_B^T B^-1
+            let mut y = vec![0.0; m];
+            for i in 0..m {
+                let cb = c[self.basis[i]];
+                if cb != 0.0 {
+                    for k in 0..m {
+                        y[k] += cb * self.binv[i * m + k];
+                    }
+                }
+            }
+            // Pricing.
+            let bland = self.force_bland || self.degenerate_run >= DEGENERATE_SWITCH;
+            let mut enter: Option<(usize, f64, f64)> = None; // (j, |d|, dir)
+            for j in 0..self.cols.len() {
+                if self.banned[j] || matches!(self.stat[j], VStat::Basic(_)) {
+                    continue;
+                }
+                let mut d = c[j];
+                for &(r, a) in &self.cols[j] {
+                    d -= y[r] * a;
+                }
+                let dir = match self.stat[j] {
+                    VStat::AtLower if d > COST_TOL => 1.0,
+                    VStat::AtUpper if d < -COST_TOL => -1.0,
+                    VStat::Free if d > COST_TOL => 1.0,
+                    VStat::Free if d < -COST_TOL => -1.0,
+                    _ => continue,
+                };
+                if bland {
+                    enter = Some((j, d.abs(), dir));
+                    break;
+                }
+                match enter {
+                    Some((_, best, _)) if d.abs() <= best => {}
+                    _ => enter = Some((j, d.abs(), dir)),
+                }
+            }
+            let Some((j, _, dir)) = enter else {
+                return Ok(RunOutcome::Optimal);
+            };
+
+            let w = self.ftran(j);
+            // Ratio test: entering moves t >= 0 in direction `dir`; basic i
+            // changes by -dir * t * w[i]. The pivot threshold is relative
+            // to the column's magnitude so cancellation noise in long
+            // elimination chains is not mistaken for a pivot.
+            let w_scale = w.iter().fold(1.0f64, |acc, &v| acc.max(v.abs()));
+            let pivot_tol = PIVOT_TOL * w_scale;
+            let own_span = if self.lb[j].is_finite() && self.ub[j].is_finite() {
+                self.ub[j] - self.lb[j]
+            } else {
+                f64::INFINITY
+            };
+            let mut t_limit = own_span;
+            let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
+            for i in 0..m {
+                let delta = -dir * w[i];
+                if delta > pivot_tol {
+                    let b = self.basis[i];
+                    if self.ub[b].is_finite() {
+                        let lim = ((self.ub[b] - self.xb[i]) / delta).max(0.0);
+                        if lim < t_limit - 1e-12 {
+                            t_limit = lim;
+                            leave = Some((i, true));
+                        }
+                    }
+                } else if delta < -pivot_tol {
+                    let b = self.basis[i];
+                    if self.lb[b].is_finite() {
+                        let lim = ((self.lb[b] - self.xb[i]) / delta).max(0.0);
+                        if lim < t_limit - 1e-12 {
+                            t_limit = lim;
+                            leave = Some((i, false));
+                        }
+                    }
+                }
+            }
+
+            if t_limit.is_infinite() {
+                return Ok(RunOutcome::Unbounded);
+            }
+            if t_limit < 1e-10 {
+                self.degenerate_run += 1;
+            } else {
+                self.degenerate_run = 0;
+            }
+
+            let start = self.nb_value(j);
+            match leave {
+                None => {
+                    // Bound flip: entering runs to its opposite bound.
+                    for i in 0..m {
+                        self.xb[i] -= dir * t_limit * w[i];
+                    }
+                    self.stat[j] = match self.stat[j] {
+                        VStat::AtLower => VStat::AtUpper,
+                        VStat::AtUpper => VStat::AtLower,
+                        s => s, // Free with finite span cannot happen
+                    };
+                }
+                Some((row, hits_upper)) => {
+                    for i in 0..m {
+                        self.xb[i] -= dir * t_limit * w[i];
+                    }
+                    let leaving = self.basis[row];
+                    let enter_value = start + dir * t_limit;
+                    self.do_pivot(j, row, &w, enter_value);
+                    self.stat[leaving] = if hits_upper { VStat::AtUpper } else { VStat::AtLower };
+                    since_refresh += 1;
+                    if since_refresh >= REFRESH_PERIOD {
+                        since_refresh = 0;
+                        if self.basis_residual() > 1e-6 {
+                            self.refactorize()?;
+                        } else {
+                            self.refresh_values();
+                        }
+                    }
+                }
+            }
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Residual ||B x_B + A_N v_N - b||_inf as a numerical health check.
+    fn basis_residual(&self) -> f64 {
+        let mut resid = self.rhs.clone();
+        for j in 0..self.cols.len() {
+            let v = self.var_value(j);
+            if v != 0.0 {
+                for &(r, a) in &self.cols[j] {
+                    resid[r] -= a * v;
+                }
+            }
+        }
+        resid.iter().fold(0.0f64, |acc, r| acc.max(r.abs()))
+    }
+}
+
+enum RunOutcome {
+    Optimal,
+    Unbounded,
+}
+
+fn identity(m: usize) -> Vec<f64> {
+    let mut id = vec![0.0; m * m];
+    for i in 0..m {
+        id[i * m + i] = 1.0;
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+
+    fn bounds_of(model: &Model) -> Vec<(f64, f64)> {
+        model.vars().iter().map(|v| (v.lb, v.ub)).collect()
+    }
+
+    fn optimal(model: &Model) -> (Vec<f64>, f64) {
+        match solve_lp(model, &bounds_of(model)).expect("lp solve") {
+            LpResult::Optimal { x, obj } => (x, obj),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_maximization() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0  -> x=4, y=0, obj 12
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.le("c1", LinExpr::from(x) + LinExpr::from(y), 4.0);
+        m.le("c2", LinExpr::from(x) + LinExpr::term(y, 3.0), 6.0);
+        m.set_objective(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Sense::Maximize);
+        let (x_vals, obj) = optimal(&m);
+        assert!((obj - 12.0).abs() < 1e-6, "obj = {obj}");
+        assert!((x_vals[0] - 4.0).abs() < 1e-6);
+        assert!(x_vals[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2  -> x=10 (cheapest), y=0? cost 20
+        // vs x=2,y=8 cost 28 -> optimum x=10,y=0 obj 20
+        let mut m = Model::new();
+        let x = m.continuous("x", 2.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.ge("demand", LinExpr::from(x) + LinExpr::from(y), 10.0);
+        m.set_objective(LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0), Sense::Minimize);
+        let (x_vals, obj) = optimal(&m);
+        assert!((obj - 20.0).abs() < 1e-6, "obj = {obj}");
+        assert!((x_vals[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + 2y == 8, x <= 4  -> x=4, y=2, obj 6
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 4.0);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.eq("balance", LinExpr::from(x) + LinExpr::term(y, 2.0), 8.0);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y), Sense::Maximize);
+        let (x_vals, obj) = optimal(&m);
+        assert!((obj - 6.0).abs() < 1e-6, "obj = {obj}");
+        assert!((x_vals[0] - 4.0).abs() < 1e-6);
+        assert!((x_vals[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 1.0);
+        m.ge("too_big", LinExpr::from(x), 5.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let r = solve_lp(&m, &bounds_of(&m)).unwrap();
+        assert!(matches!(r, LpResult::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.ge("floor", LinExpr::from(x) - LinExpr::from(y), 0.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let r = solve_lp(&m, &bounds_of(&m)).unwrap();
+        assert!(matches!(r, LpResult::Unbounded));
+    }
+
+    #[test]
+    fn respects_upper_bounds_via_flip() {
+        // max x + y with x,y in [0, 3] and x + y <= 5 -> 5
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 3.0);
+        let y = m.continuous("y", 0.0, 3.0);
+        m.le("cap", LinExpr::from(x) + LinExpr::from(y), 5.0);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y), Sense::Maximize);
+        let (_, obj) = optimal(&m);
+        assert!((obj - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -5  -> -5
+        let mut m = Model::new();
+        let x = m.continuous("x", -5.0, 10.0);
+        m.set_objective(LinExpr::from(x), Sense::Minimize);
+        let (x_vals, obj) = optimal(&m);
+        assert!((obj + 5.0).abs() < 1e-6);
+        assert!((x_vals[0] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degenerate corner: several constraints meet at the optimum.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.le("a", LinExpr::from(x) + LinExpr::from(y), 1.0);
+        m.le("b", LinExpr::from(x), 1.0);
+        m.le("c", LinExpr::from(y), 1.0);
+        m.le("d", LinExpr::term(x, 2.0) + LinExpr::from(y), 2.0);
+        m.set_objective(LinExpr::from(x) + LinExpr::from(y), Sense::Maximize);
+        let (_, obj) = optimal(&m);
+        assert!((obj - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale's example, known to cycle under naive Dantzig without
+        // safeguards. min -0.75x4 + 150x5 - 0.02x6 + 6x7 (standard form).
+        let mut m = Model::new();
+        let x4 = m.continuous("x4", 0.0, f64::INFINITY);
+        let x5 = m.continuous("x5", 0.0, f64::INFINITY);
+        let x6 = m.continuous("x6", 0.0, f64::INFINITY);
+        let x7 = m.continuous("x7", 0.0, f64::INFINITY);
+        m.le(
+            "r1",
+            LinExpr::term(x4, 0.25) - LinExpr::term(x5, 60.0) - LinExpr::term(x6, 1.0 / 25.0)
+                + LinExpr::term(x7, 9.0),
+            0.0,
+        );
+        m.le(
+            "r2",
+            LinExpr::term(x4, 0.5) - LinExpr::term(x5, 90.0) - LinExpr::term(x6, 1.0 / 50.0)
+                + LinExpr::term(x7, 3.0),
+            0.0,
+        );
+        m.le("r3", LinExpr::from(x6), 1.0);
+        m.set_objective(
+            LinExpr::term(x4, -0.75) + LinExpr::term(x5, 150.0) - LinExpr::term(x6, 0.02)
+                + LinExpr::term(x7, 6.0),
+            Sense::Minimize,
+        );
+        let (_, obj) = optimal(&m);
+        assert!((obj + 0.05).abs() < 1e-6, "obj = {obj}");
+    }
+
+    #[test]
+    fn fixed_variables_by_bounds() {
+        // Branch-and-bound style override: fix x to 1 by bounds.
+        let mut m = Model::new();
+        let x = m.binary("x");
+        let y = m.binary("y");
+        m.le("cap", LinExpr::from(x) + LinExpr::from(y), 1.0);
+        m.set_objective(LinExpr::from(x) + LinExpr::term(y, 2.0), Sense::Maximize);
+        let r = solve_lp(&m, &[(1.0, 1.0), (0.0, 1.0)]).unwrap();
+        match r {
+            LpResult::Optimal { x: vals, obj } => {
+                assert!((vals[0] - 1.0).abs() < 1e-6);
+                assert!(vals[1].abs() < 1e-6);
+                assert!((obj - 1.0).abs() < 1e-6);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // Two identical equalities: phase 1 must handle the redundant row.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 10.0);
+        let y = m.continuous("y", 0.0, 10.0);
+        m.eq("e1", LinExpr::from(x) + LinExpr::from(y), 5.0);
+        m.eq("e2", LinExpr::from(x) + LinExpr::from(y), 5.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let (x_vals, obj) = optimal(&m);
+        assert!((obj - 5.0).abs() < 1e-6);
+        assert!((x_vals[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_random_like_lp() {
+        // Transportation-flavoured LP with a known optimum.
+        // min sum c_ij x_ij ; supplies 20/30, demands 10/25/15.
+        let mut m = Model::new();
+        let c = [[8.0, 6.0, 10.0], [9.0, 12.0, 13.0]];
+        let mut xs = Vec::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                xs.push(m.continuous(format!("x{i}{j}"), 0.0, f64::INFINITY));
+            }
+        }
+        m.le("s0", LinExpr::from(xs[0]) + LinExpr::from(xs[1]) + LinExpr::from(xs[2]), 20.0);
+        m.le("s1", LinExpr::from(xs[3]) + LinExpr::from(xs[4]) + LinExpr::from(xs[5]), 30.0);
+        m.ge("d0", LinExpr::from(xs[0]) + LinExpr::from(xs[3]), 10.0);
+        m.ge("d1", LinExpr::from(xs[1]) + LinExpr::from(xs[4]), 25.0);
+        m.ge("d2", LinExpr::from(xs[2]) + LinExpr::from(xs[5]), 15.0);
+        let mut obj = LinExpr::zero();
+        for i in 0..2 {
+            for j in 0..3 {
+                obj += LinExpr::term(xs[i * 3 + j], c[i][j]);
+            }
+        }
+        m.set_objective(obj, Sense::Minimize);
+        let (x_vals, obj) = optimal(&m);
+        // LP optimum: x01=20 (6*20=120), x10=10 (90), x11=5 (60), x12=15 (195) = 465
+        assert!((obj - 465.0).abs() < 1e-5, "obj = {obj}");
+        let total: f64 = x_vals.iter().sum();
+        assert!((total - 50.0).abs() < 1e-5);
+    }
+}
+
+#[cfg(test)]
+mod regressions {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+
+    /// Regression: a fixed-variable node whose residual demands a negative
+    /// value used to slip past phase 1 because the basis inverse was not
+    /// adjusted for artificials with a -1 column.
+    #[test]
+    fn infeasible_node_detected() {
+        let mut m = Model::new();
+        let weights = [4.0, 3.0, 5.0, 6.0, 2.0];
+        let values = [7.0, 4.0, 9.0, 10.0, 3.0];
+        let xs: Vec<_> = (0..5).map(|i| m.binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for i in 0..5 {
+            cap += LinExpr::term(xs[i], weights[i]);
+            obj += LinExpr::term(xs[i], values[i]);
+        }
+        m.le("cap", cap, 10.0);
+        m.set_objective(obj, Sense::Maximize);
+        let b = vec![(1.0,1.0),(0.0,1.0),(1.0,1.0),(0.0,0.0),(1.0,1.0)];
+        let r = solve_lp(&m, &b).unwrap();
+        assert!(matches!(r, LpResult::Infeasible), "{r:?}");
+    }
+}
+
+#[cfg(test)]
+mod scaling_tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+
+    /// Compiler-style conditioning: placement binaries against capacity
+    /// coefficients in the tens of thousands. Row equilibration plus the
+    /// relative pivot threshold must keep the solve exact.
+    #[test]
+    fn mixed_scale_coefficients_solve_exactly() {
+        let mut m = Model::new();
+        let cap = 54_687.0f64;
+        let x: Vec<_> = (0..6).map(|i| m.binary(format!("x{i}"))).collect();
+        let c: Vec<_> = (0..6)
+            .map(|i| m.continuous(format!("c{i}"), 0.0, cap))
+            .collect();
+        let mut total = LinExpr::zero();
+        for i in 0..6 {
+            // c_i <= cap * x_i (the colocate pattern)
+            m.le(
+                format!("link{i}"),
+                LinExpr::from(c[i]) - LinExpr::term(x[i], cap),
+                0.0,
+            );
+            total += LinExpr::from(c[i]);
+        }
+        // at most three placements
+        m.le(
+            "placements",
+            LinExpr::sum(x.iter().map(|&v| LinExpr::from(v))),
+            3.0,
+        );
+        m.set_objective(total, Sense::Maximize);
+        let bounds: Vec<(f64, f64)> = m.vars().iter().map(|v| (v.lb, v.ub)).collect();
+        match solve_lp(&m, &bounds).unwrap() {
+            LpResult::Optimal { obj, .. } => {
+                // Even fractionally, sum(c) <= cap * sum(x) <= 3 cap.
+                assert!((obj - 3.0 * cap).abs() < 1e-4, "LP relaxation obj = {obj}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Integer version: exactly 3 * cap.
+        let out = crate::branch::solve(&m).unwrap();
+        assert!((out.solution.unwrap().objective - 3.0 * cap).abs() < 1e-4);
+    }
+
+    /// The Bland restart path: force it by running a wide degenerate model.
+    #[test]
+    fn forced_bland_mode_still_optimal() {
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, 10.0);
+        let y = m.continuous("y", 0.0, 10.0);
+        m.le("a", LinExpr::from(x) + LinExpr::from(y), 10.0);
+        m.le("b", LinExpr::term(x, 2.0) + LinExpr::from(y), 15.0);
+        m.set_objective(LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Sense::Maximize);
+        let bounds: Vec<(f64, f64)> = m.vars().iter().map(|v| (v.lb, v.ub)).collect();
+        let mut sx = Simplex::build(&m, &bounds);
+        sx.force_bland = true;
+        match sx.solve().unwrap() {
+            LpResult::Optimal { obj, .. } => assert!((obj - 25.0).abs() < 1e-6, "obj {obj}"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Dependency graph construction (§4.2 of the paper).
+//!
+//! Nodes group action instances that access the same register instance
+//! (they must share a stage). Two kinds of edges:
+//!
+//! - **precedence** (`n1 -> n2`, directed): a data or control dependency
+//!   forces `n1` strictly before `n2`;
+//! - **exclusion** (`n1 -- n2`, undirected): the actions commute but cannot
+//!   share a stage (the paper's example: every pair of `min_i`s, which all
+//!   read-modify-write the scalar `meta.min`).
+//!
+//! Commutativity is recognized by the accumulator pattern: two instances of
+//! the *same* action at *different* iterations whose conflicting slots are
+//! all scalar fields that both instances read **and** write.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ir::{ActionInstance, Slot, Unrolled};
+
+/// A node: one or more instances pinned to a common stage.
+#[derive(Debug, Clone)]
+pub struct DepNode {
+    /// Indices into the originating instance list.
+    pub members: Vec<usize>,
+    pub label: String,
+}
+
+/// The dependency graph over a set of action instances.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    pub nodes: Vec<DepNode>,
+    /// instance index -> node index
+    pub node_of: Vec<usize>,
+    /// directed edges (from, to), always from earlier program order
+    pub precedence: BTreeSet<(usize, usize)>,
+    /// undirected edges, stored with the smaller node index first
+    pub exclusion: BTreeSet<(usize, usize)>,
+}
+
+impl DepGraph {
+    /// Build the graph for `instances` (a subset of an [`Unrolled`]
+    /// program; indices are positions in the given slice).
+    pub fn build(instances: &[&ActionInstance]) -> DepGraph {
+        // --- Group by register instance (same-stage nodes). ---
+        let mut reg_node: BTreeMap<(String, usize), usize> = BTreeMap::new();
+        let mut nodes: Vec<DepNode> = Vec::new();
+        let mut node_of = vec![usize::MAX; instances.len()];
+        for (i, inst) in instances.iter().enumerate() {
+            let node = match &inst.reg {
+                Some(r) => match reg_node.get(&(r.reg.clone(), r.instance)) {
+                    Some(&n) => {
+                        nodes[n].members.push(i);
+                        nodes[n].label = format!("{}+{}", nodes[n].label, inst.label);
+                        n
+                    }
+                    None => {
+                        let n = nodes.len();
+                        nodes.push(DepNode { members: vec![i], label: inst.label.clone() });
+                        reg_node.insert((r.reg.clone(), r.instance), n);
+                        n
+                    }
+                },
+                None => {
+                    let n = nodes.len();
+                    nodes.push(DepNode { members: vec![i], label: inst.label.clone() });
+                    n
+                }
+            };
+            node_of[i] = node;
+        }
+
+        // --- Edges from pairwise conflicts. ---
+        let mut precedence = BTreeSet::new();
+        let mut exclusion = BTreeSet::new();
+        for i in 0..instances.len() {
+            for j in (i + 1)..instances.len() {
+                let (a, b) = (instances[i], instances[j]);
+                debug_assert!(a.order < b.order);
+                let (na, nb) = (node_of[i], node_of[j]);
+                if na == nb {
+                    continue;
+                }
+                let mut conflicts: Vec<&Slot> = Vec::new();
+                for w in &a.writes {
+                    if b.reads.iter().any(|r| r.conflicts(w))
+                        || b.writes.iter().any(|r| r.conflicts(w))
+                    {
+                        conflicts.push(w);
+                    }
+                }
+                for r in &a.reads {
+                    if b.writes.iter().any(|w| w.conflicts(r)) && !conflicts.contains(&r) {
+                        conflicts.push(r);
+                    }
+                }
+                if conflicts.is_empty() {
+                    continue;
+                }
+                if commutative(a, b, &conflicts) {
+                    exclusion.insert((na.min(nb), na.max(nb)));
+                } else {
+                    precedence.insert((na, nb));
+                }
+            }
+        }
+        // A pair with both an exclusion and a precedence relation keeps
+        // only the stronger precedence edge.
+        exclusion.retain(|&(x, y)| {
+            !precedence.contains(&(x, y)) && !precedence.contains(&(y, x))
+        });
+
+        DepGraph { nodes, node_of, precedence, exclusion }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Length (in nodes) of the longest simple path, traversing precedence
+    /// edges forward and exclusion edges in either direction.
+    ///
+    /// Exact (bitmask DFS) up to 64 nodes. Beyond that, falls back to the
+    /// longest path of the DAG obtained by directing exclusion edges in
+    /// program order — a lower bound on the true longest simple path, which
+    /// keeps the unroll-bound computation sound (criteria fire no earlier
+    /// than with the exact value).
+    pub fn longest_simple_path(&self) -> usize {
+        let n = self.nodes.len();
+        if n == 0 {
+            return 0;
+        }
+        if n <= 64 {
+            self.longest_path_exact()
+        } else {
+            self.longest_path_dag()
+        }
+    }
+
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.precedence {
+            adj[a].push(b);
+        }
+        for &(a, b) in &self.exclusion {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    fn longest_path_exact(&self) -> usize {
+        let n = self.nodes.len();
+        let adj = self.adjacency();
+        let mut best = 1usize;
+        // DFS from every node; visited set as bitmask.
+        fn dfs(v: usize, visited: u64, depth: usize, adj: &[Vec<usize>], best: &mut usize) {
+            if depth > *best {
+                *best = depth;
+            }
+            for &w in &adj[v] {
+                let bit = 1u64 << w;
+                if visited & bit == 0 {
+                    dfs(w, visited | bit, depth + 1, adj, best);
+                }
+            }
+        }
+        for v in 0..n {
+            dfs(v, 1u64 << v, 1, &adj, &mut best);
+        }
+        best
+    }
+
+    fn longest_path_dag(&self) -> usize {
+        // Direct exclusion edges low -> high (all edges already go from
+        // earlier to later program order, so this is a DAG).
+        let n = self.nodes.len();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.precedence {
+            adj[a].push(b);
+        }
+        for &(a, b) in &self.exclusion {
+            adj[a.min(b)].push(a.max(b));
+        }
+        // Nodes indexed by construction order = program order, so a simple
+        // reverse sweep is a topological DP.
+        let mut dp = vec![1usize; n];
+        for v in (0..n).rev() {
+            for &w in &adj[v] {
+                dp[v] = dp[v].max(1 + dp[w]);
+            }
+        }
+        dp.into_iter().max().unwrap_or(0)
+    }
+
+    /// Sum of `H_f + H_l` over all member instances, using the target's
+    /// cost model.
+    pub fn total_alus(
+        &self,
+        instances: &[&ActionInstance],
+        costs: &p4all_pisa::AluCostModel,
+    ) -> u64 {
+        instances
+            .iter()
+            .map(|a| {
+                (costs.stateful_cost(a.ops.iter()) + costs.stateless_cost(a.ops.iter())) as u64
+            })
+            .sum()
+    }
+}
+
+/// Are `a` and `b` commutative with respect to their `conflicts`?
+fn commutative(a: &ActionInstance, b: &ActionInstance, conflicts: &[&Slot]) -> bool {
+    if a.base != b.base || a.iters == b.iters {
+        return false;
+    }
+    conflicts.iter().all(|c| {
+        a.accumulators.iter().any(|s| s.conflicts(c))
+            && b.accumulators.iter().any(|s| s.conflicts(c))
+    })
+}
+
+/// Convenience: build over every instance of an unrolled program.
+pub fn build_full(unrolled: &Unrolled) -> DepGraph {
+    let refs: Vec<&ActionInstance> = unrolled.instances.iter().collect();
+    DepGraph::build(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::elaborate;
+    use crate::ir::instantiate;
+    use p4all_lang::parse;
+    use std::collections::BTreeMap;
+
+    const CMS: &str = r#"
+        symbolic int rows;
+        symbolic int cols;
+        header h { bit<32> key; }
+        struct metadata {
+            bit<32>[rows] index;
+            bit<32>[rows] count;
+            bit<32> min;
+        }
+        register<bit<32>>[cols][rows] cms;
+        action incr()[int i] {
+            meta.index[i] = hash(hdr.key, cols);
+            cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+            meta.count[i] = cms[i][meta.index[i]];
+        }
+        action set_min()[int i] { meta.min = meta.count[i]; }
+        control hash_inc() { apply { for (i < rows) { incr()[i]; } } }
+        control find_min() {
+            apply { for (i < rows) { if (meta.count[i] < meta.min) { set_min()[i]; } } }
+        }
+        control Main() { apply { hash_inc.apply(); find_min.apply(); } }
+    "#;
+
+    fn cms_graph(rows: usize) -> DepGraph {
+        let p = parse(CMS).unwrap();
+        let info = elaborate(&p).unwrap();
+        let mut bounds = BTreeMap::new();
+        bounds.insert("rows".to_string(), rows);
+        let u = instantiate(&info, &bounds).unwrap();
+        build_full(&u)
+    }
+
+    /// Figure 9: each incr_i precedes its set_min_i; the set_min_i pairs are
+    /// linked by exclusion edges.
+    #[test]
+    fn cms_graph_matches_figure_9() {
+        let g = cms_graph(3);
+        assert_eq!(g.len(), 6);
+        // incr_i -> set_min_i precedence (node indices: incr 0..3, min 3..6)
+        for i in 0..3 {
+            assert!(
+                g.precedence.contains(&(i, 3 + i)),
+                "missing incr[{i}] -> set_min[{i}]: {:?}",
+                g.precedence
+            );
+        }
+        // min pairs are exclusions
+        for a in 3..6 {
+            for b in (a + 1)..6 {
+                assert!(g.exclusion.contains(&(a, b)), "missing exclusion {a}--{b}");
+            }
+        }
+        // no incr-incr edges (independent registers, disjoint metadata)
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                assert!(!g.precedence.contains(&(a, b)));
+                assert!(!g.exclusion.contains(&(a, b)));
+            }
+        }
+    }
+
+    /// Figure 9's caption: unrolled three times, the longest simple path is
+    /// four nodes (incr_i, min_i, min_j, min_k).
+    #[test]
+    fn cms_longest_path_at_k3_is_4() {
+        let g = cms_graph(3);
+        assert_eq!(g.longest_simple_path(), 4);
+    }
+
+    #[test]
+    fn cms_longest_path_at_k2_is_3() {
+        let g = cms_graph(2);
+        assert_eq!(g.longest_simple_path(), 3);
+    }
+
+    #[test]
+    fn single_iteration_path_is_2() {
+        let g = cms_graph(1);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.longest_simple_path(), 2);
+    }
+
+    #[test]
+    fn same_register_instances_share_a_node() {
+        let src = r#"
+            struct metadata { bit<32> a; bit<32> b; }
+            register<bit<32>>[16] r;
+            action first() { meta.a = r[0]; }
+            action second() { r[1] = 5; }
+            control Main() { apply { first(); second(); } }
+        "#;
+        let p = parse(src).unwrap();
+        let info = elaborate(&p).unwrap();
+        let u = instantiate(&info, &BTreeMap::new()).unwrap();
+        let g = build_full(&u);
+        assert_eq!(g.len(), 1, "both touch register r -> one node");
+        assert_eq!(g.nodes[0].members.len(), 2);
+    }
+
+    #[test]
+    fn sequential_dependency_chain() {
+        let src = r#"
+            header h { bit<32> key; }
+            struct metadata { bit<32> a; bit<32> b; bit<32> c; }
+            control Main() {
+                apply {
+                    meta.a = hdr.key;
+                    meta.b = meta.a + 1;
+                    meta.c = meta.b + 1;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let info = elaborate(&p).unwrap();
+        let u = instantiate(&info, &BTreeMap::new()).unwrap();
+        let g = build_full(&u);
+        assert_eq!(g.len(), 3);
+        assert!(g.precedence.contains(&(0, 1)));
+        assert!(g.precedence.contains(&(1, 2)));
+        assert_eq!(g.longest_simple_path(), 3);
+    }
+
+    #[test]
+    fn independent_statements_have_no_edges() {
+        let src = r#"
+            header h { bit<32> key; }
+            struct metadata { bit<32> a; bit<32> b; }
+            control Main() {
+                apply {
+                    meta.a = hdr.key;
+                    meta.b = hdr.key;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let info = elaborate(&p).unwrap();
+        let u = instantiate(&info, &BTreeMap::new()).unwrap();
+        let g = build_full(&u);
+        assert!(g.precedence.is_empty());
+        assert!(g.exclusion.is_empty());
+        assert_eq!(g.longest_simple_path(), 1);
+    }
+
+    #[test]
+    fn waw_without_accumulator_is_precedence() {
+        // Two different actions writing the same scalar: last writer wins,
+        // so program order must be preserved (precedence, not exclusion).
+        let src = r#"
+            struct metadata { bit<32> x; }
+            action set1() { meta.x = 1; }
+            action set2() { meta.x = 2; }
+            control Main() { apply { set1(); set2(); } }
+        "#;
+        let p = parse(src).unwrap();
+        let info = elaborate(&p).unwrap();
+        let u = instantiate(&info, &BTreeMap::new()).unwrap();
+        let g = build_full(&u);
+        assert!(g.precedence.contains(&(0, 1)));
+        assert!(g.exclusion.is_empty());
+    }
+
+    #[test]
+    fn total_alus_uses_cost_model() {
+        let g = cms_graph(2);
+        let p = parse(CMS).unwrap();
+        let info = elaborate(&p).unwrap();
+        let mut bounds = BTreeMap::new();
+        bounds.insert("rows".to_string(), 2);
+        let u = instantiate(&info, &bounds).unwrap();
+        let refs: Vec<_> = u.instances.iter().collect();
+        let costs = p4all_pisa::AluCostModel::tofino_like();
+        // incr: Hash(0,1) + Rmw(1,0) = 2 each; set_min: Compare(0,1) +
+        // MetaWrite(0,1) = 2 each -> total 8 for K=2.
+        assert_eq!(g.total_alus(&refs, &costs), 8);
+    }
+}

@@ -1,0 +1,928 @@
+//! ILP generation (Figure 10 of the paper).
+//!
+//! Encodes the placement of the fully unrolled program into a
+//! [`p4all_ilp::Model`]:
+//!
+//! - `x[g][s]` — binary: dependency-graph node (group) `g` is in stage `s`.
+//!   Grouping instances that share a register instance *is* constraint #4
+//!   (same-stage) by construction.
+//! - `c[r][s]` — integer: cells of register instance `r` allocated in stage
+//!   `s` (the paper's memory variables `m_{r,s}`, in element units).
+//! - `d[(v,i)]` — binary: metadata chunk for iteration `i` of count
+//!   symbolic `v` is live (the paper's `d_i`).
+//! - `V_sz` — integer: the value of size symbolic `sz` (register cells /
+//!   hash range), shared by every register sized by `sz` — constraint #10
+//!   (equal row sizes) falls out of the sharing.
+//!
+//! Constraints #5 (exclusion), #6 (precedence), #7 (iteration coherence),
+//! #8 (per-stage memory), #9 (memory/action co-location), #11/#12 (ALU
+//! budgets), #13/#14 (PHV), #15/#16/#17 (at-most-once, in-order,
+//! mandatory inelastic) are generated exactly as in the paper; user
+//! `assume`s and the `optimize` utility are linearized over the same
+//! variables (products `count * size` of one register array linearize to
+//! total allocated cells).
+
+use std::collections::BTreeMap;
+
+use p4all_ilp::{LinExpr, Model, Sense, VarId};
+use p4all_lang::ast::{BinOp, Expr, Size, UnOp};
+use p4all_lang::errors::LangError;
+use p4all_lang::span::Span;
+use p4all_pisa::TargetSpec;
+
+use crate::depgraph::DepGraph;
+use crate::elaborate::{ProgramInfo, SymRole};
+use crate::ir::{ActionInstance, Iter, Unrolled};
+
+/// One ILP placement group (a dependency-graph node).
+#[derive(Debug, Clone)]
+pub struct GroupInfo {
+    pub label: String,
+    /// Instance indices (into the unrolled program).
+    pub members: Vec<usize>,
+    /// Iteration tag shared by the members (empty = inelastic).
+    pub iters: Vec<Iter>,
+    pub stateful_alus: u32,
+    pub stateless_alus: u32,
+    /// Register instance owned by this group, if any.
+    pub reg_instance: Option<usize>,
+}
+
+/// One register instance requiring memory.
+#[derive(Debug, Clone)]
+pub struct RegInstanceInfo {
+    pub reg: String,
+    pub instance: usize,
+    pub elem_bits: u32,
+    /// Owning group (co-location target).
+    pub owner_group: usize,
+    /// Elastic cell count (size symbolic) or fixed cells.
+    pub cells: Size,
+    /// Max cells that fit a single stage.
+    pub cap: u64,
+}
+
+/// The generated model plus every handle needed to read the solution back.
+#[derive(Debug)]
+pub struct Encoding {
+    pub model: Model,
+    pub groups: Vec<GroupInfo>,
+    /// `x[group][stage]`
+    pub x: Vec<Vec<VarId>>,
+    pub regs: Vec<RegInstanceInfo>,
+    /// `c[reg][stage]`
+    pub cells: Vec<Vec<VarId>>,
+    /// `(count symbolic, iteration) -> d`
+    pub d: BTreeMap<(String, usize), VarId>,
+    /// size symbolic -> `V_sz`
+    pub sizes: BTreeMap<String, VarId>,
+    pub stages: usize,
+}
+
+impl Encoding {
+    fn placed(&self, g: usize) -> LinExpr {
+        LinExpr::sum(self.x[g].iter().map(|&v| LinExpr::from(v)))
+    }
+}
+
+/// Generate the ILP for an unrolled program on a target.
+pub fn encode(
+    info: &ProgramInfo<'_>,
+    unrolled: &Unrolled,
+    graph: &DepGraph,
+    target: &TargetSpec,
+) -> Result<Encoding, LangError> {
+    let stages = target.stages;
+    let costs = &target.alu_costs;
+    let mut model = Model::new();
+
+    // ---- Groups from dependency-graph nodes ----
+    let mut groups: Vec<GroupInfo> = Vec::with_capacity(graph.nodes.len());
+    for node in &graph.nodes {
+        let members = node.members.clone();
+        let first: &ActionInstance = &unrolled.instances[members[0]];
+        let mut hf = 0u32;
+        let mut hl = 0u32;
+        for &m in &members {
+            let inst = &unrolled.instances[m];
+            hf += costs.stateful_cost(inst.ops.iter());
+            hl += costs.stateless_cost(inst.ops.iter());
+        }
+        groups.push(GroupInfo {
+            label: node.label.clone(),
+            members,
+            iters: first.iters.clone(),
+            stateful_alus: hf,
+            stateless_alus: hl,
+            reg_instance: None, // filled below
+        });
+    }
+
+    // ---- Iteration symmetry breaking ----
+    // Iterations of one elastic loop are interchangeable: any feasible
+    // layout can be relabeled so that, within each family of groups that
+    // share the same member actions and differ only in the innermost
+    // iteration index, stages are non-decreasing in the index (a sorted-
+    // matching argument: intra-iteration precedences survive sorting every
+    // family, per Hall's condition). Families whose members are linked by
+    // exclusion edges get *strict* orderings that replace those exclusion
+    // constraints; independent families get weak orderings. This prunes the
+    // factorial plateau of equivalent layouts from the branch-and-bound.
+    let mut family_of: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut strict_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut weak_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut strict_families: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    {
+        let mut families: BTreeMap<(Vec<String>, Vec<Iter>, String), Vec<(usize, usize)>> =
+            BTreeMap::new();
+        for (g, grp) in groups.iter().enumerate() {
+            if grp.iters.is_empty() {
+                continue;
+            }
+            let mut bases: Vec<String> =
+                grp.members.iter().map(|&m| unrolled.instances[m].base.clone()).collect();
+            bases.sort();
+            let mut prefix = grp.iters.clone();
+            let last = prefix.pop().expect("non-empty tag");
+            families
+                .entry((bases, prefix, last.symbolic.clone()))
+                .or_default()
+                .push((last.index, g));
+        }
+        for (fid, mut members) in families.into_values().enumerate() {
+            members.sort_unstable();
+            let has_exclusion = members.iter().enumerate().any(|(i, &(_, a))| {
+                members[i + 1..].iter().any(|&(_, b)| {
+                    graph.exclusion.contains(&(a.min(b), a.max(b)))
+                })
+            });
+            for &(_, g) in &members {
+                family_of.insert(g, fid);
+            }
+            if has_exclusion {
+                strict_families.insert(fid);
+            }
+            for w in members.windows(2) {
+                let (a, b) = (w[0].1, w[1].1);
+                if graph.precedence.contains(&(a, b)) || graph.precedence.contains(&(b, a)) {
+                    continue; // already strictly ordered by a real dependency
+                }
+                if has_exclusion {
+                    strict_pairs.push((a, b));
+                } else {
+                    weak_pairs.push((a, b));
+                }
+            }
+        }
+    }
+
+    // ---- Placement variables x[g][s]; #15 / #17 ----
+    let mut x: Vec<Vec<VarId>> = Vec::with_capacity(groups.len());
+    for (g, grp) in groups.iter().enumerate() {
+        let vars: Vec<VarId> =
+            (0..stages).map(|s| model.binary(format!("x[{}][{s}]", grp.label))).collect();
+        let placed = LinExpr::sum(vars.iter().map(|&v| LinExpr::from(v)));
+        if grp.iters.is_empty() {
+            model.eq(format!("place_once[{g}]"), placed, 1.0); // #17
+        } else {
+            model.le(format!("place_at_most_once[{g}]"), placed, 1.0); // #15
+        }
+        x.push(vars);
+    }
+
+    // ---- Precedence (#6) and exclusion (#5) ----
+    // Transitive reduction: an edge implied by a chain of other enforced
+    // strict orderings (precedence or strict family pairs) is redundant —
+    // chain-heavy programs (e.g. a key-value store's per-slice reads)
+    // otherwise emit O(K^2 * S) constraints for what K-1 edges express.
+    let reduced_precedence: Vec<(usize, usize)> = {
+        let n = groups.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in graph.precedence.iter().chain(&strict_pairs) {
+            adj[a].push(b);
+        }
+        let reachable_avoiding = |from: usize, to: usize, skip: (usize, usize)| -> bool {
+            let mut seen = vec![false; n];
+            let mut stack = vec![from];
+            seen[from] = true;
+            while let Some(v) = stack.pop() {
+                for &w in &adj[v] {
+                    if (v, w) == skip || seen[w] {
+                        continue;
+                    }
+                    if w == to {
+                        return true;
+                    }
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+            false
+        };
+        graph
+            .precedence
+            .iter()
+            .copied()
+            .filter(|&(a, b)| !reachable_avoiding(a, b, (a, b)))
+            .collect()
+    };
+    for &(a, b) in &reduced_precedence {
+        for s in 0..stages {
+            let mut earlier = LinExpr::zero();
+            for t in 0..s {
+                earlier += LinExpr::from(x[a][t]);
+            }
+            model.le(
+                format!("prec[{a}->{b}][{s}]"),
+                LinExpr::from(x[b][s]) - earlier,
+                0.0,
+            );
+        }
+    }
+    for &(a, b) in &graph.exclusion {
+        // Exclusions inside a strictly-ordered family are implied by the
+        // symmetry-breaking chain below.
+        if let (Some(fa), Some(fb)) = (family_of.get(&a), family_of.get(&b)) {
+            if fa == fb && strict_families.contains(fa) {
+                continue;
+            }
+        }
+        for s in 0..stages {
+            model.le(
+                format!("excl[{a}--{b}][{s}]"),
+                LinExpr::from(x[a][s]) + LinExpr::from(x[b][s]),
+                1.0,
+            );
+        }
+    }
+    // Strict family orderings (commutative accumulators): same per-stage
+    // encoding as precedence.
+    for &(a, b) in &strict_pairs {
+        for s in 0..stages {
+            let mut earlier = LinExpr::zero();
+            for t in 0..s {
+                earlier += LinExpr::from(x[a][t]);
+            }
+            model.le(
+                format!("sym_strict[{a}->{b}][{s}]"),
+                LinExpr::from(x[b][s]) - earlier,
+                0.0,
+            );
+        }
+    }
+    // Weak family orderings: stage index of the later iteration is no
+    // smaller, when it is placed at all.
+    for &(a, b) in &weak_pairs {
+        let mut diff = LinExpr::zero();
+        let mut placed_b = LinExpr::zero();
+        for s in 0..stages {
+            diff += LinExpr::term(x[b][s], s as f64);
+            diff -= LinExpr::term(x[a][s], s as f64);
+            placed_b += LinExpr::from(x[b][s]);
+        }
+        // stage(b) >= stage(a) - S*(1 - placed(b))
+        model.ge(
+            format!("sym_weak[{a}<={b}]"),
+            diff + (LinExpr::constant(stages as f64) - placed_b * (stages as f64)),
+            0.0,
+        );
+    }
+
+    // ---- Iteration coherence (#7) ----
+    // Groups with the same full tag exist together.
+    {
+        let mut by_tag: BTreeMap<Vec<Iter>, Vec<usize>> = BTreeMap::new();
+        for (g, grp) in groups.iter().enumerate() {
+            if !grp.iters.is_empty() {
+                by_tag.entry(grp.iters.clone()).or_default().push(g);
+            }
+        }
+        for (tag, gs) in &by_tag {
+            for w in gs.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let pa = LinExpr::sum(x[a].iter().map(|&v| LinExpr::from(v)));
+                let pb = LinExpr::sum(x[b].iter().map(|&v| LinExpr::from(v)));
+                model.eq(format!("coherent[{tag:?}][{a}=={b}]"), pa - pb, 0.0);
+            }
+        }
+    }
+
+    // ---- Metadata chunk indicators d[(v,i)] (#13, #14) and ordering (#16) ----
+    let mut d: BTreeMap<(String, usize), VarId> = BTreeMap::new();
+    let mut d_groups: BTreeMap<(String, usize), Vec<usize>> = BTreeMap::new();
+    for (g, grp) in groups.iter().enumerate() {
+        for it in &grp.iters {
+            let key = (it.symbolic.clone(), it.index);
+            d.entry(key.clone())
+                .or_insert_with(|| model.binary(format!("d[{}][{}]", it.symbolic, it.index)));
+            d_groups.entry(key).or_default().push(g);
+        }
+    }
+    for (key, gs) in &d_groups {
+        let dv = d[key];
+        let mut any = LinExpr::zero();
+        for &g in gs {
+            let placed = LinExpr::sum(x[g].iter().map(|&v| LinExpr::from(v)));
+            // d >= placed(g)  (#14)
+            model.ge(
+                format!("d_lb[{}][{}][{g}]", key.0, key.1),
+                LinExpr::from(dv) - placed.clone(),
+                0.0,
+            );
+            any += placed;
+        }
+        // d <= sum placed: the chunk is live only if some iteration ran.
+        model.le(format!("d_ub[{}][{}]", key.0, key.1), LinExpr::from(dv) - any, 0.0);
+    }
+    // In-order iterations (#16): d[v][i+1] <= d[v][i].
+    {
+        let mut per_sym: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (v, i) in d.keys() {
+            per_sym.entry(v.as_str()).or_default().push(*i);
+        }
+        let keys: Vec<(String, Vec<usize>)> = per_sym
+            .into_iter()
+            .map(|(v, mut is)| {
+                is.sort_unstable();
+                (v.to_string(), is)
+            })
+            .collect();
+        for (v, is) in keys {
+            for w in is.windows(2) {
+                let lo = d[&(v.clone(), w[0])];
+                let hi = d[&(v.clone(), w[1])];
+                model.le(
+                    format!("order[{v}][{}<={}]", w[1], w[0]),
+                    LinExpr::from(hi) - LinExpr::from(lo),
+                    0.0,
+                );
+            }
+        }
+    }
+
+    // ---- PHV budget (#13) ----
+    {
+        let program_fixed = info.fixed_phv_bits();
+        let target_budget = target.phv_elastic_bits();
+        if program_fixed > target_budget {
+            return Err(LangError::new(
+                format!(
+                    "fixed headers/metadata need {program_fixed} PHV bits but the target \
+                     provides only {target_budget}"
+                ),
+                Span::default(),
+            ));
+        }
+        let elastic_budget = (target_budget - program_fixed) as f64;
+        let mut used = LinExpr::zero();
+        for ((v, _i), &dv) in &d {
+            let bits = info.meta_chunk_bits(v) as f64;
+            if bits > 0.0 {
+                used += LinExpr::term(dv, bits);
+            }
+        }
+        if !used.terms.is_empty() {
+            model.le("phv_budget", used, elastic_budget);
+        }
+    }
+
+    // ---- Register instances, memory variables, co-location ----
+    let mut regs: Vec<RegInstanceInfo> = Vec::new();
+    let mut cells: Vec<Vec<VarId>> = Vec::new();
+    let mut sizes: BTreeMap<String, VarId> = BTreeMap::new();
+    {
+        // Owner group of each (reg, instance).
+        let mut owner: BTreeMap<(String, usize), usize> = BTreeMap::new();
+        for (g, grp) in groups.iter().enumerate() {
+            for &m in &grp.members {
+                if let Some(r) = &unrolled.instances[m].reg {
+                    owner.insert((r.reg.clone(), r.instance), g);
+                }
+            }
+        }
+        for ((reg_name, instance), owner_group) in owner {
+            let decl = info.program.register(&reg_name).ok_or_else(|| {
+                LangError::new(format!("undeclared register `{reg_name}`"), Span::default())
+            })?;
+            let cap = (target.memory_bits / decl.elem_bits as u64).max(1);
+            let ridx = regs.len();
+            groups[owner_group].reg_instance = Some(ridx);
+            let svars: Vec<VarId> = (0..stages)
+                .map(|s| {
+                    model.integer(format!("c[{reg_name}[{instance}]][{s}]"), 0.0, cap as f64)
+                })
+                .collect();
+            // #9: cells only where the owner sits.
+            for s in 0..stages {
+                model.le(
+                    format!("colocate[{reg_name}[{instance}]][{s}]"),
+                    LinExpr::from(svars[s]) - LinExpr::term(x[owner_group][s], cap as f64),
+                    0.0,
+                );
+            }
+            let total = LinExpr::sum(svars.iter().map(|&v| LinExpr::from(v)));
+            let placed = LinExpr::sum(x[owner_group].iter().map(|&v| LinExpr::from(v)));
+            match &decl.cells {
+                Size::Const(k) => {
+                    // Exactly k cells when placed, 0 otherwise.
+                    model.eq(
+                        format!("fixed_cells[{reg_name}[{instance}]]"),
+                        total - placed * (*k as f64),
+                        0.0,
+                    );
+                }
+                Size::Symbolic(sz) => {
+                    let vsz = *sizes.entry(sz.clone()).or_insert_with(|| {
+                        let mined = info.mined.get(sz).copied().unwrap_or_default();
+                        let lo = mined.lo.unwrap_or(1).max(1) as f64;
+                        let hi = mined.hi.map(|h| h as f64).unwrap_or(cap as f64).min(cap as f64);
+                        model.integer(format!("V[{sz}]"), lo, hi)
+                    });
+                    // total <= V_sz ; total >= V_sz - cap*(1 - placed).
+                    model.le(
+                        format!("size_ub[{reg_name}[{instance}]]"),
+                        total.clone() - LinExpr::from(vsz),
+                        0.0,
+                    );
+                    model.ge(
+                        format!("size_lb[{reg_name}[{instance}]]"),
+                        total - LinExpr::from(vsz) - placed * (cap as f64)
+                            + LinExpr::constant(cap as f64),
+                        0.0,
+                    );
+                }
+            }
+            regs.push(RegInstanceInfo {
+                reg: reg_name,
+                instance,
+                elem_bits: decl.elem_bits,
+                owner_group,
+                cells: decl.cells.clone(),
+                cap,
+            });
+            cells.push(svars);
+        }
+    }
+
+    // Size symbolics used only as hash ranges (no register) still need a
+    // variable so assumes/utility can mention them.
+    for sz in info.size_symbolics() {
+        sizes.entry(sz.to_string()).or_insert_with(|| {
+            let mined = info.mined.get(sz).copied().unwrap_or_default();
+            let lo = mined.lo.unwrap_or(1).max(1) as f64;
+            let hi = mined.hi.unwrap_or(1 << 20) as f64;
+            model.integer(format!("V[{sz}]"), lo, hi)
+        });
+    }
+
+    // ---- Per-stage memory (#8) and ALU budgets (#11, #12) ----
+    for s in 0..stages {
+        let mut mem = LinExpr::zero();
+        for (r, svars) in cells.iter().enumerate() {
+            mem += LinExpr::term(svars[s], regs[r].elem_bits as f64);
+        }
+        if !mem.terms.is_empty() {
+            model.le(format!("stage_mem[{s}]"), mem, target.memory_bits as f64);
+        }
+        let mut hf = LinExpr::zero();
+        let mut hl = LinExpr::zero();
+        for (g, grp) in groups.iter().enumerate() {
+            if grp.stateful_alus > 0 {
+                hf += LinExpr::term(x[g][s], grp.stateful_alus as f64);
+            }
+            if grp.stateless_alus > 0 {
+                hl += LinExpr::term(x[g][s], grp.stateless_alus as f64);
+            }
+        }
+        if !hf.terms.is_empty() {
+            model.le(format!("stage_hf[{s}]"), hf, target.stateful_alus as f64);
+        }
+        if !hl.terms.is_empty() {
+            model.le(format!("stage_hl[{s}]"), hl, target.stateless_alus as f64);
+        }
+    }
+
+    // Branching priorities: memory sizes last — their LP optimum is
+    // usually integral once placements are fixed. (Boosting iteration
+    // indicators above placements was measured slower: placements carry
+    // the real contention.)
+    for &sv in sizes.values() {
+        model.set_branch_priority(sv, -10);
+    }
+
+    let mut enc =
+        Encoding { model, groups, x, regs, cells, d, sizes, stages };
+
+    // ---- User assumes ----
+    for (k, a) in info.program.assumes.iter().enumerate() {
+        add_assume(&mut enc, info, &a.expr, a.span, &format!("assume{k}"))?;
+    }
+
+    // ---- Objective ----
+    let objective = match &info.program.optimize {
+        Some(u) => linearize(&enc, info, u, Span::default())?,
+        None => {
+            // Default utility: stretch everything — placements first, then
+            // total memory (lightly weighted so it never trades a placement
+            // for cells).
+            let mut obj = LinExpr::zero();
+            for g in 0..enc.groups.len() {
+                obj += enc.placed(g);
+            }
+            for svars in &enc.cells {
+                for &v in svars {
+                    obj += LinExpr::term(v, 1e-4);
+                }
+            }
+            obj
+        }
+    };
+    enc.model.set_objective(objective, Sense::Maximize);
+
+    Ok(enc)
+}
+
+/// Linearize a utility/assume expression over the encoding's variables.
+///
+/// Supported shapes: numeric literals, count symbolics (`Σ_i d[v][i]`),
+/// size symbolics (`V_sz`), sums/differences, scaling by constants,
+/// division by constants, and the product `count * size` when one register
+/// declaration pairs those extents (linearized as total allocated cells of
+/// that register family).
+pub fn linearize(
+    enc: &Encoding,
+    info: &ProgramInfo<'_>,
+    e: &Expr,
+    span: Span,
+) -> Result<LinExpr, LangError> {
+    match const_value(e) {
+        Some(c) => return Ok(LinExpr::constant(c)),
+        None => {}
+    }
+    match e {
+        Expr::Symbolic(name) => match info.roles.get(name) {
+            Some(SymRole::Count) => {
+                let mut sum = LinExpr::zero();
+                for ((v, _), &dv) in &enc.d {
+                    if v == name {
+                        sum += LinExpr::from(dv);
+                    }
+                }
+                Ok(sum)
+            }
+            Some(SymRole::Size) => match enc.sizes.get(name) {
+                Some(&v) => Ok(LinExpr::from(v)),
+                None => Err(LangError::new(
+                    format!("size symbolic `{name}` has no variable in this encoding"),
+                    span,
+                )),
+            },
+            None => Err(LangError::new(format!("unknown symbolic `{name}`"), span)),
+        },
+        Expr::Unary { op: UnOp::Neg, operand } => Ok(-linearize(enc, info, operand, span)?),
+        Expr::Binary { op: BinOp::Add, lhs, rhs } => {
+            Ok(linearize(enc, info, lhs, span)? + linearize(enc, info, rhs, span)?)
+        }
+        Expr::Binary { op: BinOp::Sub, lhs, rhs } => {
+            Ok(linearize(enc, info, lhs, span)? - linearize(enc, info, rhs, span)?)
+        }
+        Expr::Binary { op: BinOp::Mul, lhs, rhs } => {
+            if let Some(k) = const_value(lhs) {
+                return Ok(linearize(enc, info, rhs, span)? * k);
+            }
+            if let Some(k) = const_value(rhs) {
+                return Ok(linearize(enc, info, lhs, span)? * k);
+            }
+            // count * size over one register family -> total cells.
+            if let (Expr::Symbolic(a), Expr::Symbolic(b)) = (&**lhs, &**rhs) {
+                if let Some(expr) = product_cells(enc, info, a, b) {
+                    return Ok(expr);
+                }
+            }
+            Err(LangError::new(
+                "non-linear utility term: products must be `constant * expr` or \
+                 `count * size` of one register array"
+                    .to_string(),
+                span,
+            ))
+        }
+        Expr::Binary { op: BinOp::Div, lhs, rhs } => match const_value(rhs) {
+            Some(k) if k != 0.0 => Ok(linearize(enc, info, lhs, span)? * (1.0 / k)),
+            _ => Err(LangError::new("division by a non-constant in utility", span)),
+        },
+        other => Err(LangError::new(
+            format!("expression not allowed in utility/assume: {other:?}"),
+            span,
+        )),
+    }
+}
+
+/// `rows * cols` where some register is declared `[cols][rows]` — the
+/// product equals the total cells allocated to that register family.
+fn product_cells(
+    enc: &Encoding,
+    info: &ProgramInfo<'_>,
+    a: &str,
+    b: &str,
+) -> Option<LinExpr> {
+    let (count, size) = match (info.roles.get(a), info.roles.get(b)) {
+        (Some(SymRole::Count), Some(SymRole::Size)) => (a, b),
+        (Some(SymRole::Size), Some(SymRole::Count)) => (b, a),
+        _ => return None,
+    };
+    let decl = info.program.registers.iter().find(|r| {
+        r.cells.symbolic_name() == Some(size)
+            && r.instances.as_ref().and_then(|i| i.symbolic_name()) == Some(count)
+    })?;
+    let mut sum = LinExpr::zero();
+    for (r, svars) in enc.cells.iter().enumerate() {
+        if enc.regs[r].reg == decl.name {
+            for &v in svars {
+                sum += LinExpr::from(v);
+            }
+        }
+    }
+    Some(sum)
+}
+
+fn const_value(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Int(v) => Some(*v as f64),
+        Expr::Float(v) => Some(*v),
+        Expr::Unary { op: UnOp::Neg, operand } => const_value(operand).map(|v| -v),
+        Expr::Binary { op, lhs, rhs } => {
+            let (a, b) = (const_value(lhs)?, const_value(rhs)?);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div if b != 0.0 => Some(a / b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Add an `assume` expression as ILP constraints. Conjunctions split;
+/// comparisons become linear rows. Disjunctions are rejected (non-convex).
+fn add_assume(
+    enc: &mut Encoding,
+    info: &ProgramInfo<'_>,
+    e: &Expr,
+    span: Span,
+    name: &str,
+) -> Result<(), LangError> {
+    match e {
+        Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            add_assume(enc, info, lhs, span, &format!("{name}.l"))?;
+            add_assume(enc, info, rhs, span, &format!("{name}.r"))
+        }
+        Expr::Binary { op, lhs, rhs }
+            if matches!(op, BinOp::Le | BinOp::Lt | BinOp::Ge | BinOp::Gt | BinOp::Eq) =>
+        {
+            let l = linearize(enc, info, lhs, span)?;
+            let r = linearize(enc, info, rhs, span)?;
+            let diff = l - r;
+            match op {
+                BinOp::Le => enc.model.le(name, diff, 0.0),
+                BinOp::Lt => enc.model.le(name, diff, -1.0),
+                BinOp::Ge => enc.model.ge(name, diff, 0.0),
+                BinOp::Gt => enc.model.ge(name, diff, 1.0),
+                BinOp::Eq => enc.model.eq(name, diff, 0.0),
+                _ => unreachable!(),
+            }
+            Ok(())
+        }
+        _ => Err(LangError::new(
+            "assume must be a conjunction of linear comparisons over symbolic values"
+                .to_string(),
+            span,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::build_full;
+    use crate::elaborate::elaborate;
+    use crate::ir::instantiate;
+    use p4all_ilp::{solve, SolveStatus};
+    use p4all_lang::parse;
+    use p4all_pisa::presets;
+
+    const CMS: &str = r#"
+        symbolic int rows;
+        symbolic int cols;
+        assume rows >= 1 && rows <= 2;
+        assume cols >= 4;
+        optimize rows * cols;
+        header h { bit<32> key; }
+        struct metadata {
+            bit<32>[rows] index;
+            bit<32>[rows] count;
+            bit<32> min;
+        }
+        register<bit<32>>[cols][rows] cms;
+        action incr()[int i] {
+            meta.index[i] = hash(hdr.key, cols);
+            cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+            meta.count[i] = cms[i][meta.index[i]];
+        }
+        action set_min()[int i] { meta.min = meta.count[i]; }
+        control hash_inc() { apply { for (i < rows) { incr()[i]; } } }
+        control find_min() {
+            apply { for (i < rows) { if (meta.count[i] < meta.min) { set_min()[i]; } } }
+        }
+        control Main() { apply { hash_inc.apply(); find_min.apply(); } }
+    "#;
+
+    fn encode_cms(rows: usize) -> (Encoding, p4all_lang::ast::Program) {
+        let p = parse(CMS).unwrap();
+        let target = presets::paper_example();
+        let enc = {
+            let info = elaborate(&p).unwrap();
+            let mut bounds = BTreeMap::new();
+            bounds.insert("rows".to_string(), rows);
+            let u = instantiate(&info, &bounds).unwrap();
+            let g = build_full(&u);
+            encode(&info, &u, &g, &target).unwrap()
+        };
+        (enc, p)
+    }
+
+    #[test]
+    fn encoding_shape() {
+        let (enc, _) = encode_cms(2);
+        assert_eq!(enc.groups.len(), 4); // incr[0..2], set_min[0..2]
+        assert_eq!(enc.x.len(), 4);
+        assert_eq!(enc.x[0].len(), 3); // 3 stages
+        assert_eq!(enc.regs.len(), 2); // cms[0], cms[1]
+        assert_eq!(enc.d.len(), 2); // d[rows][0], d[rows][1]
+        assert!(enc.sizes.contains_key("cols"));
+    }
+
+    /// The §4 example target: 3 stages, M=2048b, F=L=2. The stateless ALU
+    /// budget makes two co-optimal layouts: both rows in stage 0 sharing
+    /// memory (2 x 32 cols) or one row with all of it (1 x 64 cols). The
+    /// optimum utility is 64 total counters either way.
+    #[test]
+    fn solving_cms_on_paper_example_target() {
+        let (enc, _) = encode_cms(2);
+        let out = solve(&enc.model).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let sol = out.solution.unwrap();
+        let cols = sol.int_value(enc.sizes["cols"]);
+        let rows: i64 = enc.d.values().map(|&v| sol.int_value(v)).sum();
+        assert!(rows >= 1 && rows <= 2);
+        assert_eq!(rows * cols, 64, "optimal utility is 64 total counters");
+        assert!((sol.objective - (rows * cols) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precedence_respected_in_solution() {
+        let (enc, _) = encode_cms(2);
+        let out = solve(&enc.model).unwrap();
+        let sol = out.solution.unwrap();
+        let stage_of = |g: usize| -> Option<usize> {
+            (0..enc.stages).find(|&s| sol.int_value(enc.x[g][s]) == 1)
+        };
+        // Group order: incr[0], incr[1], set_min[0], set_min[1]. Iteration
+        // coherence: incr[i] placed iff set_min[i] placed; when placed the
+        // incr must be strictly earlier.
+        let mut placed_pairs = 0;
+        for i in 0..2 {
+            match (stage_of(i), stage_of(2 + i)) {
+                (Some(si), Some(sm)) => {
+                    assert!(si < sm, "incr[{i}] at {si} must precede set_min[{i}] at {sm}");
+                    placed_pairs += 1;
+                }
+                (None, None) => {}
+                other => panic!("iteration {i} half-placed: {other:?}"),
+            }
+        }
+        assert!(placed_pairs >= 1);
+        if let (Some(a), Some(b)) = (stage_of(2), stage_of(3)) {
+            assert_ne!(a, b, "commutative set_mins must not share a stage");
+        }
+    }
+
+    #[test]
+    fn assume_upper_bound_enforced() {
+        let src = CMS.replace("assume cols >= 4;", "assume cols >= 4 && cols <= 10;");
+        let p = parse(&src).unwrap();
+        let info = elaborate(&p).unwrap();
+        let mut bounds = BTreeMap::new();
+        bounds.insert("rows".to_string(), 2);
+        let u = instantiate(&info, &bounds).unwrap();
+        let g = build_full(&u);
+        let target = presets::paper_example();
+        let enc = encode(&info, &u, &g, &target).unwrap();
+        let out = solve(&enc.model).unwrap();
+        let sol = out.solution.unwrap();
+        assert!(sol.int_value(enc.sizes["cols"]) <= 10);
+    }
+
+    #[test]
+    fn infeasible_when_phv_too_small() {
+        let p = parse(CMS).unwrap();
+        let info = elaborate(&p).unwrap();
+        let mut bounds = BTreeMap::new();
+        bounds.insert("rows".to_string(), 2);
+        let u = instantiate(&info, &bounds).unwrap();
+        let g = build_full(&u);
+        let mut target = presets::paper_example();
+        target.phv_fixed_bits = target.phv_bits - 32; // nothing left beyond hdr.key...
+        let r = encode(&info, &u, &g, &target);
+        // fixed program PHV (key 32 + min 32 = 64) exceeds the 32 available.
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nonlinear_utility_rejected() {
+        // rows * rows has no register family pairing.
+        let src = CMS.replace("optimize rows * cols;", "optimize rows * rows;");
+        let p = parse(&src).unwrap();
+        let info = elaborate(&p).unwrap();
+        let mut bounds = BTreeMap::new();
+        bounds.insert("rows".to_string(), 2);
+        let u = instantiate(&info, &bounds).unwrap();
+        let g = build_full(&u);
+        let target = presets::paper_example();
+        let e = encode(&info, &u, &g, &target).unwrap_err();
+        assert!(e.message.contains("non-linear"), "{e}");
+    }
+
+    #[test]
+    fn weighted_utility_linearizes() {
+        let src = CMS.replace(
+            "optimize rows * cols;",
+            "optimize 0.4 * (rows * cols) + 0.6 * rows;",
+        );
+        let p = parse(&src).unwrap();
+        let info = elaborate(&p).unwrap();
+        let mut bounds = BTreeMap::new();
+        bounds.insert("rows".to_string(), 2);
+        let u = instantiate(&info, &bounds).unwrap();
+        let g = build_full(&u);
+        let target = presets::paper_example();
+        let enc = encode(&info, &u, &g, &target).unwrap();
+        let out = solve(&enc.model).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn memory_constraint_binds() {
+        // Tiny memory: 128 bits per stage -> 4 cells of 32b.
+        let p = parse(CMS).unwrap();
+        let info = elaborate(&p).unwrap();
+        let mut bounds = BTreeMap::new();
+        bounds.insert("rows".to_string(), 2);
+        let u = instantiate(&info, &bounds).unwrap();
+        let g = build_full(&u);
+        let mut target = presets::paper_example();
+        target.memory_bits = 128;
+        let enc = encode(&info, &u, &g, &target).unwrap();
+        let out = solve(&enc.model).unwrap();
+        let sol = out.solution.unwrap();
+        assert_eq!(sol.int_value(enc.sizes["cols"]), 4);
+    }
+}
+
+/// Translate a (greedy) [`crate::solution::Layout`] into an assignment
+/// vector for this encoding, usable as a branch-and-bound warm start. The
+/// result is only a *candidate* — the solver re-checks feasibility before
+/// adopting it as the incumbent.
+pub fn warm_start_from_layout(enc: &Encoding, layout: &crate::solution::Layout) -> Vec<f64> {
+    let mut vals = vec![0.0; enc.model.num_vars()];
+    for p in &layout.placements {
+        if p.group < enc.x.len() && p.stage < enc.stages {
+            vals[enc.x[p.group][p.stage].index()] = 1.0;
+        }
+    }
+    for (r, ri) in enc.regs.iter().enumerate() {
+        if let Some(alloc) = layout
+            .registers
+            .iter()
+            .find(|a| a.reg == ri.reg && a.instance == ri.instance)
+        {
+            vals[enc.cells[r][alloc.stage].index()] = alloc.cells as f64;
+        }
+    }
+    for ((v, i), &dv) in &enc.d {
+        let live = enc.groups.iter().enumerate().any(|(g, grp)| {
+            grp.iters.iter().any(|it| it.symbolic == *v && it.index == *i)
+                && layout.placements.iter().any(|p| p.group == g)
+        });
+        if live {
+            vals[dv.index()] = 1.0;
+        }
+    }
+    for (sz, &v) in &enc.sizes {
+        let lb = enc.model.var(v).lb;
+        let val = layout.symbol_values.get(sz).copied().unwrap_or(0) as f64;
+        vals[v.index()] = val.max(lb);
+    }
+    vals
+}

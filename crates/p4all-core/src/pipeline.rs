@@ -1,0 +1,376 @@
+//! The end-to-end compile driver (Figure 8 of the paper).
+//!
+//! `P4All program + target spec  →  parse → elaborate → upper bounds →
+//! unroll → dependency graph → ILP → solve → layout → concrete P4`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use p4all_ilp::{ModelStats, SolveOptions, SolveStatus};
+use p4all_lang::ast::{Expr, Program};
+use p4all_lang::errors::LangError;
+use p4all_pisa::TargetSpec;
+
+use crate::bounds::{all_upper_bounds, DEFAULT_MAX_UNROLL};
+use crate::codegen::{concretize, print_p4, ConcreteProgram};
+use crate::depgraph::build_full;
+use crate::elaborate::elaborate;
+use crate::ilpgen::encode;
+use crate::ir::instantiate;
+use crate::solution::{extract, Layout};
+
+/// Compiler configuration.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Hard cap on per-loop unrolling (see [`crate::bounds`]).
+    pub max_unroll: usize,
+    /// MIP solver knobs.
+    pub solver: SolveOptions,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        let mut solver = SolveOptions::default();
+        // Utilities reach 1e7 (memory bits); proving the last millionth of
+        // the objective on a flat plateau is wasted work for a compiler.
+        solver.rel_gap = 1e-6;
+        CompileOptions { max_unroll: DEFAULT_MAX_UNROLL, solver }
+    }
+}
+
+/// Why a compilation failed.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Lexing, parsing, elaboration, or encoding error.
+    Lang(LangError),
+    /// The ILP has no feasible layout on this target.
+    Infeasible,
+    /// The solver hit a numerical failure or internal limit.
+    Solver(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Lang(e) => write!(f, "{e}"),
+            CompileError::Infeasible => {
+                write!(f, "no layout satisfies the target constraints and assumes")
+            }
+            CompileError::Solver(m) => write!(f, "solver failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LangError> for CompileError {
+    fn from(e: LangError) -> Self {
+        CompileError::Lang(e)
+    }
+}
+
+/// Phase timings of one compilation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    pub parse: Duration,
+    pub analysis: Duration,
+    pub encode: Duration,
+    pub solve: Duration,
+    pub total: Duration,
+}
+
+/// MIP solve statistics surfaced in reports.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveStats {
+    pub status: SolveStatus,
+    pub nodes: usize,
+    pub lp_solves: usize,
+}
+
+/// A successful compilation.
+pub struct Compilation {
+    /// The chosen layout (symbolic values, placements, memory).
+    pub layout: Layout,
+    /// Loop-free structured program (input to the simulator).
+    pub concrete: ConcreteProgram,
+    /// Generated P4 source text.
+    pub p4_text: String,
+    /// Computed unroll upper bounds per count symbolic.
+    pub upper_bounds: BTreeMap<String, usize>,
+    /// ILP size (the Fig. 11 `(vars, constraints)` column).
+    pub ilp_stats: ModelStats,
+    pub solve_stats: SolveStats,
+    pub timings: Timings,
+}
+
+/// The P4All compiler for a fixed target.
+pub struct Compiler {
+    pub target: TargetSpec,
+    pub options: CompileOptions,
+}
+
+impl Compiler {
+    pub fn new(target: TargetSpec) -> Self {
+        Compiler { target, options: CompileOptions::default() }
+    }
+
+    pub fn with_options(target: TargetSpec, options: CompileOptions) -> Self {
+        Compiler { target, options }
+    }
+
+    /// Compile P4All source text.
+    pub fn compile(&self, src: &str) -> Result<Compilation, CompileError> {
+        let t0 = Instant::now();
+        let program = p4all_lang::parse(src)?;
+        let parse_time = t0.elapsed();
+        let mut c = self.compile_ast(&program)?;
+        c.timings.parse = parse_time;
+        c.timings.total += parse_time;
+        Ok(c)
+    }
+
+    /// Compile an already-parsed program.
+    pub fn compile_ast(&self, program: &Program) -> Result<Compilation, CompileError> {
+        let t0 = Instant::now();
+        let info = elaborate(program)?;
+
+        // Upper bounds (§4.2), then the single full unroll.
+        let upper_bounds = all_upper_bounds(&info, &self.target, self.options.max_unroll)?;
+        let unrolled = instantiate(&info, &upper_bounds)?;
+        let graph = build_full(&unrolled);
+        let analysis = t0.elapsed();
+
+        let t1 = Instant::now();
+        let enc = encode(&info, &unrolled, &graph, &self.target)?;
+        let ilp_stats = enc.model.stats();
+        let encode_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        // Warm start: the greedy allocator's layout (when it succeeds and
+        // is feasible for the encoding) seeds the incumbent, so the branch
+        // and bound can prune from the first node.
+        let mut solver_opts = self.options.solver.clone();
+        if let Ok(gl) = crate::greedy::place_greedy(&info, &unrolled, &graph, &self.target) {
+            solver_opts.warm_start =
+                Some(crate::ilpgen::warm_start_from_layout(&enc, &gl));
+        }
+        let out = p4all_ilp::solve_with(&enc.model, &solver_opts)
+            .map_err(|e| CompileError::Solver(e.to_string()))?;
+        let solve_time = t2.elapsed();
+
+        let sol = match (out.status, out.solution) {
+            (SolveStatus::Optimal | SolveStatus::Feasible, Some(s)) => s,
+            (SolveStatus::Infeasible, _) => return Err(CompileError::Infeasible),
+            (status, _) => {
+                return Err(CompileError::Solver(format!(
+                    "solver ended with status {status:?} and no solution"
+                )))
+            }
+        };
+
+        let layout = extract(&enc, &info, &sol, &self.target);
+        let concrete = concretize(&info, &unrolled, &layout, self.target.stages)?;
+        let p4_text = print_p4(&concrete);
+
+        Ok(Compilation {
+            layout,
+            concrete,
+            p4_text,
+            upper_bounds,
+            ilp_stats,
+            solve_stats: SolveStats {
+                status: out.status,
+                nodes: out.nodes,
+                lp_solves: out.lp_solves,
+            },
+            timings: Timings {
+                parse: Duration::default(),
+                analysis,
+                encode: encode_time,
+                solve: solve_time,
+                total: t0.elapsed(),
+            },
+        })
+    }
+
+    /// Compile with the greedy first-fit allocator instead of the ILP
+    /// (the ablation baseline).
+    pub fn compile_greedy(&self, src: &str) -> Result<Layout, CompileError> {
+        let program = p4all_lang::parse(src)?;
+        let info = elaborate(&program)?;
+        let upper_bounds = all_upper_bounds(&info, &self.target, self.options.max_unroll)?;
+        let unrolled = instantiate(&info, &upper_bounds)?;
+        let graph = build_full(&unrolled);
+        Ok(crate::greedy::place_greedy(&info, &unrolled, &graph, &self.target)?)
+    }
+}
+
+/// Evaluate a utility expression at concrete symbolic values (used to
+/// compare ILP and greedy layouts on equal footing).
+pub fn evaluate_utility(utility: &Expr, values: &BTreeMap<String, u64>) -> Option<f64> {
+    match utility {
+        Expr::Int(v) => Some(*v as f64),
+        Expr::Float(v) => Some(*v),
+        Expr::Symbolic(s) => values.get(s).map(|&v| v as f64),
+        Expr::Unary { op: p4all_lang::ast::UnOp::Neg, operand } => {
+            evaluate_utility(operand, values).map(|v| -v)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = evaluate_utility(lhs, values)?;
+            let b = evaluate_utility(rhs, values)?;
+            use p4all_lang::ast::BinOp::*;
+            match op {
+                Add => Some(a + b),
+                Sub => Some(a - b),
+                Mul => Some(a * b),
+                Div if b != 0.0 => Some(a / b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4all_pisa::presets;
+
+    const CMS: &str = r#"
+        symbolic int rows;
+        symbolic int cols;
+        assume rows >= 1 && rows <= 4;
+        assume cols >= 4;
+        optimize rows * cols;
+        header h { bit<32> key; }
+        struct metadata {
+            bit<32>[rows] index;
+            bit<32>[rows] count;
+            bit<32> min;
+        }
+        register<bit<32>>[cols][rows] cms;
+        action incr()[int i] {
+            meta.index[i] = hash(hdr.key, cols);
+            cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+            meta.count[i] = cms[i][meta.index[i]];
+        }
+        action set_min()[int i] { meta.min = meta.count[i]; }
+        control hash_inc() { apply { for (i < rows) { incr()[i]; } } }
+        control find_min() {
+            apply { for (i < rows) { if (meta.count[i] < meta.min) { set_min()[i]; } } }
+        }
+        control Main() { apply { hash_inc.apply(); find_min.apply(); } }
+    "#;
+
+    #[test]
+    fn end_to_end_cms_on_paper_example() {
+        let compiler = Compiler::new(presets::paper_example());
+        let c = compiler.compile(CMS).unwrap();
+        assert_eq!(c.upper_bounds["rows"], 2);
+        let rows = c.layout.symbol_values["rows"];
+        let cols = c.layout.symbol_values["cols"];
+        // Two co-optimal layouts exist (2x32 or 1x64); utility is 64.
+        assert_eq!(rows * cols, 64);
+        assert!((c.layout.objective - 64.0).abs() < 1e-6);
+        // Validate the layout independently.
+        p4all_pisa::validate(&c.layout.usage, &compiler.target).unwrap();
+        // Every live iteration contributes an incr and a set_min.
+        assert_eq!(c.concrete.num_actions() as u64, 2 * rows);
+        // Generated P4 mentions the first register instance.
+        assert!(c.p4_text.contains("cms_0"));
+        assert!(c.solve_stats.status == SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn elastic_stretch_with_memory() {
+        // More per-stage memory -> more columns (Figure 12's mechanism).
+        let small = Compiler::new({
+            let mut t = presets::paper_example();
+            t.memory_bits = 1024;
+            t
+        });
+        let big = Compiler::new({
+            let mut t = presets::paper_example();
+            t.memory_bits = 8192;
+            t
+        });
+        let cs = small.compile(CMS).unwrap();
+        let cb = big.compile(CMS).unwrap();
+        assert!(
+            cb.layout.symbol_values["cols"] > cs.layout.symbol_values["cols"],
+            "cols must stretch with memory: {} vs {}",
+            cb.layout.symbol_values["cols"],
+            cs.layout.symbol_values["cols"]
+        );
+    }
+
+    #[test]
+    fn plain_p4_compiles_through_the_same_pipeline() {
+        let src = r#"
+            header h { bit<32> dst; }
+            struct metadata { bit<32> port; }
+            register<bit<32>>[64] counters;
+            action count_pkt() {
+                counters[meta.port] = counters[meta.port] + 1;
+            }
+            control Main() { apply { count_pkt(); } }
+        "#;
+        let compiler = Compiler::new(presets::paper_example());
+        let c = compiler.compile(src).unwrap();
+        assert_eq!(c.concrete.num_actions(), 1);
+        assert_eq!(c.layout.registers[0].cells, 64);
+    }
+
+    #[test]
+    fn infeasible_when_mandatory_work_exceeds_target() {
+        // Four sequentially dependent inline statements on a 3-stage target.
+        let src = r#"
+            header h { bit<32> key; }
+            struct metadata { bit<32> a; bit<32> b; bit<32> c; bit<32> d; }
+            control Main() {
+                apply {
+                    meta.a = hdr.key;
+                    meta.b = meta.a + 1;
+                    meta.c = meta.b + 1;
+                    meta.d = meta.c + 1;
+                }
+            }
+        "#;
+        let compiler = Compiler::new(presets::paper_example());
+        match compiler.compile(src) {
+            Err(CompileError::Infeasible) => {}
+            other => panic!("expected infeasible, got {:?}", other.err().map(|e| e.to_string())),
+        }
+    }
+
+    #[test]
+    fn utility_evaluation_matches_ilp_objective() {
+        let compiler = Compiler::new(presets::paper_example());
+        let c = compiler.compile(CMS).unwrap();
+        let program = p4all_lang::parse(CMS).unwrap();
+        let u = evaluate_utility(program.optimize.as_ref().unwrap(), &c.layout.symbol_values)
+            .unwrap();
+        assert!(
+            (u - c.layout.objective).abs() < 1e-6,
+            "utility {} vs ILP objective {}",
+            u,
+            c.layout.objective
+        );
+    }
+
+    #[test]
+    fn greedy_never_beats_ilp() {
+        let compiler = Compiler::new(presets::paper_example());
+        let ilp = compiler.compile(CMS).unwrap();
+        let greedy = compiler.compile_greedy(CMS).unwrap();
+        let program = p4all_lang::parse(CMS).unwrap();
+        let opt = program.optimize.as_ref().unwrap();
+        let u_ilp = evaluate_utility(opt, &ilp.layout.symbol_values).unwrap();
+        let u_greedy = evaluate_utility(opt, &greedy.symbol_values).unwrap();
+        assert!(
+            u_ilp >= u_greedy - 1e-9,
+            "ILP utility {u_ilp} must dominate greedy {u_greedy}"
+        );
+    }
+}

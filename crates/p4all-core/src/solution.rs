@@ -1,0 +1,166 @@
+//! Solution extraction: from an ILP solution back to a concrete layout.
+//!
+//! A [`Layout`] is the compiler's answer: concrete values for every
+//! symbolic, a stage for every placed group, a memory allocation for every
+//! register instance, and an independent [`PipelineUsage`] record that
+//! `p4all_pisa::validate` can re-check against the target.
+
+use std::collections::BTreeMap;
+
+use p4all_ilp::Solution;
+use p4all_pisa::{PipelineUsage, TargetSpec};
+
+use crate::elaborate::ProgramInfo;
+use crate::ilpgen::Encoding;
+
+/// One placed group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    pub group: usize,
+    pub label: String,
+    pub stage: usize,
+}
+
+/// Memory given to one register instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterAllocation {
+    pub reg: String,
+    pub instance: usize,
+    pub stage: usize,
+    pub cells: u64,
+    pub elem_bits: u32,
+}
+
+impl RegisterAllocation {
+    pub fn bits(&self) -> u64 {
+        self.cells * self.elem_bits as u64
+    }
+}
+
+/// The compiled layout.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Concrete assignment for every symbolic value (counts and sizes).
+    pub symbol_values: BTreeMap<String, u64>,
+    pub placements: Vec<Placement>,
+    pub registers: Vec<RegisterAllocation>,
+    /// Achieved utility (the ILP objective).
+    pub objective: f64,
+    /// Independent resource accounting for validation.
+    pub usage: PipelineUsage,
+}
+
+impl Layout {
+    /// Value of a symbolic, if assigned.
+    pub fn value_of(&self, sym: &str) -> Option<u64> {
+        self.symbol_values.get(sym).copied()
+    }
+
+    /// Stage of a placed group by label, if placed.
+    pub fn stage_of(&self, label: &str) -> Option<usize> {
+        self.placements.iter().find(|p| p.label == label).map(|p| p.stage)
+    }
+
+    /// Total register memory bits allocated.
+    pub fn total_memory_bits(&self) -> u64 {
+        self.registers.iter().map(|r| r.bits()).sum()
+    }
+
+    /// Human-readable per-stage summary (the Figure 7 style layout dump).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "symbolic assignment:");
+        for (k, v) in &self.symbol_values {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
+        let _ = writeln!(out, "pipeline layout:");
+        for (s, su) in self.usage.stages.iter().enumerate() {
+            let actions: Vec<&str> = self
+                .placements
+                .iter()
+                .filter(|p| p.stage == s)
+                .map(|p| p.label.as_str())
+                .collect();
+            let regs: Vec<String> = self
+                .registers
+                .iter()
+                .filter(|r| r.stage == s && r.cells > 0)
+                .map(|r| format!("{}[{}]:{}x{}b", r.reg, r.instance, r.cells, r.elem_bits))
+                .collect();
+            if actions.is_empty() && regs.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  stage {s}: actions=[{}] registers=[{}] mem={}b",
+                actions.join(", "),
+                regs.join(", "),
+                su.memory_bits
+            );
+        }
+        out
+    }
+}
+
+/// Read a layout out of a solved encoding.
+pub fn extract(
+    enc: &Encoding,
+    info: &ProgramInfo<'_>,
+    sol: &Solution,
+    target: &TargetSpec,
+) -> Layout {
+    let mut placements = Vec::new();
+    let mut usage = PipelineUsage::new(target.stages);
+
+    for (g, grp) in enc.groups.iter().enumerate() {
+        for s in 0..enc.stages {
+            if sol.int_value(enc.x[g][s]) == 1 {
+                placements.push(Placement { group: g, label: grp.label.clone(), stage: s });
+                usage.stages[s].stateful_alus += grp.stateful_alus;
+                usage.stages[s].stateless_alus += grp.stateless_alus;
+            }
+        }
+    }
+
+    let mut registers = Vec::new();
+    for (r, ri) in enc.regs.iter().enumerate() {
+        for s in 0..enc.stages {
+            let cells = sol.int_value(enc.cells[r][s]).max(0) as u64;
+            if cells > 0 {
+                registers.push(RegisterAllocation {
+                    reg: ri.reg.clone(),
+                    instance: ri.instance,
+                    stage: s,
+                    cells,
+                    elem_bits: ri.elem_bits,
+                });
+                usage.stages[s].memory_bits += cells * ri.elem_bits as u64;
+            }
+        }
+    }
+
+    // Symbolic values: counts from live iteration indicators, sizes from
+    // their dedicated variables.
+    let mut symbol_values: BTreeMap<String, u64> = BTreeMap::new();
+    for ((v, _i), &dv) in &enc.d {
+        *symbol_values.entry(v.clone()).or_insert(0) += sol.int_value(dv).max(0) as u64;
+    }
+    for sym in info.count_symbolics() {
+        symbol_values.entry(sym.to_string()).or_insert(0);
+    }
+    for (sz, &v) in &enc.sizes {
+        symbol_values.insert(sz.clone(), sol.int_value(v).max(0) as u64);
+    }
+
+    // Elastic PHV: live chunks plus the program's fixed fields.
+    let mut phv = info.fixed_phv_bits();
+    for ((v, _i), &dv) in &enc.d {
+        if sol.int_value(dv) == 1 {
+            phv += info.meta_chunk_bits(v);
+        }
+    }
+    usage.phv_elastic_bits = phv;
+
+    Layout { symbol_values, placements, registers, objective: sol.objective, usage }
+}

@@ -1,0 +1,376 @@
+//! Abstract syntax of the P4All dialect.
+//!
+//! The dialect implements every elastic construct of the paper —
+//! `symbolic int`, `assume`, `optimize`, symbolic arrays of registers and
+//! metadata, iteration-indexed actions, and `for (i < sym)` loops — on top
+//! of a compact P4-16-like core (headers, metadata struct, registers,
+//! actions, exact-match tables, controls). A program with no symbolic
+//! construct is plain P4 in this dialect (backward compatibility).
+
+use crate::span::Span;
+
+/// A whole P4All translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub symbolics: Vec<SymbolicDecl>,
+    pub assumes: Vec<Assume>,
+    pub optimize: Option<Expr>,
+    pub headers: Vec<HeaderDecl>,
+    pub metadata: Vec<MetaField>,
+    pub registers: Vec<RegisterDecl>,
+    pub actions: Vec<ActionDecl>,
+    pub tables: Vec<TableDecl>,
+    pub controls: Vec<ControlDecl>,
+}
+
+impl Program {
+    /// Find an action by name.
+    pub fn action(&self, name: &str) -> Option<&ActionDecl> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// Find a control by name.
+    pub fn control(&self, name: &str) -> Option<&ControlDecl> {
+        self.controls.iter().find(|c| c.name == name)
+    }
+
+    /// Find a register by name.
+    pub fn register(&self, name: &str) -> Option<&RegisterDecl> {
+        self.registers.iter().find(|r| r.name == name)
+    }
+
+    /// Find a metadata field by name.
+    pub fn meta_field(&self, name: &str) -> Option<&MetaField> {
+        self.metadata.iter().find(|m| m.name == name)
+    }
+
+    /// Find a table by name.
+    pub fn table(&self, name: &str) -> Option<&TableDecl> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Find a symbolic value by name.
+    pub fn symbolic(&self, name: &str) -> Option<&SymbolicDecl> {
+        self.symbolics.iter().find(|s| s.name == name)
+    }
+
+    /// True if the program uses no elastic construct at all.
+    pub fn is_plain_p4(&self) -> bool {
+        self.symbolics.is_empty()
+    }
+
+    /// The entry control: the last declared control (P4All programs list
+    /// leaf controls first, then the composition, mirroring the paper's
+    /// NetCache example).
+    pub fn entry_control(&self) -> Option<&ControlDecl> {
+        self.controls.last()
+    }
+}
+
+/// `symbolic int NAME;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicDecl {
+    pub name: String,
+    pub span: Span,
+}
+
+/// `assume EXPR;` — a compile-time constraint on symbolic values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assume {
+    pub expr: Expr,
+    pub span: Span,
+}
+
+/// An array extent: compile-time constant or symbolic value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Size {
+    Const(u64),
+    Symbolic(String),
+}
+
+impl Size {
+    /// The symbolic name, if elastic.
+    pub fn symbolic_name(&self) -> Option<&str> {
+        match self {
+            Size::Symbolic(s) => Some(s),
+            Size::Const(_) => None,
+        }
+    }
+}
+
+/// `header NAME { bit<N> field; ... }` — all header fields share one flat
+/// `hdr.field` namespace (duplicate field names across headers are an
+/// elaboration error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderDecl {
+    pub name: String,
+    pub fields: Vec<(String, u32)>,
+    pub span: Span,
+}
+
+/// One field of `struct metadata { ... }`. `count` is `Some` for elastic
+/// metadata arrays (`bit<32>[rows] index;`), `None` for scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaField {
+    pub name: String,
+    pub bits: u32,
+    pub count: Option<Size>,
+    pub span: Span,
+}
+
+/// `register<bit<B>>[cells][instances] NAME;`
+///
+/// `instances` is `None` for a single register array, `Some` for a symbolic
+/// array of register arrays (the CMS matrix of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterDecl {
+    pub name: String,
+    pub elem_bits: u32,
+    pub cells: Size,
+    pub instances: Option<Size>,
+    pub span: Span,
+}
+
+impl RegisterDecl {
+    /// True if any extent is symbolic.
+    pub fn is_elastic(&self) -> bool {
+        self.cells.symbolic_name().is_some()
+            || self.instances.as_ref().and_then(|s| s.symbolic_name()).is_some()
+    }
+}
+
+/// `action NAME()[int i] { ... }` — `indexed` actions take the enclosing
+/// loop iteration as a parameter; plain actions are inelastic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionDecl {
+    pub name: String,
+    pub indexed: bool,
+    pub index_param: Option<String>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// An exact-match table with constant size (table placement is outside the
+/// ILP, per §4.4 of the paper; tables are inelastic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDecl {
+    pub name: String,
+    pub keys: Vec<Expr>,
+    pub actions: Vec<String>,
+    pub size: u64,
+    pub default_action: Option<String>,
+    pub span: Span,
+}
+
+/// `control NAME() { apply { ... } }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlDecl {
+    pub name: String,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lhs = expr;` — covers metadata writes, header writes, register
+    /// writes, and read-modify-writes (register on both sides).
+    Assign { lhs: LValue, rhs: Expr, span: Span },
+    /// `lhs = hash(input, ..., range);` — the last argument is the hash
+    /// range (a symbolic or constant size).
+    HashAssign { lhs: LValue, inputs: Vec<Expr>, range: Size, span: Span },
+    /// `if (cond) { ... } else { ... }`
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, span: Span },
+    /// `for (i < bound) { ... }` — the elastic loop.
+    For { var: String, bound: Size, body: Vec<Stmt>, span: Span },
+    /// `act()[i];` or `act();`
+    CallAction { name: String, index: Option<Expr>, span: Span },
+    /// `tbl.apply();`
+    ApplyTable { name: String, span: Span },
+    /// `ctl.apply();`
+    ApplyControl { name: String, span: Span },
+}
+
+impl Stmt {
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::HashAssign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::CallAction { span, .. }
+            | Stmt::ApplyTable { span, .. }
+            | Stmt::ApplyControl { span, .. } => *span,
+        }
+    }
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// `meta.field` or `meta.field[i]`
+    Meta { field: String, index: Option<Expr> },
+    /// `hdr.field`
+    Header { field: String },
+    /// `reg[cell]` or `reg[i][cell]` — `instance` indexes an array of
+    /// register arrays.
+    Register { reg: String, instance: Option<Expr>, cell: Box<Expr> },
+}
+
+/// Expressions. Identifier references are resolved during parsing:
+/// enclosing loop/action index variables become [`Expr::IndexVar`],
+/// declared symbolic values become [`Expr::Symbolic`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(u64),
+    /// Float literals only appear in `optimize` expressions (weights).
+    Float(f64),
+    Symbolic(String),
+    IndexVar(String),
+    Meta { field: String, index: Option<Box<Expr>> },
+    Header { field: String },
+    RegisterRead { reg: String, instance: Option<Box<Expr>>, cell: Box<Expr> },
+    Unary { op: UnOp, operand: Box<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+}
+
+impl Expr {
+    /// Collect every symbolic value name referenced by this expression.
+    pub fn symbolics(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Symbolic(s) => {
+                if !out.contains(s) {
+                    out.push(s.clone());
+                }
+            }
+            Expr::Meta { index: Some(i), .. } => i.symbolics(out),
+            Expr::RegisterRead { instance, cell, .. } => {
+                if let Some(i) = instance {
+                    i.symbolics(out);
+                }
+                cell.symbolics(out);
+            }
+            Expr::Unary { operand, .. } => operand.symbolics(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.symbolics(out);
+                rhs.symbolics(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// True if the expression reads any register.
+    pub fn reads_register(&self) -> bool {
+        match self {
+            Expr::RegisterRead { .. } => true,
+            Expr::Unary { operand, .. } => operand.reads_register(),
+            Expr::Binary { lhs, rhs, .. } => lhs.reads_register() || rhs.reads_register(),
+            Expr::Meta { index: Some(i), .. } => i.reads_register(),
+            _ => false,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison/boolean operators.
+    pub fn is_boolean(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And
+                | BinOp::Or
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(name: &str) -> Expr {
+        Expr::Symbolic(name.into())
+    }
+
+    #[test]
+    fn expr_symbolics_collects_unique_names() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(sym("rows")),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(sym("cols")),
+                rhs: Box::new(sym("rows")),
+            }),
+        };
+        let mut out = Vec::new();
+        e.symbolics(&mut out);
+        assert_eq!(out, vec!["rows".to_string(), "cols".to_string()]);
+    }
+
+    #[test]
+    fn reads_register_traverses_nesting() {
+        let read = Expr::RegisterRead {
+            reg: "cms".into(),
+            instance: Some(Box::new(Expr::IndexVar("i".into()))),
+            cell: Box::new(Expr::Meta { field: "index".into(), index: None }),
+        };
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Int(1)),
+            rhs: Box::new(read),
+        };
+        assert!(e.reads_register());
+        assert!(!Expr::Int(3).reads_register());
+    }
+
+    #[test]
+    fn register_elasticity() {
+        let r = RegisterDecl {
+            name: "cms".into(),
+            elem_bits: 32,
+            cells: Size::Symbolic("cols".into()),
+            instances: Some(Size::Symbolic("rows".into())),
+            span: Span::default(),
+        };
+        assert!(r.is_elastic());
+        let fixed = RegisterDecl {
+            name: "fwd".into(),
+            elem_bits: 8,
+            cells: Size::Const(256),
+            instances: None,
+            span: Span::default(),
+        };
+        assert!(!fixed.is_elastic());
+    }
+
+    #[test]
+    fn entry_control_is_last() {
+        let mut p = Program::default();
+        p.controls.push(ControlDecl { name: "leaf".into(), body: vec![], span: Span::default() });
+        p.controls.push(ControlDecl { name: "main".into(), body: vec![], span: Span::default() });
+        assert_eq!(p.entry_control().unwrap().name, "main");
+    }
+}

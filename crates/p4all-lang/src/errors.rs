@@ -1,0 +1,63 @@
+//! Diagnostics with source locations.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexing, parsing, or elaboration error anchored to a source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl LangError {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        LangError { message: message.into(), span }
+    }
+
+    /// Render the error with the offending source line underlined, in the
+    /// style of rustc's single-span diagnostics.
+    pub fn render(&self, src: &str) -> String {
+        let line_idx = self.span.line.saturating_sub(1) as usize;
+        let line = src.lines().nth(line_idx).unwrap_or("");
+        let col = self.span.col.saturating_sub(1) as usize;
+        let width = (self.span.end.saturating_sub(self.span.start)).max(1).min(
+            line.len().saturating_sub(col).max(1),
+        );
+        let mut out = String::new();
+        out.push_str(&format!("error: {} at {}\n", self.message, self.span));
+        out.push_str(&format!("  | {line}\n"));
+        out.push_str(&format!("  | {}{}\n", " ".repeat(col), "^".repeat(width)));
+        out
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_underlines_offending_text() {
+        let src = "symbolic int rows;\nassume rows <> 4;\n";
+        let err = LangError::new("unexpected token", Span::new(31, 33, 2, 13));
+        let rendered = err.render(src);
+        assert!(rendered.contains("assume rows <> 4;"));
+        assert!(rendered.contains("^^"));
+        assert!(rendered.contains("2:13"));
+    }
+
+    #[test]
+    fn display_contains_location() {
+        let err = LangError::new("boom", Span::new(0, 1, 4, 2));
+        assert_eq!(format!("{err}"), "boom at 4:2");
+    }
+}

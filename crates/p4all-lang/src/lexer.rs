@@ -1,0 +1,334 @@
+//! Hand-written lexer for the P4All dialect.
+//!
+//! Supports `//` line comments and `/* ... */` block comments, decimal and
+//! hexadecimal integers, simple float literals (used in utility-function
+//! weights), identifiers, keywords, and the operator set of the dialect.
+
+use crate::errors::LangError;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `src` into a vector ending with an `Eof` token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(msg, Span::new(self.pos, self.pos + 1, self.line, self.col))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start, line, col),
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b';' => self.single(TokenKind::Semi),
+                b',' => self.single(TokenKind::Comma),
+                b'.' => self.single(TokenKind::Dot),
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'=' => self.one_or_two(b'=', TokenKind::Assign, TokenKind::EqEq),
+                b'<' => self.one_or_two(b'=', TokenKind::Lt, TokenKind::Le),
+                b'>' => self.one_or_two(b'=', TokenKind::Gt, TokenKind::Ge),
+                b'!' => self.one_or_two(b'=', TokenKind::Not, TokenKind::Ne),
+                b'&' => {
+                    if self.peek2() == Some(b'&') {
+                        self.bump();
+                        self.bump();
+                        TokenKind::AndAnd
+                    } else {
+                        return Err(self.error("expected `&&`"));
+                    }
+                }
+                b'|' => {
+                    if self.peek2() == Some(b'|') {
+                        self.bump();
+                        self.bump();
+                        TokenKind::OrOr
+                    } else {
+                        return Err(self.error("expected `||`"));
+                    }
+                }
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                other => {
+                    return Err(self.error(format!(
+                        "unexpected character `{}`",
+                        char::from(other)
+                    )))
+                }
+            };
+            out.push(Token { kind, span: Span::new(start, self.pos, line, col) });
+        }
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn one_or_two(&mut self, second: u8, one: TokenKind, two: TokenKind) -> TokenKind {
+        self.bump();
+        if self.peek() == Some(second) {
+            self.bump();
+            two
+        } else {
+            one
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.error("unterminated block comment");
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(open),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, LangError> {
+        let start = self.pos;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x' | b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')) {
+                self.bump();
+            }
+            if self.pos == hex_start {
+                return Err(self.error("empty hexadecimal literal"));
+            }
+            let text = &self.src[hex_start..self.pos];
+            let v = u64::from_str_radix(text, 16)
+                .map_err(|_| self.error("hexadecimal literal out of range"))?;
+            return Ok(TokenKind::Int(v));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        // Float: digits '.' digits — but don't eat `1..` style (not in grammar).
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+            let text = &self.src[start..self.pos];
+            let v: f64 =
+                text.parse().map_err(|_| self.error("malformed float literal"))?;
+            return Ok(TokenKind::Float(v));
+        }
+        let text = &self.src[start..self.pos];
+        let v: u64 = text.parse().map_err(|_| self.error("integer literal out of range"))?;
+        Ok(TokenKind::Int(v))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_symbolic_declaration() {
+        assert_eq!(
+            kinds("symbolic int rows;"),
+            vec![
+                TokenKind::Symbolic,
+                TokenKind::KwInt,
+                TokenKind::Ident("rows".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || < > = ! + - * /"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Assign,
+                TokenKind::Not,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("42 0x1F 0.4 2048"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(31),
+                TokenKind::Float(0.4),
+                TokenKind::Int(2048),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        let src = "a // line comment\n/* block\ncomment */ b";
+        assert_eq!(
+            kinds(src),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_register_decl() {
+        assert_eq!(
+            kinds("register<bit<32>>[cols][rows] cms;"),
+            vec![
+                TokenKind::Register,
+                TokenKind::Lt,
+                TokenKind::Bit,
+                TokenKind::Lt,
+                TokenKind::Int(32),
+                TokenKind::Gt,
+                TokenKind::Gt,
+                TokenKind::LBracket,
+                TokenKind::Ident("cols".into()),
+                TokenKind::RBracket,
+                TokenKind::LBracket,
+                TokenKind::Ident("rows".into()),
+                TokenKind::RBracket,
+                TokenKind::Ident("cms".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(kinds("forx")[0], TokenKind::Ident("forx".into()));
+        assert_eq!(kinds("for")[0], TokenKind::For);
+        assert_eq!(kinds("meta")[0], TokenKind::Meta);
+        assert_eq!(kinds("hdr")[0], TokenKind::Hdr);
+    }
+}

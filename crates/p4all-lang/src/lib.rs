@@ -1,0 +1,43 @@
+//! # p4all-lang — frontend for the P4All elastic dialect of P4
+//!
+//! Implements the language of *Elastic Switch Programming with P4All*
+//! (HotNets 2020): P4-16-style headers, metadata, registers, actions,
+//! exact-match tables and controls, extended with the paper's four elastic
+//! constructs —
+//!
+//! 1. **symbolic values** — `symbolic int rows;`
+//! 2. **symbolic arrays** — `register<bit<32>>[cols][rows] cms;` and
+//!    `bit<32>[rows] index;`
+//! 3. **bounded loops** — `for (i < rows) { incr()[i]; }`
+//! 4. **utility functions** — `optimize 0.4 * (rows * cols) + 0.6 * kv;`
+//!
+//! plus `assume` constraints. The crate provides the lexer, parser, AST and
+//! a pretty-printer; compilation lives in `p4all-core`.
+//!
+//! ```
+//! let src = r#"
+//!     symbolic int rows;
+//!     assume rows >= 1 && rows <= 4;
+//!     optimize rows;
+//!     struct metadata { bit<32>[rows] count; }
+//! "#;
+//! let program = p4all_lang::parse(src).unwrap();
+//! assert_eq!(program.symbolics[0].name, "rows");
+//! ```
+
+pub mod ast;
+pub mod errors;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    ActionDecl, Assume, BinOp, ControlDecl, Expr, HeaderDecl, LValue, MetaField, Program,
+    RegisterDecl, Size, Stmt, SymbolicDecl, TableDecl, UnOp,
+};
+pub use errors::LangError;
+pub use parser::parse;
+pub use printer::{print_expr, print_program};
+pub use span::Span;

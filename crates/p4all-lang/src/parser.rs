@@ -1,0 +1,1090 @@
+//! Recursive-descent parser for the P4All dialect.
+//!
+//! Declarations must precede use (like C): symbolic values before the
+//! expressions that mention them, registers before the actions that access
+//! them, actions/tables/controls before the controls that invoke them. The
+//! parser resolves bare identifiers during parsing using that rule —
+//! loop/action index variables shadow symbolic values.
+
+use crate::ast::*;
+use crate::errors::LangError;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse a P4All source text into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    program: Program,
+    /// Stack of in-scope index variables (for-loop vars, action index params).
+    index_scope: Vec<String>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, program: Program::default(), index_scope: Vec::new() }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        let i = (self.pos + off).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(msg, self.span())
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, LangError> {
+        if *self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok((s, span))
+            }
+            // `key`, `actions`, `size`, `default_action` are contextual
+            // keywords (table bodies only); elsewhere they are ordinary
+            // identifiers, so e.g. `bit<32> key;` parses.
+            TokenKind::Key => {
+                self.bump();
+                Ok(("key".into(), span))
+            }
+            TokenKind::Actions => {
+                self.bump();
+                Ok(("actions".into(), span))
+            }
+            TokenKind::Size => {
+                self.bump();
+                Ok(("size".into(), span))
+            }
+            TokenKind::DefaultAction => {
+                self.bump();
+                Ok(("default_action".into(), span))
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, LangError> {
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.error(format!("expected integer, found {other}"))),
+        }
+    }
+
+    // ---------------------------------------------------------------- tops
+
+    fn program(mut self) -> Result<Program, LangError> {
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Symbolic => self.symbolic_decl()?,
+                TokenKind::Assume => self.assume()?,
+                TokenKind::Optimize => self.optimize()?,
+                TokenKind::Header => self.header_decl()?,
+                TokenKind::Struct => self.metadata_struct()?,
+                TokenKind::Register => self.register_decl()?,
+                TokenKind::Action => self.action_decl()?,
+                TokenKind::Table => self.table_decl()?,
+                TokenKind::Control => self.control_decl()?,
+                other => {
+                    return Err(self.error(format!(
+                        "expected a top-level declaration, found {other}"
+                    )))
+                }
+            }
+        }
+        Ok(self.program)
+    }
+
+    fn symbolic_decl(&mut self) -> Result<(), LangError> {
+        self.expect(TokenKind::Symbolic)?;
+        self.expect(TokenKind::KwInt)?;
+        let (name, span) = self.expect_ident()?;
+        if self.program.symbolic(&name).is_some() {
+            return Err(LangError::new(format!("symbolic value `{name}` redeclared"), span));
+        }
+        self.expect(TokenKind::Semi)?;
+        self.program.symbolics.push(SymbolicDecl { name, span });
+        Ok(())
+    }
+
+    fn assume(&mut self) -> Result<(), LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Assume)?;
+        let expr = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        self.program.assumes.push(Assume { expr, span: span.to(self.prev_span()) });
+        Ok(())
+    }
+
+    fn optimize(&mut self) -> Result<(), LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Optimize)?;
+        if self.program.optimize.is_some() {
+            return Err(LangError::new("duplicate `optimize` declaration", span));
+        }
+        let expr = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        self.program.optimize = Some(expr);
+        Ok(())
+    }
+
+    fn bit_type(&mut self) -> Result<u32, LangError> {
+        self.expect(TokenKind::Bit)?;
+        self.expect(TokenKind::Lt)?;
+        let bits = self.expect_int()?;
+        if bits == 0 || bits > 128 {
+            return Err(self.error(format!("bit width {bits} out of range 1..=128")));
+        }
+        self.expect(TokenKind::Gt)?;
+        Ok(bits as u32)
+    }
+
+    fn header_decl(&mut self) -> Result<(), LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Header)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            let bits = self.bit_type()?;
+            let (fname, fspan) = self.expect_ident()?;
+            if self.header_field_bits(&fname).is_some()
+                || fields.iter().any(|(n, _)| *n == fname)
+            {
+                return Err(LangError::new(
+                    format!("header field `{fname}` redeclared (fields share one namespace)"),
+                    fspan,
+                ));
+            }
+            self.expect(TokenKind::Semi)?;
+            fields.push((fname, bits));
+        }
+        self.expect(TokenKind::RBrace)?;
+        self.program.headers.push(HeaderDecl { name, fields, span: span.to(self.prev_span()) });
+        Ok(())
+    }
+
+    fn header_field_bits(&self, field: &str) -> Option<u32> {
+        self.program
+            .headers
+            .iter()
+            .flat_map(|h| h.fields.iter())
+            .find(|(n, _)| n == field)
+            .map(|&(_, b)| b)
+    }
+
+    fn size(&mut self) -> Result<Size, LangError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Size::Const(v))
+            }
+            TokenKind::Ident(s) => {
+                if self.program.symbolic(&s).is_none() {
+                    return Err(self.error(format!(
+                        "`{s}` is not a declared symbolic value (array extents must be \
+                         constants or symbolic values)"
+                    )));
+                }
+                self.bump();
+                Ok(Size::Symbolic(s))
+            }
+            other => Err(self.error(format!("expected a size, found {other}"))),
+        }
+    }
+
+    fn metadata_struct(&mut self) -> Result<(), LangError> {
+        self.expect(TokenKind::Struct)?;
+        self.expect(TokenKind::Metadata)?;
+        self.expect(TokenKind::LBrace)?;
+        while *self.peek() != TokenKind::RBrace {
+            let span = self.span();
+            let bits = self.bit_type()?;
+            let count = if *self.peek() == TokenKind::LBracket {
+                self.bump();
+                let s = self.size()?;
+                self.expect(TokenKind::RBracket)?;
+                Some(s)
+            } else {
+                None
+            };
+            let (name, nspan) = self.expect_ident()?;
+            if self.program.meta_field(&name).is_some() {
+                return Err(LangError::new(format!("metadata field `{name}` redeclared"), nspan));
+            }
+            self.expect(TokenKind::Semi)?;
+            self.program.metadata.push(MetaField {
+                name,
+                bits,
+                count,
+                span: span.to(self.prev_span()),
+            });
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(())
+    }
+
+    fn register_decl(&mut self) -> Result<(), LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Register)?;
+        self.expect(TokenKind::Lt)?;
+        let elem_bits = self.bit_type()?;
+        self.expect(TokenKind::Gt)?;
+        self.expect(TokenKind::LBracket)?;
+        let cells = self.size()?;
+        self.expect(TokenKind::RBracket)?;
+        let instances = if *self.peek() == TokenKind::LBracket {
+            self.bump();
+            let s = self.size()?;
+            self.expect(TokenKind::RBracket)?;
+            Some(s)
+        } else {
+            None
+        };
+        let (name, nspan) = self.expect_ident()?;
+        if self.program.register(&name).is_some() {
+            return Err(LangError::new(format!("register `{name}` redeclared"), nspan));
+        }
+        self.expect(TokenKind::Semi)?;
+        self.program.registers.push(RegisterDecl {
+            name,
+            elem_bits,
+            cells,
+            instances,
+            span: span.to(self.prev_span()),
+        });
+        Ok(())
+    }
+
+    fn action_decl(&mut self) -> Result<(), LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Action)?;
+        let (name, nspan) = self.expect_ident()?;
+        if self.program.action(&name).is_some() {
+            return Err(LangError::new(format!("action `{name}` redeclared"), nspan));
+        }
+        self.expect(TokenKind::LParen)?;
+        self.expect(TokenKind::RParen)?;
+        let (indexed, index_param) = if *self.peek() == TokenKind::LBracket {
+            self.bump();
+            self.expect(TokenKind::KwInt)?;
+            let (p, _) = self.expect_ident()?;
+            self.expect(TokenKind::RBracket)?;
+            (true, Some(p))
+        } else {
+            (false, None)
+        };
+        if let Some(p) = &index_param {
+            self.index_scope.push(p.clone());
+        }
+        let body = self.block()?;
+        if index_param.is_some() {
+            self.index_scope.pop();
+        }
+        self.program.actions.push(ActionDecl {
+            name,
+            indexed,
+            index_param,
+            body,
+            span: span.to(self.prev_span()),
+        });
+        Ok(())
+    }
+
+    fn table_decl(&mut self) -> Result<(), LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Table)?;
+        let (name, nspan) = self.expect_ident()?;
+        if self.program.table(&name).is_some() {
+            return Err(LangError::new(format!("table `{name}` redeclared"), nspan));
+        }
+        self.expect(TokenKind::LBrace)?;
+        let mut keys = Vec::new();
+        let mut actions = Vec::new();
+        let mut size = 1024u64;
+        let mut default_action = None;
+        while *self.peek() != TokenKind::RBrace {
+            match self.peek().clone() {
+                TokenKind::Key => {
+                    self.bump();
+                    self.expect(TokenKind::Assign)?;
+                    self.expect(TokenKind::LBrace)?;
+                    while *self.peek() != TokenKind::RBrace {
+                        keys.push(self.expr()?);
+                        self.expect(TokenKind::Semi)?;
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                }
+                TokenKind::Actions => {
+                    self.bump();
+                    self.expect(TokenKind::Assign)?;
+                    self.expect(TokenKind::LBrace)?;
+                    while *self.peek() != TokenKind::RBrace {
+                        let (a, aspan) = self.expect_ident()?;
+                        if self.program.action(&a).is_none() {
+                            return Err(LangError::new(
+                                format!("table `{name}` references undeclared action `{a}`"),
+                                aspan,
+                            ));
+                        }
+                        actions.push(a);
+                        self.expect(TokenKind::Semi)?;
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                }
+                TokenKind::Size => {
+                    self.bump();
+                    self.expect(TokenKind::Assign)?;
+                    size = self.expect_int()?;
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::DefaultAction => {
+                    self.bump();
+                    self.expect(TokenKind::Assign)?;
+                    let (a, aspan) = self.expect_ident()?;
+                    if self.program.action(&a).is_none() {
+                        return Err(LangError::new(
+                            format!("table `{name}` default references undeclared action `{a}`"),
+                            aspan,
+                        ));
+                    }
+                    default_action = Some(a);
+                    self.expect(TokenKind::Semi)?;
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected `key`, `actions`, `size`, or `default_action`, found {other}"
+                    )))
+                }
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+        self.program.tables.push(TableDecl {
+            name,
+            keys,
+            actions,
+            size,
+            default_action,
+            span: span.to(self.prev_span()),
+        });
+        Ok(())
+    }
+
+    fn control_decl(&mut self) -> Result<(), LangError> {
+        let span = self.span();
+        self.expect(TokenKind::Control)?;
+        let (name, nspan) = self.expect_ident()?;
+        if self.program.control(&name).is_some() {
+            return Err(LangError::new(format!("control `{name}` redeclared"), nspan));
+        }
+        self.expect(TokenKind::LParen)?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::LBrace)?;
+        self.expect(TokenKind::Apply)?;
+        let body = self.block()?;
+        self.expect(TokenKind::RBrace)?;
+        self.program.controls.push(ControlDecl { name, body, span: span.to(self.prev_span()) });
+        Ok(())
+    }
+
+    // --------------------------------------------------------- statements
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut out = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            out.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek().clone() {
+            TokenKind::For => self.for_stmt(),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::Meta | TokenKind::Hdr => self.assign_stmt(),
+            TokenKind::Ident(name) => {
+                // Disambiguate: `x.apply();`, `x()[i];`, `x();`, or an
+                // assignment to a register lvalue `x[...] = ...`.
+                match self.peek_at(1) {
+                    TokenKind::Dot => self.apply_stmt(name),
+                    TokenKind::LParen => self.call_stmt(name),
+                    TokenKind::LBracket => self.assign_stmt(),
+                    other => Err(self.error(format!(
+                        "expected `.apply()`, a call, or an assignment after `{name}`, \
+                         found {other}"
+                    ))),
+                }
+            }
+            other => Err(self.error(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        self.expect(TokenKind::For)?;
+        self.expect(TokenKind::LParen)?;
+        let (var, _) = self.expect_ident()?;
+        self.expect(TokenKind::Lt)?;
+        let bound = self.size()?;
+        self.expect(TokenKind::RParen)?;
+        self.index_scope.push(var.clone());
+        let body = self.block()?;
+        self.index_scope.pop();
+        Ok(Stmt::For { var, bound, body, span: span.to(self.prev_span()) })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if *self.peek() == TokenKind::Else {
+            self.bump();
+            if *self.peek() == TokenKind::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_body, else_body, span: span.to(self.prev_span()) })
+    }
+
+    fn apply_stmt(&mut self, name: String) -> Result<Stmt, LangError> {
+        let span = self.span();
+        self.bump(); // name
+        self.expect(TokenKind::Dot)?;
+        self.expect(TokenKind::Apply)?;
+        self.expect(TokenKind::LParen)?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        let full = span.to(self.prev_span());
+        if self.program.table(&name).is_some() {
+            Ok(Stmt::ApplyTable { name, span: full })
+        } else if self.program.control(&name).is_some() {
+            Ok(Stmt::ApplyControl { name, span: full })
+        } else {
+            Err(LangError::new(
+                format!("`{name}` is neither a declared table nor a declared control"),
+                span,
+            ))
+        }
+    }
+
+    fn call_stmt(&mut self, name: String) -> Result<Stmt, LangError> {
+        let span = self.span();
+        if self.program.action(&name).is_none() {
+            return Err(self.error(format!("call of undeclared action `{name}`")));
+        }
+        self.bump(); // name
+        self.expect(TokenKind::LParen)?;
+        self.expect(TokenKind::RParen)?;
+        let index = if *self.peek() == TokenKind::LBracket {
+            self.bump();
+            let e = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            Some(e)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::CallAction { name, index, span: span.to(self.prev_span()) })
+    }
+
+    fn assign_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        let lhs = self.lvalue()?;
+        self.expect(TokenKind::Assign)?;
+        if *self.peek() == TokenKind::Hash {
+            self.bump();
+            self.expect(TokenKind::LParen)?;
+            let mut args = vec![self.expr()?];
+            while *self.peek() == TokenKind::Comma {
+                self.bump();
+                args.push(self.expr()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Semi)?;
+            if args.len() < 2 {
+                return Err(LangError::new(
+                    "hash(...) needs at least one input and a trailing range argument",
+                    span,
+                ));
+            }
+            let range = match args.pop().unwrap() {
+                Expr::Int(v) => Size::Const(v),
+                Expr::Symbolic(s) => Size::Symbolic(s),
+                _ => {
+                    return Err(LangError::new(
+                        "the last hash(...) argument must be a constant or symbolic range",
+                        span,
+                    ))
+                }
+            };
+            return Ok(Stmt::HashAssign {
+                lhs,
+                inputs: args,
+                range,
+                span: span.to(self.prev_span()),
+            });
+        }
+        let rhs = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::Assign { lhs, rhs, span: span.to(self.prev_span()) })
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, LangError> {
+        match self.peek().clone() {
+            TokenKind::Meta => {
+                self.bump();
+                self.expect(TokenKind::Dot)?;
+                let (field, fspan) = self.expect_ident()?;
+                if self.program.meta_field(&field).is_none() {
+                    return Err(LangError::new(
+                        format!("assignment to undeclared metadata field `{field}`"),
+                        fspan,
+                    ));
+                }
+                let index = if *self.peek() == TokenKind::LBracket {
+                    self.bump();
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Some(e)
+                } else {
+                    None
+                };
+                Ok(LValue::Meta { field, index })
+            }
+            TokenKind::Hdr => {
+                self.bump();
+                self.expect(TokenKind::Dot)?;
+                let (field, fspan) = self.expect_ident()?;
+                if self.header_field_bits(&field).is_none() {
+                    return Err(LangError::new(
+                        format!("assignment to undeclared header field `{field}`"),
+                        fspan,
+                    ));
+                }
+                Ok(LValue::Header { field })
+            }
+            TokenKind::Ident(name) => {
+                let nspan = self.span();
+                let Some(reg) = self.program.register(&name).cloned() else {
+                    return Err(LangError::new(
+                        format!("`{name}` is not a declared register"),
+                        nspan,
+                    ));
+                };
+                self.bump();
+                self.expect(TokenKind::LBracket)?;
+                let first = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                if reg.instances.is_some() {
+                    self.expect(TokenKind::LBracket)?;
+                    let cell = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Ok(LValue::Register {
+                        reg: name,
+                        instance: Some(first),
+                        cell: Box::new(cell),
+                    })
+                } else {
+                    Ok(LValue::Register { reg: name, instance: None, cell: Box::new(first) })
+                }
+            }
+            other => Err(self.error(format!("expected an assignable place, found {other}"))),
+        }
+    }
+
+    // -------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == TokenKind::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == TokenKind::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(e) })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(e) })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Meta => {
+                self.bump();
+                self.expect(TokenKind::Dot)?;
+                let (field, fspan) = self.expect_ident()?;
+                if self.program.meta_field(&field).is_none() {
+                    return Err(LangError::new(
+                        format!("read of undeclared metadata field `{field}`"),
+                        fspan,
+                    ));
+                }
+                let index = if *self.peek() == TokenKind::LBracket {
+                    self.bump();
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Some(Box::new(e))
+                } else {
+                    None
+                };
+                Ok(Expr::Meta { field, index })
+            }
+            TokenKind::Hdr => {
+                self.bump();
+                self.expect(TokenKind::Dot)?;
+                let (field, fspan) = self.expect_ident()?;
+                if self.header_field_bits(&field).is_none() {
+                    return Err(LangError::new(
+                        format!("read of undeclared header field `{field}`"),
+                        fspan,
+                    ));
+                }
+                Ok(Expr::Header { field })
+            }
+            TokenKind::Ident(name) => {
+                let nspan = self.span();
+                // Resolution order: index variable > symbolic > register read.
+                if self.index_scope.iter().any(|v| *v == name) {
+                    self.bump();
+                    return Ok(Expr::IndexVar(name));
+                }
+                if self.program.symbolic(&name).is_some() {
+                    self.bump();
+                    return Ok(Expr::Symbolic(name));
+                }
+                if let Some(reg) = self.program.register(&name).cloned() {
+                    self.bump();
+                    self.expect(TokenKind::LBracket)?;
+                    let first = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    if reg.instances.is_some() {
+                        self.expect(TokenKind::LBracket)?;
+                        let cell = self.expr()?;
+                        self.expect(TokenKind::RBracket)?;
+                        return Ok(Expr::RegisterRead {
+                            reg: name,
+                            instance: Some(Box::new(first)),
+                            cell: Box::new(cell),
+                        });
+                    }
+                    return Ok(Expr::RegisterRead {
+                        reg: name,
+                        instance: None,
+                        cell: Box::new(first),
+                    });
+                }
+                Err(LangError::new(
+                    format!(
+                        "`{name}` is not an index variable, symbolic value, or register \
+                         (declare before use)"
+                    ),
+                    nspan,
+                ))
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Figure 6), in this dialect.
+    pub const CMS_SOURCE: &str = r#"
+        symbolic int rows;
+        symbolic int cols;
+        assume rows >= 1 && rows <= 4;
+        assume cols >= 16;
+        optimize rows * cols;
+
+        header ipv4 { bit<32> key; }
+
+        struct metadata {
+            bit<32>[rows] index;
+            bit<32>[rows] count;
+            bit<32> min;
+        }
+
+        register<bit<32>>[cols][rows] cms;
+
+        action incr()[int i] {
+            meta.index[i] = hash(hdr.key, cols);
+            cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+            meta.count[i] = cms[i][meta.index[i]];
+        }
+
+        action set_min()[int i] {
+            meta.min = meta.count[i];
+        }
+
+        control hash_inc() {
+            apply {
+                for (i < rows) { incr()[i]; }
+            }
+        }
+
+        control find_min() {
+            apply {
+                for (i < rows) {
+                    if (meta.count[i] < meta.min) { set_min()[i]; }
+                }
+            }
+        }
+
+        control Main() {
+            apply {
+                hash_inc.apply();
+                find_min.apply();
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_paper_cms_example() {
+        let p = parse(CMS_SOURCE).unwrap();
+        assert_eq!(p.symbolics.len(), 2);
+        assert_eq!(p.assumes.len(), 2);
+        assert!(p.optimize.is_some());
+        assert_eq!(p.metadata.len(), 3);
+        assert_eq!(p.registers.len(), 1);
+        assert_eq!(p.actions.len(), 2);
+        assert_eq!(p.controls.len(), 3);
+        assert_eq!(p.entry_control().unwrap().name, "Main");
+
+        let cms = p.register("cms").unwrap();
+        assert_eq!(cms.elem_bits, 32);
+        assert_eq!(cms.cells, Size::Symbolic("cols".into()));
+        assert_eq!(cms.instances, Some(Size::Symbolic("rows".into())));
+
+        let incr = p.action("incr").unwrap();
+        assert!(incr.indexed);
+        assert_eq!(incr.body.len(), 3);
+        assert!(matches!(incr.body[0], Stmt::HashAssign { .. }));
+    }
+
+    #[test]
+    fn register_rmw_is_plain_assignment_in_ast() {
+        let p = parse(CMS_SOURCE).unwrap();
+        let incr = p.action("incr").unwrap();
+        match &incr.body[1] {
+            Stmt::Assign { lhs: LValue::Register { reg, .. }, rhs, .. } => {
+                assert_eq!(reg, "cms");
+                assert!(rhs.reads_register());
+            }
+            other => panic!("expected register assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_symbolic_in_size_rejected() {
+        let e = parse("register<bit<32>>[nope] r;").unwrap_err();
+        assert!(e.message.contains("not a declared symbolic"), "{e}");
+    }
+
+    #[test]
+    fn undeclared_action_call_rejected() {
+        let src = "control c() { apply { foo(); } }";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("undeclared action"), "{e}");
+    }
+
+    #[test]
+    fn apply_of_unknown_name_rejected() {
+        let src = "control c() { apply { mystery.apply(); } }";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("neither a declared table nor a declared control"), "{e}");
+    }
+
+    #[test]
+    fn loop_variable_scoping() {
+        // `i` must not be visible outside its loop.
+        let src = r#"
+            symbolic int n;
+            struct metadata { bit<32> x; }
+            action a() { meta.x = i; }
+        "#;
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("`i` is not"), "{e}");
+    }
+
+    #[test]
+    fn index_param_shadows_symbolic() {
+        let src = r#"
+            symbolic int i;
+            struct metadata { bit<32>[i] arr; bit<32> x; }
+            action a()[int i] { meta.x = meta.arr[i]; }
+        "#;
+        let p = parse(src).unwrap();
+        let a = p.action("a").unwrap();
+        match &a.body[0] {
+            Stmt::Assign { rhs: Expr::Meta { index: Some(ix), .. }, .. } => {
+                assert_eq!(**ix, Expr::IndexVar("i".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_parsing() {
+        let src = r#"
+            header h { bit<32> key; }
+            struct metadata { bit<8> hit; }
+            action on_hit() { meta.hit = 1; }
+            action on_miss() { meta.hit = 0; }
+            table cache {
+                key = { hdr.key; }
+                actions = { on_hit; on_miss; }
+                size = 4096;
+                default_action = on_miss;
+            }
+            control Main() { apply { cache.apply(); } }
+        "#;
+        let p = parse(src).unwrap();
+        let t = p.table("cache").unwrap();
+        assert_eq!(t.size, 4096);
+        assert_eq!(t.actions, vec!["on_hit".to_string(), "on_miss".to_string()]);
+        assert_eq!(t.default_action.as_deref(), Some("on_miss"));
+        assert!(matches!(p.control("Main").unwrap().body[0], Stmt::ApplyTable { .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = r#"
+            symbolic int a;
+            symbolic int b;
+            optimize 1 + a * b;
+        "#;
+        let p = parse(src).unwrap();
+        match p.optimize.unwrap() {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let src = r#"
+            symbolic int a;
+            assume a >= 1 || a >= 2 && a >= 3;
+        "#;
+        let p = parse(src).unwrap();
+        match &p.assumes[0].expr {
+            Expr::Binary { op: BinOp::Or, rhs, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+            struct metadata { bit<32> a; bit<32> b; }
+            action noop() { meta.b = 0; }
+            control c() {
+                apply {
+                    if (meta.a < 1) { noop(); }
+                    else if (meta.a < 2) { noop(); }
+                    else { noop(); }
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        match &p.control("c").unwrap().body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_p4_program_accepted() {
+        let src = r#"
+            header h { bit<32> dst; }
+            struct metadata { bit<8> port; }
+            register<bit<32>>[256] counters;
+            action count() {
+                counters[meta.port] = counters[meta.port] + 1;
+            }
+            control Main() { apply { count(); } }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(p.is_plain_p4());
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(parse("symbolic int x; symbolic int x;").unwrap_err().message.contains("redeclared"));
+        assert!(parse("struct metadata { bit<1> a; bit<2> a; }")
+            .unwrap_err()
+            .message
+            .contains("redeclared"));
+        assert!(parse("register<bit<8>>[4] r; register<bit<8>>[4] r;")
+            .unwrap_err()
+            .message
+            .contains("redeclared"));
+    }
+
+    #[test]
+    fn duplicate_optimize_rejected() {
+        let src = "symbolic int a; optimize a; optimize a;";
+        assert!(parse(src).unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn hash_requires_range_argument() {
+        let src = r#"
+            header h { bit<32> key; }
+            struct metadata { bit<32> idx; }
+            action a() { meta.idx = hash(hdr.key); }
+        "#;
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("range"), "{e}");
+    }
+
+    #[test]
+    fn error_spans_point_at_offender() {
+        let src = "symbolic int rows;\nassume rows >= nope;";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.span.line, 2);
+        let rendered = e.render(src);
+        assert!(rendered.contains("assume rows >= nope;"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Source positions for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source, with the line/column of its
+/// start (1-based) for human-readable messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// Span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_spans() {
+        let a = Span::new(5, 10, 2, 3);
+        let b = Span::new(12, 20, 2, 10);
+        let m = a.to(b);
+        assert_eq!((m.start, m.end), (5, 20));
+        assert_eq!((m.line, m.col), (2, 3));
+    }
+
+    #[test]
+    fn display_line_col() {
+        assert_eq!(format!("{}", Span::new(0, 1, 3, 7)), "3:7");
+    }
+}

@@ -1,0 +1,162 @@
+//! Token kinds produced by the lexer.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// All token kinds of the P4All dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // literals and names
+    Ident(String),
+    Int(u64),
+    Float(f64),
+
+    // keywords
+    Symbolic,
+    KwInt,
+    Assume,
+    Optimize,
+    Register,
+    Bit,
+    Struct,
+    Metadata,
+    Header,
+    Action,
+    Table,
+    Control,
+    Apply,
+    For,
+    If,
+    Else,
+    Key,
+    Actions,
+    Size,
+    DefaultAction,
+    Hash,
+    Meta,
+    Hdr,
+
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Assign,   // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Not,
+
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "symbolic" => TokenKind::Symbolic,
+            "int" => TokenKind::KwInt,
+            "assume" => TokenKind::Assume,
+            "optimize" => TokenKind::Optimize,
+            "register" => TokenKind::Register,
+            "bit" => TokenKind::Bit,
+            "struct" => TokenKind::Struct,
+            "metadata" => TokenKind::Metadata,
+            "header" => TokenKind::Header,
+            "action" => TokenKind::Action,
+            "table" => TokenKind::Table,
+            "control" => TokenKind::Control,
+            "apply" => TokenKind::Apply,
+            "for" => TokenKind::For,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "key" => TokenKind::Key,
+            "actions" => TokenKind::Actions,
+            "size" => TokenKind::Size,
+            "default_action" => TokenKind::DefaultAction,
+            "hash" => TokenKind::Hash,
+            "meta" => TokenKind::Meta,
+            "hdr" => TokenKind::Hdr,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Symbolic => write!(f, "`symbolic`"),
+            TokenKind::KwInt => write!(f, "`int`"),
+            TokenKind::Assume => write!(f, "`assume`"),
+            TokenKind::Optimize => write!(f, "`optimize`"),
+            TokenKind::Register => write!(f, "`register`"),
+            TokenKind::Bit => write!(f, "`bit`"),
+            TokenKind::Struct => write!(f, "`struct`"),
+            TokenKind::Metadata => write!(f, "`metadata`"),
+            TokenKind::Header => write!(f, "`header`"),
+            TokenKind::Action => write!(f, "`action`"),
+            TokenKind::Table => write!(f, "`table`"),
+            TokenKind::Control => write!(f, "`control`"),
+            TokenKind::Apply => write!(f, "`apply`"),
+            TokenKind::For => write!(f, "`for`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::Key => write!(f, "`key`"),
+            TokenKind::Actions => write!(f, "`actions`"),
+            TokenKind::Size => write!(f, "`size`"),
+            TokenKind::DefaultAction => write!(f, "`default_action`"),
+            TokenKind::Hash => write!(f, "`hash`"),
+            TokenKind::Meta => write!(f, "`meta`"),
+            TokenKind::Hdr => write!(f, "`hdr`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::EqEq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Not => write!(f, "`!`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

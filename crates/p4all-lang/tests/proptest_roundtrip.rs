@@ -1,0 +1,246 @@
+//! Property tests: printing then re-parsing is the identity (modulo
+//! spans), over randomly generated expressions and programs.
+
+use proptest::prelude::*;
+
+use p4all_lang::ast::*;
+use p4all_lang::printer::{print_expr, print_program};
+use p4all_lang::{parse, Span};
+
+// ----------------------------------------------------------- expressions
+
+/// Random arithmetic/boolean expressions over a fixed vocabulary: two
+/// symbolics (`alpha`, `beta`), one loop variable (`i`), one scalar meta
+/// field (`acc`), one meta array (`slot`), one header field (`key`), and
+/// one register (`reg`, array-of-arrays).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u64..1000).prop_map(Expr::Int),
+        Just(Expr::Symbolic("alpha".into())),
+        Just(Expr::Symbolic("beta".into())),
+        Just(Expr::IndexVar("i".into())),
+        Just(Expr::Meta { field: "acc".into(), index: None }),
+        Just(Expr::Header { field: "key".into() }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), bin_op()).prop_map(|(a, b, op)| Expr::Binary {
+                op,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(e)
+            }),
+            inner.clone().prop_map(|e| Expr::Meta {
+                field: "slot".into(),
+                index: Some(Box::new(e)),
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::RegisterRead {
+                reg: "reg".into(),
+                instance: Some(Box::new(a)),
+                cell: Box::new(b),
+            }),
+        ]
+    })
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+/// Wrap an expression into a program that gives every vocabulary item a
+/// declaration, with the expression under test as an action guard.
+fn harness_program(e: &Expr) -> String {
+    format!(
+        r#"
+symbolic int alpha;
+symbolic int beta;
+header pkt {{ bit<32> key; }}
+struct metadata {{
+    bit<32> acc;
+    bit<32>[alpha] slot;
+    bit<32> out;
+}}
+register<bit<32>>[beta][alpha] reg;
+action probe()[int i] {{
+    if ({guard}) {{
+        meta.out = 1;
+    }}
+}}
+control Main() {{ apply {{ for (i < alpha) {{ probe()[i]; }} }} }}
+"#,
+        guard = print_expr(e)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print(parse(print(e))) == print(e) for arbitrary expressions.
+    #[test]
+    fn expr_roundtrip(e in expr_strategy()) {
+        let src = harness_program(&e);
+        let program = parse(&src)
+            .unwrap_or_else(|err| panic!("{}\nsource:\n{src}", err.render(&src)));
+        let action = program.action("probe").unwrap();
+        let reparsed = match &action.body[0] {
+            Stmt::If { cond, .. } => cond.clone(),
+            other => panic!("unexpected body {other:?}"),
+        };
+        prop_assert_eq!(print_expr(&reparsed), print_expr(&e));
+    }
+}
+
+// -------------------------------------------------------------- programs
+
+/// A constrained random program: up to three symbolics, metadata fields,
+/// registers, and indexed actions used in loops.
+#[derive(Debug, Clone)]
+struct RawProgram {
+    n_syms: usize,
+    meta_bits: Vec<u32>,
+    reg_bits: Vec<u32>,
+    hash_in_action: Vec<bool>,
+}
+
+fn raw_program() -> impl Strategy<Value = RawProgram> {
+    (
+        1usize..=3,
+        proptest::collection::vec(prop_oneof![Just(8u32), Just(16), Just(32), Just(64)], 1..=4),
+        proptest::collection::vec(prop_oneof![Just(8u32), Just(32)], 1..=3),
+        proptest::collection::vec(any::<bool>(), 1..=3),
+    )
+        .prop_map(|(n_syms, meta_bits, reg_bits, hash_in_action)| RawProgram {
+            n_syms,
+            meta_bits,
+            reg_bits,
+            hash_in_action,
+        })
+}
+
+fn build_program(raw: &RawProgram) -> Program {
+    let sp = Span::default();
+    let mut p = Program::default();
+    for s in 0..raw.n_syms {
+        p.symbolics.push(SymbolicDecl { name: format!("s{s}"), span: sp });
+        p.assumes.push(Assume {
+            expr: Expr::Binary {
+                op: BinOp::Le,
+                lhs: Box::new(Expr::Symbolic(format!("s{s}"))),
+                rhs: Box::new(Expr::Int(4)),
+            },
+            span: sp,
+        });
+    }
+    p.optimize = Some(Expr::Symbolic("s0".into()));
+    p.headers.push(HeaderDecl { name: "pkt".into(), fields: vec![("key".into(), 32)], span: sp });
+    for (i, &bits) in raw.meta_bits.iter().enumerate() {
+        p.metadata.push(MetaField {
+            name: format!("m{i}"),
+            bits,
+            count: if i % 2 == 0 { Some(Size::Symbolic("s0".into())) } else { None },
+            span: sp,
+        });
+    }
+    for (i, &bits) in raw.reg_bits.iter().enumerate() {
+        p.registers.push(RegisterDecl {
+            name: format!("r{i}"),
+            elem_bits: bits,
+            cells: Size::Const(64),
+            instances: Some(Size::Symbolic("s0".into())),
+            span: sp,
+        });
+    }
+    for (i, &with_hash) in raw.hash_in_action.iter().enumerate() {
+        let reg = format!("r{}", i % raw.reg_bits.len());
+        let mut body = Vec::new();
+        if with_hash && raw.meta_bits.len() > 0 {
+            body.push(Stmt::HashAssign {
+                lhs: LValue::Meta {
+                    field: "m0".into(),
+                    index: Some(Expr::IndexVar("i".into())),
+                },
+                inputs: vec![Expr::Header { field: "key".into() }],
+                range: Size::Const(64),
+                span: sp,
+            });
+        }
+        body.push(Stmt::Assign {
+            lhs: LValue::Register {
+                reg: reg.clone(),
+                instance: Some(Expr::IndexVar("i".into())),
+                cell: Box::new(Expr::Int(0)),
+            },
+            rhs: Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::RegisterRead {
+                    reg,
+                    instance: Some(Box::new(Expr::IndexVar("i".into()))),
+                    cell: Box::new(Expr::Int(0)),
+                }),
+                rhs: Box::new(Expr::Int(1)),
+            },
+            span: sp,
+        });
+        p.actions.push(ActionDecl {
+            name: format!("a{i}"),
+            indexed: true,
+            index_param: Some("i".into()),
+            body,
+            span: sp,
+        });
+    }
+    let mut main_body = Vec::new();
+    for i in 0..raw.hash_in_action.len() {
+        main_body.push(Stmt::For {
+            var: "i".into(),
+            bound: Size::Symbolic("s0".into()),
+            body: vec![Stmt::CallAction {
+                name: format!("a{i}"),
+                index: Some(Expr::IndexVar("i".into())),
+                span: sp,
+            }],
+            span: sp,
+        });
+    }
+    p.controls.push(ControlDecl { name: "Main".into(), body: main_body, span: sp });
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Printing a generated program yields parseable source whose re-print
+    /// is a fixpoint.
+    #[test]
+    fn program_roundtrip(raw in raw_program()) {
+        let p1 = build_program(&raw);
+        let text1 = print_program(&p1);
+        let p2 = parse(&text1)
+            .unwrap_or_else(|e| panic!("{}\nsource:\n{text1}", e.render(&text1)));
+        let text2 = print_program(&p2);
+        prop_assert_eq!(&text1, &text2, "printer must be a re-parse fixpoint");
+        prop_assert_eq!(p1.symbolics.len(), p2.symbolics.len());
+        prop_assert_eq!(p1.actions.len(), p2.actions.len());
+        prop_assert_eq!(p1.registers.len(), p2.registers.len());
+    }
+}

@@ -1,0 +1,209 @@
+//! Control-plane API: table entry management and register access.
+//!
+//! Mirrors what a switch OS agent (or P4Runtime) exposes: install/remove
+//! exact-match entries with action data, and read/write/clear register
+//! state. Application runtimes (e.g. [`crate::netcache_rt`]) are built on
+//! these calls.
+
+use crate::interp::{SimError, Switch};
+
+impl Switch {
+    /// Install an exact-match entry: `key` (one value per key field) →
+    /// `action`, with `data` assignments applied to metadata on match
+    /// (modelling P4 action parameters).
+    pub fn install_entry(
+        &mut self,
+        table: &str,
+        key: Vec<u64>,
+        action: &str,
+        data: &[(&str, u64)],
+    ) -> Result<(), SimError> {
+        let entry = self.make_entry(table, action, data)?;
+        let t = self
+            .tables_mut()
+            .get_mut(table)
+            .ok_or_else(|| SimError::UnknownTable(table.to_string()))?;
+        if !t.entries.contains_key(&key) && t.is_full() {
+            return Err(SimError::TableFull(table.to_string()));
+        }
+        t.entries.insert(key, entry);
+        Ok(())
+    }
+
+    /// Remove one entry; returns whether it existed.
+    pub fn remove_entry(&mut self, table: &str, key: &[u64]) -> Result<bool, SimError> {
+        let t = self
+            .tables_mut()
+            .get_mut(table)
+            .ok_or_else(|| SimError::UnknownTable(table.to_string()))?;
+        Ok(t.entries.remove(key).is_some())
+    }
+
+    /// Drop every entry of a table.
+    pub fn clear_table(&mut self, table: &str) -> Result<(), SimError> {
+        let t = self
+            .tables_mut()
+            .get_mut(table)
+            .ok_or_else(|| SimError::UnknownTable(table.to_string()))?;
+        t.entries.clear();
+        Ok(())
+    }
+
+    /// Current entry count of a table.
+    pub fn table_len(&self, table: &str) -> Result<usize, SimError> {
+        self.tables()
+            .get(table)
+            .map(|t| t.entries.len())
+            .ok_or_else(|| SimError::UnknownTable(table.to_string()))
+    }
+
+    /// Read one register cell.
+    pub fn read_register(&self, reg: &str, instance: usize, cell: usize) -> Result<u64, SimError> {
+        let idx = self.reg_idx(reg, instance)?;
+        let r = &self.registers()[idx];
+        r.cells.get(cell).copied().ok_or(SimError::IndexOutOfBounds {
+            what: format!("{reg}[{instance}]"),
+            index: cell as u64,
+            len: r.cells.len(),
+        })
+    }
+
+    /// Write one register cell.
+    pub fn write_register(
+        &mut self,
+        reg: &str,
+        instance: usize,
+        cell: usize,
+        value: u64,
+    ) -> Result<(), SimError> {
+        let idx = self.reg_idx(reg, instance)?;
+        let r = &mut self.registers_mut()[idx];
+        let len = r.cells.len();
+        let slot = r.cells.get_mut(cell).ok_or(SimError::IndexOutOfBounds {
+            what: format!("{reg}[{instance}]"),
+            index: cell as u64,
+            len,
+        })?;
+        *slot = value & r.elem_mask;
+        Ok(())
+    }
+
+    /// Zero every cell of every instance of `reg` (epoch reset).
+    pub fn clear_register(&mut self, reg: &str) {
+        for r in self.registers_mut() {
+            if r.reg == reg {
+                r.clear();
+            }
+        }
+    }
+
+    /// Cell count of a register instance.
+    pub fn register_cells(&self, reg: &str, instance: usize) -> Result<usize, SimError> {
+        let idx = self.reg_idx(reg, instance)?;
+        Ok(self.registers()[idx].cells.len())
+    }
+
+    /// Number of placed instances of `reg`.
+    pub fn register_instances(&self, reg: &str) -> usize {
+        self.registers().iter().filter(|r| r.reg == reg).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::interp::{SimError, Switch};
+    use p4all_core::Compiler;
+    use p4all_pisa::presets;
+
+    const TBL: &str = r#"
+        header h { bit<32> key; }
+        struct metadata { bit<8> hit; bit<32> slot; bit<32> val; }
+        register<bit<32>>[16] values;
+        action on_hit() { meta.hit = 1; }
+        action on_miss() { meta.hit = 0; }
+        table cache {
+            key = { hdr.key; }
+            actions = { on_hit; on_miss; }
+            size = 2;
+            default_action = on_miss;
+        }
+        action fetch() {
+            meta.val = values[meta.slot];
+        }
+        control Main() {
+            apply {
+                cache.apply();
+                if (meta.hit == 1) { fetch(); }
+            }
+        }
+    "#;
+
+    fn build() -> Switch {
+        let c = Compiler::new(presets::paper_eval(1 << 14)).compile(TBL).unwrap();
+        let program = p4all_lang::parse(TBL).unwrap();
+        Switch::build(&c.concrete, &program).unwrap()
+    }
+
+    #[test]
+    fn entry_hit_runs_action_with_data() {
+        let mut sw = build();
+        sw.write_register("values", 0, 5, 777).unwrap();
+        sw.install_entry("cache", vec![42], "on_hit", &[("slot", 5)]).unwrap();
+        // Hit.
+        sw.begin_packet();
+        sw.set_header("key", 42).unwrap();
+        sw.run_packet().unwrap();
+        assert_eq!(sw.meta("hit").unwrap(), 1);
+        assert_eq!(sw.meta("val").unwrap(), 777);
+        // Miss.
+        sw.begin_packet();
+        sw.set_header("key", 43).unwrap();
+        sw.run_packet().unwrap();
+        assert_eq!(sw.meta("hit").unwrap(), 0);
+        assert_eq!(sw.meta("val").unwrap(), 0);
+    }
+
+    #[test]
+    fn table_capacity_enforced() {
+        let mut sw = build();
+        sw.install_entry("cache", vec![1], "on_hit", &[]).unwrap();
+        sw.install_entry("cache", vec![2], "on_hit", &[]).unwrap();
+        let e = sw.install_entry("cache", vec![3], "on_hit", &[]).unwrap_err();
+        assert!(matches!(e, SimError::TableFull(_)));
+        // Replacing an existing key is fine even when full.
+        sw.install_entry("cache", vec![2], "on_hit", &[("slot", 1)]).unwrap();
+        assert_eq!(sw.table_len("cache").unwrap(), 2);
+        // Remove frees space.
+        assert!(sw.remove_entry("cache", &[1]).unwrap());
+        sw.install_entry("cache", vec![3], "on_hit", &[]).unwrap();
+    }
+
+    #[test]
+    fn invalid_installs_rejected() {
+        let mut sw = build();
+        assert!(matches!(
+            sw.install_entry("nope", vec![1], "on_hit", &[]),
+            Err(SimError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            sw.install_entry("cache", vec![1], "fetch", &[]),
+            Err(SimError::UnknownAction(_)) // fetch is not a cache action
+        ));
+        assert!(matches!(
+            sw.install_entry("cache", vec![1], "on_hit", &[("ghost", 0)]),
+            Err(SimError::UnknownField(_))
+        ));
+    }
+
+    #[test]
+    fn register_read_write_clear() {
+        let mut sw = build();
+        sw.write_register("values", 0, 3, 9).unwrap();
+        assert_eq!(sw.read_register("values", 0, 3).unwrap(), 9);
+        sw.clear_register("values");
+        assert_eq!(sw.read_register("values", 0, 3).unwrap(), 0);
+        assert_eq!(sw.register_cells("values", 0).unwrap(), 16);
+        assert_eq!(sw.register_instances("values"), 1);
+        assert!(sw.read_register("values", 0, 99).is_err());
+    }
+}

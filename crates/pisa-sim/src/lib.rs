@@ -1,0 +1,22 @@
+//! # p4all-sim — behavioral PISA pipeline simulator
+//!
+//! Executes the concrete, loop-free programs produced by the P4All
+//! compiler (`p4all-core`) with PISA semantics: stage-by-stage processing,
+//! stage-input snapshot reads, persistent per-stage register state, exact-
+//! match tables with control-plane-installed entries, and deterministic
+//! per-destination hash functions.
+//!
+//! The paper evaluated on a Barefoot Tofino switch; this simulator is the
+//! substitute substrate (see DESIGN.md) that lets every end-to-end
+//! experiment — most importantly the NetCache cache-hit-rate quality
+//! surface of Figure 4 — run as real packet processing over the compiled
+//! artifact rather than as an analytic model.
+
+pub mod control_plane;
+pub mod interp;
+pub mod netcache_rt;
+pub mod state;
+
+pub use interp::{SimError, Switch};
+pub use netcache_rt::{NetCacheConfig, NetCacheRuntime, NetCacheStats};
+pub use state::{Phv, RegState, TableEntry, TableState};

@@ -1,0 +1,19 @@
+//! # p4all-pisa — PISA target model
+//!
+//! A declarative model of a Protocol Independent Switch Architecture
+//! pipeline, following Figure 3 of *Elastic Switch Programming with P4All*
+//! (HotNets 2020): stage count `S`, per-stage register memory `M`, stateful
+//! and stateless ALU counts `F`/`L`, PHV size `P`, and the target's ALU
+//! cost functions `H_f`/`H_l`.
+//!
+//! The crate also provides per-stage resource accounting and an independent
+//! layout validator used by the compiler's integration tests, plus preset
+//! specifications (the paper's worked example, the §6 evaluation target,
+//! and a Tofino-like production profile).
+
+pub mod presets;
+pub mod resources;
+pub mod target;
+
+pub use resources::{validate, PipelineUsage, ResourceViolation, StageUsage};
+pub use target::{AluCostModel, PrimitiveOp, TargetSpec};

@@ -1,0 +1,104 @@
+//! Built-in target specifications.
+//!
+//! The paper evaluates against the Barefoot Tofino; since that design is
+//! proprietary, its target specification (like the paper's own, §5) is an
+//! approximation built from public product documentation plus the concrete
+//! parameter values the paper states for each experiment.
+
+use crate::target::{AluCostModel, TargetSpec};
+
+/// The worked example of §4: `S = 3`, `M = 2048` bits per stage,
+/// `F = L = 2`, `P = 4096` bits. Used by the compiler's unit tests to
+/// mirror Figure 9's unrolling walkthrough.
+pub fn paper_example() -> TargetSpec {
+    TargetSpec {
+        name: "paper-example".into(),
+        stages: 3,
+        memory_bits: 2048,
+        stateful_alus: 2,
+        stateless_alus: 2,
+        phv_bits: 4096,
+        phv_fixed_bits: 0,
+        alu_costs: AluCostModel::tofino_like(),
+    }
+}
+
+/// The evaluation target of §6.2 (Figure 12): ten stages, four stateful
+/// ALUs, 100 stateless ALUs, 4096-bit PHV, with per-stage memory `M`
+/// supplied by the caller (the Figure 12 sweep varies it).
+pub fn paper_eval(memory_bits: u64) -> TargetSpec {
+    TargetSpec {
+        name: format!("paper-eval-{memory_bits}b"),
+        stages: 10,
+        memory_bits,
+        stateful_alus: 4,
+        stateless_alus: 100,
+        phv_bits: 4096,
+        phv_fixed_bits: 512,
+        alu_costs: AluCostModel::tofino_like(),
+    }
+}
+
+/// Figure 13's fixed operating point: 1.75 Mb of register memory per stage.
+pub fn paper_eval_fig13() -> TargetSpec {
+    paper_eval(1_750_000)
+}
+
+/// A Tofino-like production target: 12 stages, 1.3 MB of SRAM per stage
+/// usable as register memory, 4 stateful ALUs, generous stateless budget,
+/// 4 Kb PHV.
+pub fn tofino_like() -> TargetSpec {
+    TargetSpec {
+        name: "tofino-like".into(),
+        stages: 12,
+        memory_bits: 10_400_000, // 1.3 MB
+        stateful_alus: 4,
+        stateless_alus: 128,
+        phv_bits: 4096,
+        phv_fixed_bits: 768,
+        alu_costs: AluCostModel::tofino_like(),
+    }
+}
+
+/// A deliberately small "edge" target for portability experiments: few
+/// stages, little memory. Elastic programs should still compile here, just
+/// with smaller structures.
+pub fn small_switch() -> TargetSpec {
+    TargetSpec {
+        name: "small-switch".into(),
+        stages: 6,
+        memory_bits: 262_144, // 32 KB
+        stateful_alus: 2,
+        stateless_alus: 16,
+        phv_bits: 2048,
+        phv_fixed_bits: 256,
+        alu_costs: AluCostModel::tofino_like(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for t in [paper_example(), paper_eval(1 << 20), paper_eval_fig13(), tofino_like(), small_switch()] {
+            t.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn eval_preset_matches_paper_parameters() {
+        let t = paper_eval(1_000_000);
+        assert_eq!(t.stages, 10);
+        assert_eq!(t.stateful_alus, 4);
+        assert_eq!(t.stateless_alus, 100);
+        assert_eq!(t.phv_bits, 4096);
+        assert_eq!(t.memory_bits, 1_000_000);
+    }
+
+    #[test]
+    fn fig13_memory_is_1_75_mb() {
+        assert_eq!(paper_eval_fig13().memory_bits, 1_750_000);
+    }
+}

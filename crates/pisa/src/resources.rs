@@ -1,0 +1,213 @@
+//! Per-stage resource accounting and layout validation.
+//!
+//! The compiler's ILP encodes the resource constraints of Figure 10; this
+//! module provides an *independent* accounting of a finished layout so that
+//! integration tests can re-check every compiled program against the target
+//! without trusting the ILP encoding.
+
+use std::fmt;
+
+use crate::target::TargetSpec;
+
+/// Resources consumed inside one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageUsage {
+    pub memory_bits: u64,
+    pub stateful_alus: u32,
+    pub stateless_alus: u32,
+}
+
+impl StageUsage {
+    /// Accumulate another usage record into this one.
+    pub fn absorb(&mut self, other: StageUsage) {
+        self.memory_bits += other.memory_bits;
+        self.stateful_alus += other.stateful_alus;
+        self.stateless_alus += other.stateless_alus;
+    }
+
+    /// True if nothing is used.
+    pub fn is_empty(&self) -> bool {
+        *self == StageUsage::default()
+    }
+}
+
+/// Resources consumed by a whole pipeline layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineUsage {
+    pub stages: Vec<StageUsage>,
+    /// PHV bits used by elastic metadata (compared against `P - P_fixed`).
+    pub phv_elastic_bits: u64,
+}
+
+impl PipelineUsage {
+    /// Empty usage for an `n`-stage pipeline.
+    pub fn new(n: usize) -> Self {
+        PipelineUsage { stages: vec![StageUsage::default(); n], phv_elastic_bits: 0 }
+    }
+
+    /// Total register memory across stages.
+    pub fn total_memory_bits(&self) -> u64 {
+        self.stages.iter().map(|s| s.memory_bits).sum()
+    }
+
+    /// Index of the last non-empty stage, if any.
+    pub fn last_used_stage(&self) -> Option<usize> {
+        self.stages.iter().rposition(|s| !s.is_empty())
+    }
+}
+
+/// One way a layout oversteps the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceViolation {
+    TooManyStages { used: usize, available: usize },
+    MemoryOverflow { stage: usize, used: u64, available: u64 },
+    StatefulAluOverflow { stage: usize, used: u32, available: u32 },
+    StatelessAluOverflow { stage: usize, used: u32, available: u32 },
+    PhvOverflow { used: u64, available: u64 },
+}
+
+impl fmt::Display for ResourceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceViolation::TooManyStages { used, available } => {
+                write!(f, "layout uses {used} stages but target has {available}")
+            }
+            ResourceViolation::MemoryOverflow { stage, used, available } => {
+                write!(f, "stage {stage}: {used} bits of register memory > {available}")
+            }
+            ResourceViolation::StatefulAluOverflow { stage, used, available } => {
+                write!(f, "stage {stage}: {used} stateful ALUs > {available}")
+            }
+            ResourceViolation::StatelessAluOverflow { stage, used, available } => {
+                write!(f, "stage {stage}: {used} stateless ALUs > {available}")
+            }
+            ResourceViolation::PhvOverflow { used, available } => {
+                write!(f, "PHV: {used} elastic bits > {available} available")
+            }
+        }
+    }
+}
+
+/// Check a pipeline usage record against a target. Returns every violation
+/// (not just the first) so error reports are actionable.
+pub fn validate(usage: &PipelineUsage, spec: &TargetSpec) -> Result<(), Vec<ResourceViolation>> {
+    let mut violations = Vec::new();
+    if usage.stages.len() > spec.stages {
+        // Only a violation if an overflowing stage is actually used.
+        if usage.last_used_stage().map_or(false, |last| last >= spec.stages) {
+            violations.push(ResourceViolation::TooManyStages {
+                used: usage.last_used_stage().unwrap() + 1,
+                available: spec.stages,
+            });
+        }
+    }
+    for (i, s) in usage.stages.iter().enumerate() {
+        if s.memory_bits > spec.memory_bits {
+            violations.push(ResourceViolation::MemoryOverflow {
+                stage: i,
+                used: s.memory_bits,
+                available: spec.memory_bits,
+            });
+        }
+        if s.stateful_alus > spec.stateful_alus {
+            violations.push(ResourceViolation::StatefulAluOverflow {
+                stage: i,
+                used: s.stateful_alus,
+                available: spec.stateful_alus,
+            });
+        }
+        if s.stateless_alus > spec.stateless_alus {
+            violations.push(ResourceViolation::StatelessAluOverflow {
+                stage: i,
+                used: s.stateless_alus,
+                available: spec.stateless_alus,
+            });
+        }
+    }
+    if usage.phv_elastic_bits > spec.phv_elastic_bits() {
+        violations.push(ResourceViolation::PhvOverflow {
+            used: usage.phv_elastic_bits,
+            available: spec.phv_elastic_bits(),
+        });
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::paper_example;
+
+    #[test]
+    fn empty_usage_always_fits() {
+        let spec = paper_example();
+        let usage = PipelineUsage::new(spec.stages);
+        assert!(validate(&usage, &spec).is_ok());
+    }
+
+    #[test]
+    fn memory_overflow_reported_per_stage() {
+        let spec = paper_example(); // M = 2048
+        let mut usage = PipelineUsage::new(3);
+        usage.stages[1].memory_bits = 4096;
+        let errs = validate(&usage, &spec).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], ResourceViolation::MemoryOverflow { stage: 1, .. }));
+    }
+
+    #[test]
+    fn alu_overflows_reported() {
+        let spec = paper_example(); // F = L = 2
+        let mut usage = PipelineUsage::new(3);
+        usage.stages[0].stateful_alus = 3;
+        usage.stages[2].stateless_alus = 5;
+        let errs = validate(&usage, &spec).unwrap_err();
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn phv_overflow_uses_elastic_budget() {
+        let mut spec = paper_example();
+        spec.phv_fixed_bits = 4000; // leaves 96 elastic bits
+        let mut usage = PipelineUsage::new(3);
+        usage.phv_elastic_bits = 100;
+        let errs = validate(&usage, &spec).unwrap_err();
+        assert!(matches!(errs[0], ResourceViolation::PhvOverflow { available: 96, .. }));
+    }
+
+    #[test]
+    fn extra_empty_stages_are_tolerated() {
+        let spec = paper_example(); // 3 stages
+        let mut usage = PipelineUsage::new(5);
+        usage.stages[2].memory_bits = 1; // last used stage is within budget
+        assert!(validate(&usage, &spec).is_ok());
+    }
+
+    #[test]
+    fn used_stage_beyond_target_rejected() {
+        let spec = paper_example();
+        let mut usage = PipelineUsage::new(5);
+        usage.stages[4].stateful_alus = 1;
+        let errs = validate(&usage, &spec).unwrap_err();
+        assert!(matches!(errs[0], ResourceViolation::TooManyStages { used: 5, available: 3 }));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = StageUsage { memory_bits: 10, stateful_alus: 1, stateless_alus: 2 };
+        a.absorb(StageUsage { memory_bits: 5, stateful_alus: 1, stateless_alus: 0 });
+        assert_eq!(a, StageUsage { memory_bits: 15, stateful_alus: 2, stateless_alus: 2 });
+    }
+
+    #[test]
+    fn last_used_stage() {
+        let mut usage = PipelineUsage::new(4);
+        assert_eq!(usage.last_used_stage(), None);
+        usage.stages[2].stateless_alus = 1;
+        assert_eq!(usage.last_used_stage(), Some(2));
+    }
+}

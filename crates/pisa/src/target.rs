@@ -1,0 +1,218 @@
+//! PISA target specification.
+//!
+//! Figure 3 of the paper defines a generic PISA model by five parameters:
+//!
+//! | symbol | meaning                                         |
+//! |--------|-------------------------------------------------|
+//! | `S`    | number of pipeline stages                       |
+//! | `M`    | register memory per stage (bits)                |
+//! | `F`    | stateful ALUs per stage                         |
+//! | `L`    | stateless ALUs per stage                        |
+//! | `P`    | packet header vector size (bits)                |
+//!
+//! plus two functions `H_f(a)` / `H_l(a)` giving the number of stateful and
+//! stateless ALUs an action `a` needs on this target. Actions in the P4All
+//! compiler are sequences of primitive operations, so the cost functions are
+//! expressed per [`PrimitiveOp`] and summed.
+
+use std::fmt;
+
+/// Primitive data-plane operations that actions are composed of. The target
+/// charges each of them a (stateful, stateless) ALU cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimitiveOp {
+    /// Compute a hash of header/metadata fields into a metadata field.
+    Hash,
+    /// Read a register cell into metadata.
+    RegisterRead,
+    /// Write a metadata/constant value into a register cell.
+    RegisterWrite,
+    /// Read-modify-write on a register cell (e.g. increment). PISA stateful
+    /// ALUs perform this in one shot.
+    RegisterRmw,
+    /// Pure metadata/header arithmetic or move.
+    MetaWrite,
+    /// Comparison feeding a branch (gateway) condition.
+    Compare,
+    /// Match-action table lookup dispatch.
+    TableMatch,
+}
+
+impl PrimitiveOp {
+    /// All primitive operations (for exhaustive iteration in tests).
+    pub const ALL: [PrimitiveOp; 7] = [
+        PrimitiveOp::Hash,
+        PrimitiveOp::RegisterRead,
+        PrimitiveOp::RegisterWrite,
+        PrimitiveOp::RegisterRmw,
+        PrimitiveOp::MetaWrite,
+        PrimitiveOp::Compare,
+        PrimitiveOp::TableMatch,
+    ];
+}
+
+/// Target-specific ALU cost model: the `H_f` / `H_l` functions of the paper,
+/// factored over primitive operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AluCostModel {
+    hash: (u32, u32),
+    register_read: (u32, u32),
+    register_write: (u32, u32),
+    register_rmw: (u32, u32),
+    meta_write: (u32, u32),
+    compare: (u32, u32),
+    table_match: (u32, u32),
+}
+
+impl AluCostModel {
+    /// Cost model of a Tofino-like target: register accesses occupy one
+    /// stateful ALU, hashing and header manipulation occupy stateless ALUs.
+    pub fn tofino_like() -> Self {
+        AluCostModel {
+            hash: (0, 1),
+            register_read: (1, 0),
+            register_write: (1, 0),
+            register_rmw: (1, 0),
+            meta_write: (0, 1),
+            compare: (0, 1),
+            table_match: (0, 1),
+        }
+    }
+
+    /// `(H_f, H_l)` of one primitive.
+    pub fn cost(&self, op: PrimitiveOp) -> (u32, u32) {
+        match op {
+            PrimitiveOp::Hash => self.hash,
+            PrimitiveOp::RegisterRead => self.register_read,
+            PrimitiveOp::RegisterWrite => self.register_write,
+            PrimitiveOp::RegisterRmw => self.register_rmw,
+            PrimitiveOp::MetaWrite => self.meta_write,
+            PrimitiveOp::Compare => self.compare,
+            PrimitiveOp::TableMatch => self.table_match,
+        }
+    }
+
+    /// `H_f(a)`: stateful ALUs needed by an action made of `ops`.
+    pub fn stateful_cost<'a, I: IntoIterator<Item = &'a PrimitiveOp>>(&self, ops: I) -> u32 {
+        ops.into_iter().map(|&op| self.cost(op).0).sum()
+    }
+
+    /// `H_l(a)`: stateless ALUs needed by an action made of `ops`.
+    pub fn stateless_cost<'a, I: IntoIterator<Item = &'a PrimitiveOp>>(&self, ops: I) -> u32 {
+        ops.into_iter().map(|&op| self.cost(op).1).sum()
+    }
+}
+
+/// A PISA target: Figure 3 parameters plus the ALU cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetSpec {
+    /// Human-readable target name (appears in diagnostics and reports).
+    pub name: String,
+    /// `S`: number of pipeline stages.
+    pub stages: usize,
+    /// `M`: register memory per stage, in bits.
+    pub memory_bits: u64,
+    /// `F`: stateful ALUs per stage.
+    pub stateful_alus: u32,
+    /// `L`: stateless ALUs per stage.
+    pub stateless_alus: u32,
+    /// `P`: packet header vector size, in bits.
+    pub phv_bits: u64,
+    /// PHV bits consumed by fixed (inelastic) headers/metadata; elastic
+    /// structures may use `phv_bits - phv_fixed_bits` (the paper's
+    /// `P - P_fixed`).
+    pub phv_fixed_bits: u64,
+    /// ALU cost functions `H_f` / `H_l`.
+    pub alu_costs: AluCostModel,
+}
+
+impl TargetSpec {
+    /// Total ALUs on the target: `(F + L) * S` — the budget used by the
+    /// loop-unrolling criterion (2) in §4.2.
+    pub fn total_alus(&self) -> u64 {
+        (self.stateful_alus as u64 + self.stateless_alus as u64) * self.stages as u64
+    }
+
+    /// PHV bits available to elastic structures.
+    pub fn phv_elastic_bits(&self) -> u64 {
+        self.phv_bits.saturating_sub(self.phv_fixed_bits)
+    }
+
+    /// Validate internal consistency of the spec itself.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stages == 0 {
+            return Err(format!("target {}: zero pipeline stages", self.name));
+        }
+        if self.memory_bits == 0 {
+            return Err(format!("target {}: zero register memory", self.name));
+        }
+        if self.stateful_alus == 0 {
+            return Err(format!("target {}: zero stateful ALUs", self.name));
+        }
+        if self.phv_fixed_bits > self.phv_bits {
+            return Err(format!(
+                "target {}: fixed PHV use {} exceeds PHV size {}",
+                self.name, self.phv_fixed_bits, self.phv_bits
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TargetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: S={} M={}b F={} L={} P={}b",
+            self.name, self.stages, self.memory_bits, self.stateful_alus, self.stateless_alus,
+            self.phv_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_sums_over_ops() {
+        let cm = AluCostModel::tofino_like();
+        let ops = [PrimitiveOp::Hash, PrimitiveOp::RegisterRmw, PrimitiveOp::MetaWrite];
+        assert_eq!(cm.stateful_cost(&ops), 1);
+        assert_eq!(cm.stateless_cost(&ops), 2);
+    }
+
+    #[test]
+    fn all_primitives_have_nonzero_total_cost() {
+        let cm = AluCostModel::tofino_like();
+        for op in PrimitiveOp::ALL {
+            let (f, l) = cm.cost(op);
+            assert!(f + l > 0, "{op:?} is free, which would break unroll bounds");
+        }
+    }
+
+    #[test]
+    fn total_alus_formula() {
+        let t = crate::presets::paper_example();
+        // S=3, F=2, L=2 -> 12
+        assert_eq!(t.total_alus(), 12);
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        let mut t = crate::presets::paper_example();
+        t.stages = 0;
+        assert!(t.validate().is_err());
+        let mut t = crate::presets::paper_example();
+        t.phv_fixed_bits = t.phv_bits + 1;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = crate::presets::paper_example();
+        let s = format!("{t}");
+        assert!(s.contains("S=3"));
+        assert!(s.contains("M=2048b"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Heavy-hitter ground truth for monitoring experiments (Precision-style
+//! apps report the top flows; this module computes the exact answer).
+
+use crate::packets::Trace;
+
+/// Exact top-`k` keys by packet count, ties broken by key for determinism.
+pub fn top_k(trace: &Trace, k: usize) -> Vec<(u64, u64)> {
+    let mut counts: Vec<(u64, u64)> = trace.true_counts().into_iter().collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts.truncate(k);
+    counts
+}
+
+/// Keys whose count meets `threshold`.
+pub fn hitters_above(trace: &Trace, threshold: u64) -> Vec<u64> {
+    let mut keys: Vec<u64> = trace
+        .true_counts()
+        .into_iter()
+        .filter(|&(_, c)| c >= threshold)
+        .map(|(k, _)| k)
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Precision/recall of a reported heavy-hitter set against ground truth.
+pub fn precision_recall(reported: &[u64], truth: &[u64]) -> (f64, f64) {
+    if reported.is_empty() {
+        return (if truth.is_empty() { 1.0 } else { 0.0 }, if truth.is_empty() { 1.0 } else { 0.0 });
+    }
+    let truth_set: std::collections::HashSet<u64> = truth.iter().copied().collect();
+    let hits = reported.iter().filter(|k| truth_set.contains(k)).count() as f64;
+    let precision = hits / reported.len() as f64;
+    let recall = if truth.is_empty() { 1.0 } else { hits / truth.len() as f64 };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packets::zipf_trace;
+
+    #[test]
+    fn top_k_orders_by_count() {
+        let t = zipf_trace(100, 1.2, 20_000, 11);
+        let top = top_k(&t, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let counts = t.true_counts();
+        let global_max = counts.values().max().copied().unwrap();
+        assert_eq!(top[0].1, global_max);
+    }
+
+    #[test]
+    fn hitters_above_threshold() {
+        let t = zipf_trace(100, 1.2, 20_000, 11);
+        let hh = hitters_above(&t, 500);
+        let counts = t.true_counts();
+        for k in &hh {
+            assert!(counts[k] >= 500);
+        }
+        for (k, c) in &counts {
+            if *c >= 500 {
+                assert!(hh.contains(k));
+            }
+        }
+    }
+
+    #[test]
+    fn precision_recall_math() {
+        let truth = vec![1, 2, 3, 4];
+        let reported = vec![1, 2, 9];
+        let (p, r) = precision_recall(&reported, &truth);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+        let (p, r) = precision_recall(&[], &truth);
+        assert_eq!((p, r), (0.0, 0.0));
+        let (p, r) = precision_recall(&[], &[]);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+}

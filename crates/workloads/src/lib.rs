@@ -1,0 +1,14 @@
+//! # p4all-workloads — synthetic traffic for evaluating compiled programs
+//!
+//! The paper's NetCache experiments run against skewed key-request
+//! workloads; monitoring apps need flow traces with known heavy hitters.
+//! This crate generates both, deterministically by seed: Zipf and uniform
+//! key traces, exact ground-truth counts, and heavy-hitter scoring.
+
+pub mod heavyhitter;
+pub mod packets;
+pub mod zipf;
+
+pub use heavyhitter::{hitters_above, precision_recall, top_k};
+pub use packets::{uniform_trace, zipf_trace, Packet, Trace};
+pub use zipf::Zipf;

@@ -1,0 +1,115 @@
+//! Trace and packet types plus generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// A keyed packet: the simulator hashes/matches on `key`; `value` carries
+/// payload for key-value workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    pub key: u64,
+    pub value: u64,
+}
+
+/// A packet trace with its key universe size.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub packets: Vec<Packet>,
+    pub num_keys: u64,
+}
+
+impl Trace {
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Exact per-key packet counts (ground truth for sketch accuracy and
+    /// heavy-hitter experiments).
+    pub fn true_counts(&self) -> std::collections::HashMap<u64, u64> {
+        let mut m = std::collections::HashMap::new();
+        for p in &self.packets {
+            *m.entry(p.key).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Zipf-distributed key-request trace (the NetCache workload): `packets`
+/// requests over `num_keys` keys with skew `alpha`. Keys are permuted so
+/// popularity is not correlated with key value.
+pub fn zipf_trace(num_keys: u64, alpha: f64, packets: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z = Zipf::new(num_keys as usize, alpha);
+    // Random rank -> key permutation (Fisher-Yates).
+    let mut perm: Vec<u64> = (0..num_keys).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let packets = (0..packets)
+        .map(|_| {
+            let rank = z.sample(&mut rng);
+            Packet { key: perm[rank], value: perm[rank].wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+        })
+        .collect();
+    Trace { packets, num_keys }
+}
+
+/// Uniform key-request trace (the unskewed control).
+pub fn uniform_trace(num_keys: u64, packets: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let packets = (0..packets)
+        .map(|_| {
+            let key = rng.gen_range(0..num_keys);
+            Packet { key, value: key.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+        })
+        .collect();
+    Trace { packets, num_keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_trace_is_skewed() {
+        let t = zipf_trace(1_000, 1.0, 50_000, 42);
+        assert_eq!(t.len(), 50_000);
+        let counts = t.true_counts();
+        let max = counts.values().max().copied().unwrap();
+        let avg = t.len() as u64 / counts.len() as u64;
+        assert!(max > avg * 5, "hottest key ({max}) should dwarf the average ({avg})");
+    }
+
+    #[test]
+    fn uniform_trace_is_flat() {
+        let t = uniform_trace(100, 100_000, 7);
+        let counts = t.true_counts();
+        let max = *counts.values().max().unwrap() as f64;
+        let min = *counts.values().min().unwrap() as f64;
+        assert!(max / min < 1.6, "uniform trace spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn traces_are_deterministic_by_seed() {
+        let a = zipf_trace(100, 0.9, 1000, 5);
+        let b = zipf_trace(100, 0.9, 1000, 5);
+        assert_eq!(a.packets, b.packets);
+        let c = zipf_trace(100, 0.9, 1000, 6);
+        assert_ne!(a.packets, c.packets);
+    }
+
+    #[test]
+    fn keys_stay_in_universe() {
+        let t = zipf_trace(64, 1.2, 10_000, 3);
+        assert!(t.packets.iter().all(|p| p.key < 64));
+    }
+}

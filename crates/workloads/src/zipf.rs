@@ -1,0 +1,121 @@
+//! Zipf-distributed key sampling.
+//!
+//! NetCache's evaluation (and most key-value cache studies) uses Zipf
+//! workloads with skew `alpha` around 0.9–1.2. This sampler precomputes the
+//! CDF over `n` ranks and draws with a binary search — O(n) setup, O(log n)
+//! per sample, exact distribution.
+
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with skew `alpha` (`alpha = 0` gives the
+/// uniform distribution).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` items with skew `alpha`.
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(alpha.is_finite() && alpha >= 0.0, "bad Zipf alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding: the last entry must be exactly 1.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the sampler has exactly one item.
+    pub fn is_empty(&self) -> bool {
+        false // n > 0 enforced at construction
+    }
+
+    /// Probability mass of `rank` (0-based).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draw a rank (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(1000, 0.99);
+        let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_orders_popularity() {
+        let z = Zipf::new(100, 1.1);
+        for r in 1..100 {
+            assert!(z.pmf(r - 1) >= z.pmf(r), "pmf must be non-increasing in rank");
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf_roughly() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Top rank should be within 5% of its expectation.
+        let expect = z.pmf(0) * n as f64;
+        assert!((counts[0] as f64 - expect).abs() < 0.05 * expect);
+        // And hugely more popular than the tail.
+        assert!(counts[0] > counts[49] * 10);
+    }
+
+    #[test]
+    fn single_item_always_rank_zero() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

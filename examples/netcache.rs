@@ -1,0 +1,79 @@
+//! End-to-end NetCache: compile the elastic program, run it in the
+//! behavioral simulator against skewed and uniform workloads, and report
+//! cache hit rates (the experiment behind Figure 4).
+//!
+//! ```sh
+//! cargo run --example netcache --release
+//! ```
+
+use p4all_core::Compiler;
+use p4all_elastic::apps::netcache::{self, NetCacheOptions};
+use p4all_pisa::presets;
+use p4all_sim::{NetCacheConfig, NetCacheRuntime, Switch};
+use p4all_workloads::{uniform_trace, zipf_trace, Trace};
+
+fn build(opts: &NetCacheOptions) -> (NetCacheRuntime, u64, u64) {
+    let target = presets::paper_eval(1 << 15);
+    let src = netcache::source(opts);
+    let c = Compiler::new(target).compile(&src).expect("NetCache compiles");
+    let program = p4all_lang::parse(&src).expect("source parses");
+    let names = netcache::runtime_config(opts);
+    let switch = Switch::build(&c.concrete, &program).expect("simulator builds");
+    let cfg = NetCacheConfig {
+        cache_table: names.cache_table,
+        hit_action: names.hit_action,
+        hit_flag_meta: names.hit_flag_meta,
+        min_meta: names.min_meta,
+        slice_meta: names.slice_meta,
+        idx_meta: names.idx_meta,
+        value_meta: names.value_meta,
+        kv_register: names.kv_register,
+        cms_register: names.cms_register,
+        key_header: names.key_header,
+        promote_threshold: 4,
+        epoch_packets: 50_000,
+    };
+    let rt = NetCacheRuntime::new(switch, cfg).expect("runtime init");
+    let cms = c.layout.symbol_values["cms_rows"] * c.layout.symbol_values["cms_cols"];
+    let kv = c.layout.symbol_values["kv_slices"] * c.layout.symbol_values["kv_cols"];
+    (rt, cms, kv)
+}
+
+fn run(rt: &mut NetCacheRuntime, trace: &Trace) -> f64 {
+    for p in &trace.packets {
+        rt.process(p.key, p.value).expect("simulation");
+    }
+    rt.stats().hit_rate()
+}
+
+fn main() {
+    let mut opts = NetCacheOptions::paper_default();
+    opts.cms.max_rows = 3;
+    opts.kvs.max_slices = Some(4);
+
+    println!("compiling NetCache with utility: {}", opts.utility());
+    let (mut rt, cms, kv) = build(&opts);
+    println!("layout: {cms} CMS counters, {kv} key-value slots\n");
+
+    let zipf = zipf_trace(10_000, 0.99, 200_000, 7);
+    let hit_zipf = run(&mut rt, &zipf);
+    let s = rt.stats();
+    println!(
+        "Zipf(0.99) over 10k keys, 200k requests: hit rate {:.1}% ({} promotions, {} cached)",
+        100.0 * hit_zipf,
+        s.promotions,
+        rt.cached_keys()
+    );
+
+    let (mut rt2, _, _) = build(&opts);
+    let uni = uniform_trace(10_000, 200_000, 7);
+    let hit_uni = run(&mut rt2, &uni);
+    println!("uniform over 10k keys, 200k requests: hit rate {:.1}%", 100.0 * hit_uni);
+
+    println!(
+        "\ncaching pays off under skew: {:.1}% vs {:.1}% — the elastic store sized itself \
+         to the hot set without any manual tuning.",
+        100.0 * hit_zipf,
+        100.0 * hit_uni
+    );
+}

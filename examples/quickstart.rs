@@ -1,0 +1,70 @@
+//! Quickstart: compile the paper's elastic count-min sketch and inspect
+//! what the compiler decided.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use p4all_core::Compiler;
+use p4all_pisa::presets;
+
+const CMS: &str = r#"
+    symbolic int rows;
+    symbolic int cols;
+    assume rows >= 1 && rows <= 4;
+    assume cols >= 16;
+    optimize rows * cols;
+
+    header pkt { bit<32> key; }
+
+    struct metadata {
+        bit<32>[rows] index;
+        bit<32>[rows] count;
+        bit<32> min;
+    }
+
+    register<bit<32>>[cols][rows] cms;
+
+    action incr()[int i] {
+        meta.index[i] = hash(hdr.key, cols);
+        cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+        meta.count[i] = cms[i][meta.index[i]];
+    }
+    action set_min()[int i] { meta.min = meta.count[i]; }
+
+    control sketch() { apply { for (i < rows) { incr()[i]; } } }
+    control minimum() {
+        apply {
+            for (i < rows) {
+                if (meta.count[i] < meta.min || meta.min == 0) { set_min()[i]; }
+            }
+        }
+    }
+    control Main() { apply { sketch.apply(); minimum.apply(); } }
+"#;
+
+fn main() {
+    // The §4 worked-example target: 3 stages, 2048 bits per stage, 2+2 ALUs.
+    let target = presets::paper_example();
+    println!("target: {target}\n");
+
+    let compilation = Compiler::new(target).compile(CMS).unwrap_or_else(|e| {
+        eprintln!("compile error: {e}");
+        std::process::exit(1);
+    });
+
+    println!("== unroll upper bounds (§4.2) ==");
+    for (sym, k) in &compilation.upper_bounds {
+        println!("  {sym} <= {k}");
+    }
+    println!("\n== chosen layout ==");
+    print!("{}", compilation.layout.render());
+    println!(
+        "\nILP: {} | solved in {:.3}s ({} B&B nodes, {} LP solves)",
+        compilation.ilp_stats,
+        compilation.timings.solve.as_secs_f64(),
+        compilation.solve_stats.nodes,
+        compilation.solve_stats.lp_solves
+    );
+    println!("\n== generated P4 ==\n{}", compilation.p4_text);
+}

@@ -1,0 +1,21 @@
+//! Root package of the P4All reproduction workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). The substance lives in the member crates:
+//!
+//! - [`p4all_lang`] — the elastic P4 dialect frontend;
+//! - [`p4all_core`] — the elastic compiler (dependency analysis, unroll
+//!   bounds, ILP generation, code generation);
+//! - [`p4all_ilp`] — the exact MILP solver backing the compiler;
+//! - [`p4all_pisa`] — the PISA target model and layout validator;
+//! - [`p4all_sim`] — the behavioral pipeline simulator;
+//! - [`p4all_elastic`] — reusable elastic modules and the benchmark apps;
+//! - [`p4all_workloads`] — synthetic traffic generation.
+
+pub use p4all_core;
+pub use p4all_elastic;
+pub use p4all_ilp;
+pub use p4all_lang;
+pub use p4all_pisa;
+pub use p4all_sim;
+pub use p4all_workloads;

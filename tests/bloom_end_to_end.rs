@@ -1,0 +1,89 @@
+//! Integration: the elastic Bloom filter module compiled and executed in
+//! the simulator honours the Bloom contract — no false negatives, few
+//! false positives when sized generously.
+
+use p4all_core::Compiler;
+use p4all_elastic::modules::bloom::{self, BloomParams};
+use p4all_elastic::modules::compose;
+use p4all_pisa::presets;
+use p4all_sim::Switch;
+
+fn build(max_hashes: u64, min_bits: u64, max_bits: u64) -> (Switch, u64) {
+    let params = BloomParams {
+        prefix: "bf".into(),
+        key_expr: "hdr.key".into(),
+        min_hashes: max_hashes, // pin
+        max_hashes,
+        min_bits,
+        max_bits: Some(max_bits),
+    };
+    let mut hdr: Vec<(String, u32)> = vec![("key".into(), 32)];
+    hdr.extend(bloom::header_fields(&params));
+    let hdr_refs: Vec<(&str, u32)> = hdr.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+    let src = compose(&hdr_refs, &params.utility_term(), vec![bloom::fragment(&params)]);
+    let target = presets::paper_eval(1 << 15);
+    let c = Compiler::new(target)
+        .compile(&src)
+        .unwrap_or_else(|e| panic!("bloom compile failed: {e}\n{src}"));
+    let hashes = c.layout.symbol_values["bf_hashes"];
+    let program = p4all_lang::parse(&src).unwrap();
+    (Switch::build(&c.concrete, &program).unwrap(), hashes)
+}
+
+fn insert(sw: &mut Switch, key: u64) {
+    sw.begin_packet();
+    sw.set_header("key", key).unwrap();
+    sw.set_header("bf_op", 1).unwrap();
+    sw.run_packet().unwrap();
+}
+
+fn query(sw: &mut Switch, key: u64) -> bool {
+    sw.begin_packet();
+    sw.set_header("key", key).unwrap();
+    sw.set_header("bf_op", 0).unwrap();
+    sw.run_packet().unwrap();
+    sw.meta("bf_member").unwrap() == 1
+}
+
+#[test]
+fn no_false_negatives_in_the_data_plane() {
+    let (mut sw, hashes) = build(3, 512, 2048);
+    assert_eq!(hashes, 3);
+    for k in 0..80u64 {
+        insert(&mut sw, k * 13 + 1);
+    }
+    for k in 0..80u64 {
+        assert!(query(&mut sw, k * 13 + 1), "false negative for key {}", k * 13 + 1);
+    }
+}
+
+#[test]
+fn few_false_positives_when_generously_sized() {
+    let (mut sw, _) = build(3, 2048, 4096);
+    for k in 0..50u64 {
+        insert(&mut sw, k);
+    }
+    let fp = (10_000..11_000u64).filter(|&k| query(&mut sw, k)).count();
+    assert!(fp < 60, "false positive rate too high: {fp}/1000");
+}
+
+#[test]
+fn query_before_any_insert_is_negative() {
+    let (mut sw, _) = build(2, 256, 1024);
+    assert!(!query(&mut sw, 42));
+}
+
+#[test]
+fn mixed_insert_query_stream() {
+    let (mut sw, _) = build(2, 1024, 4096);
+    // Interleave: insert evens, query everything.
+    for k in 0..200u64 {
+        if k % 2 == 0 {
+            insert(&mut sw, k);
+        }
+        let present = query(&mut sw, k);
+        if k % 2 == 0 {
+            assert!(present, "just-inserted key {k} missing");
+        }
+    }
+}

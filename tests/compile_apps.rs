@@ -1,0 +1,105 @@
+//! Integration: every benchmark application compiles on multiple targets,
+//! produces layouts that pass the independent PISA validator, and stretches
+//! monotonically with resources.
+
+use p4all_core::Compiler;
+use p4all_elastic::apps::{conquest, netcache, precision, sketchlearn};
+use p4all_pisa::presets;
+
+fn apps() -> Vec<(&'static str, String)> {
+    let mut nc = netcache::NetCacheOptions::default();
+    nc.cms.max_rows = 2;
+    nc.kvs.max_slices = Some(3);
+    vec![
+        ("netcache", netcache::source(&nc)),
+        (
+            "sketchlearn",
+            sketchlearn::source(&sketchlearn::SketchLearnOptions {
+                levels: 2,
+                max_rows_per_level: 2,
+                min_cols: 8,
+            }),
+        ),
+        (
+            "precision",
+            precision::source(&precision::PrecisionOptions { max_stages: 2, min_slots: 16 }),
+        ),
+        (
+            "conquest",
+            conquest::source(&conquest::ConquestOptions {
+                min_snaps: 2,
+                max_snaps: 3,
+                min_cols: 8,
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn all_apps_compile_and_validate_on_eval_target() {
+    let target = presets::paper_eval(1 << 15);
+    for (name, src) in apps() {
+        let c = Compiler::new(target.clone())
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        p4all_pisa::validate(&c.layout.usage, &target)
+            .unwrap_or_else(|e| panic!("{name}: invalid layout: {e:?}"));
+        assert!(c.layout.objective > 0.0, "{name}: zero utility layout");
+    }
+}
+
+#[test]
+fn all_apps_compile_on_small_switch() {
+    let target = presets::small_switch();
+    for (name, src) in apps() {
+        let c = Compiler::new(target.clone())
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("{name} on small switch: {e}"));
+        p4all_pisa::validate(&c.layout.usage, &target)
+            .unwrap_or_else(|e| panic!("{name}: invalid layout: {e:?}"));
+    }
+}
+
+#[test]
+fn utility_is_monotone_in_memory() {
+    // Figure 12's mechanism as an invariant: more per-stage memory can
+    // never decrease the achieved utility.
+    for (name, src) in apps() {
+        let mut last = 0.0f64;
+        for shift in [13u32, 15, 17] {
+            let target = presets::paper_eval(1 << shift);
+            let c = Compiler::new(target)
+                .compile(&src)
+                .unwrap_or_else(|e| panic!("{name} at 2^{shift}: {e}"));
+            assert!(
+                c.layout.objective >= last - 1e-6,
+                "{name}: utility shrank with memory: {} after {}",
+                c.layout.objective,
+                last
+            );
+            last = c.layout.objective;
+        }
+    }
+}
+
+#[test]
+fn generated_p4_is_loop_free_and_concrete() {
+    let target = presets::paper_eval(1 << 15);
+    for (name, src) in apps() {
+        let c = Compiler::new(target.clone()).compile(&src).unwrap();
+        assert!(!c.p4_text.contains("for ("), "{name}: generated P4 contains a loop");
+        assert!(!c.p4_text.contains("symbolic"), "{name}: generated P4 contains symbolics");
+        // Stage pragmas present for every placed action.
+        assert!(c.p4_text.contains("@stage("), "{name}: no stage pragmas");
+    }
+}
+
+#[test]
+fn compiled_layouts_are_deterministic() {
+    let target = presets::paper_eval(1 << 15);
+    let (_, src) = &apps()[0];
+    let a = Compiler::new(target.clone()).compile(src).unwrap();
+    let b = Compiler::new(target).compile(src).unwrap();
+    assert_eq!(a.layout.symbol_values, b.layout.symbol_values);
+    assert_eq!(a.p4_text, b.p4_text);
+}

@@ -1,0 +1,133 @@
+//! Integration: the compiled NetCache, executed in the behavioral
+//! simulator, behaves like a cache — skew pays, values are served
+//! correctly, capacity binds.
+
+use p4all_core::Compiler;
+use p4all_elastic::apps::netcache::{self, NetCacheOptions};
+use p4all_pisa::presets;
+use p4all_sim::{NetCacheConfig, NetCacheRuntime, Switch};
+use p4all_workloads::{uniform_trace, zipf_trace};
+
+fn build(threshold: u64) -> NetCacheRuntime {
+    let mut opts = NetCacheOptions::default();
+    opts.cms.max_rows = 2;
+    opts.kvs.max_slices = Some(3);
+    let src = netcache::source(&opts);
+    let target = presets::paper_eval(1 << 14);
+    let c = Compiler::new(target).compile(&src).expect("netcache compiles");
+    let program = p4all_lang::parse(&src).expect("parses");
+    let sw = Switch::build(&c.concrete, &program).expect("sim builds");
+    let names = netcache::runtime_config(&opts);
+    NetCacheRuntime::new(
+        sw,
+        NetCacheConfig {
+            cache_table: names.cache_table,
+            hit_action: names.hit_action,
+            hit_flag_meta: names.hit_flag_meta,
+            min_meta: names.min_meta,
+            slice_meta: names.slice_meta,
+            idx_meta: names.idx_meta,
+            value_meta: names.value_meta,
+            kv_register: names.kv_register,
+            cms_register: names.cms_register,
+            key_header: names.key_header,
+            promote_threshold: threshold,
+            epoch_packets: 20_000,
+        },
+    )
+    .expect("runtime init")
+}
+
+#[test]
+fn skewed_traffic_beats_uniform() {
+    let mut hot = build(4);
+    let zipf = zipf_trace(2_000, 1.1, 60_000, 1);
+    for p in &zipf.packets {
+        hot.process(p.key, p.value).unwrap();
+    }
+    let mut cold = build(4);
+    let uni = uniform_trace(2_000, 60_000, 1);
+    for p in &uni.packets {
+        cold.process(p.key, p.value).unwrap();
+    }
+    let (hz, hu) = (hot.stats().hit_rate(), cold.stats().hit_rate());
+    assert!(hz > 0.3, "Zipf hit rate too low: {hz}");
+    assert!(hz > hu + 0.1, "skew ({hz:.3}) must clearly beat uniform ({hu:.3})");
+}
+
+#[test]
+fn served_values_match_stored_values() {
+    let mut rt = build(2);
+    // Drive one key hot, then verify every subsequent hit returns its value.
+    let key = 77u64;
+    let value = 0xDEAD_BEEF_u64;
+    let mut hits = 0;
+    for _ in 0..50 {
+        let (hit, got) = rt.process(key, value).unwrap();
+        if hit {
+            assert_eq!(got, value, "cache served a wrong value");
+            hits += 1;
+        }
+    }
+    assert!(hits > 0, "key never became a cache hit");
+}
+
+#[test]
+fn promotions_never_exceed_capacity() {
+    let mut rt = build(1); // promote aggressively
+    let cap = rt.capacity() as u64;
+    let trace = zipf_trace(5_000, 0.9, 40_000, 3);
+    for p in &trace.packets {
+        rt.process(p.key, p.value).unwrap();
+    }
+    assert!(rt.stats().promotions <= cap);
+    assert!(rt.cached_keys() as u64 <= cap);
+}
+
+#[test]
+fn bigger_cache_earns_higher_hit_rate() {
+    // Compare two compiled NetCaches whose stores differ via target memory.
+    let run = |mem_shift: u32| -> (f64, u64) {
+        let mut opts = NetCacheOptions::default();
+        opts.cms.max_rows = 2;
+        opts.kvs.max_slices = Some(3);
+        let src = netcache::source(&opts);
+        let target = presets::paper_eval(1 << mem_shift);
+        let c = Compiler::new(target).compile(&src).unwrap();
+        let kv_items = c.layout.symbol_values["kv_slices"] * c.layout.symbol_values["kv_cols"];
+        let program = p4all_lang::parse(&src).unwrap();
+        let sw = Switch::build(&c.concrete, &program).unwrap();
+        let names = netcache::runtime_config(&opts);
+        let mut rt = NetCacheRuntime::new(
+            sw,
+            NetCacheConfig {
+                cache_table: names.cache_table,
+                hit_action: names.hit_action,
+                hit_flag_meta: names.hit_flag_meta,
+                min_meta: names.min_meta,
+                slice_meta: names.slice_meta,
+                idx_meta: names.idx_meta,
+                value_meta: names.value_meta,
+                kv_register: names.kv_register,
+                cms_register: names.cms_register,
+                key_header: names.key_header,
+                promote_threshold: 4,
+                epoch_packets: 0,
+            },
+        )
+        .unwrap();
+        let trace = zipf_trace(3_000, 1.0, 60_000, 5);
+        for p in &trace.packets {
+            rt.process(p.key, p.value).unwrap();
+        }
+        (rt.stats().hit_rate(), kv_items)
+    };
+    let (small_rate, small_items) = run(12);
+    let (big_rate, big_items) = run(16);
+    assert!(big_items > small_items, "more memory must grow the store");
+    assert!(
+        big_rate > small_rate,
+        "bigger cache ({big_items} items, {big_rate:.3}) must beat smaller \
+         ({small_items} items, {small_rate:.3})"
+    );
+}

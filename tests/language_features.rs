@@ -1,0 +1,167 @@
+//! Integration: corners of the language and compiler that the apps don't
+//! exercise — constant-extent register arrays, constant-bound loops,
+//! multiple independent symbolics, PHV pressure, and backward
+//! compatibility.
+
+use p4all_core::{CompileError, Compiler};
+use p4all_pisa::presets;
+use p4all_sim::Switch;
+
+#[test]
+fn const_extent_register_array_of_arrays() {
+    // An array of register arrays with *constant* extents: plain P4,
+    // placed across stages like any elastic one would be.
+    let src = r#"
+        header pkt { bit<32> key; }
+        struct metadata { bit<32>[3] idx; bit<32> total; }
+        register<bit<32>>[32][3] buckets;
+        action bump()[int i] {
+            meta.idx[i] = hash(hdr.key, 32);
+            buckets[i][meta.idx[i]] = buckets[i][meta.idx[i]] + 1;
+        }
+        control Main() { apply { for (i < 3) { bump()[i]; } } }
+    "#;
+    let target = presets::paper_eval(1 << 14);
+    let c = Compiler::new(target.clone()).compile(src).unwrap();
+    // All three instances placed with exactly 32 cells each.
+    let cells: Vec<u64> = c
+        .layout
+        .registers
+        .iter()
+        .filter(|r| r.reg == "buckets")
+        .map(|r| r.cells)
+        .collect();
+    assert_eq!(cells, vec![32, 32, 32]);
+    p4all_pisa::validate(&c.layout.usage, &target).unwrap();
+    // And it runs.
+    let program = p4all_lang::parse(src).unwrap();
+    let mut sw = Switch::build(&c.concrete, &program).unwrap();
+    sw.begin_packet();
+    sw.set_header("key", 5).unwrap();
+    sw.run_packet().unwrap();
+}
+
+#[test]
+fn two_independent_elastic_structures_share_a_program() {
+    let src = r#"
+        symbolic int a_n;
+        symbolic int b_n;
+        assume a_n >= 1 && a_n <= 2;
+        assume b_n >= 1 && b_n <= 2;
+        optimize a_n + b_n;
+        header pkt { bit<32> key; }
+        struct metadata { bit<32>[a_n] ai; bit<32>[b_n] bi; }
+        register<bit<32>>[64][a_n] ra;
+        register<bit<32>>[64][b_n] rb;
+        action ta()[int i] {
+            meta.ai[i] = hash(hdr.key, 64);
+            ra[i][meta.ai[i]] = ra[i][meta.ai[i]] + 1;
+        }
+        action tb()[int i] {
+            meta.bi[i] = hash(hdr.key, 64);
+            rb[i][meta.bi[i]] = rb[i][meta.bi[i]] + 1;
+        }
+        control ca() { apply { for (i < a_n) { ta()[i]; } } }
+        control cb() { apply { for (i < b_n) { tb()[i]; } } }
+        control Main() { apply { ca.apply(); cb.apply(); } }
+    "#;
+    let c = Compiler::new(presets::paper_eval(1 << 14)).compile(src).unwrap();
+    assert_eq!(c.layout.symbol_values["a_n"], 2);
+    assert_eq!(c.layout.symbol_values["b_n"], 2);
+    assert!((c.layout.objective - 4.0).abs() < 1e-6);
+}
+
+#[test]
+fn phv_pressure_limits_iterations() {
+    // Each iteration needs 512 bits of metadata; the elastic PHV budget
+    // only fits a few chunks even though stages and ALUs would allow more.
+    let src = r#"
+        symbolic int n;
+        assume n >= 1;
+        optimize n;
+        header pkt { bit<32> key; }
+        struct metadata { bit<128>[n] blob_a; bit<128>[n] blob_b;
+                          bit<128>[n] blob_c; bit<128>[n] blob_d; }
+        register<bit<32>>[16][n] regs;
+        action touch()[int i] {
+            meta.blob_a[i] = hash(hdr.key, 16);
+            regs[i][0] = regs[i][0] + 1;
+        }
+        control Main() { apply { for (i < n) { touch()[i]; } } }
+    "#;
+    let mut target = presets::paper_eval(1 << 14);
+    target.phv_bits = 1200; // 32 (key) -> ~2 chunks of 512 bits
+    target.phv_fixed_bits = 0;
+    let c = Compiler::new(target).compile(src).unwrap();
+    assert_eq!(
+        c.layout.symbol_values["n"], 2,
+        "PHV must cap iterations at 2 (1200-32 bits / 512 per chunk)"
+    );
+}
+
+#[test]
+fn backward_compatible_plain_p4_runs_end_to_end() {
+    let src = r#"
+        header pkt { bit<32> port; }
+        struct metadata { bit<32> count; }
+        register<bit<32>>[256] per_port;
+        action tally() {
+            per_port[hdr.port] = per_port[hdr.port] + 1;
+            meta.count = per_port[hdr.port];
+        }
+        control Main() { apply { tally(); } }
+    "#;
+    let target = presets::small_switch();
+    let c = Compiler::new(target).compile(src).unwrap();
+    let program = p4all_lang::parse(src).unwrap();
+    let mut sw = Switch::build(&c.concrete, &program).unwrap();
+    for expect in 1..=4u64 {
+        sw.begin_packet();
+        sw.set_header("port", 9).unwrap();
+        sw.run_packet().unwrap();
+        assert_eq!(sw.meta("count").unwrap(), expect);
+    }
+    // Different port, fresh counter.
+    sw.begin_packet();
+    sw.set_header("port", 10).unwrap();
+    sw.run_packet().unwrap();
+    assert_eq!(sw.meta("count").unwrap(), 1);
+}
+
+#[test]
+fn zero_lower_bound_symbolic_can_vanish() {
+    // A structure allowed to disappear (n >= 0) vanishes when the target
+    // cannot host it, instead of failing the compile.
+    let src = r#"
+        symbolic int n;
+        assume n >= 0 && n <= 4;
+        optimize n;
+        header pkt { bit<32> key; }
+        struct metadata { bit<32>[n] idx; bit<32> sink; }
+        register<bit<32>>[1024][n] wide;
+        action touch()[int i] {
+            meta.idx[i] = hash(hdr.key, 1024);
+            wide[i][meta.idx[i]] = wide[i][meta.idx[i]] + 1;
+        }
+        control Main() { apply { for (i < n) { touch()[i]; } } }
+    "#;
+    // 1024 cells x 32 bits = 32 Kb per instance; give the target only 8 Kb.
+    let mut target = presets::paper_eval(1 << 13);
+    target.stages = 2;
+    match Compiler::new(target).compile(src) {
+        Ok(c) => assert_eq!(c.layout.symbol_values["n"], 0, "structure should vanish"),
+        Err(e) => panic!("expected n = 0, got error: {e}"),
+    }
+}
+
+#[test]
+fn error_messages_carry_source_locations() {
+    let src = "symbolic int rows;\nassume rows >= oops;";
+    match Compiler::new(presets::paper_example()).compile(src) {
+        Err(CompileError::Lang(e)) => {
+            assert_eq!(e.span.line, 2);
+            assert!(e.render(src).contains("assume rows >= oops;"));
+        }
+        other => panic!("expected a spanned language error, got {other:?}", other = other.err().map(|e| e.to_string())),
+    }
+}

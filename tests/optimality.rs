@@ -1,0 +1,141 @@
+//! Integration: the ILP's layouts are optimal — they dominate the greedy
+//! baseline and every feasible hand-constructed configuration.
+
+use p4all_core::{evaluate_utility, CompileError, Compiler};
+use p4all_elastic::apps::{netcache, precision, sketchlearn};
+use p4all_pisa::presets;
+
+#[test]
+fn ilp_dominates_greedy_on_every_app() {
+    let target = presets::paper_eval(1 << 15);
+    let mut nc = netcache::NetCacheOptions::default();
+    nc.cms.max_rows = 2;
+    nc.kvs.max_slices = Some(3);
+    let apps: Vec<(&str, String)> = vec![
+        ("netcache", netcache::source(&nc)),
+        (
+            "sketchlearn",
+            sketchlearn::source(&sketchlearn::SketchLearnOptions {
+                levels: 2,
+                max_rows_per_level: 2,
+                min_cols: 8,
+            }),
+        ),
+        (
+            "precision",
+            precision::source(&precision::PrecisionOptions { max_stages: 2, min_slots: 16 }),
+        ),
+    ];
+    for (name, src) in apps {
+        let compiler = Compiler::new(target.clone());
+        let program = p4all_lang::parse(&src).unwrap();
+        let utility = program.optimize.clone().unwrap();
+        let ilp = compiler.compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let greedy = compiler.compile_greedy(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let u_ilp = evaluate_utility(&utility, &ilp.layout.symbol_values).unwrap();
+        let u_greedy = evaluate_utility(&utility, &greedy.symbol_values).unwrap();
+        assert!(
+            u_ilp >= u_greedy - 1e-9,
+            "{name}: ILP utility {u_ilp} < greedy {u_greedy}"
+        );
+    }
+}
+
+/// Pin the CMS to every shape in a small grid; the unpinned ILP optimum
+/// must weakly dominate each pinned optimum under the same utility.
+#[test]
+fn ilp_beats_every_pinned_configuration() {
+    let target = presets::paper_eval(1 << 13);
+    let base = |rows_lo: u64, rows_hi: u64, cols_lo: u64, cols_hi: u64| {
+        format!(
+            r#"
+            symbolic int rows;
+            symbolic int cols;
+            assume rows >= {rows_lo} && rows <= {rows_hi};
+            assume cols >= {cols_lo} && cols <= {cols_hi};
+            optimize rows * cols;
+            header pkt {{ bit<32> key; }}
+            struct metadata {{
+                bit<32>[rows] index;
+                bit<32>[rows] count;
+                bit<32> min;
+            }}
+            register<bit<32>>[cols][rows] cms;
+            action incr()[int i] {{
+                meta.index[i] = hash(hdr.key, cols);
+                cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+                meta.count[i] = cms[i][meta.index[i]];
+            }}
+            action set_min()[int i] {{ meta.min = meta.count[i]; }}
+            control sketch() {{ apply {{ for (i < rows) {{ incr()[i]; }} }} }}
+            control minimum() {{
+                apply {{
+                    for (i < rows) {{
+                        if (meta.count[i] < meta.min || meta.min == 0) {{ set_min()[i]; }}
+                    }}
+                }}
+            }}
+            control Main() {{ apply {{ sketch.apply(); minimum.apply(); }} }}
+        "#
+        )
+    };
+
+    let free = Compiler::new(target.clone()).compile(&base(1, 4, 4, 4096)).unwrap();
+    let best = free.layout.objective;
+
+    for rows in [1u64, 2, 3] {
+        for cols in [16u64, 64, 128] {
+            match Compiler::new(target.clone()).compile(&base(rows, rows, cols, cols)) {
+                Ok(pinned) => {
+                    assert!(
+                        best >= pinned.layout.objective - 1e-6,
+                        "free optimum {best} lost to pinned {rows}x{cols} = {}",
+                        pinned.layout.objective
+                    );
+                }
+                Err(CompileError::Infeasible) => {} // pinned shape does not fit
+                Err(e) => panic!("unexpected error at {rows}x{cols}: {e}"),
+            }
+        }
+    }
+}
+
+/// Figure 13's mechanism: flipping utility weights moves resources.
+///
+/// The weights only matter when the structures actually contend: the store
+/// must be allowed to stretch across every stage (as in the paper, where
+/// the KVS fills nine of ten stages), so that giving the sketch more means
+/// giving the store less.
+#[test]
+fn utility_weights_steer_the_split() {
+    let target = presets::paper_eval(1 << 15);
+    let mut kv_heavy = netcache::NetCacheOptions::paper_default();
+    kv_heavy.cms.max_rows = 4;
+    kv_heavy.kvs.max_slices = None;
+    kv_heavy.utility_in_bits = true;
+    let mut cms_heavy = netcache::NetCacheOptions::cms_heavy();
+    cms_heavy.cms.max_rows = 4;
+    cms_heavy.kvs.max_slices = None;
+    cms_heavy.utility_in_bits = true;
+
+    let a = Compiler::new(target.clone()).compile(&netcache::source(&kv_heavy)).unwrap();
+    let b = Compiler::new(target).compile(&netcache::source(&cms_heavy)).unwrap();
+
+    let cms_a = a.layout.symbol_values["cms_rows"] * a.layout.symbol_values["cms_cols"];
+    let cms_b = b.layout.symbol_values["cms_rows"] * b.layout.symbol_values["cms_cols"];
+    let kv_a = a.layout.symbol_values["kv_slices"] * a.layout.symbol_values["kv_cols"];
+    let kv_b = b.layout.symbol_values["kv_slices"] * b.layout.symbol_values["kv_cols"];
+
+    assert!(
+        cms_b >= cms_a,
+        "CMS-leaning utility must not shrink the sketch: {cms_b} vs {cms_a}"
+    );
+    assert!(
+        kv_a >= kv_b,
+        "KV-leaning utility must not shrink the store: {kv_a} vs {kv_b}"
+    );
+    assert!(
+        cms_b > cms_a || kv_a > kv_b,
+        "flipping weights must move something: cms {cms_a}->{cms_b}, kv {kv_a}->{kv_b}"
+    );
+}

@@ -1,0 +1,108 @@
+//! Integration: unroll upper-bound behaviour on richer programs than the
+//! unit tests cover — nested elastic loops and multi-loop symbolics.
+
+use p4all_core::bounds::{all_upper_bounds, DEFAULT_MAX_UNROLL};
+use p4all_core::elaborate::elaborate;
+use p4all_pisa::presets;
+
+#[test]
+fn nested_loops_bound_conservatively() {
+    // outer x inner grid of register touches; bounding one loop holds the
+    // other at a single iteration (§4.2's conservative rule).
+    let src = r#"
+        symbolic int outer;
+        symbolic int inner;
+        header pkt { bit<32> key; }
+        struct metadata { bit<32>[outer] oidx; bit<32>[inner] iidx; bit<32> acc; }
+        register<bit<32>>[16][outer] big;
+        register<bit<32>>[16][inner] small;
+        action touch_outer()[int i] {
+            meta.oidx[i] = hash(hdr.key, 16);
+            big[i][meta.oidx[i]] = big[i][meta.oidx[i]] + 1;
+        }
+        action fold()[int j] {
+            meta.acc = meta.acc + small[j][0];
+        }
+        control Main() {
+            apply {
+                for (i < outer) {
+                    touch_outer()[i];
+                    for (j < inner) { fold()[j]; }
+                }
+            }
+        }
+    "#;
+    let program = p4all_lang::parse(src).unwrap();
+    let info = elaborate(&program).unwrap();
+    let target = presets::paper_example(); // S = 3, (F+L)*S = 12
+    let bounds = all_upper_bounds(&info, &target, DEFAULT_MAX_UNROLL).unwrap();
+    // fold accumulates into meta.acc: same-action iterations commute ->
+    // exclusion chain -> path grows with inner; on 3 stages inner <= 3.
+    assert!(bounds["inner"] <= 3, "inner bound too large: {}", bounds["inner"]);
+    // touch_outer iterations are independent; the ALU criterion stops them:
+    // each costs 2 ALUs + one inner fold per unroll probe.
+    assert!(bounds["outer"] >= 1);
+    assert!(bounds["outer"] <= 6, "outer bound too large: {}", bounds["outer"]);
+}
+
+#[test]
+fn one_symbolic_bounding_two_loops_uses_both() {
+    // The same symbolic bounds two loops whose bodies together form a
+    // chain: incr (loop 1) feeds a guarded reduce (loop 2), like the CMS.
+    let src = r#"
+        symbolic int n;
+        header pkt { bit<32> key; }
+        struct metadata { bit<32>[n] v; bit<32> best; }
+        register<bit<32>>[8][n] store;
+        action put()[int i] {
+            meta.v[i] = hash(hdr.key, 8);
+            store[i][meta.v[i]] = store[i][meta.v[i]] + 1;
+        }
+        action keep()[int i] { meta.best = meta.v[i]; }
+        control fill() { apply { for (i < n) { put()[i]; } } }
+        control reduce() {
+            apply { for (i < n) { if (meta.v[i] < meta.best) { keep()[i]; } } }
+        }
+        control Main() { apply { fill.apply(); reduce.apply(); } }
+    "#;
+    let program = p4all_lang::parse(src).unwrap();
+    let info = elaborate(&program).unwrap();
+    // Figure 9 geometry: put_i -> keep_i plus keep-keep exclusions; on S
+    // stages the chain caps n at S - 1.
+    for stages in [3usize, 5, 8] {
+        let mut target = presets::paper_eval(1 << 14);
+        target.stages = stages;
+        let bounds = all_upper_bounds(&info, &target, DEFAULT_MAX_UNROLL).unwrap();
+        assert_eq!(
+            bounds["n"],
+            stages - 1,
+            "bound at S={stages} should be S-1, got {}",
+            bounds["n"]
+        );
+    }
+}
+
+#[test]
+fn compiled_iterations_never_exceed_upper_bound() {
+    let src = r#"
+        symbolic int n;
+        header pkt { bit<32> key; }
+        struct metadata { bit<32>[n] v; bit<32> best; }
+        register<bit<32>>[8][n] store;
+        action put()[int i] {
+            meta.v[i] = hash(hdr.key, 8);
+            store[i][meta.v[i]] = store[i][meta.v[i]] + 1;
+        }
+        action keep()[int i] { meta.best = meta.v[i]; }
+        control fill() { apply { for (i < n) { put()[i]; } } }
+        control reduce() {
+            apply { for (i < n) { if (meta.v[i] < meta.best) { keep()[i]; } } }
+        }
+        control Main() { apply { fill.apply(); reduce.apply(); } }
+    "#;
+    let target = presets::paper_eval(1 << 14);
+    let c = p4all_core::Compiler::new(target).compile(src).unwrap();
+    let n = c.layout.symbol_values["n"] as usize;
+    assert!(n <= c.upper_bounds["n"], "{n} > bound {}", c.upper_bounds["n"]);
+    assert!(n >= 1);
+}
