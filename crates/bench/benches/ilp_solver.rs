@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use p4all_ilp::{solve, LinExpr, Model, Sense, SolveStatus};
+use p4all_ilp::{solve, solve_with, LinExpr, Model, Sense, SolveOptions, SolveStatus};
 
 fn knapsack(n: usize) -> Model {
     let mut m = Model::new();
@@ -36,8 +36,8 @@ fn placement_chain(n: usize, stages: usize) -> Model {
         if a > 0 {
             for s in 0..stages {
                 let mut earlier = LinExpr::zero();
-                for t in 0..s {
-                    earlier += LinExpr::from(xs[a - 1][t]);
+                for &prev in &xs[a - 1][..s] {
+                    earlier += LinExpr::from(prev);
                 }
                 m.le(format!("prec{a}_{s}"), LinExpr::from(xs[a][s]) - earlier, 0.0);
             }
@@ -83,5 +83,32 @@ fn bench_placements(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_knapsacks, bench_placements);
+/// Thread scaling on the hardest placement chain: sequential (1 thread)
+/// vs all cores, in both parallel modes. On a single-core container the
+/// interesting number is the synchronization overhead, not a speedup; on
+/// multi-core hardware this is the 1t-vs-Nt column for EXPERIMENTS.md.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let m = placement_chain(10, 12);
+    let auto = SolveOptions::default().effective_threads();
+    let mut group = c.benchmark_group("ilp_threads");
+    group.sample_size(10);
+    let configs = [
+        ("1t_sequential", 1usize, true),
+        ("nt_deterministic", auto, true),
+        ("nt_free", auto, false),
+    ];
+    for (label, threads, deterministic) in configs {
+        let opts = SolveOptions { threads, deterministic, ..SolveOptions::default() };
+        group.bench_with_input(BenchmarkId::new(label, threads), &m, |b, m| {
+            b.iter(|| {
+                let out = solve_with(m, &opts).expect("solve");
+                assert_eq!(out.status, SolveStatus::Optimal);
+                std::hint::black_box(out.nodes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knapsacks, bench_placements, bench_thread_scaling);
 criterion_main!(benches);

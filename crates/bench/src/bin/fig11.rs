@@ -1,9 +1,13 @@
 //! Figure 11 — the application table: lines of code (hand-written P4 vs
 //! P4All), compile time, and ILP size (variables, constraints) for
 //! NetCache, SketchLearn, PRECISION, and ConQuest.
+//!
+//! Each app is compiled twice — with the sequential solver
+//! (`threads = 1`) and with all available cores (`threads = 0`) — so the
+//! table records both solve times for the scaling note in EXPERIMENTS.md.
 
 use p4all_bench::{bench_netcache_options, emit_tsv};
-use p4all_core::{loc, Compiler};
+use p4all_core::{loc, CompileOptions, Compiler};
 use p4all_elastic::apps::{conquest, netcache, precision, sketchlearn};
 use p4all_elastic::baselines;
 use p4all_pisa::presets;
@@ -35,37 +39,58 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, elastic_src, baseline_src) in apps {
-        let compiler = Compiler::new(target.clone());
-        match compiler.compile(&elastic_src) {
+        let seq = Compiler::with_options(target.clone(), CompileOptions::default().with_threads(1));
+        let par = Compiler::with_options(target.clone(), CompileOptions::default().with_threads(0));
+        let par_result = par.compile(&elastic_src);
+        match seq.compile(&elastic_src) {
             Ok(c) => {
+                let threads = c
+                    .solve_stats
+                    .telemetry
+                    .threads
+                    .max(1);
+                let (par_solve_s, par_threads) = match &par_result {
+                    Ok(p) => (
+                        format!("{:.3}", p.timings.solve.as_secs_f64()),
+                        p.solve_stats.telemetry.threads,
+                    ),
+                    Err(_) => ("-".to_string(), threads),
+                };
                 rows.push(format!(
-                    "{name}\t{}\t{}\t{}\t{:.3}\t{}\t{}\t{:?}",
+                    "{name}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{par_solve_s}\t{par_threads}\t{}\t{}\t{:?}",
                     loc(&baseline_src),
                     loc(&elastic_src),
                     loc(&c.p4_text),
                     c.timings.total.as_secs_f64(),
+                    c.timings.solve.as_secs_f64(),
                     c.ilp_stats.num_vars,
                     c.ilp_stats.num_constraints,
                     c.solve_stats.status,
                 ));
                 eprintln!(
-                    "{name}: P4 {} LoC, P4All {} LoC, compile {:.3}s, ILP ({}, {})",
+                    "{name}: P4 {} LoC, P4All {} LoC, compile {:.3}s \
+                     (solve {:.3}s @1t, {par_solve_s}s @{par_threads}t), ILP ({}, {})",
                     loc(&baseline_src),
                     loc(&elastic_src),
                     c.timings.total.as_secs_f64(),
+                    c.timings.solve.as_secs_f64(),
                     c.ilp_stats.num_vars,
                     c.ilp_stats.num_constraints
                 );
             }
             Err(e) => {
-                rows.push(format!("{name}\t{}\t{}\t-\t-\t-\t-\t{e}", loc(&baseline_src), loc(&elastic_src)));
+                rows.push(format!(
+                    "{name}\t{}\t{}\t-\t-\t-\t-\t-\t-\t-\t{e}",
+                    loc(&baseline_src),
+                    loc(&elastic_src)
+                ));
                 eprintln!("{name}: compile failed: {e}");
             }
         }
     }
     emit_tsv(
         "fig11_applications",
-        "app\tp4_loc\tp4all_loc\tgenerated_loc\tcompile_s\tilp_vars\tilp_constraints\tstatus",
+        "app\tp4_loc\tp4all_loc\tgenerated_loc\tcompile_s\tsolve_1t_s\tsolve_nt_s\tnt_threads\tilp_vars\tilp_constraints\tstatus",
         &rows,
     );
 }

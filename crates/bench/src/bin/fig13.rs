@@ -7,7 +7,7 @@
 //! weights changes the *split*, not the store's viability.
 
 use p4all_bench::emit_tsv;
-use p4all_core::Compiler;
+use p4all_core::{CompileOptions, Compiler};
 use p4all_elastic::apps::netcache::{self, NetCacheOptions};
 use p4all_pisa::presets;
 
@@ -32,7 +32,16 @@ fn main() {
         ("0.6*cms+0.4*kv", configure(NetCacheOptions::cms_heavy())),
     ] {
         let src = netcache::source(&opts);
-        match Compiler::new(target.clone()).compile(&src) {
+        // Solve sequentially and with all cores: same layout either way
+        // (the deterministic parallel mode is scheduling-independent), but
+        // both solve times land in the table.
+        let seq = Compiler::with_options(target.clone(), CompileOptions::default().with_threads(1));
+        let par = Compiler::with_options(target.clone(), CompileOptions::default().with_threads(0));
+        let par_solve_s = match par.compile(&src) {
+            Ok(p) => format!("{:.3}", p.timings.solve.as_secs_f64()),
+            Err(_) => "-".to_string(),
+        };
+        match seq.compile(&src) {
             Ok(c) => {
                 let r = c.layout.symbol_values["cms_rows"];
                 let w = c.layout.symbol_values["cms_cols"];
@@ -40,28 +49,30 @@ fn main() {
                 let k = c.layout.symbol_values["kv_cols"];
                 let total = c.layout.total_memory_bits();
                 rows.push(format!(
-                    "{label}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{total}\t{:.1}",
+                    "{label}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{total}\t{:.1}\t{:.3}\t{par_solve_s}",
                     r * w,
                     s * k,
-                    c.layout.objective
+                    c.layout.objective,
+                    c.timings.solve.as_secs_f64()
                 ));
                 eprintln!(
                     "{label}: cms {r}x{w} ({}), kv {s}x{k} ({}), total {total} bits, \
-                     utility {:.1}",
+                     utility {:.1}, solve {:.3}s @1t / {par_solve_s}s @Nt",
                     r * w,
                     s * k,
-                    c.layout.objective
+                    c.layout.objective,
+                    c.timings.solve.as_secs_f64()
                 );
             }
             Err(e) => {
-                rows.push(format!("{label}\t-\t-\t-\t-\t-\t-\t-\t- ({e})"));
+                rows.push(format!("{label}\t-\t-\t-\t-\t-\t-\t-\t- ({e})\t-\t-"));
                 eprintln!("{label}: {e}");
             }
         }
     }
     emit_tsv(
         "fig13_utility_functions",
-        "utility\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\ttotal_bits\tobjective",
+        "utility\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\ttotal_bits\tobjective\tsolve_1t_s\tsolve_nt_s",
         &rows,
     );
 }

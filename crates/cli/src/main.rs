@@ -12,6 +12,8 @@
 //!   --phv BITS           override PHV size
 //!   --emit WHAT          p4 | layout | stats | all   (default: all)
 //!   --out FILE           write the generated P4 to FILE
+//!   --threads N          ILP solver worker threads (0 = all cores,
+//!                        the default; 1 = exact sequential search)
 //!   --greedy             use the greedy first-fit allocator instead of
 //!                        the ILP (baseline / quick feasibility check)
 //! ```
@@ -20,7 +22,7 @@
 
 use std::process::ExitCode;
 
-use p4all_core::{CompileError, Compiler};
+use p4all_core::{CompileError, CompileOptions, Compiler};
 use p4all_pisa::{presets, TargetSpec};
 
 struct Args {
@@ -30,13 +32,14 @@ struct Args {
     emit_layout: bool,
     emit_stats: bool,
     out: Option<String>,
+    threads: usize,
     greedy: bool,
 }
 
 fn usage() -> &'static str {
     "usage: p4allc PROGRAM.p4all [--target tofino|paper-eval|paper-example|small] \
      [--stages N] [--memory BITS] [--stateful-alus N] [--stateless-alus N] \
-     [--phv BITS] [--emit p4|layout|stats|all] [--out FILE] [--greedy]"
+     [--phv BITS] [--emit p4|layout|stats|all] [--out FILE] [--threads N] [--greedy]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut target = presets::tofino_like();
     let mut emit = "all".to_string();
     let mut out = None;
+    let mut threads = 0usize;
     let mut greedy = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -90,6 +94,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--emit" => emit = next(&mut i, "--emit")?,
             "--out" => out = Some(next(&mut i, "--out")?),
+            "--threads" => {
+                threads = next(&mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+            }
             "--greedy" => greedy = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => {
@@ -112,7 +121,7 @@ fn parse_args() -> Result<Args, String> {
         other => return Err(format!("unknown --emit `{other}` (p4|layout|stats|all)")),
     };
     target.validate().map_err(|e| format!("invalid target: {e}"))?;
-    Ok(Args { input, target, emit_p4, emit_layout, emit_stats, out, greedy })
+    Ok(Args { input, target, emit_p4, emit_layout, emit_stats, out, threads, greedy })
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -120,7 +129,8 @@ fn run(args: Args) -> Result<(), String> {
         .map_err(|e| format!("cannot read {}: {e}", args.input))?;
     eprintln!("target: {}", args.target);
 
-    let compiler = Compiler::new(args.target);
+    let options = CompileOptions::default().with_threads(args.threads);
+    let compiler = Compiler::with_options(args.target, options);
     if args.greedy {
         let layout = compiler.compile_greedy(&src).map_err(|e| render(e, &src))?;
         println!("{}", layout.render());
@@ -145,6 +155,10 @@ fn run(args: Args) -> Result<(), String> {
             c.solve_stats.lp_solves,
             c.timings.total.as_secs_f64()
         );
+        println!("solve summary:");
+        for line in c.solve_stats.telemetry.summary().lines() {
+            println!("  {line}");
+        }
         println!("generated P4: {} lines", p4all_core::loc(&c.p4_text));
     }
     match (&args.out, args.emit_p4) {

@@ -1,14 +1,22 @@
 //! Branch-and-bound driver for mixed-integer programs.
 //!
-//! Depth-first search over bound-tightened subproblems, each relaxed and
-//! solved by the [simplex](crate::simplex) module. A root diving heuristic
-//! finds an early incumbent so that the LP bound can prune aggressively.
+//! Single-threaded solves use a depth-first search over bound-tightened
+//! subproblems, each relaxed and solved by the [simplex](crate::simplex)
+//! module; a root diving heuristic finds an early incumbent so the LP
+//! bound can prune aggressively. Multi-threaded solves (see
+//! [`SolveOptions::threads`]) switch to the best-first parallel search in
+//! [`crate::parallel`], where workers pull subproblems from a shared
+//! bound-ordered frontier and prune against a shared incumbent.
+//!
+//! Every solve records [`SolveTelemetry`]: per-thread node and LP counts,
+//! the incumbent-improvement timeline, and the final optimality gap.
 
 use std::time::{Duration, Instant};
 
 use crate::model::{Model, Sense, Solution, VarKind};
 use crate::presolve::{presolve, Presolved};
 use crate::simplex::{solve_lp, LpError, LpResult};
+use crate::telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry, ThreadTelemetry};
 
 /// Knobs for [`solve_with`].
 #[derive(Debug, Clone)]
@@ -32,6 +40,18 @@ pub struct SolveOptions {
     /// feasible for the model it seeds the incumbent, activating bound
     /// pruning from the first node.
     pub warm_start: Option<Vec<f64>>,
+    /// Worker threads for the branch and bound. `0` means "use all
+    /// available parallelism" (the default); `1` reproduces the
+    /// sequential depth-first search exactly — same node order, same
+    /// node count, same answer as before threading existed.
+    pub threads: usize,
+    /// When solving in parallel, make tie-breaking independent of thread
+    /// scheduling: workers synchronize on batched rounds and incumbent
+    /// updates apply in a fixed order, so the returned layout is a pure
+    /// function of (model, options, threads). Costs a synchronization
+    /// barrier per round; disable for maximum throughput when
+    /// reproducibility does not matter.
+    pub deterministic: bool,
 }
 
 impl Default for SolveOptions {
@@ -44,6 +64,19 @@ impl Default for SolveOptions {
             rel_gap: 0.0,
             dive_limit: 400,
             warm_start: None,
+            threads: 0,
+            deterministic: true,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Resolve the `threads` knob: `0` becomes the machine's available
+    /// parallelism, anything else is taken literally (min 1).
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n.max(1),
         }
     }
 }
@@ -69,12 +102,14 @@ pub struct MipOutcome {
     pub status: SolveStatus,
     /// Best solution found (present for `Optimal` and `Feasible`).
     pub solution: Option<Solution>,
-    /// Branch-and-bound nodes explored.
+    /// Branch-and-bound nodes explored (all threads).
     pub nodes: usize,
     /// Total LP relaxations solved (including heuristic dives).
     pub lp_solves: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// Per-thread counts, incumbent timeline, final gap.
+    pub telemetry: SolveTelemetry,
 }
 
 /// Solve with default options.
@@ -82,84 +117,54 @@ pub fn solve(model: &Model) -> Result<MipOutcome, LpError> {
     solve_with(model, &SolveOptions::default())
 }
 
-struct Node {
-    bounds: Vec<(f64, f64)>,
+pub(crate) struct Node {
+    pub bounds: Vec<(f64, f64)>,
     /// LP bound inherited from the parent (in "higher is better" score).
-    parent_score: f64,
+    pub parent_score: f64,
 }
 
-/// Solve `model` to proven optimality (subject to limits).
-pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpError> {
-    let start = Instant::now();
-    let sgn = match model.sense() {
-        Sense::Maximize => 1.0,
-        Sense::Minimize => -1.0,
-    };
+/// Shared per-solve context: the model, options, the sense sign that maps
+/// objectives into "higher is better" scores, and the branch ordering.
+pub(crate) struct SearchCtx<'a> {
+    pub model: &'a Model,
+    pub opts: &'a SolveOptions,
+    pub sgn: f64,
+    pub int_vars: Vec<usize>,
+    pub start: Instant,
+}
 
-    let root_bounds = match presolve(model) {
-        Presolved::Bounds(b) => b,
-        Presolved::Infeasible { .. } => {
-            return Ok(MipOutcome {
-                status: SolveStatus::Infeasible,
-                solution: None,
-                nodes: 0,
-                lp_solves: 0,
-                elapsed: start.elapsed(),
-            });
-        }
-    };
-
-    let mut lp_solves = 0usize;
-    let mut nodes = 0usize;
-    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (score, values)
-
-    // Seed the incumbent from a caller-provided warm start, if feasible.
-    if let Some(ws) = &opts.warm_start {
-        if ws.len() != model.num_vars() {
-            if std::env::var("ILP_DEBUG").is_ok() {
-                eprintln!("warm start: wrong length {} vs {}", ws.len(), model.num_vars());
-            }
-        } else {
-            match model.check_feasible(ws, 1e-5) {
-                Ok(()) => {
-                    incumbent = Some((sgn * model.objective_value(ws), ws.clone()));
-                    if std::env::var("ILP_DEBUG").is_ok() {
-                        eprintln!("warm start accepted: obj {}", model.objective_value(ws));
-                    }
-                }
-                Err(e) => {
-                    if std::env::var("ILP_DEBUG").is_ok() {
-                        eprintln!("warm start rejected: {e}");
-                    }
-                }
-            }
-        }
+impl<'a> SearchCtx<'a> {
+    pub fn new(model: &'a Model, opts: &'a SolveOptions) -> Self {
+        let sgn = match model.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        // Integral variables, binaries first so we branch on placements
+        // before memory sizes.
+        let mut int_vars: Vec<usize> = model
+            .vars()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_integral())
+            .map(|(j, _)| j)
+            .collect();
+        int_vars.sort_by_key(|&j| match model.var(crate::VarId(j)).kind {
+            VarKind::Binary => 0u8,
+            VarKind::Integer => 1,
+            VarKind::Continuous => 2,
+        });
+        SearchCtx { model, opts, sgn, int_vars, start: Instant::now() }
     }
 
-    // Integral variables, binaries first so we branch on placements before
-    // memory sizes.
-    let mut int_vars: Vec<usize> = model
-        .vars()
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.is_integral())
-        .map(|(j, _)| j)
-        .collect();
-    int_vars.sort_by_key(|&j| match model.var(crate::VarId(j)).kind {
-        VarKind::Binary => 0u8,
-        VarKind::Integer => 1,
-        VarKind::Continuous => 2,
-    });
-
-    let frac_of = |x: f64| (x - x.round()).abs();
-    // Selection key: highest branch priority, then binaries before general
-    // integers, then most fractional.
-    let pick_branch_var = |x: &[f64], tol: f64| -> Option<(usize, f64)> {
+    /// Selection key: highest branch priority, then binaries before
+    /// general integers, then most fractional.
+    pub fn pick_branch_var(&self, x: &[f64], tol: f64) -> Option<(usize, f64)> {
+        let frac_of = |v: f64| (v - v.round()).abs();
         let mut best: Option<(usize, (i32, u8, f64))> = None;
-        for &j in &int_vars {
+        for &j in &self.int_vars {
             let f = frac_of(x[j]);
             if f > tol {
-                let var = model.var(crate::VarId(j));
+                let var = self.model.var(crate::VarId(j));
                 let class = match var.kind {
                     VarKind::Binary => 0u8,
                     _ => 1,
@@ -173,54 +178,143 @@ pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpEr
             }
         }
         best.map(|(j, _)| (j, x[j]))
-    };
+    }
 
-    let snap = |x: &[f64]| -> Vec<f64> {
+    /// Round every integral variable to the nearest integer.
+    pub fn snap(&self, x: &[f64]) -> Vec<f64> {
         x.iter()
             .enumerate()
-            .map(|(j, &v)| if model.var(crate::VarId(j)).is_integral() { v.round() } else { v })
+            .map(|(j, &v)| {
+                if self.model.var(crate::VarId(j)).is_integral() {
+                    v.round()
+                } else {
+                    v
+                }
+            })
             .collect()
+    }
+
+    /// Map an internal score back to objective units.
+    pub fn score_to_objective(&self, score: f64) -> f64 {
+        self.sgn * score
+    }
+
+    /// The prune threshold against an incumbent score.
+    pub fn prune_gap(&self, inc_score: f64) -> f64 {
+        self.opts.gap_tol.max(self.opts.rel_gap * inc_score.abs())
+    }
+}
+
+/// Everything the tree search needs after the root phase: tightened
+/// bounds, the root LP score, the seeded incumbent, and the LP/event
+/// bookkeeping accumulated so far (all attributed to thread 0).
+pub(crate) struct Prepared {
+    pub root_bounds: Vec<(f64, f64)>,
+    pub root_score: f64,
+    pub incumbent: Option<(f64, Vec<f64>)>,
+    pub lp_solves: usize,
+    pub events: Vec<IncumbentEvent>,
+}
+
+/// Root phase shared by the sequential and parallel searches: presolve,
+/// warm start, root LP, integrality shortcut, diving heuristic. Identical
+/// to the historical sequential behavior (same LP counts, same `nodes`
+/// values in the early returns).
+enum RootPhase {
+    Done(MipOutcome),
+    Search(Prepared),
+}
+
+fn root_phase(ctx: &SearchCtx<'_>) -> Result<RootPhase, LpError> {
+    let model = ctx.model;
+    let opts = ctx.opts;
+    let threads = opts.effective_threads();
+    let trivial = |nodes: usize, lp_solves: usize, status: SolveStatus, start: Instant| {
+        let mut telemetry = SolveTelemetry::trivial(threads, opts.deterministic);
+        if let Some(t0) = telemetry.per_thread.first_mut() {
+            t0.nodes = nodes;
+            t0.lp_solves = lp_solves;
+        }
+        MipOutcome {
+            status,
+            solution: None,
+            nodes,
+            lp_solves,
+            elapsed: start.elapsed(),
+            telemetry,
+        }
     };
 
-    // --- Root LP ---
-    let root_lp = {
-        lp_solves += 1;
-        solve_lp(model, &root_bounds)?
+    let root_bounds = match presolve(model) {
+        Presolved::Bounds(b) => b,
+        Presolved::Infeasible { .. } => {
+            return Ok(RootPhase::Done(trivial(0, 0, SolveStatus::Infeasible, ctx.start)));
+        }
     };
+
+    let mut lp_solves = 0usize;
+    let mut events = Vec::new();
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+
+    // Seed the incumbent from a caller-provided warm start, if feasible.
+    if let Some(ws) = &opts.warm_start {
+        if ws.len() != model.num_vars() {
+            if std::env::var("ILP_DEBUG").is_ok() {
+                eprintln!("warm start: wrong length {} vs {}", ws.len(), model.num_vars());
+            }
+        } else {
+            match model.check_feasible(ws, 1e-5) {
+                Ok(()) => {
+                    let obj = model.objective_value(ws);
+                    incumbent = Some((ctx.sgn * obj, ws.clone()));
+                    events.push(IncumbentEvent {
+                        elapsed: ctx.start.elapsed(),
+                        objective: obj,
+                        thread: 0,
+                        source: IncumbentSource::WarmStart,
+                    });
+                    if std::env::var("ILP_DEBUG").is_ok() {
+                        eprintln!("warm start accepted: obj {obj}");
+                    }
+                }
+                Err(e) => {
+                    if std::env::var("ILP_DEBUG").is_ok() {
+                        eprintln!("warm start rejected: {e}");
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Root LP ---
+    lp_solves += 1;
+    let root_lp = solve_lp(model, &root_bounds)?;
     let (root_x, root_score) = match root_lp {
         LpResult::Infeasible => {
-            return Ok(MipOutcome {
-                status: SolveStatus::Infeasible,
-                solution: None,
-                nodes: 1,
-                lp_solves,
-                elapsed: start.elapsed(),
-            });
+            return Ok(RootPhase::Done(trivial(1, lp_solves, SolveStatus::Infeasible, ctx.start)));
         }
         LpResult::Unbounded => {
-            return Ok(MipOutcome {
-                status: SolveStatus::Unbounded,
-                solution: None,
-                nodes: 1,
-                lp_solves,
-                elapsed: start.elapsed(),
-            });
+            return Ok(RootPhase::Done(trivial(1, lp_solves, SolveStatus::Unbounded, ctx.start)));
         }
-        LpResult::Optimal { x, obj } => (x, sgn * obj),
+        LpResult::Optimal { x, obj } => (x, ctx.sgn * obj),
     };
 
     // Integral already?
-    if pick_branch_var(&root_x, opts.int_tol).is_none() {
-        let vals = snap(&root_x);
+    if ctx.pick_branch_var(&root_x, opts.int_tol).is_none() {
+        let vals = ctx.snap(&root_x);
         if model.check_feasible(&vals, 1e-5).is_ok() {
             let obj = model.objective_value(&vals);
-            return Ok(MipOutcome {
-                status: SolveStatus::Optimal,
-                solution: Some(Solution { values: vals, objective: obj }),
-                nodes: 1,
-                lp_solves,
-                elapsed: start.elapsed(),
+            let mut out = trivial(1, lp_solves, SolveStatus::Optimal, ctx.start);
+            out.solution = Some(Solution { values: vals, objective: obj });
+            out.telemetry.incumbents.push(IncumbentEvent {
+                elapsed: ctx.start.elapsed(),
+                objective: obj,
+                thread: 0,
+                source: IncumbentSource::Node,
             });
+            out.telemetry.best_bound = Some(obj);
+            out.telemetry.set_gap(Some(obj));
+            return Ok(RootPhase::Done(out));
         }
     }
 
@@ -229,12 +323,19 @@ pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpEr
         let mut dive_bounds = root_bounds.clone();
         let mut cur = root_x.clone();
         for _ in 0..opts.dive_limit {
-            match pick_branch_var(&cur, opts.int_tol) {
+            match ctx.pick_branch_var(&cur, opts.int_tol) {
                 None => {
-                    let vals = snap(&cur);
+                    let vals = ctx.snap(&cur);
                     if model.check_feasible(&vals, 1e-5).is_ok() {
-                        let score = sgn * model.objective_value(&vals);
+                        let obj = model.objective_value(&vals);
+                        let score = ctx.sgn * obj;
                         incumbent = Some((score, vals));
+                        events.push(IncumbentEvent {
+                            elapsed: ctx.start.elapsed(),
+                            objective: obj,
+                            thread: 0,
+                            source: IncumbentSource::Dive,
+                        });
                     }
                     break;
                 }
@@ -266,25 +367,52 @@ pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpEr
         }
     }
 
-    // --- DFS branch and bound ---
+    Ok(RootPhase::Search(Prepared { root_bounds, root_score, incumbent, lp_solves, events }))
+}
+
+/// Solve `model` to proven optimality (subject to limits).
+pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpError> {
+    let ctx = SearchCtx::new(model, opts);
+    let prepared = match root_phase(&ctx)? {
+        RootPhase::Done(out) => return Ok(out),
+        RootPhase::Search(p) => p,
+    };
+    if opts.effective_threads() <= 1 {
+        solve_sequential(&ctx, prepared)
+    } else {
+        crate::parallel::solve_parallel(&ctx, prepared)
+    }
+}
+
+/// The historical depth-first search, byte-for-byte: node order, prune
+/// rules, and incumbent acceptance are unchanged from the single-threaded
+/// solver, so `threads = 1` explores exactly the same tree it always did.
+fn solve_sequential(ctx: &SearchCtx<'_>, prepared: Prepared) -> Result<MipOutcome, LpError> {
+    let model = ctx.model;
+    let opts = ctx.opts;
+    let Prepared { root_bounds, root_score, mut incumbent, mut lp_solves, mut events } = prepared;
+
+    let mut nodes = 0usize;
     let mut stack: Vec<Node> = vec![Node { bounds: root_bounds, parent_score: root_score }];
     let mut proven = true;
+    let mut remaining_bound: Option<f64> = None;
 
     while let Some(node) = stack.pop() {
         if nodes >= opts.node_limit {
             proven = false;
+            stack.push(node);
             break;
         }
         if let Some(limit) = opts.time_limit {
-            if start.elapsed() > limit {
+            if ctx.start.elapsed() > limit {
                 proven = false;
+                stack.push(node);
                 break;
             }
         }
         // Parent-bound prune (cheap, before the LP).
         if let Some((inc_score, _)) = &incumbent {
-            let gap = opts.gap_tol.max(opts.rel_gap * inc_score.abs());
-            if node.parent_score <= *inc_score + gap {
+            if node.parent_score <= *inc_score + ctx.prune_gap(*inc_score) {
                 continue;
             }
         }
@@ -294,29 +422,38 @@ pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpEr
         let (x, score) = match lp {
             LpResult::Infeasible => continue,
             LpResult::Unbounded => {
+                let mut telemetry = SolveTelemetry::trivial(1, opts.deterministic);
+                telemetry.per_thread[0] = ThreadTelemetry { thread: 0, nodes, lp_solves };
+                telemetry.incumbents = events;
                 return Ok(MipOutcome {
                     status: SolveStatus::Unbounded,
                     solution: None,
                     nodes,
                     lp_solves,
-                    elapsed: start.elapsed(),
+                    elapsed: ctx.start.elapsed(),
+                    telemetry,
                 });
             }
-            LpResult::Optimal { x, obj } => (x, sgn * obj),
+            LpResult::Optimal { x, obj } => (x, ctx.sgn * obj),
         };
         if let Some((inc_score, _)) = &incumbent {
-            let gap = opts.gap_tol.max(opts.rel_gap * inc_score.abs());
-            if score <= *inc_score + gap {
+            if score <= *inc_score + ctx.prune_gap(*inc_score) {
                 continue;
             }
         }
-        match pick_branch_var(&x, opts.int_tol) {
+        match ctx.pick_branch_var(&x, opts.int_tol) {
             None => {
-                let vals = snap(&x);
+                let vals = ctx.snap(&x);
                 if model.check_feasible(&vals, 1e-5).is_ok() {
-                    let s = sgn * model.objective_value(&vals);
-                    let better = incumbent.as_ref().map_or(true, |(b, _)| s > *b + 1e-12);
+                    let s = ctx.sgn * model.objective_value(&vals);
+                    let better = incumbent.as_ref().is_none_or(|(b, _)| s > *b + 1e-12);
                     if better {
+                        events.push(IncumbentEvent {
+                            elapsed: ctx.start.elapsed(),
+                            objective: ctx.score_to_objective(s),
+                            thread: 0,
+                            source: IncumbentSource::Node,
+                        });
                         incumbent = Some((s, vals));
                     }
                 }
@@ -345,29 +482,67 @@ pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpEr
             }
         }
     }
+    if !proven {
+        // Bound on anything still unexplored (for gap reporting).
+        remaining_bound = stack
+            .iter()
+            .map(|n| n.parent_score)
+            .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))));
+    }
 
-    let elapsed = start.elapsed();
+    let elapsed = ctx.start.elapsed();
+    let mut telemetry = SolveTelemetry::trivial(1, opts.deterministic);
+    telemetry.per_thread[0] = ThreadTelemetry { thread: 0, nodes, lp_solves };
+    telemetry.incumbents = events;
+    finish(ctx, incumbent, proven, nodes, lp_solves, elapsed, remaining_bound, telemetry)
+}
+
+/// Assemble the final outcome from the incumbent and proof state (shared
+/// by the sequential and parallel searches).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish(
+    ctx: &SearchCtx<'_>,
+    incumbent: Option<(f64, Vec<f64>)>,
+    proven: bool,
+    nodes: usize,
+    lp_solves: usize,
+    elapsed: Duration,
+    remaining_bound: Option<f64>,
+    mut telemetry: SolveTelemetry,
+) -> Result<MipOutcome, LpError> {
     match incumbent {
-        Some((_, values)) => {
-            let objective = model.objective_value(&values);
+        Some((inc_score, values)) => {
+            let objective = ctx.model.objective_value(&values);
+            telemetry.best_bound = Some(if proven {
+                objective
+            } else {
+                // The true optimum is bracketed by the incumbent and the
+                // best unexplored bound.
+                ctx.score_to_objective(remaining_bound.map_or(inc_score, |b| b.max(inc_score)))
+            });
+            telemetry.set_gap(Some(objective));
             Ok(MipOutcome {
                 status: if proven { SolveStatus::Optimal } else { SolveStatus::Feasible },
                 solution: Some(Solution { values, objective }),
                 nodes,
                 lp_solves,
                 elapsed,
+                telemetry,
             })
         }
-        None => Ok(MipOutcome {
-            status: if proven { SolveStatus::Infeasible } else { SolveStatus::Unknown },
-            solution: None,
-            nodes,
-            lp_solves,
-            elapsed,
-        }),
+        None => {
+            telemetry.best_bound = remaining_bound.map(|b| ctx.score_to_objective(b));
+            Ok(MipOutcome {
+                status: if proven { SolveStatus::Infeasible } else { SolveStatus::Unknown },
+                solution: None,
+                nodes,
+                lp_solves,
+                elapsed,
+                telemetry,
+            })
+        }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +691,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // stage loops mirror the math
     fn placement_like_structure() {
         // Mimic a tiny stage-placement ILP: two actions, three stages,
         // precedence a before b, maximize placements.
@@ -543,6 +719,76 @@ mod tests {
         let a_stage = (0..3).find(|&s| sol.int_value(a[s]) == 1).unwrap();
         let b_stage = (0..3).find(|&s| sol.int_value(b[s]) == 1).unwrap();
         assert!(a_stage < b_stage);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        let auto = SolveOptions { threads: 0, ..Default::default() };
+        assert!(auto.effective_threads() >= 1);
+        let one = SolveOptions { threads: 1, ..Default::default() };
+        assert_eq!(one.effective_threads(), 1);
+        let four = SolveOptions { threads: 4, ..Default::default() };
+        assert_eq!(four.effective_threads(), 4);
+    }
+
+    #[test]
+    fn sequential_solve_is_reproducible() {
+        // The threads = 1 path is the historical DFS: two runs must agree
+        // on everything the search determines — node count, LP count,
+        // objective, and the value vector.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..12).map(|i| m.binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            cap += LinExpr::term(x, ((i * 3 + 2) % 7 + 1) as f64);
+            obj += LinExpr::term(x, ((i * 5 + 1) % 9 + 1) as f64);
+        }
+        m.le("cap", cap, 15.0);
+        m.set_objective(obj, Sense::Maximize);
+        let opts = SolveOptions { threads: 1, ..Default::default() };
+        let a = solve_with(&m, &opts).unwrap();
+        let b = solve_with(&m, &opts).unwrap();
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.lp_solves, b.lp_solves);
+        assert_eq!(a.solution.as_ref().unwrap().values, b.solution.as_ref().unwrap().values);
+        // Sequential telemetry attributes everything to thread 0.
+        assert_eq!(a.telemetry.threads, 1);
+        assert_eq!(a.telemetry.per_thread[0].nodes, a.nodes);
+        assert_eq!(a.telemetry.per_thread[0].lp_solves, a.lp_solves);
+        assert!(a.telemetry.gap_abs.is_some());
+    }
+
+    #[test]
+    fn telemetry_records_incumbent_timeline_and_gap() {
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..10).map(|i| m.binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            cap += LinExpr::term(x, (i % 4 + 1) as f64 + 0.5);
+            obj += LinExpr::term(x, (i % 6 + 1) as f64);
+        }
+        m.le("cap", cap, 11.0);
+        m.set_objective(obj, Sense::Maximize);
+        let out = solve_with(&m, &SolveOptions { threads: 1, ..Default::default() }).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal);
+        let tel = &out.telemetry;
+        assert!(!tel.incumbents.is_empty(), "an optimal solve must log its incumbent");
+        // The last incumbent is the returned solution.
+        let last = tel.incumbents.last().unwrap();
+        let obj_val = out.solution.as_ref().unwrap().objective;
+        assert!((last.objective - obj_val).abs() < 1e-9);
+        // Improvements are monotone for a maximization.
+        for w in tel.incumbents.windows(2) {
+            assert!(w[1].objective >= w[0].objective - 1e-12);
+        }
+        // Proven optimal: zero gap, bound equals the objective.
+        assert_eq!(tel.best_bound, Some(obj_val));
+        assert_eq!(tel.gap_abs, Some(0.0));
+        let summary = tel.summary();
+        assert!(summary.contains("threads: 1"), "summary was:\n{summary}");
+        assert!(summary.contains("incumbents"), "summary was:\n{summary}");
     }
 }
 

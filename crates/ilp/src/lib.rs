@@ -5,8 +5,11 @@
 //! memory, and metadata allocation. The paper used the Gurobi Optimizer;
 //! this crate is a self-contained replacement: a model-building API, a
 //! bound-propagation presolve, a bounded-variable two-phase primal simplex
-//! for LP relaxations, and a depth-first branch-and-bound with a root
-//! diving heuristic.
+//! for LP relaxations, and a branch-and-bound with a root diving
+//! heuristic — depth-first when single-threaded, best-first over a shared
+//! frontier when [`SolveOptions::threads`] asks for parallelism. Every
+//! solve records [`SolveTelemetry`] (per-thread node and LP counts, the
+//! incumbent timeline, and the final optimality gap).
 //!
 //! The solver is exact: when it reports [`SolveStatus::Optimal`], the
 //! returned solution maximizes (or minimizes) the objective over all
@@ -34,10 +37,13 @@
 pub mod branch;
 pub mod lpwrite;
 pub mod model;
+pub mod parallel;
 pub mod presolve;
 pub mod simplex;
+pub mod telemetry;
 
 pub use branch::{solve, solve_with, MipOutcome, SolveOptions, SolveStatus};
+pub use telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry, ThreadTelemetry};
 pub use model::{
     brute_force, Cmp, Constraint, LinExpr, Model, ModelStats, Sense, Solution, VarId, VarKind,
     Variable,

@@ -1,0 +1,685 @@
+//! Parallel best-first branch-and-bound.
+//!
+//! Two execution modes, selected by [`SolveOptions::deterministic`]:
+//!
+//! * **Deterministic rounds** (default): workers synchronize on a barrier.
+//!   Each round the orchestrating thread pops the best `T` frontier nodes
+//!   (bound-ordered), hands node `i` to worker `i`, and after the barrier
+//!   applies all results *in batch order*. Incumbent ties are broken
+//!   lexicographically on the value vector, so the outcome is a pure
+//!   function of (model, options, threads) — independent of how the OS
+//!   schedules the workers.
+//!
+//! * **Free-running**: workers pull from a shared `Mutex`-guarded frontier
+//!   and publish incumbents through the same lock, sleeping on a `Condvar`
+//!   when the frontier is empty. Termination is by idle counting: when all
+//!   `T` workers are simultaneously out of work the tree is exhausted.
+//!   Highest throughput, but node counts and equal-objective tie-breaks
+//!   depend on scheduling.
+//!
+//! Both modes prune against the shared incumbent with the same
+//! `gap_tol`/`rel_gap` rules as the sequential search and honor the global
+//! node and time budgets. The sequential path in [`crate::branch`] never
+//! enters this module.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::branch::{finish, MipOutcome, Node, Prepared, SearchCtx, SolveStatus};
+use crate::model::Model;
+use crate::simplex::{solve_lp, LpError, LpResult};
+use crate::telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry, ThreadTelemetry};
+
+/// Frontier entry: best-first on the inherited LP bound, FIFO on the
+/// insertion sequence for ties so the heap order is total and reproducible.
+struct HeapNode {
+    node: Node,
+    seq: u64,
+}
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for HeapNode {}
+
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Higher bound wins; on equal bounds the older node wins (so the
+        // child "nearest the LP value" keeps the priority it had in the
+        // sequential search).
+        self.node
+            .parent_score
+            .total_cmp(&other.node.parent_score)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Strict lexicographic order on value vectors (the deterministic
+/// tie-break for incumbents with equal objective).
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        match x.partial_cmp(y) {
+            Some(std::cmp::Ordering::Less) => return true,
+            Some(std::cmp::Ordering::Greater) => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Does a candidate (score, values) replace the incumbent? Strict
+/// improvement always does; in deterministic mode an exact tie goes to the
+/// lexicographically smaller value vector so thread scheduling cannot pick
+/// the winner.
+fn improves(deterministic: bool, s: f64, vals: &[f64], inc: &Option<(f64, Vec<f64>)>) -> bool {
+    match inc {
+        None => true,
+        Some((b, bvals)) => {
+            s > *b + 1e-12 || (deterministic && (s - *b).abs() <= 1e-12 && lex_less(vals, bvals))
+        }
+    }
+}
+
+/// Push both children of a branching decision onto the frontier. Mirrors
+/// the sequential child construction: bound variable `j` down to
+/// `floor(v)` / up to `floor(v) + 1`, nearest-to-LP child first (it gets
+/// the smaller sequence number, hence priority on bound ties).
+fn push_children(
+    heap: &mut BinaryHeap<HeapNode>,
+    next_seq: &mut u64,
+    bounds: &[(f64, f64)],
+    j: usize,
+    v: f64,
+    score: f64,
+) -> usize {
+    let floor = v.floor();
+    let mut down = bounds.to_vec();
+    down[j].1 = down[j].1.min(floor);
+    let mut up = bounds.to_vec();
+    up[j].0 = up[j].0.max(floor + 1.0);
+    let (near, far) = if v - floor <= 0.5 { (down, up) } else { (up, down) };
+    let mut pushed = 0;
+    for child in [near, far] {
+        if child[j].0 <= child[j].1 {
+            heap.push(HeapNode {
+                node: Node { bounds: child, parent_score: score },
+                seq: *next_seq,
+            });
+            *next_seq += 1;
+            pushed += 1;
+        }
+    }
+    pushed
+}
+
+/// Entry point from [`crate::branch::solve_with`] for `threads > 1`.
+pub(crate) fn solve_parallel(
+    ctx: &SearchCtx<'_>,
+    prepared: Prepared,
+) -> Result<MipOutcome, LpError> {
+    let threads = ctx.opts.effective_threads();
+    debug_assert!(threads > 1);
+    if ctx.opts.deterministic {
+        solve_deterministic(ctx, prepared, threads)
+    } else {
+        solve_free(ctx, prepared, threads)
+    }
+}
+
+fn make_telemetry(
+    ctx: &SearchCtx<'_>,
+    threads: usize,
+    per_thread: &[(usize, usize)],
+    events: Vec<IncumbentEvent>,
+) -> SolveTelemetry {
+    let mut t = SolveTelemetry::trivial(threads, ctx.opts.deterministic);
+    for (w, &(nodes, lps)) in per_thread.iter().enumerate() {
+        t.per_thread[w] = ThreadTelemetry { thread: w, nodes, lp_solves: lps };
+    }
+    t.incumbents = events;
+    t
+}
+
+fn unbounded_outcome(
+    ctx: &SearchCtx<'_>,
+    threads: usize,
+    per_thread: &[(usize, usize)],
+    events: Vec<IncumbentEvent>,
+) -> MipOutcome {
+    let telemetry = make_telemetry(ctx, threads, per_thread, events);
+    MipOutcome {
+        status: SolveStatus::Unbounded,
+        solution: None,
+        nodes: telemetry.total_nodes(),
+        lp_solves: telemetry.total_lp_solves(),
+        elapsed: ctx.start.elapsed(),
+        telemetry,
+    }
+}
+
+// --------------------------------------------------------------------
+// Deterministic rounds
+// --------------------------------------------------------------------
+
+/// Round-synchronized parallel search. The orchestrating thread is worker
+/// 0; workers `1..T` each solve at most one LP per round. Two barrier
+/// waits per round: one after the batch is published, one after all
+/// results are in. All frontier and incumbent mutation happens on the
+/// orchestrating thread, in batch order — that is what makes the search a
+/// pure function of its inputs.
+fn solve_deterministic(
+    ctx: &SearchCtx<'_>,
+    prepared: Prepared,
+    threads: usize,
+) -> Result<MipOutcome, LpError> {
+    let model = ctx.model;
+    let opts = ctx.opts;
+    let Prepared { root_bounds, root_score, mut incumbent, lp_solves: root_lps, mut events } =
+        prepared;
+
+    let mut heap = BinaryHeap::new();
+    let mut next_seq = 1u64;
+    heap.push(HeapNode { node: Node { bounds: root_bounds, parent_score: root_score }, seq: 0 });
+
+    // Per-worker (nodes, lp_solves); worker 0 also owns the root phase.
+    let mut per_thread = vec![(0usize, 0usize); threads];
+    per_thread[0].1 = root_lps;
+
+    // Worker mailboxes: slot w holds the bounds worker w must relax, then
+    // the LP result it produced. Only worker w and the orchestrator touch
+    // slot w, and never in the same barrier phase.
+    type InSlot = Mutex<Option<Vec<(f64, f64)>>>;
+    type OutSlot = Mutex<Option<Result<LpResult, LpError>>>;
+    let in_slots: Vec<InSlot> = (0..threads).map(|_| Mutex::new(None)).collect();
+    let out_slots: Vec<OutSlot> = (0..threads).map(|_| Mutex::new(None)).collect();
+    let barrier = Barrier::new(threads);
+    let done = AtomicBool::new(false);
+
+    let mut proven = true;
+    let mut final_err: Option<LpError> = None;
+    let mut unbounded = false;
+
+    std::thread::scope(|s| {
+        for w in 1..threads {
+            let in_slot = &in_slots[w];
+            let out_slot = &out_slots[w];
+            let barrier = &barrier;
+            let done = &done;
+            s.spawn(move || loop {
+                barrier.wait(); // round start: batch published
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                let job = in_slot.lock().unwrap().take();
+                if let Some(bounds) = job {
+                    let res = solve_lp(model, &bounds);
+                    *out_slot.lock().unwrap() = Some(res);
+                }
+                barrier.wait(); // round end: results published
+            });
+        }
+
+        // Orchestrator (worker 0).
+        let release_workers = |done: &AtomicBool, barrier: &Barrier| {
+            done.store(true, Ordering::Release);
+            barrier.wait();
+        };
+        loop {
+            let nodes_so_far: usize = per_thread.iter().map(|p| p.0).sum();
+            let time_up = opts
+                .time_limit
+                .map(|l| ctx.start.elapsed() > l)
+                .unwrap_or(false);
+            if (nodes_so_far >= opts.node_limit || time_up) && !heap.is_empty() {
+                proven = false;
+                release_workers(&done, &barrier);
+                break;
+            }
+            // Assemble the round's batch: the best frontier nodes that
+            // survive the parent-bound prune (dropped nodes are not
+            // counted, matching the sequential `continue`).
+            let batch_cap = threads.min(opts.node_limit - nodes_so_far);
+            let mut batch: Vec<Node> = Vec::with_capacity(batch_cap);
+            while batch.len() < batch_cap {
+                let Some(hn) = heap.pop() else { break };
+                if let Some((inc_score, _)) = &incumbent {
+                    if hn.node.parent_score <= *inc_score + ctx.prune_gap(*inc_score) {
+                        continue;
+                    }
+                }
+                batch.push(hn.node);
+            }
+            if batch.is_empty() {
+                // Frontier exhausted: optimality (or infeasibility) proven.
+                release_workers(&done, &barrier);
+                break;
+            }
+            for (i, node) in batch.iter().enumerate() {
+                per_thread[i].0 += 1;
+                per_thread[i].1 += 1;
+                if i > 0 {
+                    *in_slots[i].lock().unwrap() = Some(node.bounds.clone());
+                }
+            }
+            barrier.wait(); // round start
+            let own = solve_lp(model, &batch[0].bounds);
+            *out_slots[0].lock().unwrap() = Some(own);
+            barrier.wait(); // round end
+
+            // Apply results strictly in batch order.
+            for (i, node) in batch.iter().enumerate() {
+                let res = out_slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("worker published no result");
+                let (x, score) = match res {
+                    Err(e) => {
+                        final_err = Some(e);
+                        break;
+                    }
+                    Ok(LpResult::Infeasible) => continue,
+                    Ok(LpResult::Unbounded) => {
+                        unbounded = true;
+                        break;
+                    }
+                    Ok(LpResult::Optimal { x, obj }) => (x, ctx.sgn * obj),
+                };
+                if let Some((inc_score, _)) = &incumbent {
+                    if score <= *inc_score + ctx.prune_gap(*inc_score) {
+                        continue;
+                    }
+                }
+                match ctx.pick_branch_var(&x, opts.int_tol) {
+                    None => {
+                        let vals = ctx.snap(&x);
+                        if model.check_feasible(&vals, 1e-5).is_ok() {
+                            let s = ctx.sgn * model.objective_value(&vals);
+                            if improves(true, s, &vals, &incumbent) {
+                                events.push(IncumbentEvent {
+                                    elapsed: ctx.start.elapsed(),
+                                    objective: ctx.score_to_objective(s),
+                                    thread: i,
+                                    source: IncumbentSource::Node,
+                                });
+                                incumbent = Some((s, vals));
+                            }
+                        }
+                    }
+                    Some((j, v)) => {
+                        push_children(&mut heap, &mut next_seq, &node.bounds, j, v, score);
+                    }
+                }
+            }
+            if final_err.is_some() || unbounded {
+                release_workers(&done, &barrier);
+                break;
+            }
+        }
+    });
+
+    if let Some(e) = final_err {
+        return Err(e);
+    }
+    if unbounded {
+        return Ok(unbounded_outcome(ctx, threads, &per_thread, events));
+    }
+
+    let remaining_bound = if proven {
+        None
+    } else {
+        heap.iter()
+            .map(|hn| hn.node.parent_score)
+            .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+    };
+    let nodes: usize = per_thread.iter().map(|p| p.0).sum();
+    let lp_solves: usize = per_thread.iter().map(|p| p.1).sum();
+    let telemetry = make_telemetry(ctx, threads, &per_thread, events);
+    finish(ctx, incumbent, proven, nodes, lp_solves, ctx.start.elapsed(), remaining_bound, telemetry)
+}
+
+// --------------------------------------------------------------------
+// Free-running work stealing
+// --------------------------------------------------------------------
+
+/// Everything the free-running workers share, behind one mutex: the
+/// bound-ordered frontier, the incumbent cell, counters, and shutdown
+/// flags. Workers hold the lock only between LP solves.
+struct FreeShared {
+    heap: BinaryHeap<HeapNode>,
+    next_seq: u64,
+    incumbent: Option<(f64, Vec<f64>)>,
+    events: Vec<IncumbentEvent>,
+    /// Per-worker (nodes, lp_solves).
+    per_thread: Vec<(usize, usize)>,
+    /// Workers currently waiting for the frontier to refill.
+    idle: usize,
+    done: bool,
+    hit_limit: bool,
+    unbounded: bool,
+    error: Option<LpError>,
+}
+
+fn solve_free(
+    ctx: &SearchCtx<'_>,
+    prepared: Prepared,
+    threads: usize,
+) -> Result<MipOutcome, LpError> {
+    let opts = ctx.opts;
+    let Prepared { root_bounds, root_score, incumbent, lp_solves: root_lps, events } = prepared;
+
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapNode { node: Node { bounds: root_bounds, parent_score: root_score }, seq: 0 });
+    let mut per_thread = vec![(0usize, 0usize); threads];
+    per_thread[0].1 = root_lps;
+
+    let shared = Mutex::new(FreeShared {
+        heap,
+        next_seq: 1,
+        incumbent,
+        events,
+        per_thread,
+        idle: 0,
+        done: false,
+        hit_limit: false,
+        unbounded: false,
+        error: None,
+    });
+    let cv = Condvar::new();
+
+    std::thread::scope(|s| {
+        for w in 1..threads {
+            let shared = &shared;
+            let cv = &cv;
+            s.spawn(move || free_worker(ctx, shared, cv, w, opts.node_limit, ctx.start));
+        }
+        free_worker(ctx, &shared, &cv, 0, opts.node_limit, ctx.start);
+    });
+
+    let g = shared.into_inner().unwrap();
+    if let Some(e) = g.error {
+        return Err(e);
+    }
+    if g.unbounded {
+        return Ok(unbounded_outcome(ctx, threads, &g.per_thread, g.events));
+    }
+    let proven = !g.hit_limit;
+    let remaining_bound = if proven {
+        None
+    } else {
+        g.heap
+            .iter()
+            .map(|hn| hn.node.parent_score)
+            .fold(None, |acc: Option<f64>, sc| Some(acc.map_or(sc, |a| a.max(sc))))
+    };
+    let nodes: usize = g.per_thread.iter().map(|p| p.0).sum();
+    let lp_solves: usize = g.per_thread.iter().map(|p| p.1).sum();
+    let telemetry = make_telemetry(ctx, threads, &g.per_thread, g.events);
+    finish(
+        ctx,
+        g.incumbent,
+        proven,
+        nodes,
+        lp_solves,
+        ctx.start.elapsed(),
+        remaining_bound,
+        telemetry,
+    )
+}
+
+/// One free-running worker: pop the best node, relax it outside the lock,
+/// publish children and incumbents back under the lock. Sleeps on the
+/// condvar when the frontier is dry; the solve ends when all workers are
+/// idle at once (tree exhausted) or a budget / unbounded / error shutdown
+/// is flagged.
+fn free_worker(
+    ctx: &SearchCtx<'_>,
+    shared: &Mutex<FreeShared>,
+    cv: &Condvar,
+    w: usize,
+    node_limit: usize,
+    start: Instant,
+) {
+    let model: &Model = ctx.model;
+    let opts = ctx.opts;
+    let mut g = shared.lock().unwrap();
+    loop {
+        if g.done {
+            break;
+        }
+        match g.heap.pop() {
+            Some(hn) => {
+                if let Some((inc_score, _)) = &g.incumbent {
+                    if hn.node.parent_score <= *inc_score + ctx.prune_gap(*inc_score) {
+                        continue;
+                    }
+                }
+                let nodes_total: usize = g.per_thread.iter().map(|p| p.0).sum();
+                let time_up = opts.time_limit.map(|l| start.elapsed() > l).unwrap_or(false);
+                if nodes_total >= node_limit || time_up {
+                    g.heap.push(hn);
+                    g.hit_limit = true;
+                    g.done = true;
+                    cv.notify_all();
+                    break;
+                }
+                g.per_thread[w].0 += 1;
+                g.per_thread[w].1 += 1;
+                drop(g);
+                let lp = solve_lp(model, &hn.node.bounds);
+                g = shared.lock().unwrap();
+                match lp {
+                    Err(e) => {
+                        g.error = Some(e);
+                        g.done = true;
+                        cv.notify_all();
+                        break;
+                    }
+                    Ok(LpResult::Infeasible) => continue,
+                    Ok(LpResult::Unbounded) => {
+                        g.unbounded = true;
+                        g.done = true;
+                        cv.notify_all();
+                        break;
+                    }
+                    Ok(LpResult::Optimal { x, obj }) => {
+                        let score = ctx.sgn * obj;
+                        if let Some((inc_score, _)) = &g.incumbent {
+                            if score <= *inc_score + ctx.prune_gap(*inc_score) {
+                                continue;
+                            }
+                        }
+                        match ctx.pick_branch_var(&x, opts.int_tol) {
+                            None => {
+                                let vals = ctx.snap(&x);
+                                if model.check_feasible(&vals, 1e-5).is_ok() {
+                                    let s = ctx.sgn * model.objective_value(&vals);
+                                    if improves(false, s, &vals, &g.incumbent) {
+                                        g.events.push(IncumbentEvent {
+                                            elapsed: start.elapsed(),
+                                            objective: ctx.score_to_objective(s),
+                                            thread: w,
+                                            source: IncumbentSource::Node,
+                                        });
+                                        g.incumbent = Some((s, vals));
+                                    }
+                                }
+                            }
+                            Some((j, v)) => {
+                                let mut seq = g.next_seq;
+                                let pushed = push_children(
+                                    &mut g.heap,
+                                    &mut seq,
+                                    &hn.node.bounds,
+                                    j,
+                                    v,
+                                    score,
+                                );
+                                g.next_seq = seq;
+                                for _ in 0..pushed {
+                                    cv.notify_one();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                g.idle += 1;
+                if g.idle == g.per_thread.len() {
+                    // Every worker is out of work: the tree is exhausted.
+                    g.done = true;
+                    cv.notify_all();
+                    break;
+                }
+                g = cv.wait(g).unwrap();
+                g.idle -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{LinExpr, Model, Sense};
+    use crate::{solve_with, SolveOptions, SolveStatus};
+
+    fn knapsack(n: usize) -> Model {
+        let mut m = Model::new();
+        let mut obj = LinExpr::zero();
+        let mut cap = LinExpr::zero();
+        for i in 0..n {
+            let x = m.binary(format!("x{i}"));
+            obj += LinExpr::term(x, ((i * 7 + 3) % 11 + 1) as f64);
+            cap += LinExpr::term(x, ((i * 5 + 2) % 9 + 1) as f64);
+        }
+        m.le("cap", cap, (2 * n) as f64);
+        m.set_objective(obj, Sense::Maximize);
+        m
+    }
+
+    fn opts(threads: usize, deterministic: bool) -> SolveOptions {
+        SolveOptions { threads, deterministic, ..SolveOptions::default() }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_objective() {
+        let m = knapsack(14);
+        let seq = solve_with(&m, &opts(1, true)).unwrap();
+        assert_eq!(seq.status, SolveStatus::Optimal);
+        let want = seq.solution.as_ref().unwrap().objective;
+        for threads in [2, 3, 4, 8] {
+            for det in [true, false] {
+                let par = solve_with(&m, &opts(threads, det)).unwrap();
+                assert_eq!(par.status, SolveStatus::Optimal, "threads={threads} det={det}");
+                let got = par.solution.as_ref().unwrap().objective;
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "threads={threads} det={det}: {got} != {want}"
+                );
+                assert_eq!(par.telemetry.threads, threads);
+                assert_eq!(par.telemetry.total_nodes(), par.nodes);
+                assert_eq!(par.telemetry.total_lp_solves(), par.lp_solves);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_reproduces_exactly() {
+        let m = knapsack(12);
+        let a = solve_with(&m, &opts(4, true)).unwrap();
+        let b = solve_with(&m, &opts(4, true)).unwrap();
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.nodes, b.nodes, "deterministic mode must explore identical trees");
+        assert_eq!(a.lp_solves, b.lp_solves);
+        assert_eq!(
+            a.solution.as_ref().unwrap().values,
+            b.solution.as_ref().unwrap().values,
+            "deterministic mode must return bit-identical solutions"
+        );
+        assert_eq!(a.telemetry.per_thread, b.telemetry.per_thread);
+    }
+
+    #[test]
+    fn parallel_infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.binary("x");
+        m.ge("impossible", LinExpr::term(x, 1.0), 2.0);
+        m.set_objective(LinExpr::term(x, 1.0), Sense::Maximize);
+        for det in [true, false] {
+            let out = solve_with(&m, &opts(4, det)).unwrap();
+            assert_eq!(out.status, SolveStatus::Infeasible, "det={det}");
+        }
+    }
+
+    #[test]
+    fn parallel_node_limit_reports_feasible_or_unknown() {
+        // Every item weighs 2 against an odd capacity, so the root LP is
+        // always fractional and the search must actually branch.
+        let mut m = Model::new();
+        let mut obj = LinExpr::zero();
+        let mut cap = LinExpr::zero();
+        for i in 0..15 {
+            let x = m.binary(format!("x{i}"));
+            obj += LinExpr::term(x, (i + 1) as f64);
+            cap += LinExpr::term(x, 2.0);
+        }
+        m.le("cap", cap, 9.0);
+        m.set_objective(obj, Sense::Maximize);
+        for det in [true, false] {
+            let out = solve_with(
+                &m,
+                &SolveOptions {
+                    threads: 4,
+                    deterministic: det,
+                    node_limit: 1,
+                    dive_limit: 0,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                matches!(out.status, SolveStatus::Feasible | SolveStatus::Unknown),
+                "det={det}: {:?}",
+                out.status
+            );
+            if out.status == SolveStatus::Feasible {
+                // A budget-limited feasible outcome must report its gap.
+                assert!(out.telemetry.best_bound.is_some(), "det={det}");
+                assert!(out.telemetry.gap_abs.is_some(), "det={det}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_works_in_parallel() {
+        // min 3a + 4b + 5c  s.t. a + b + c >= 2 (binary): optimum 7.
+        let mut m = Model::new();
+        let a = m.binary("a");
+        let b = m.binary("b");
+        let c = m.binary("c");
+        m.ge(
+            "pick2",
+            LinExpr::term(a, 1.0) + LinExpr::term(b, 1.0) + LinExpr::term(c, 1.0),
+            2.0,
+        );
+        m.set_objective(
+            LinExpr::term(a, 3.0) + LinExpr::term(b, 4.0) + LinExpr::term(c, 5.0),
+            Sense::Minimize,
+        );
+        for det in [true, false] {
+            let out = solve_with(&m, &opts(3, det)).unwrap();
+            assert_eq!(out.status, SolveStatus::Optimal, "det={det}");
+            assert!((out.solution.unwrap().objective - 7.0).abs() < 1e-9, "det={det}");
+        }
+    }
+}

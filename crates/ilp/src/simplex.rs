@@ -17,6 +17,10 @@
 //! - Dantzig pricing with an automatic switch to Bland's rule after a run
 //!   of degenerate pivots guarantees termination.
 
+// Indexed `for i in 0..m` loops mirror the textbook simplex notation and
+// often index several arrays in lockstep; iterator chains obscure that.
+#![allow(clippy::needless_range_loop)]
+
 use crate::model::{Cmp, Model, Sense};
 
 /// Outcome of an LP solve.

@@ -1,0 +1,169 @@
+//! Solve telemetry: what the branch-and-bound did, not just what it
+//! returned. Captured by every solve (sequential and parallel) and
+//! surfaced by the CLI's solve summary and the bench harness's
+//! compile-time tables.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Work attributed to one worker thread (thread 0 is the orchestrating
+/// thread and additionally owns the root LP and the diving heuristic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadTelemetry {
+    /// Worker index in `0..threads`.
+    pub thread: usize,
+    /// Branch-and-bound nodes whose LP relaxation this worker solved.
+    pub nodes: usize,
+    /// LP relaxations this worker solved (>= `nodes`: includes the root
+    /// LP and heuristic dives on thread 0).
+    pub lp_solves: usize,
+}
+
+/// One improvement of the best known feasible solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncumbentEvent {
+    /// Wall-clock offset from the start of the solve.
+    pub elapsed: Duration,
+    /// Objective value of the new incumbent (in the model's own units and
+    /// sense — not the internal normalized score).
+    pub objective: f64,
+    /// Worker that produced it (0 for the warm start and the root dive).
+    pub thread: usize,
+    /// Where it came from.
+    pub source: IncumbentSource,
+}
+
+/// Origin of an incumbent improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncumbentSource {
+    /// Caller-provided warm start accepted as feasible.
+    WarmStart,
+    /// The root diving heuristic.
+    Dive,
+    /// An integral branch-and-bound node.
+    Node,
+}
+
+impl fmt::Display for IncumbentSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncumbentSource::WarmStart => write!(f, "warm-start"),
+            IncumbentSource::Dive => write!(f, "dive"),
+            IncumbentSource::Node => write!(f, "node"),
+        }
+    }
+}
+
+/// Full telemetry of one MIP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveTelemetry {
+    /// Worker threads actually used (after resolving `threads = 0`).
+    pub threads: usize,
+    /// Whether the scheduling-independent deterministic mode was active.
+    pub deterministic: bool,
+    /// Per-worker node / LP counts; `per_thread.len() == threads`.
+    pub per_thread: Vec<ThreadTelemetry>,
+    /// Incumbent-improvement timeline, in discovery order.
+    pub incumbents: Vec<IncumbentEvent>,
+    /// Best proven bound on the optimum at exit, in objective units.
+    /// `None` when no bound was established (e.g. infeasible models).
+    pub best_bound: Option<f64>,
+    /// Final absolute optimality gap `|best_bound - incumbent|`
+    /// (0 when proven optimal, `None` without an incumbent or bound).
+    pub gap_abs: Option<f64>,
+    /// Final relative gap, `gap_abs / max(1, |incumbent|)`.
+    pub gap_rel: Option<f64>,
+}
+
+impl SolveTelemetry {
+    /// Telemetry skeleton for a solve that ended before any search
+    /// happened (presolve infeasibility, root infeasible/unbounded).
+    pub fn trivial(threads: usize, deterministic: bool) -> Self {
+        SolveTelemetry {
+            threads,
+            deterministic,
+            per_thread: (0..threads)
+                .map(|t| ThreadTelemetry { thread: t, nodes: 0, lp_solves: 0 })
+                .collect(),
+            incumbents: Vec::new(),
+            best_bound: None,
+            gap_abs: None,
+            gap_rel: None,
+        }
+    }
+
+    /// Fill `gap_abs` / `gap_rel` from `best_bound` and the incumbent
+    /// objective (`None` incumbent leaves the gaps unset).
+    pub fn set_gap(&mut self, incumbent_objective: Option<f64>) {
+        if let (Some(bound), Some(inc)) = (self.best_bound, incumbent_objective) {
+            let gap = (bound - inc).abs();
+            self.gap_abs = Some(gap);
+            self.gap_rel = Some(gap / inc.abs().max(1.0));
+        }
+    }
+
+    /// Human-readable multi-line solve summary (used by `p4allc`).
+    pub fn summary(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "threads: {} ({})",
+            self.threads,
+            if self.threads == 1 {
+                "sequential"
+            } else if self.deterministic {
+                "parallel, deterministic rounds"
+            } else {
+                "parallel, free-running"
+            }
+        );
+        for t in &self.per_thread {
+            let _ = writeln!(
+                s,
+                "  thread {}: {} nodes, {} LP solves",
+                t.thread, t.nodes, t.lp_solves
+            );
+        }
+        if self.incumbents.is_empty() {
+            let _ = writeln!(s, "incumbents: none found");
+        } else {
+            let _ = writeln!(s, "incumbents ({} improvements):", self.incumbents.len());
+            for ev in &self.incumbents {
+                let _ = writeln!(
+                    s,
+                    "  +{:>9.3}s  obj {:<14.6} ({}, thread {})",
+                    ev.elapsed.as_secs_f64(),
+                    ev.objective,
+                    ev.source,
+                    ev.thread
+                );
+            }
+        }
+        match (self.best_bound, self.gap_abs, self.gap_rel) {
+            (Some(b), Some(ga), Some(gr)) => {
+                let _ = writeln!(
+                    s,
+                    "bound: {b:.6}, gap: {ga:.6} abs / {:.4}% rel",
+                    gr * 100.0
+                );
+            }
+            (Some(b), _, _) => {
+                let _ = writeln!(s, "bound: {b:.6} (no incumbent to close the gap)");
+            }
+            _ => {}
+        }
+        s
+    }
+
+    /// Total nodes across workers (should equal `MipOutcome::nodes`).
+    pub fn total_nodes(&self) -> usize {
+        self.per_thread.iter().map(|t| t.nodes).sum()
+    }
+
+    /// Total LP solves across workers (should equal
+    /// `MipOutcome::lp_solves`).
+    pub fn total_lp_solves(&self) -> usize {
+        self.per_thread.iter().map(|t| t.lp_solves).sum()
+    }
+}

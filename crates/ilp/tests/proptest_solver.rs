@@ -1,11 +1,13 @@
 //! Property tests: the branch-and-bound solver must agree with exhaustive
-//! enumeration on randomly generated small MILPs, and presolve must never
-//! change the optimum.
+//! enumeration on randomly generated small MILPs, presolve must never
+//! change the optimum, and the parallel solver must agree with the
+//! sequential one at every thread count and in both execution modes.
 
 use proptest::prelude::*;
 
 use p4all_ilp::{
-    brute_force, presolve, solve, LinExpr, Model, Presolved, Sense, SolveStatus,
+    brute_force, presolve, solve, solve_with, LinExpr, Model, Presolved, Sense, SolveOptions,
+    SolveStatus,
 };
 
 /// Description of one random constraint row.
@@ -101,6 +103,45 @@ proptest! {
                 prop_assert!(m.check_feasible(&got.values, 1e-5).is_ok());
             }
         }
+    }
+
+    /// Differential test: the parallel best-first search (2–8 threads,
+    /// deterministic and free-running) returns the same status and the
+    /// same optimal objective as the sequential depth-first search.
+    #[test]
+    fn parallel_matches_sequential(
+        raw in raw_model_strategy(),
+        threads in 2usize..=8,
+        deterministic in any::<bool>(),
+    ) {
+        let m = build(&raw);
+        let seq = solve_with(&m, &SolveOptions { threads: 1, ..SolveOptions::default() })
+            .expect("sequential solve must not error");
+        let par = solve_with(
+            &m,
+            &SolveOptions { threads, deterministic, ..SolveOptions::default() },
+        )
+        .expect("parallel solve must not error");
+        // These models are tiny and limit-free, so both searches run to
+        // proof: statuses must agree exactly.
+        prop_assert_eq!(par.status, seq.status);
+        match (&seq.solution, &par.solution) {
+            (Some(a), Some(b)) => {
+                prop_assert!(
+                    (a.objective - b.objective).abs() < 1e-6,
+                    "sequential {} vs {} threads {}: {} != {}",
+                    1, threads, if deterministic { "det" } else { "free" },
+                    a.objective, b.objective
+                );
+                prop_assert!(m.check_feasible(&b.values, 1e-5).is_ok());
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "one search found a solution, the other did not"),
+        }
+        // Telemetry bookkeeping must be consistent with the totals.
+        prop_assert_eq!(par.telemetry.threads, threads);
+        prop_assert_eq!(par.telemetry.total_nodes(), par.nodes);
+        prop_assert_eq!(par.telemetry.total_lp_solves(), par.lp_solves);
     }
 
     /// Presolve's tightened bounds never cut off the optimum.

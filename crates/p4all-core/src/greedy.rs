@@ -219,7 +219,7 @@ pub fn place_greedy(
             seen_iter.insert((it.symbolic.clone(), it.index), true);
         }
     }
-    for (sym, _) in &seen_iter {
+    for sym in seen_iter.keys() {
         *live_iters.entry(sym.0.clone()).or_insert(0) = live_iters
             .get(&sym.0)
             .copied()
@@ -256,7 +256,7 @@ pub fn place_greedy(
     }
 
     let mut phv = info.fixed_phv_bits();
-    for ((sym, _), _) in &seen_iter {
+    for (sym, _) in seen_iter.keys() {
         phv += info.meta_chunk_bits(sym);
     }
     usage.phv_elastic_bits = phv;

@@ -22,6 +22,10 @@
 //! variables (products `count * size` of one register array linearize to
 //! total allocated cells).
 
+// Stage-indexed `for s in 0..stages` loops index the placement matrix in
+// lockstep with constraint names; keep the paper notation.
+#![allow(clippy::needless_range_loop)]
+
 use std::collections::BTreeMap;
 
 use p4all_ilp::{LinExpr, Model, Sense, VarId};
@@ -133,8 +137,9 @@ pub fn encode(
     let mut weak_pairs: Vec<(usize, usize)> = Vec::new();
     let mut strict_families: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     {
-        let mut families: BTreeMap<(Vec<String>, Vec<Iter>, String), Vec<(usize, usize)>> =
-            BTreeMap::new();
+        // Constraint family key: (symbolics, iteration space, shape).
+        type FamilyKey = (Vec<String>, Vec<Iter>, String);
+        let mut families: BTreeMap<FamilyKey, Vec<(usize, usize)>> = BTreeMap::new();
         for (g, grp) in groups.iter().enumerate() {
             if grp.iters.is_empty() {
                 continue;
@@ -555,10 +560,7 @@ pub fn linearize(
     e: &Expr,
     span: Span,
 ) -> Result<LinExpr, LangError> {
-    match const_value(e) {
-        Some(c) => return Ok(LinExpr::constant(c)),
-        None => {}
-    }
+    if let Some(c) = const_value(e) { return Ok(LinExpr::constant(c)) }
     match e {
         Expr::Symbolic(name) => match info.roles.get(name) {
             Some(SymRole::Count) => {
@@ -702,6 +704,43 @@ fn add_assume(
     }
 }
 
+/// Translate a (greedy) [`crate::solution::Layout`] into an assignment
+/// vector for this encoding, usable as a branch-and-bound warm start. The
+/// result is only a *candidate* — the solver re-checks feasibility before
+/// adopting it as the incumbent.
+pub fn warm_start_from_layout(enc: &Encoding, layout: &crate::solution::Layout) -> Vec<f64> {
+    let mut vals = vec![0.0; enc.model.num_vars()];
+    for p in &layout.placements {
+        if p.group < enc.x.len() && p.stage < enc.stages {
+            vals[enc.x[p.group][p.stage].index()] = 1.0;
+        }
+    }
+    for (r, ri) in enc.regs.iter().enumerate() {
+        if let Some(alloc) = layout
+            .registers
+            .iter()
+            .find(|a| a.reg == ri.reg && a.instance == ri.instance)
+        {
+            vals[enc.cells[r][alloc.stage].index()] = alloc.cells as f64;
+        }
+    }
+    for ((v, i), &dv) in &enc.d {
+        let live = enc.groups.iter().enumerate().any(|(g, grp)| {
+            grp.iters.iter().any(|it| it.symbolic == *v && it.index == *i)
+                && layout.placements.iter().any(|p| p.group == g)
+        });
+        if live {
+            vals[dv.index()] = 1.0;
+        }
+    }
+    for (sz, &v) in &enc.sizes {
+        let lb = enc.model.var(v).lb;
+        let val = layout.symbol_values.get(sz).copied().unwrap_or(0) as f64;
+        vals[v.index()] = val.max(lb);
+    }
+    vals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -775,7 +814,7 @@ mod tests {
         let sol = out.solution.unwrap();
         let cols = sol.int_value(enc.sizes["cols"]);
         let rows: i64 = enc.d.values().map(|&v| sol.int_value(v)).sum();
-        assert!(rows >= 1 && rows <= 2);
+        assert!((1..=2).contains(&rows));
         assert_eq!(rows * cols, 64, "optimal utility is 64 total counters");
         assert!((sol.objective - (rows * cols) as f64).abs() < 1e-6);
     }
@@ -888,41 +927,4 @@ mod tests {
         let sol = out.solution.unwrap();
         assert_eq!(sol.int_value(enc.sizes["cols"]), 4);
     }
-}
-
-/// Translate a (greedy) [`crate::solution::Layout`] into an assignment
-/// vector for this encoding, usable as a branch-and-bound warm start. The
-/// result is only a *candidate* — the solver re-checks feasibility before
-/// adopting it as the incumbent.
-pub fn warm_start_from_layout(enc: &Encoding, layout: &crate::solution::Layout) -> Vec<f64> {
-    let mut vals = vec![0.0; enc.model.num_vars()];
-    for p in &layout.placements {
-        if p.group < enc.x.len() && p.stage < enc.stages {
-            vals[enc.x[p.group][p.stage].index()] = 1.0;
-        }
-    }
-    for (r, ri) in enc.regs.iter().enumerate() {
-        if let Some(alloc) = layout
-            .registers
-            .iter()
-            .find(|a| a.reg == ri.reg && a.instance == ri.instance)
-        {
-            vals[enc.cells[r][alloc.stage].index()] = alloc.cells as f64;
-        }
-    }
-    for ((v, i), &dv) in &enc.d {
-        let live = enc.groups.iter().enumerate().any(|(g, grp)| {
-            grp.iters.iter().any(|it| it.symbolic == *v && it.index == *i)
-                && layout.placements.iter().any(|p| p.group == g)
-        });
-        if live {
-            vals[dv.index()] = 1.0;
-        }
-    }
-    for (sz, &v) in &enc.sizes {
-        let lb = enc.model.var(v).lb;
-        let val = layout.symbol_values.get(sz).copied().unwrap_or(0) as f64;
-        vals[v.index()] = val.max(lb);
-    }
-    vals
 }

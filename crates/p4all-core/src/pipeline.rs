@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use p4all_ilp::{ModelStats, SolveOptions, SolveStatus};
+use p4all_ilp::{ModelStats, SolveOptions, SolveStatus, SolveTelemetry};
 use p4all_lang::ast::{Expr, Program};
 use p4all_lang::errors::LangError;
 use p4all_pisa::TargetSpec;
@@ -31,11 +31,20 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        let mut solver = SolveOptions::default();
         // Utilities reach 1e7 (memory bits); proving the last millionth of
         // the objective on a flat plateau is wasted work for a compiler.
-        solver.rel_gap = 1e-6;
+        let solver = SolveOptions { rel_gap: 1e-6, ..SolveOptions::default() };
         CompileOptions { max_unroll: DEFAULT_MAX_UNROLL, solver }
+    }
+}
+
+impl CompileOptions {
+    /// Set the solver's worker-thread count (`0` = all available cores,
+    /// `1` = the exact sequential search; see
+    /// [`SolveOptions::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.solver.threads = threads;
+        self
     }
 }
 
@@ -81,11 +90,15 @@ pub struct Timings {
 }
 
 /// MIP solve statistics surfaced in reports.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SolveStats {
     pub status: SolveStatus,
     pub nodes: usize,
     pub lp_solves: usize,
+    /// Full solve telemetry: per-thread node/LP counts, the incumbent
+    /// timeline, and the final optimality gap (the CLI's `--stats` solve
+    /// summary renders this).
+    pub telemetry: SolveTelemetry,
 }
 
 /// A successful compilation.
@@ -183,6 +196,7 @@ impl Compiler {
                 status: out.status,
                 nodes: out.nodes,
                 lp_solves: out.lp_solves,
+                telemetry: out.telemetry,
             },
             timings: Timings {
                 parse: Duration::default(),

@@ -238,11 +238,10 @@ impl Expr {
     /// Collect every symbolic value name referenced by this expression.
     pub fn symbolics(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Symbolic(s) => {
-                if !out.contains(s) {
+            Expr::Symbolic(s)
+                if !out.contains(s) => {
                     out.push(s.clone());
                 }
-            }
             Expr::Meta { index: Some(i), .. } => i.symbolics(out),
             Expr::RegisterRead { instance, cell, .. } => {
                 if let Some(i) = instance {

@@ -776,7 +776,7 @@ impl Parser {
             TokenKind::Ident(name) => {
                 let nspan = self.span();
                 // Resolution order: index variable > symbolic > register read.
-                if self.index_scope.iter().any(|v| *v == name) {
+                if self.index_scope.contains(&name) {
                     self.bump();
                     return Ok(Expr::IndexVar(name));
                 }

@@ -173,7 +173,7 @@ fn build_program(raw: &RawProgram) -> Program {
     for (i, &with_hash) in raw.hash_in_action.iter().enumerate() {
         let reg = format!("r{}", i % raw.reg_bits.len());
         let mut body = Vec::new();
-        if with_hash && raw.meta_bits.len() > 0 {
+        if with_hash && !raw.meta_bits.is_empty() {
             body.push(Stmt::HashAssign {
                 lhs: LValue::Meta {
                     field: "m0".into(),

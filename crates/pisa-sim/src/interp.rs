@@ -441,7 +441,7 @@ impl Switch {
             for a in &actions {
                 if let Some(g) = &a.guard {
                     match self.eval(g) {
-                        Ok(v) if v == 0 => continue,
+                        Ok(0) => continue,
                         Ok(_) => {}
                         Err(e) => {
                             result = Err(e);
@@ -881,7 +881,7 @@ mod tests {
             sw.run_packet().unwrap();
             let est = sw.meta("min").unwrap();
             assert!(
-                est >= count + 1,
+                est > count,
                 "CMS under-estimated key {key}: est {est} < true {count}+1"
             );
         }

@@ -94,7 +94,7 @@ pub fn validate(usage: &PipelineUsage, spec: &TargetSpec) -> Result<(), Vec<Reso
     let mut violations = Vec::new();
     if usage.stages.len() > spec.stages {
         // Only a violation if an overflowing stage is actually used.
-        if usage.last_used_stage().map_or(false, |last| last >= spec.stages) {
+        if usage.last_used_stage().is_some_and(|last| last >= spec.stages) {
             violations.push(ResourceViolation::TooManyStages {
                 used: usage.last_used_stage().unwrap() + 1,
                 available: spec.stages,

@@ -44,7 +44,7 @@ fn main() {
             }
         }
     }
-    reported.sort_by(|a, b| b.1.cmp(&a.1));
+    reported.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
 
     let k = 20;
     let truth = top_k(&trace, k);

@@ -1,0 +1,69 @@
+//! Determinism of the elastic compiler: compiling the same NetCache
+//! program twice at the same thread count must produce byte-identical
+//! layouts and generated P4 — including with the parallel solver, whose
+//! deterministic round mode makes the search a pure function of
+//! (model, options, threads) rather than of thread scheduling.
+
+use p4all_core::{CompileOptions, Compilation, Compiler};
+use p4all_elastic::apps::netcache::{self, NetCacheOptions};
+use p4all_pisa::presets;
+
+fn compile_netcache(threads: usize) -> Compilation {
+    let mut opts = NetCacheOptions::default();
+    opts.cms.max_rows = 2;
+    opts.kvs.max_slices = Some(3);
+    let src = netcache::source(&opts);
+    let target = presets::paper_eval(1 << 14);
+    Compiler::with_options(target, CompileOptions::default().with_threads(threads))
+        .compile(&src)
+        .expect("netcache compiles")
+}
+
+fn assert_identical(a: &Compilation, b: &Compilation, what: &str) {
+    assert_eq!(
+        a.layout.symbol_values, b.layout.symbol_values,
+        "{what}: symbolic values differ between runs"
+    );
+    assert_eq!(
+        a.layout.render(),
+        b.layout.render(),
+        "{what}: rendered layouts differ between runs"
+    );
+    assert_eq!(a.p4_text, b.p4_text, "{what}: generated P4 differs between runs");
+    assert_eq!(
+        a.solve_stats.nodes, b.solve_stats.nodes,
+        "{what}: deterministic mode must explore identical trees"
+    );
+    assert_eq!(a.solve_stats.lp_solves, b.solve_stats.lp_solves, "{what}: LP counts differ");
+}
+
+#[test]
+fn netcache_layout_is_deterministic_sequential() {
+    let a = compile_netcache(1);
+    let b = compile_netcache(1);
+    assert_identical(&a, &b, "threads=1");
+    assert_eq!(a.solve_stats.telemetry.threads, 1);
+}
+
+#[test]
+fn netcache_layout_is_deterministic_parallel() {
+    let a = compile_netcache(2);
+    let b = compile_netcache(2);
+    assert_identical(&a, &b, "threads=2");
+    assert_eq!(a.solve_stats.telemetry.threads, 2);
+    assert!(a.solve_stats.telemetry.deterministic);
+}
+
+#[test]
+fn netcache_parallel_objective_matches_sequential() {
+    // Thread counts may explore different trees, but the optimum — and
+    // with deterministic tie-breaking, the layout itself — must agree.
+    let seq = compile_netcache(1);
+    let par = compile_netcache(2);
+    assert!(
+        (seq.layout.objective - par.layout.objective).abs() < 1e-6,
+        "objective diverged: {} (1t) vs {} (2t)",
+        seq.layout.objective,
+        par.layout.objective
+    );
+}

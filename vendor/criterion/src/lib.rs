@@ -1,0 +1,235 @@
+//! # criterion (offline shim)
+//!
+//! Drop-in subset of the criterion 0.5 API, vendored because this build
+//! environment has no route to crates.io. It keeps the workspace's bench
+//! targets compiling and producing useful wall-clock numbers:
+//! warm-up, a fixed number of timed samples, and a `median (min … max)`
+//! report per benchmark, with optional element/byte throughput.
+//!
+//! It does not do statistical outlier analysis, HTML reports, or
+//! baseline comparison — numbers print to stdout and that is all.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (mirrors upstream).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion accepted wherever a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the bench closure; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration times of the collected samples.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (not recorded): one run to populate caches and lazily
+        // initialized state.
+        std::hint::black_box(f());
+        self.times.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn render_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, times: &[Duration], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("{id:<40} <no samples>");
+        return;
+    }
+    let mut sorted: Vec<Duration> = times.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = *sorted.last().unwrap();
+    let rate = throughput
+        .map(|t| {
+            let (n, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  [{per_sec:.0} {unit}/s]")
+        })
+        .unwrap_or_default();
+    println!(
+        "{id:<40} {} ({} … {}){rate}",
+        render_duration(median),
+        render_duration(min),
+        render_duration(max)
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into_id()), &b.times, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.into_id()), &b.times, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The bench context handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { name: name.into(), sample_size, throughput: None, _criterion: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.default_sample_size, times: Vec::new() };
+        f(&mut b);
+        report(id, &b.times, None);
+        self
+    }
+}
+
+/// Bundle bench functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and test filters); this shim
+            // runs everything and ignores filters.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3).throughput(Throughput::Elements(1));
+            g.bench_function("id", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("with", 7), &7u64, |b, &x| {
+                b.iter(|| std::hint::black_box(x * 2))
+            });
+            g.finish();
+        }
+        c.bench_function("plain", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert!(ran >= 3, "bench closure must run warmup + samples, ran {ran}");
+    }
+}

@@ -1,0 +1,280 @@
+//! # proptest (offline shim)
+//!
+//! Drop-in subset of the proptest 1.x API, vendored because this build
+//! environment has no route to crates.io. Covers what the workspace's
+//! property tests use: the strategy algebra (ranges, `Just`, tuples,
+//! `prop_map` / `prop_flat_map` / `prop_recursive`, `prop_oneof!`,
+//! `collection::vec`, `any`), the `proptest!` test macro, the
+//! `prop_assert*` family, `ProptestConfig::with_cases`, and deterministic
+//! replay of `*.proptest-regressions` seed files.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports the generated inputs as-is.
+//! - **Deterministic by default.** Case seeds derive from the test name,
+//!   so failures reproduce across runs and machines; set `PROPTEST_SEED`
+//!   to explore a different stream.
+//! - Regression files are replayed by hashing each stored `cc` token into
+//!   a seed for this generator (upstream's raw ChaCha seeds cannot map to
+//!   the same inputs here).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec` only — all the workspace needs).
+
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)`: a vector whose length is drawn from `size`
+    /// (a `usize`, `Range`, or `RangeInclusive`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted/unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Non-fatal assertion: fails the current case with a message instead of
+/// panicking, letting the runner attach the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n  right: {:?}", format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), l
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l != r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that draws inputs and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $cfg:expr;
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_proptest(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    file!(),
+                    |__rng: &mut $crate::test_runner::TestRng, __inputs: &mut Vec<String>|
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError>
+                    {
+                        $(
+                            let $pat = {
+                                let __v =
+                                    $crate::strategy::Strategy::new_value(&($strat), __rng);
+                                __inputs.push(format!(
+                                    "{} = {:?}", stringify!($pat), &__v
+                                ));
+                                __v
+                            };
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..=9, y in -4i8..4) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0u64..10, 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in (1usize..=3).prop_flat_map(|n| crate::collection::vec(
+                prop_oneof![Just(0u8), Just(1u8), (2u8..=9).prop_map(|x| x)],
+                n,
+            ))
+        ) {
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+            prop_assert!(v.iter().all(|&e| e <= 9));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!(*v < 8, "leaf payload outside its strategy range");
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..8).prop_map(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::from_seed(11);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 4, "depth bound violated: {t:?}");
+            if matches!(t, Tree::Node(..)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node, "recursion never taken");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = crate::collection::vec(0u64..1000, 5..=5);
+        let a = strat.new_value(&mut crate::test_runner::TestRng::from_seed(3));
+        let b = strat.new_value(&mut crate::test_runner::TestRng::from_seed(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,156 @@
+//! The case runner behind the `proptest!` macro: deterministic per-test
+//! RNG, case loop, failure reporting with the generated inputs, and
+//! best-effort replay of `*.proptest-regressions` seed files.
+
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Error type produced by `prop_assert!` family macros.
+pub type TestCaseError = String;
+
+/// Per-`proptest!` block configuration (subset of upstream).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// RNG handed to strategies. Wraps the vendored [`StdRng`]; a newtype so
+/// strategy code does not depend on which generator backs it.
+pub struct TestRng {
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+/// FNV-1a, used to derive stable seeds from test names and stored
+/// regression lines.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Locate `<file stem>.proptest-regressions` next to the test source.
+/// `file!()` paths are relative to the workspace root while tests run
+/// from the crate root, so walk up a few directories before giving up.
+fn regression_file(source_file: &str) -> Option<PathBuf> {
+    let rel = Path::new(source_file).with_extension("proptest-regressions");
+    let mut base = std::env::current_dir().ok()?;
+    for _ in 0..4 {
+        let candidate = base.join(&rel);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        // Also try just the file name in case the test runs from the
+        // directory that holds the sources.
+        if let Some(name) = rel.file_name() {
+            let flat = base.join("tests").join(name);
+            if flat.is_file() {
+                return Some(flat);
+            }
+        }
+        base = base.parent()?.to_path_buf();
+    }
+    None
+}
+
+/// Parse `cc <hex...>` lines into replay seeds.
+fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let Some(path) = regression_file(source_file) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            l.strip_prefix("cc ").map(|rest| {
+                let token = rest.split_whitespace().next().unwrap_or("");
+                fnv1a(token.as_bytes())
+            })
+        })
+        .collect()
+}
+
+/// Run one property: stored regression seeds first, then `config.cases`
+/// fresh cases from a seed derived deterministically from the test name
+/// (override with `PROPTEST_SEED` for exploration).
+///
+/// The case closure returns `Err(message)` for `prop_assert!` failures and
+/// is expected to push a rendering of its generated inputs into the
+/// provided vector so failures can be reported without shrinking.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, source_file: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut Vec<String>) -> Result<(), TestCaseError>,
+{
+    let fail = |kind: &str, case_no: String, inputs: &[String], msg: &str| -> ! {
+        panic!(
+            "proptest {kind} for `{test_name}` (case {case_no})\n  inputs:\n    {}\n  {msg}",
+            if inputs.is_empty() { "<none generated>".to_string() } else { inputs.join("\n    ") }
+        )
+    };
+
+    let mut run_one = |seed: u64, kind: &str, case_no: String| {
+        let mut rng = TestRng::from_seed(seed);
+        let mut inputs = Vec::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut rng, &mut inputs)
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => fail(kind, case_no, &inputs, &msg),
+            Err(payload) => {
+                // The body panicked (e.g. an `unwrap`): surface the inputs
+                // that triggered it, then let the panic propagate.
+                eprintln!(
+                    "proptest `{test_name}` panicked (case {case_no}, seed {seed})\n  inputs:\n    {}",
+                    if inputs.is_empty() {
+                        "<none generated>".to_string()
+                    } else {
+                        inputs.join("\n    ")
+                    }
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    };
+
+    for (i, seed) in regression_seeds(source_file).into_iter().enumerate() {
+        run_one(seed, "regression replay failed", format!("regression #{i}"));
+    }
+
+    let base_seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+        Err(_) => fnv1a(test_name.as_bytes()),
+    };
+    for case_no in 0..config.cases {
+        run_one(
+            base_seed.wrapping_add(case_no as u64),
+            "case failed",
+            format!("{case_no}/{}", config.cases),
+        );
+    }
+}
