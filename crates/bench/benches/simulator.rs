@@ -1,10 +1,12 @@
 //! Criterion bench: packet throughput of the behavioral simulator running
-//! the compiled NetCache pipeline.
+//! the compiled NetCache pipeline — the end-to-end runtime loop, plus the
+//! raw `run_trace` replay engine across backends and thread counts.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use p4all_bench::{bench_netcache_options, build_netcache};
+use p4all_bench::{bench_netcache_options, build_netcache, build_netcache_switch, phv_trace};
 use p4all_pisa::presets;
+use p4all_sim::Backend;
 use p4all_workloads::zipf_trace;
 
 fn bench_netcache_sim(c: &mut Criterion) {
@@ -27,5 +29,35 @@ fn bench_netcache_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_netcache_sim);
+/// Backend × thread-count matrix over `Switch::run_trace`: the reference
+/// interpreter vs the bytecode engine, then the bytecode engine sharded
+/// across every available core.
+fn bench_sim_throughput(c: &mut Criterion) {
+    let target = presets::paper_eval(1 << 15);
+    let opts = bench_netcache_options();
+    let (mut sw, key) = build_netcache_switch(&opts, &target).expect("netcache builds");
+    let trace = zipf_trace(5_000, 0.99, 20_000, 7);
+    let phvs = phv_trace(&sw, &key, &trace);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(phvs.len() as u64));
+    sw.set_backend(Backend::Interp);
+    group.bench_function("interp/1thread", |b| {
+        b.iter(|| std::hint::black_box(sw.run_trace(&phvs, 1)))
+    });
+    sw.set_backend(Backend::Compiled);
+    group.bench_function("compiled/1thread", |b| {
+        b.iter(|| std::hint::black_box(sw.run_trace(&phvs, 1)))
+    });
+    if cores > 1 {
+        group.bench_function(format!("compiled/{cores}threads"), |b| {
+            b.iter(|| std::hint::black_box(sw.run_trace(&phvs, cores)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_netcache_sim, bench_sim_throughput);
 criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Simulator throughput benchmark: the bytecode replay engine against the
+//! reference interpreter, single-threaded and sharded, over a Zipf
+//! NetCache trace. Writes `BENCH_sim.json` with pkts/sec per
+//! configuration, the compiled-vs-interpreter speedup, and the thread
+//! scaling curve.
+//!
+//! ```sh
+//! cargo run --release --bin simbench            # 1M-packet trace
+//! cargo run --release --bin simbench -- --smoke # 10k packets (CI)
+//! ```
+
+use std::fmt::Write as _;
+
+use p4all_bench::{bench_netcache_options, build_netcache_switch, phv_trace};
+use p4all_pisa::presets;
+use p4all_sim::{Backend, Phv, SimStats, Switch};
+use p4all_workloads::zipf_trace;
+
+fn one_pass(sw: &mut Switch, trace: &[Phv], backend: Backend, threads: usize) -> SimStats {
+    sw.set_backend(backend);
+    let stats = sw.run_trace(trace, threads);
+    assert_eq!(stats.dropped, 0, "NetCache trace must not fault");
+    stats
+}
+
+fn median(mut passes: Vec<SimStats>) -> SimStats {
+    passes.sort_by(|a, b| a.pkts_per_sec().total_cmp(&b.pkts_per_sec()));
+    let mid = passes.len() / 2;
+    passes.swap_remove(mid)
+}
+
+/// Measure both single-thread engines with *interleaved* median-of-3
+/// passes (interp, compiled, interp, compiled, ...). On a shared box the
+/// scheduler can steal cycles for seconds at a time; interleaving puts
+/// both engines inside any such window so the reported *ratio* stays
+/// honest even when the absolute numbers dip, and the median then
+/// discards a stolen pass without favoring either engine's lucky run.
+fn measure_pair(sw: &mut Switch, trace: &[Phv]) -> (SimStats, SimStats) {
+    // One untimed pass per engine warms caches and faults in the
+    // register file.
+    one_pass(sw, trace, Backend::Interp, 1);
+    one_pass(sw, trace, Backend::Compiled, 1);
+    let mut interp = Vec::new();
+    let mut compiled = Vec::new();
+    for _ in 0..3 {
+        interp.push(one_pass(sw, trace, Backend::Interp, 1));
+        compiled.push(one_pass(sw, trace, Backend::Compiled, 1));
+    }
+    (median(interp), median(compiled))
+}
+
+fn measure(sw: &mut Switch, trace: &[Phv], backend: Backend, threads: usize) -> SimStats {
+    one_pass(sw, trace, backend, threads); // warm
+    median((0..3).map(|_| one_pass(sw, trace, backend, threads)).collect())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let packets = if smoke { 10_000 } else { 1_000_000 };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let target = presets::paper_eval(1 << 15);
+    let opts = bench_netcache_options();
+    let (mut sw, key) = build_netcache_switch(&opts, &target).expect("netcache builds");
+    let trace = zipf_trace(10_000, 0.99, packets, 7);
+    let phvs = phv_trace(&sw, &key, &trace);
+    println!(
+        "simbench: NetCache pipeline, {} stages, {} packets (Zipf 0.99 over 10k keys){}",
+        sw.stage_count(),
+        packets,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let (interp, compiled) = measure_pair(&mut sw, &phvs);
+    println!("  interp    1 thread : {:>12.0} pkts/sec", interp.pkts_per_sec());
+    let speedup = compiled.pkts_per_sec() / interp.pkts_per_sec();
+    println!(
+        "  compiled  1 thread : {:>12.0} pkts/sec  ({speedup:.1}x interp)",
+        compiled.pkts_per_sec()
+    );
+
+    // Sharded replay at 2/4/8 workers regardless of core count — on a
+    // box with fewer cores the scaling column honestly reports ~1x.
+    let mut thread_rows = Vec::new();
+    for t in [2usize, 4, 8] {
+        let s = measure(&mut sw, &phvs, Backend::Compiled, t);
+        let scaling = s.pkts_per_sec() / compiled.pkts_per_sec();
+        println!(
+            "  compiled {t:>2} threads: {:>12.0} pkts/sec  ({scaling:.2}x 1-thread)",
+            s.pkts_per_sec()
+        );
+        thread_rows.push((t, s.pkts_per_sec(), scaling));
+    }
+
+    // Where the cycles go: per-stage bytecode cost of the compiled run.
+    let total = compiled.total_cost().max(1);
+    let per_stage: Vec<String> = compiled
+        .stage_cost
+        .iter()
+        .map(|&c| format!("{:.1}%", 100.0 * c as f64 / total as f64))
+        .collect();
+    println!("  stage cost split   : {}", per_stage.join(" "));
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"packets\": {packets},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"interp_pkts_per_sec\": {:.0},", interp.pkts_per_sec());
+    let _ = writeln!(json, "  \"compiled_pkts_per_sec\": {:.0},", compiled.pkts_per_sec());
+    let _ = writeln!(json, "  \"speedup_compiled_vs_interp\": {speedup:.2},");
+    let _ = writeln!(json, "  \"stage_cost\": {:?},", compiled.stage_cost);
+    json.push_str("  \"threads\": [\n");
+    for (i, (t, pps, scaling)) in thread_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {t}, \"pkts_per_sec\": {pps:.0}, \"scaling_vs_1thread\": {scaling:.2}}}"
+        );
+        json.push_str(if i + 1 < thread_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json");
+}

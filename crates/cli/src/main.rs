@@ -16,6 +16,12 @@
 //!                        the default; 1 = exact sequential search)
 //!   --greedy             use the greedy first-fit allocator instead of
 //!                        the ILP (baseline / quick feasibility check)
+//!   --sim N              after compiling, replay N synthetic packets
+//!                        through the behavioral simulator and report
+//!                        throughput, drops, and per-stage cost
+//!   --sim-backend B      interp | compiled   (default: compiled)
+//!   --sim-threads N      replay worker threads (0 = all cores;
+//!                        default 1 = sequential)
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 compile error.
@@ -24,6 +30,7 @@ use std::process::ExitCode;
 
 use p4all_core::{CompileError, CompileOptions, Compiler};
 use p4all_pisa::{presets, TargetSpec};
+use p4all_sim::{Backend, Switch};
 
 struct Args {
     input: String,
@@ -34,12 +41,16 @@ struct Args {
     out: Option<String>,
     threads: usize,
     greedy: bool,
+    sim: Option<u64>,
+    sim_backend: Backend,
+    sim_threads: usize,
 }
 
 fn usage() -> &'static str {
     "usage: p4allc PROGRAM.p4all [--target tofino|paper-eval|paper-example|small] \
      [--stages N] [--memory BITS] [--stateful-alus N] [--stateless-alus N] \
-     [--phv BITS] [--emit p4|layout|stats|all] [--out FILE] [--threads N] [--greedy]"
+     [--phv BITS] [--emit p4|layout|stats|all] [--out FILE] [--threads N] [--greedy] \
+     [--sim N] [--sim-backend interp|compiled] [--sim-threads N]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
     let mut out = None;
     let mut threads = 0usize;
     let mut greedy = false;
+    let mut sim = None;
+    let mut sim_backend = Backend::Compiled;
+    let mut sim_threads = 1usize;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -100,6 +114,25 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--threads needs an integer".to_string())?;
             }
             "--greedy" => greedy = true,
+            "--sim" => {
+                sim = Some(
+                    next(&mut i, "--sim")?
+                        .parse()
+                        .map_err(|_| "--sim needs a packet count".to_string())?,
+                );
+            }
+            "--sim-backend" => {
+                sim_backend = match next(&mut i, "--sim-backend")?.as_str() {
+                    "interp" => Backend::Interp,
+                    "compiled" => Backend::Compiled,
+                    other => return Err(format!("unknown --sim-backend `{other}`")),
+                };
+            }
+            "--sim-threads" => {
+                sim_threads = next(&mut i, "--sim-threads")?
+                    .parse()
+                    .map_err(|_| "--sim-threads needs an integer".to_string())?;
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{}", usage()))
@@ -121,7 +154,19 @@ fn parse_args() -> Result<Args, String> {
         other => return Err(format!("unknown --emit `{other}` (p4|layout|stats|all)")),
     };
     target.validate().map_err(|e| format!("invalid target: {e}"))?;
-    Ok(Args { input, target, emit_p4, emit_layout, emit_stats, out, threads, greedy })
+    Ok(Args {
+        input,
+        target,
+        emit_p4,
+        emit_layout,
+        emit_stats,
+        out,
+        threads,
+        greedy,
+        sim,
+        sim_backend,
+        sim_threads,
+    })
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -161,6 +206,31 @@ fn run(args: Args) -> Result<(), String> {
         }
         println!("generated P4: {} lines", p4all_core::loc(&c.p4_text));
     }
+    if let Some(packets) = args.sim {
+        let program = p4all_lang::parse(&src).map_err(|e| e.render(&src))?;
+        let mut sw =
+            Switch::build(&c.concrete, &program).map_err(|e| format!("simulator: {e}"))?;
+        sw.set_backend(args.sim_backend);
+        let trace = synth_trace(&sw, packets);
+        let stats = sw.run_trace(&trace, args.sim_threads);
+        // Sharded replay always runs the bytecode engine; the backend
+        // choice only steers single-threaded execution.
+        let engine = if stats.threads > 1 { Backend::Compiled } else { args.sim_backend };
+        println!(
+            "replay: {} packets, {} dropped, {} thread(s), {:.0} pkts/sec ({engine:?} backend)",
+            stats.packets,
+            stats.dropped,
+            stats.threads,
+            stats.pkts_per_sec(),
+        );
+        let total = stats.total_cost().max(1);
+        let split: Vec<String> = stats
+            .stage_cost
+            .iter()
+            .map(|&c| format!("{:.1}%", 100.0 * c as f64 / total as f64))
+            .collect();
+        println!("stage cost: {}", split.join(" "));
+    }
     match (&args.out, args.emit_p4) {
         (Some(path), _) => {
             std::fs::write(path, &c.p4_text).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -170,6 +240,29 @@ fn run(args: Args) -> Result<(), String> {
         _ => {}
     }
     Ok(())
+}
+
+/// Deterministic synthetic trace: every header field of every packet gets
+/// a pseudorandom value in `0..1024` (bounded so hash indices and table
+/// keys repeat across packets, exercising flow locality).
+fn synth_trace(sw: &Switch, packets: u64) -> Vec<p4all_sim::Phv> {
+    let fields = sw.header_fields();
+    let mut out = Vec::with_capacity(packets as usize);
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    for _ in 0..packets {
+        let vals: Vec<(String, u64)> = fields
+            .iter()
+            .map(|f| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                (f.clone(), (state >> 33) % 1024)
+            })
+            .collect();
+        let refs: Vec<(&str, u64)> = vals.iter().map(|(f, v)| (f.as_str(), *v)).collect();
+        out.push(sw.make_packet(&refs).expect("fields come from header_fields"));
+    }
+    out
 }
 
 fn render(e: CompileError, src: &str) -> String {

@@ -75,3 +75,43 @@ fn parse_error_is_rendered_with_caret() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("^"), "no caret in: {err}");
 }
+
+#[test]
+fn sim_flag_reports_replay_stats_on_both_backends() {
+    for backend in ["compiled", "interp"] {
+        let out = bin()
+            .arg(example("cms.p4all"))
+            .args(["--target", "paper-example", "--emit", "layout", "--sim", "2000"])
+            .args(["--sim-backend", backend])
+            .output()
+            .expect("p4allc runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("replay: 2000 packets"), "{stdout}");
+        assert!(stdout.contains("pkts/sec"), "{stdout}");
+        assert!(stdout.contains("stage cost:"), "{stdout}");
+    }
+}
+
+#[test]
+fn sim_threads_shards_the_replay() {
+    let out = bin()
+        .arg(example("cms.p4all"))
+        .args(["--target", "paper-example", "--emit", "layout"])
+        .args(["--sim", "2000", "--sim-threads", "4"])
+        .output()
+        .expect("p4allc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 thread(s)"), "{stdout}");
+}
+
+#[test]
+fn bad_sim_backend_exits_1() {
+    let out = bin()
+        .arg(example("cms.p4all"))
+        .args(["--sim", "10", "--sim-backend", "jit"])
+        .output()
+        .expect("p4allc runs");
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,1373 @@
+//! The bytecode backend: a flat, slot-resolved register machine.
+//!
+//! [`lower`] takes the slot-indexed action trees the reference
+//! interpreter walks ([`crate::interp`]) and flattens them into one
+//! contiguous instruction stream. The instruction set is built around
+//! inline operands ([`Opnd`]): an instruction input is a temp, a static
+//! PHV slot, or an immediate, so constants and plain field reads cost
+//! zero dispatches. On top of that, the lowerer fuses the patterns the
+//! interpreter pays for dearly:
+//!
+//! - guards and `if` conditions become fused compare-and-branch
+//!   ([`Instr::JF`]/[`Instr::JT`]) instead of a materialized boolean plus
+//!   a separate test, and *pure* `&&`/`||` chains lower structurally into
+//!   branch sequences (skipping a pure operand is unobservable — it
+//!   cannot fault and has no effects — so the interpreter's
+//!   both-operands-evaluated semantics are preserved);
+//! - the ubiquitous single-input `hash(x, range)`-to-slot statement
+//!   becomes one [`Instr::Hash1Mask`]/[`Instr::Hash1Mod`] with the salt
+//!   pre-mixed at lower time;
+//! - the sketch idiom `reg[c] = reg[c] + v` becomes one undo-logged
+//!   [`Instr::RegAdd`];
+//! - a table apply is a single [`Instr::Apply`] whose key operands are
+//!   read inline; installed entries resolve action names and action-data
+//!   field names to dense indices *at install time*.
+//!
+//! A stage is one contiguous code range, so packet execution is a single
+//! dispatch loop per stage: **zero** string hashing, no `Box` pointer
+//! chasing, no per-packet clones, no per-action call overhead.
+//!
+//! The engine runs **in place** on one PHV buffer. That is bit-for-bit
+//! the interpreter's stage-snapshot semantics: the interpreter also reads
+//! and writes the stage write buffer (an action sees all earlier writes
+//! of its stage, as a PISA stateful ALU does), and its per-stage
+//! copy-then-swap reduces to plain in-place mutation. The one observable
+//! difference is the PHV *after a faulting packet*, which is unspecified
+//! in both backends (the packet is dropped; only the register rollback is
+//! contractual).
+//!
+//! Semantics are otherwise pinned to the interpreter by
+//! `tests/backend_equivalence.rs`: same evaluation order (faultable
+//! sub-expressions still lower to temps in source order; only pure
+//! operands fold inline), same error surface, same hash function.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use p4all_lang::ast::BinOp;
+
+use crate::interp::{CDst, CExpr, CStmt, RegUndo, SimError, Switch};
+use crate::state::{Phv, RegState, TableEntry};
+
+/// Index into the per-packet temporary file.
+pub(crate) type Temp = u16;
+
+/// An inline instruction operand: a temp, a static PHV slot (read from
+/// the stage write buffer at execution time), or an immediate. Pure
+/// values (constants, plain field reads) fold into the consuming
+/// instruction instead of costing a dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Opnd {
+    /// Temporary `t[i]`.
+    T(Temp),
+    /// Static PHV slot.
+    S(u32),
+    /// Immediate.
+    I(u64),
+}
+
+/// One register-machine instruction. Slot/register/table references are
+/// dense indices fixed at build time; `diag` indexes the side table of
+/// error strings so the hot path carries no `String`s.
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    /// `t[dst] = phv[base + idx]`, bounds-checked against `count`.
+    LoadSlotDyn { dst: Temp, base: u32, count: u32, idx: Opnd, diag: u16 },
+    /// `t[dst] = reg[cell]`, bounds-checked.
+    LoadReg { dst: Temp, reg: u16, cell: Opnd },
+    /// `t[dst] = a <op> b` (wrapping; comparisons yield 0/1).
+    Bin { dst: Temp, op: BinOp, a: Opnd, b: Opnd },
+    /// `t[dst] = (a == 0)`
+    Not { dst: Temp, a: Opnd },
+    /// `t[dst] = -a` (wrapping)
+    Neg { dst: Temp, a: Opnd },
+    /// `t[dst] = val` — seeds a multi-input hash chain with the pre-mixed
+    /// salt.
+    HashInit { dst: Temp, val: u64 },
+    /// `t[acc] = splitmix(t[acc] ^ src)`
+    HashMix { acc: Temp, src: Opnd },
+    /// `t[acc] = t[acc] % range` (`range` is nonzero by construction).
+    HashMod { acc: Temp, range: u64 },
+    /// `t[acc] = t[acc] & mask` — strength-reduced `HashMod` for
+    /// power-of-two ranges (identical result for unsigned values).
+    HashMask { acc: Temp, mask: u64 },
+    /// Fused single-input hash to a static slot:
+    /// `phv[slot] = splitmix(salt ^ src) & mask` (`salt` is pre-mixed at
+    /// lower time, so the whole statement is one dispatch).
+    Hash1Mask { slot: u32, salt: u64, src: Opnd, mask: u64 },
+    /// `phv[slot] = splitmix(salt ^ src) % range`
+    Hash1Mod { slot: u32, salt: u64, src: Opnd, range: u64 },
+    /// `phv[slot] = src` (width-masked).
+    StoreSlot { slot: u32, src: Opnd },
+    /// `phv[base + idx] = src`, bounds-checked.
+    StoreSlotDyn { base: u32, count: u32, idx: Opnd, src: Opnd, diag: u16 },
+    /// `reg[cell] = src` (element-masked, undo-logged).
+    StoreReg { reg: u16, cell: Opnd, src: Opnd },
+    /// Fused sketch increment: `reg[cell] = reg[cell] + add`
+    /// (element-masked, undo-logged, one bounds check).
+    RegAdd { reg: u16, cell: Opnd, add: Opnd },
+    /// Fused register-to-field copy: `phv[slot] = reg[cell]`
+    /// (width-masked, one bounds check) — the read-back half of the
+    /// sketch idiom (`meta.count[i] = cms[i][idx]`).
+    RegToSlot { slot: u32, reg: u16, cell: Opnd },
+    /// Jump to `target` when `a <op> b` is **false** (`op` is always a
+    /// comparison). Guards and `if` conditions compile to this.
+    JF { op: BinOp, a: Opnd, b: Opnd, target: u32 },
+    /// Jump to `target` when `a <op> b` is **true** — the dual, used by
+    /// structural `||` lowering.
+    JT { op: BinOp, a: Opnd, b: Opnd, target: u32 },
+    /// Fused `&&` of two comparisons: jump when **either** is false.
+    /// Guards like `flag == 1 && idx == 2` are one dispatch.
+    JFAnd { op1: BinOp, a1: Opnd, b1: Opnd, op2: BinOp, a2: Opnd, b2: Opnd, target: u32 },
+    /// Fused `||` of two comparisons: jump when **both** are false.
+    /// The min-update guard `count < min || min == 0` is one dispatch.
+    JFOr { op1: BinOp, a1: Opnd, b1: Opnd, op2: BinOp, a2: Opnd, b2: Opnd, target: u32 },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+    /// Stage boundary: subsequent cost accrues to stage `s`. Emitted at
+    /// the start of every non-empty stage so a whole packet is **one**
+    /// dispatch loop instead of one `exec_range` call per stage.
+    Stage { s: u16 },
+    /// Table dispatch: read `apply_sites[site]`'s key operands, look the
+    /// key up, write the entry's action data, run the matched action's
+    /// body range.
+    Apply { site: u16 },
+    /// The whole CMS idiom (`Hash1Mask; RegAdd; RegToSlot` over the same
+    /// index slot) in one dispatch:
+    /// `phv[idx_slot] = h = splitmix(salt ^ src) & mask;`
+    /// `reg[h] += add; phv[dst_slot] = reg[h]`.
+    /// Formed by [`peephole`] only when `mask & slot-mask < cells`, so
+    /// the register index is in bounds by construction.
+    SketchStep { idx_slot: u32, salt: u64, src: Opnd, mask: u64, reg: u16, add: Opnd, dst_slot: u32 },
+    /// The running-min idiom (`JFOr(Lt, Eq 0)` jumping over its own
+    /// `StoreSlot`) in one dispatch:
+    /// `if src < phv[slot] || phv[slot] == 0 { phv[slot] = src }`.
+    MinOrInit { slot: u32, src: Opnd },
+}
+
+/// A table apply site: which table, and where the key comes from.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ApplySite {
+    pub table: u16,
+    pub key_ops: Vec<Opnd>,
+}
+
+/// What a table does on a miss.
+#[derive(Debug, Clone, Default)]
+pub(crate) enum DefaultAction {
+    /// No default: a miss is a no-op.
+    #[default]
+    None,
+    /// Dense id of the default action's body.
+    Run(u32),
+    /// Declared default never compiled — faults like the interpreter.
+    Unknown(String),
+}
+
+/// Static per-table data (dynamic entries live in [`CompiledTableState`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TableMeta {
+    pub default_action: DefaultAction,
+}
+
+/// An installed entry with everything pre-resolved: dense action id and
+/// `(slot, value)` action-data writes.
+#[derive(Debug, Clone)]
+pub(crate) struct CEntry {
+    pub action: u32,
+    pub data: Vec<(u32, u64)>,
+}
+
+/// Multiply-xor hash (FxHash-style) for the per-packet table lookup: the
+/// default SipHash is DoS-resistant but costs more than the lookup
+/// itself, and table keys here are switch-internal values, not attacker-
+/// chosen map keys.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// The dynamic half of a table, mirrored from the interpreter's
+/// [`crate::state::TableState`] on every control-plane mutation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompiledTableState {
+    pub entries: HashMap<Vec<u64>, CEntry, FxBuild>,
+}
+
+/// A lowered program: one flat code vector plus dense dispatch metadata.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompiledProgram {
+    pub code: Vec<Instr>,
+    /// One contiguous code range per stage (includes its `Stage` mark).
+    pub stages: Vec<(u32, u32)>,
+    /// The whole pipeline as one contiguous range: every non-empty stage
+    /// in order, each opened by its `Stage` mark. A packet is a single
+    /// dispatch loop over this range — empty preset stages cost nothing.
+    pub body: (u32, u32),
+    pub tables: Vec<TableMeta>,
+    pub apply_sites: Vec<ApplySite>,
+    pub table_ids: HashMap<String, u16>,
+    /// Dense id -> code range, for table-dispatched action bodies.
+    pub action_code: Vec<(u32, u32)>,
+    pub action_ids: HashMap<String, u32>,
+    /// Error strings for dynamic-index bounds faults.
+    pub diags: Vec<String>,
+    /// Size of the temporary file a packet needs.
+    pub temp_count: usize,
+}
+
+/// Per-executor scratch: the temporary file and the reusable key buffer.
+/// Each replay worker owns one, so packet execution allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExecCtx {
+    pub temps: Vec<u64>,
+    pub keys: Vec<u64>,
+}
+
+impl ExecCtx {
+    pub fn for_program(prog: &CompiledProgram) -> ExecCtx {
+        ExecCtx { temps: vec![0; prog.temp_count.max(1)], keys: Vec::new() }
+    }
+}
+
+// ------------------------------------------------------------- lowering
+
+/// True when evaluating `e` can neither fault nor touch mutable state:
+/// skipping or reordering it is unobservable. Division is impure (it can
+/// fault), as are dynamic slots and register reads (bounds faults).
+fn pure(e: &CExpr) -> bool {
+    match e {
+        CExpr::Const(_) | CExpr::Slot(_) => true,
+        CExpr::Bin { op: BinOp::Div, .. } => false,
+        CExpr::Bin { a, b, .. } => pure(a) && pure(b),
+        CExpr::Not(a) | CExpr::Neg(a) => pure(a),
+        CExpr::DynSlot { .. } | CExpr::RegRead { .. } => false,
+    }
+}
+
+fn is_cmp(op: BinOp) -> bool {
+    matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+}
+
+struct Lowerer {
+    code: Vec<Instr>,
+    diags: Vec<String>,
+    diag_ids: HashMap<String, u16>,
+    next_temp: usize,
+    max_temps: usize,
+}
+
+impl Lowerer {
+    fn new() -> Lowerer {
+        Lowerer {
+            code: Vec::new(),
+            diags: Vec::new(),
+            diag_ids: HashMap::new(),
+            next_temp: 0,
+            max_temps: 0,
+        }
+    }
+
+    fn alloc(&mut self) -> Temp {
+        let t = self.next_temp;
+        self.next_temp += 1;
+        self.max_temps = self.max_temps.max(self.next_temp);
+        t as Temp
+    }
+
+    /// Temps are statement-local: each top-level statement restarts the
+    /// file (values never flow between statements except through the PHV
+    /// or registers, exactly as in the interpreter).
+    fn reset_temps(&mut self) {
+        self.next_temp = 0;
+    }
+
+    fn diag(&mut self, what: &str) -> u16 {
+        if let Some(&id) = self.diag_ids.get(what) {
+            return id;
+        }
+        let id = self.diags.len() as u16;
+        self.diags.push(what.to_string());
+        self.diag_ids.insert(what.to_string(), id);
+        id
+    }
+
+    /// Lower `e` to an inline operand: constants and static slots fold
+    /// directly; anything else materializes into a temp *here*, so
+    /// faultable sub-expressions still run in source order.
+    fn operand(&mut self, e: &CExpr) -> Opnd {
+        match e {
+            CExpr::Const(v) => Opnd::I(*v),
+            CExpr::Slot(s) => Opnd::S(*s as u32),
+            _ => Opnd::T(self.lower_expr(e)),
+        }
+    }
+
+    fn lower_expr(&mut self, e: &CExpr) -> Temp {
+        match e {
+            CExpr::Const(_) | CExpr::Slot(_) => {
+                // Pure leaves normally fold via `operand`; when a temp is
+                // demanded (e.g. a hash accumulator seed), copy through a
+                // no-op `Bin Add 0`.
+                let o = self.operand(e);
+                let dst = self.alloc();
+                self.code.push(Instr::Bin { dst, op: BinOp::Add, a: o, b: Opnd::I(0) });
+                dst
+            }
+            CExpr::DynSlot { base, count, idx, what } => {
+                let i = self.operand(idx);
+                let diag = self.diag(what);
+                let dst = self.alloc();
+                self.code.push(Instr::LoadSlotDyn {
+                    dst,
+                    base: *base as u32,
+                    count: *count as u32,
+                    idx: i,
+                    diag,
+                });
+                dst
+            }
+            CExpr::RegRead { reg, cell } => {
+                let c = self.operand(cell);
+                let dst = self.alloc();
+                self.code.push(Instr::LoadReg { dst, reg: *reg as u16, cell: c });
+                dst
+            }
+            CExpr::Bin { op, a, b } => {
+                // Both operands always evaluate (no short-circuit), as in
+                // the interpreter: error behavior must match exactly.
+                // (Folding a *pure* operand inline is unobservable.)
+                let ta = self.operand(a);
+                let tb = self.operand(b);
+                let dst = self.alloc();
+                self.code.push(Instr::Bin { dst, op: *op, a: ta, b: tb });
+                dst
+            }
+            CExpr::Not(a) => {
+                let ta = self.operand(a);
+                let dst = self.alloc();
+                self.code.push(Instr::Not { dst, a: ta });
+                dst
+            }
+            CExpr::Neg(a) => {
+                let ta = self.operand(a);
+                let dst = self.alloc();
+                self.code.push(Instr::Neg { dst, a: ta });
+                dst
+            }
+        }
+    }
+
+    /// Value is already in `src`; emit the destination store (dynamic
+    /// indices evaluate after the value, matching the interpreter — and
+    /// reordering a *pure* folded value past the index read is
+    /// unobservable, since expression evaluation never writes the PHV).
+    fn lower_store(&mut self, dst: &CDst, src: Opnd) {
+        match dst {
+            CDst::Slot(s) => self.code.push(Instr::StoreSlot { slot: *s as u32, src }),
+            CDst::DynSlot { base, count, idx, what } => {
+                let i = self.operand(idx);
+                let diag = self.diag(what);
+                self.code.push(Instr::StoreSlotDyn {
+                    base: *base as u32,
+                    count: *count as u32,
+                    idx: i,
+                    src,
+                    diag,
+                });
+            }
+            CDst::Reg { reg, cell } => {
+                let c = self.operand(cell);
+                self.code.push(Instr::StoreReg { reg: *reg as u16, cell: c, src });
+            }
+        }
+    }
+
+    /// Emit branching code for a condition: control **falls through**
+    /// when `e` is true; every index pushed to `false_jumps` is an
+    /// unpatched jump taken when `e` is false. Comparisons fuse into one
+    /// `JF`; pure `&&`/`||` lower structurally (safe: a pure operand
+    /// cannot fault and has no effects, so skipping it is unobservable);
+    /// everything else materializes a boolean and tests it against zero.
+    fn lower_cond_jf(&mut self, e: &CExpr, false_jumps: &mut Vec<usize>) {
+        match e {
+            CExpr::Bin { op: BinOp::And, a, b } if pure(a) && pure(b) => {
+                // Two bare comparisons fuse into one JFAnd dispatch.
+                if let Some((c1, c2)) = self.fuse_cmp_pair(a, b) {
+                    false_jumps.push(self.code.len());
+                    let ((op1, a1, b1), (op2, a2, b2)) = (c1, c2);
+                    self.code.push(Instr::JFAnd { op1, a1, b1, op2, a2, b2, target: 0 });
+                    return;
+                }
+                self.lower_cond_jf(a, false_jumps);
+                self.lower_cond_jf(b, false_jumps);
+            }
+            CExpr::Bin { op: BinOp::Or, a, b } if pure(a) && pure(b) => {
+                if let Some((c1, c2)) = self.fuse_cmp_pair(a, b) {
+                    false_jumps.push(self.code.len());
+                    let ((op1, a1, b1), (op2, a2, b2)) = (c1, c2);
+                    self.code.push(Instr::JFOr { op1, a1, b1, op2, a2, b2, target: 0 });
+                    return;
+                }
+                let mut true_jumps = Vec::new();
+                self.lower_cond_jt(a, &mut true_jumps);
+                self.lower_cond_jf(b, false_jumps);
+                let here = self.code.len() as u32;
+                for at in true_jumps {
+                    self.patch(at, here);
+                }
+            }
+            CExpr::Bin { op, a, b } if is_cmp(*op) => {
+                let oa = self.operand(a);
+                let ob = self.operand(b);
+                false_jumps.push(self.code.len());
+                self.code.push(Instr::JF { op: *op, a: oa, b: ob, target: 0 });
+            }
+            CExpr::Not(a) => self.lower_cond_jt(a, false_jumps),
+            _ => {
+                let o = self.operand(e);
+                false_jumps.push(self.code.len());
+                self.code.push(Instr::JF { op: BinOp::Ne, a: o, b: Opnd::I(0), target: 0 });
+            }
+        }
+    }
+
+    /// The dual: control falls through when `e` is **false**; jumps in
+    /// `true_jumps` are taken when it is true.
+    fn lower_cond_jt(&mut self, e: &CExpr, true_jumps: &mut Vec<usize>) {
+        match e {
+            CExpr::Bin { op: BinOp::Or, a, b } if pure(a) && pure(b) => {
+                self.lower_cond_jt(a, true_jumps);
+                self.lower_cond_jt(b, true_jumps);
+            }
+            CExpr::Bin { op: BinOp::And, a, b } if pure(a) && pure(b) => {
+                let mut false_jumps = Vec::new();
+                self.lower_cond_jf(a, &mut false_jumps);
+                self.lower_cond_jt(b, true_jumps);
+                let here = self.code.len() as u32;
+                for at in false_jumps {
+                    self.patch(at, here);
+                }
+            }
+            CExpr::Bin { op, a, b } if is_cmp(*op) => {
+                let oa = self.operand(a);
+                let ob = self.operand(b);
+                true_jumps.push(self.code.len());
+                self.code.push(Instr::JT { op: *op, a: oa, b: ob, target: 0 });
+            }
+            CExpr::Not(a) => self.lower_cond_jf(a, true_jumps),
+            _ => {
+                let o = self.operand(e);
+                true_jumps.push(self.code.len());
+                self.code.push(Instr::JT { op: BinOp::Ne, a: o, b: Opnd::I(0), target: 0 });
+            }
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &CStmt) {
+        self.reset_temps();
+        match s {
+            CStmt::Assign { dst, val } => {
+                // The sketch idiom `reg[c] = reg[c] + v` fuses into one
+                // RegAdd when the cell is static (slot/const, so reading
+                // it once is unobservable) and `v` folds to an operand.
+                if let Some(i) = self.fuse_reg_add(dst, val) {
+                    self.code.push(i);
+                    return;
+                }
+                // `meta.f = reg[cell]` with a static cell is one copy.
+                if let (CDst::Slot(s), CExpr::RegRead { reg, cell }) = (dst, val) {
+                    if let Some(c) = static_opnd(cell) {
+                        self.code.push(Instr::RegToSlot {
+                            slot: *s as u32,
+                            reg: *reg as u16,
+                            cell: c,
+                        });
+                        return;
+                    }
+                }
+                let v = self.operand(val);
+                self.lower_store(dst, v);
+            }
+            CStmt::Hash { dst, inputs, range, salt } => {
+                // `slot = hash(x, range)` — the count-min index pattern —
+                // fuses into a single instruction with a pre-mixed salt.
+                if let (CDst::Slot(s), [input]) = (dst, inputs.as_slice()) {
+                    let src = self.operand(input);
+                    let slot = *s as u32;
+                    let salt = splitmix(*salt);
+                    self.code.push(if range.is_power_of_two() {
+                        Instr::Hash1Mask { slot, salt, src, mask: *range - 1 }
+                    } else {
+                        Instr::Hash1Mod { slot, salt, src, range: *range }
+                    });
+                    return;
+                }
+                let acc = self.alloc();
+                self.code.push(Instr::HashInit { dst: acc, val: splitmix(*salt) });
+                for i in inputs {
+                    let t = self.operand(i);
+                    self.code.push(Instr::HashMix { acc, src: t });
+                }
+                if range.is_power_of_two() {
+                    self.code.push(Instr::HashMask { acc, mask: *range - 1 });
+                } else {
+                    self.code.push(Instr::HashMod { acc, range: *range });
+                }
+                self.lower_store(dst, Opnd::T(acc));
+            }
+            CStmt::If { cond, then_body, else_body } => {
+                let mut false_jumps = Vec::new();
+                self.lower_cond_jf(cond, &mut false_jumps);
+                for t in then_body {
+                    self.lower_stmt(t);
+                }
+                if else_body.is_empty() {
+                    let end = self.code.len() as u32;
+                    for at in false_jumps {
+                        self.patch(at, end);
+                    }
+                } else {
+                    let jmp_at = self.code.len();
+                    self.code.push(Instr::Jmp { target: 0 });
+                    let else_start = self.code.len() as u32;
+                    for at in false_jumps {
+                        self.patch(at, else_start);
+                    }
+                    for t in else_body {
+                        self.lower_stmt(t);
+                    }
+                    let end = self.code.len() as u32;
+                    self.patch(jmp_at, end);
+                }
+            }
+        }
+    }
+
+    /// When `a` and `b` are both bare comparisons (callers have already
+    /// established they are pure), lower their operands and return the
+    /// two `(op, a, b)` halves of a fused double-comparison branch.
+    #[allow(clippy::type_complexity)]
+    fn fuse_cmp_pair(
+        &mut self,
+        a: &CExpr,
+        b: &CExpr,
+    ) -> Option<((BinOp, Opnd, Opnd), (BinOp, Opnd, Opnd))> {
+        let (CExpr::Bin { op: op1, a: a1, b: b1 }, CExpr::Bin { op: op2, a: a2, b: b2 }) = (a, b)
+        else {
+            return None;
+        };
+        if !is_cmp(*op1) || !is_cmp(*op2) {
+            return None;
+        }
+        let (oa1, ob1) = (self.operand(a1), self.operand(b1));
+        let (oa2, ob2) = (self.operand(a2), self.operand(b2));
+        Some(((*op1, oa1, ob1), (*op2, oa2, ob2)))
+    }
+
+    /// Match `reg[cell] = reg[cell] + v` (either operand order) with a
+    /// static cell and an operand-foldable `v`.
+    fn fuse_reg_add(&mut self, dst: &CDst, val: &CExpr) -> Option<Instr> {
+        let CDst::Reg { reg, cell } = dst else { return None };
+        let CExpr::Bin { op: BinOp::Add, a, b } = val else { return None };
+        let (read, v) = match (&**a, &**b) {
+            (CExpr::RegRead { reg: r2, cell: c2 }, other) if *r2 == *reg => (c2, other),
+            (other, CExpr::RegRead { reg: r2, cell: c2 }) if *r2 == *reg => (c2, other),
+            _ => return None,
+        };
+        let cell_op = static_opnd(cell)?;
+        if static_opnd(read)? != cell_op {
+            return None;
+        }
+        let add = static_opnd(v)?;
+        Some(Instr::RegAdd { reg: *reg as u16, cell: cell_op, add })
+    }
+
+    fn patch(&mut self, at: usize, to: u32) {
+        match &mut self.code[at] {
+            Instr::JF { target, .. }
+            | Instr::JT { target, .. }
+            | Instr::JFAnd { target, .. }
+            | Instr::JFOr { target, .. }
+            | Instr::Jmp { target } => *target = to,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn lower_block(&mut self, body: &[CStmt]) -> (u32, u32) {
+        let start = self.code.len() as u32;
+        for s in body {
+            self.lower_stmt(s);
+        }
+        (start, self.code.len() as u32)
+    }
+}
+
+/// `Opnd` for an expression that is trivially pure — a constant or a
+/// static slot. Used by fusions that read a value twice or out of source
+/// order, where anything faultable must be rejected.
+fn static_opnd(e: &CExpr) -> Option<Opnd> {
+    match e {
+        CExpr::Const(v) => Some(Opnd::I(*v)),
+        CExpr::Slot(s) => Some(Opnd::S(*s as u32)),
+        _ => None,
+    }
+}
+
+/// Lower the switch's interpreter structures into bytecode, and mirror
+/// any already-installed table entries. Infallible: everything it
+/// consumes was validated by [`Switch::build`].
+pub(crate) fn lower(sw: &Switch) -> (CompiledProgram, Vec<CompiledTableState>) {
+    let mut lo = Lowerer::new();
+
+    // Dense action ids for table-dispatched bodies (sorted for a
+    // deterministic numbering).
+    let mut action_names: Vec<&String> = sw.table_actions.keys().collect();
+    action_names.sort();
+    let mut action_ids = HashMap::new();
+    let mut action_code = Vec::with_capacity(action_names.len());
+    for (id, name) in action_names.iter().enumerate() {
+        action_ids.insert((*name).clone(), id as u32);
+        action_code.push(lo.lower_block(&sw.table_actions[*name]));
+    }
+
+    // Dense table ids (sorted for determinism).
+    let mut table_names: Vec<&String> = sw.tables().keys().collect();
+    table_names.sort();
+    let mut table_ids = HashMap::new();
+    let mut tables = Vec::with_capacity(table_names.len());
+    let mut ctables = Vec::with_capacity(table_names.len());
+    for (id, name) in table_names.iter().enumerate() {
+        table_ids.insert((*name).clone(), id as u16);
+        let ts = &sw.tables()[*name];
+        let default_action = match &ts.default_action {
+            None => DefaultAction::None,
+            Some(a) => match action_ids.get(a) {
+                Some(&id) => DefaultAction::Run(id),
+                None => DefaultAction::Unknown(a.clone()),
+            },
+        };
+        tables.push(TableMeta { default_action });
+        let mut cts = CompiledTableState::default();
+        for (key, entry) in &ts.entries {
+            cts.entries.insert(key.clone(), compile_entry(sw, &action_ids, entry));
+        }
+        ctables.push(cts);
+    }
+
+    // Stage programs: each stage is one contiguous range. A guard lowers
+    // to fused conditional jumps over the rest of its action; a table
+    // apply lowers to one `Apply` over inline key operands.
+    let mut apply_sites = Vec::new();
+    let mut stages = Vec::with_capacity(sw.stages.len());
+    let body_start = lo.code.len() as u32;
+    for (s, stage) in sw.stages.iter().enumerate() {
+        let start = lo.code.len() as u32;
+        // Open with the cost-attribution mark; popped again below if the
+        // stage turns out to hold no code.
+        lo.code.push(Instr::Stage { s: s as u16 });
+        for a in stage {
+            let guard_jumps = a.guard.as_ref().map(|g| {
+                lo.reset_temps();
+                let mut jumps = Vec::new();
+                lo.lower_cond_jf(g, &mut jumps);
+                jumps
+            });
+            if let Some((tname, keys)) = &a.table {
+                lo.reset_temps();
+                let key_ops: Vec<Opnd> = keys.iter().map(|k| lo.operand(k)).collect();
+                let site = apply_sites.len() as u16;
+                apply_sites.push(ApplySite { table: table_ids[tname], key_ops });
+                lo.code.push(Instr::Apply { site });
+            }
+            lo.lower_block(&a.body);
+            if let Some(jumps) = guard_jumps {
+                let end = lo.code.len() as u32;
+                for at in jumps {
+                    lo.patch(at, end);
+                }
+            }
+        }
+        if lo.code.len() == start as usize + 1 {
+            // Nothing but the mark: the stage is empty, drop it.
+            lo.code.pop();
+        }
+        stages.push((start, lo.code.len() as u32));
+    }
+
+    let body = (body_start, lo.code.len() as u32);
+    let mut prog = CompiledProgram {
+        code: lo.code,
+        stages,
+        body,
+        tables,
+        apply_sites,
+        table_ids,
+        action_code,
+        action_ids,
+        diags: lo.diags,
+        temp_count: lo.max_temps,
+    };
+    peephole(&mut prog, &sw.masks, &sw.registers);
+    validate(&prog, sw.masks.len(), sw.registers.len());
+    (prog, ctables)
+}
+
+/// Try to fuse the CMS idiom at `code[pc..pc + 3]`: hash into an index
+/// slot, bump the register cell it names, read the new count back into a
+/// field. Only fuses when the hashed index is provably inside the
+/// register (`mask & slot-mask < cells`), which removes the fault path
+/// along with two dispatches.
+fn fuse_sketch(code: &[Instr], pc: usize, masks: &[u64], regs: &[RegState]) -> Option<Instr> {
+    let Instr::Hash1Mask { slot, salt, src, mask } = code.get(pc)? else {
+        return None;
+    };
+    let Instr::RegAdd { reg, cell: Opnd::S(c1), add } = code.get(pc + 1)? else {
+        return None;
+    };
+    let Instr::RegToSlot { slot: dst, reg: r2, cell: Opnd::S(c2) } = code.get(pc + 2)? else {
+        return None;
+    };
+    if c1 != slot || c2 != slot || r2 != reg {
+        return None;
+    }
+    // The cell value the fused step reads back is `h & mask` re-masked by
+    // the slot's own width, so its bound is the AND of both masks.
+    let idx_bound = *mask & masks[*slot as usize];
+    if (idx_bound as usize) >= regs[*reg as usize].cells.len() {
+        return None;
+    }
+    Some(Instr::SketchStep {
+        idx_slot: *slot,
+        salt: *salt,
+        src: *src,
+        mask: *mask,
+        reg: *reg,
+        add: *add,
+        dst_slot: *dst,
+    })
+}
+
+/// Try to fuse the running-min idiom at `code[pc..pc + 2]`: a `JFOr`
+/// guard `src < phv[m] || phv[m] == 0` that jumps over exactly its own
+/// `phv[m] = src` store.
+fn fuse_min(code: &[Instr], pc: usize) -> Option<Instr> {
+    let Instr::JFOr {
+        op1: BinOp::Lt,
+        a1,
+        b1: Opnd::S(m),
+        op2: BinOp::Eq,
+        a2: Opnd::S(m2),
+        b2: Opnd::I(0),
+        target,
+    } = code.get(pc)?
+    else {
+        return None;
+    };
+    let Instr::StoreSlot { slot: m3, src } = code.get(pc + 1)? else {
+        return None;
+    };
+    if m2 != m || m3 != m || src != a1 || *target as usize != pc + 2 {
+        return None;
+    }
+    Some(Instr::MinOrInit { slot: *m, src: *a1 })
+}
+
+/// Post-lowering peephole over the final code: fuse the CMS idiom into
+/// [`Instr::SketchStep`] and the running-min idiom into
+/// [`Instr::MinOrInit`]. A fusion never swallows a jump target or a
+/// stage/action/body boundary, and every surviving jump target and range
+/// endpoint is remapped onto the compacted code.
+fn peephole(prog: &mut CompiledProgram, masks: &[u64], regs: &[RegState]) {
+    let len = prog.code.len();
+    // Positions that must survive as instruction starts: jump targets and
+    // every range endpoint the program indexes by.
+    let mut barrier = vec![false; len + 1];
+    for i in &prog.code {
+        match i {
+            Instr::JF { target, .. }
+            | Instr::JT { target, .. }
+            | Instr::JFAnd { target, .. }
+            | Instr::JFOr { target, .. }
+            | Instr::Jmp { target } => barrier[*target as usize] = true,
+            _ => {}
+        }
+    }
+    for &(a, b) in prog.stages.iter().chain(prog.action_code.iter()) {
+        barrier[a as usize] = true;
+        barrier[b as usize] = true;
+    }
+    barrier[prog.body.0 as usize] = true;
+    barrier[prog.body.1 as usize] = true;
+
+    let old = std::mem::take(&mut prog.code);
+    let mut map = vec![0u32; len + 1];
+    let mut out: Vec<Instr> = Vec::with_capacity(len);
+    let mut pc = 0usize;
+    while pc < len {
+        map[pc] = out.len() as u32;
+        if !barrier[pc + 1] && pc + 2 < len && !barrier[pc + 2] {
+            if let Some(fused) = fuse_sketch(&old, pc, masks, regs) {
+                // Interior positions are unreachable (no barrier), but
+                // keep the map total.
+                map[pc + 1] = out.len() as u32;
+                map[pc + 2] = out.len() as u32;
+                out.push(fused);
+                pc += 3;
+                continue;
+            }
+        }
+        if !barrier[pc + 1] {
+            if let Some(fused) = fuse_min(&old, pc) {
+                map[pc + 1] = out.len() as u32;
+                out.push(fused);
+                pc += 2;
+                continue;
+            }
+        }
+        out.push(old[pc].clone());
+        pc += 1;
+    }
+    map[len] = out.len() as u32;
+
+    for i in &mut out {
+        match i {
+            Instr::JF { target, .. }
+            | Instr::JT { target, .. }
+            | Instr::JFAnd { target, .. }
+            | Instr::JFOr { target, .. }
+            | Instr::Jmp { target } => *target = map[*target as usize],
+            _ => {}
+        }
+    }
+    prog.code = out;
+    for (a, b) in prog.stages.iter_mut().chain(prog.action_code.iter_mut()) {
+        *a = map[*a as usize];
+        *b = map[*b as usize];
+    }
+    prog.body = (map[prog.body.0 as usize], map[prog.body.1 as usize]);
+}
+
+/// Build-time validation underwriting the execution loop's unchecked
+/// accesses: every static slot reference is within the PHV, every dynamic
+/// slot window fits, every register id resolves, and every jump target
+/// lands inside the code. A violation is a lowering bug, and panicking
+/// here (once, at build) is what lets [`exec_range`] skip those checks on
+/// every packet.
+fn validate(prog: &CompiledProgram, phv_len: usize, reg_count: usize) {
+    let code_len = prog.code.len() as u32;
+    let slot = |s: u32| assert!((s as usize) < phv_len, "slot {s} out of PHV ({phv_len})");
+    let opnd = |o: &Opnd| {
+        if let Opnd::S(s) = o {
+            slot(*s);
+        }
+    };
+    let dynw = |base: u32, count: u32| {
+        assert!(base as usize + count as usize <= phv_len, "dyn window out of PHV");
+    };
+    let reg = |r: u16| assert!((r as usize) < reg_count, "register {r} unresolved");
+    let target = |t: u32| assert!(t <= code_len, "jump target {t} out of code");
+    for i in &prog.code {
+        match i {
+            Instr::LoadSlotDyn { base, count, idx, diag, .. } => {
+                dynw(*base, *count);
+                opnd(idx);
+                assert!((*diag as usize) < prog.diags.len());
+            }
+            Instr::LoadReg { reg: r, cell, .. } => {
+                reg(*r);
+                opnd(cell);
+            }
+            Instr::Bin { a, b, .. } => {
+                opnd(a);
+                opnd(b);
+            }
+            Instr::Not { a, .. } | Instr::Neg { a, .. } => opnd(a),
+            Instr::HashInit { .. } | Instr::HashMod { .. } | Instr::HashMask { .. } => {}
+            Instr::HashMix { src, .. } => opnd(src),
+            Instr::Hash1Mask { slot: s, src, .. } | Instr::Hash1Mod { slot: s, src, .. } => {
+                slot(*s);
+                opnd(src);
+            }
+            Instr::StoreSlot { slot: s, src } => {
+                slot(*s);
+                opnd(src);
+            }
+            Instr::StoreSlotDyn { base, count, idx, src, diag } => {
+                dynw(*base, *count);
+                opnd(idx);
+                opnd(src);
+                assert!((*diag as usize) < prog.diags.len());
+            }
+            Instr::StoreReg { reg: r, cell, src } => {
+                reg(*r);
+                opnd(cell);
+                opnd(src);
+            }
+            Instr::RegAdd { reg: r, cell, add } => {
+                reg(*r);
+                opnd(cell);
+                opnd(add);
+            }
+            Instr::RegToSlot { slot: s, reg: r, cell } => {
+                slot(*s);
+                reg(*r);
+                opnd(cell);
+            }
+            Instr::JF { a, b, target: t, .. } | Instr::JT { a, b, target: t, .. } => {
+                opnd(a);
+                opnd(b);
+                target(*t);
+            }
+            Instr::JFAnd { a1, b1, a2, b2, target: t, .. }
+            | Instr::JFOr { a1, b1, a2, b2, target: t, .. } => {
+                opnd(a1);
+                opnd(b1);
+                opnd(a2);
+                opnd(b2);
+                target(*t);
+            }
+            Instr::Jmp { target: t } => target(*t),
+            Instr::Stage { s } => {
+                assert!((*s as usize) < prog.stages.len(), "stage mark out of range");
+            }
+            Instr::Apply { site } => {
+                let s = &prog.apply_sites[*site as usize];
+                assert!((s.table as usize) < prog.tables.len());
+                s.key_ops.iter().for_each(&opnd);
+            }
+            Instr::SketchStep { idx_slot, src, reg: r, add, dst_slot, .. } => {
+                slot(*idx_slot);
+                slot(*dst_slot);
+                opnd(src);
+                opnd(add);
+                reg(*r);
+            }
+            Instr::MinOrInit { slot: s, src } => {
+                slot(*s);
+                opnd(src);
+            }
+        }
+    }
+}
+
+/// Resolve an interpreter-form entry (validated at install) into its
+/// dense executable form.
+pub(crate) fn compile_entry(
+    sw: &Switch,
+    action_ids: &HashMap<String, u32>,
+    entry: &TableEntry,
+) -> CEntry {
+    CEntry {
+        action: action_ids[&entry.action],
+        data: entry
+            .data
+            .iter()
+            .map(|(f, v)| (sw.meta_scalar_slot(f).expect("validated at install") as u32, *v))
+            .collect(),
+    }
+}
+
+// ------------------------------------------------------------ execution
+
+/// Temporary-file access. SAFETY: every `Temp` the lowerer emits is below
+/// `temp_count` ([`Lowerer::alloc`] is the only source and tracks the
+/// high-water mark), and [`run_packet`] asserts the scratch is at least
+/// that large — so these indices can never be out of bounds.
+#[inline(always)]
+fn tget(temps: &[u64], i: Temp) -> u64 {
+    unsafe { *temps.get_unchecked(i as usize) }
+}
+
+#[inline(always)]
+fn tset(temps: &mut [u64], i: Temp, v: u64) {
+    unsafe { *temps.get_unchecked_mut(i as usize) = v }
+}
+
+/// Resolve an inline operand against the temp file and the PHV.
+///
+/// SAFETY (slot access): every static slot index in a program was checked
+/// against the PHV length by [`validate`] at build time, so the
+/// per-packet bounds check is provably dead and elided.
+#[inline(always)]
+fn ov(temps: &[u64], phv: &Phv, o: &Opnd) -> u64 {
+    match *o {
+        Opnd::T(t) => tget(temps, t),
+        Opnd::S(s) => unsafe { *phv.slots.get_unchecked(s as usize) },
+        Opnd::I(v) => v,
+    }
+}
+
+/// Width-masked PHV store. SAFETY: `slot` was validated against the PHV
+/// length at build time ([`validate`]); `masks` and `slots` have equal
+/// length (asserted in [`run_packet`]).
+#[inline(always)]
+fn phv_set(phv: &mut Phv, slot: usize, v: u64) {
+    unsafe {
+        let m = *phv.masks.get_unchecked(slot);
+        *phv.slots.get_unchecked_mut(slot) = v & m;
+    }
+}
+
+/// `a <op> b` for the comparison subset `JF`/`JT` carry.
+#[inline(always)]
+fn cmp(op: BinOp, x: u64, y: u64) -> bool {
+    match op {
+        BinOp::Lt => x < y,
+        BinOp::Le => x <= y,
+        BinOp::Gt => x > y,
+        BinOp::Ge => x >= y,
+        BinOp::Eq => x == y,
+        BinOp::Ne => x != y,
+        other => unreachable!("non-comparison {other:?} in fused branch"),
+    }
+}
+
+/// Run one packet (already in `phv`) through every stage, **in place**.
+/// Faults abort mid-stage exactly like the interpreter; the caller rolls
+/// back `undo` (the PHV content after a fault is unspecified).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_packet(
+    prog: &CompiledProgram,
+    ctables: &[CompiledTableState],
+    regs: &mut [RegState],
+    phv: &mut Phv,
+    ctx: &mut ExecCtx,
+    undo: &mut Vec<RegUndo>,
+    stage_cost: &mut [u64],
+) -> Result<(), SimError> {
+    assert!(ctx.temps.len() >= prog.temp_count, "scratch must come from ExecCtx::for_program");
+    assert!(phv.slots.len() == phv.masks.len(), "PHV built by Switch::build");
+    assert!(stage_cost.len() >= prog.stages.len(), "one cost counter per stage");
+    // `body` opens with a `Stage` mark (if it holds any code at all), so
+    // the initial attribution stage is never actually charged.
+    let mut cur = 0usize;
+    let (start, end) = prog.body;
+    exec_range(
+        prog,
+        ctables,
+        regs,
+        phv,
+        &mut ctx.temps,
+        &mut ctx.keys,
+        undo,
+        stage_cost,
+        &mut cur,
+        start,
+        end,
+    )
+}
+
+/// Execute `code[start..end]`: the single dispatch loop of the fast path.
+#[allow(clippy::too_many_arguments)]
+fn exec_range(
+    prog: &CompiledProgram,
+    ctables: &[CompiledTableState],
+    regs: &mut [RegState],
+    phv: &mut Phv,
+    temps: &mut [u64],
+    keys: &mut Vec<u64>,
+    undo: &mut Vec<RegUndo>,
+    stage_cost: &mut [u64],
+    cur: &mut usize,
+    start: u32,
+    end: u32,
+) -> Result<(), SimError> {
+    let end = end as usize;
+    assert!(end <= prog.code.len(), "code range within program");
+    let mut pc = start as usize;
+    let mut executed = 0u64;
+    macro_rules! fault {
+        ($e:expr) => {{
+            stage_cost[*cur] += executed;
+            return Err($e);
+        }};
+    }
+    while pc < end {
+        executed += 1;
+        // SAFETY: `pc < end <= code.len()` (asserted above); every jump
+        // target is patched to a position within its enclosing range.
+        let instr = unsafe { prog.code.get_unchecked(pc) };
+        match instr {
+            Instr::LoadSlotDyn { dst, base, count, idx, diag } => {
+                let i = ov(temps, phv, idx);
+                if i >= *count as u64 {
+                    fault!(SimError::IndexOutOfBounds {
+                        what: prog.diags[*diag as usize].clone(),
+                        index: i,
+                        len: *count as usize,
+                    });
+                }
+                // SAFETY: `i < count` just checked; `base + count <= len`
+                // validated at build.
+                tset(temps, *dst, unsafe {
+                    *phv.slots.get_unchecked(*base as usize + i as usize)
+                });
+            }
+            Instr::LoadReg { dst, reg, cell } => {
+                let c = ov(temps, phv, cell) as usize;
+                let r = &regs[*reg as usize];
+                match r.cells.get(c) {
+                    Some(v) => tset(temps, *dst, *v),
+                    None => fault!(SimError::IndexOutOfBounds {
+                        what: format!("{}[{}]", r.reg, r.instance),
+                        index: c as u64,
+                        len: r.cells.len(),
+                    }),
+                }
+            }
+            Instr::Bin { dst, op, a, b } => {
+                let x = ov(temps, phv, a);
+                let y = ov(temps, phv, b);
+                let v = match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::Div => {
+                        if y == 0 {
+                            fault!(SimError::DivByZero);
+                        }
+                        x / y
+                    }
+                    BinOp::Lt => (x < y) as u64,
+                    BinOp::Le => (x <= y) as u64,
+                    BinOp::Gt => (x > y) as u64,
+                    BinOp::Ge => (x >= y) as u64,
+                    BinOp::Eq => (x == y) as u64,
+                    BinOp::Ne => (x != y) as u64,
+                    BinOp::And => (x != 0 && y != 0) as u64,
+                    BinOp::Or => (x != 0 || y != 0) as u64,
+                };
+                tset(temps, *dst, v);
+            }
+            Instr::Not { dst, a } => tset(temps, *dst, (ov(temps, phv, a) == 0) as u64),
+            Instr::Neg { dst, a } => tset(temps, *dst, ov(temps, phv, a).wrapping_neg()),
+            Instr::HashInit { dst, val } => tset(temps, *dst, *val),
+            Instr::HashMix { acc, src } => {
+                tset(temps, *acc, splitmix(tget(temps, *acc) ^ ov(temps, phv, src)));
+            }
+            Instr::HashMod { acc, range } => tset(temps, *acc, tget(temps, *acc) % *range),
+            Instr::HashMask { acc, mask } => tset(temps, *acc, tget(temps, *acc) & *mask),
+            Instr::Hash1Mask { slot, salt, src, mask } => {
+                let h = splitmix(*salt ^ ov(temps, phv, src)) & *mask;
+                phv_set(phv, *slot as usize, h);
+            }
+            Instr::Hash1Mod { slot, salt, src, range } => {
+                let h = splitmix(*salt ^ ov(temps, phv, src)) % *range;
+                phv_set(phv, *slot as usize, h);
+            }
+            Instr::StoreSlot { slot, src } => {
+                let v = ov(temps, phv, src);
+                phv_set(phv, *slot as usize, v);
+            }
+            Instr::StoreSlotDyn { base, count, idx, src, diag } => {
+                let i = ov(temps, phv, idx);
+                if i >= *count as u64 {
+                    fault!(SimError::IndexOutOfBounds {
+                        what: prog.diags[*diag as usize].clone(),
+                        index: i,
+                        len: *count as usize,
+                    });
+                }
+                let v = ov(temps, phv, src);
+                // SAFETY: as in `LoadSlotDyn` — window validated at build.
+                phv_set(phv, *base as usize + i as usize, v);
+            }
+            Instr::StoreReg { reg, cell, src } => {
+                let c = ov(temps, phv, cell) as usize;
+                let v = ov(temps, phv, src);
+                let r = &mut regs[*reg as usize];
+                if c >= r.cells.len() {
+                    fault!(SimError::IndexOutOfBounds {
+                        what: format!("{}[{}]", r.reg, r.instance),
+                        index: c as u64,
+                        len: r.cells.len(),
+                    });
+                }
+                undo.push((*reg as u32, c as u64, r.cells[c]));
+                r.cells[c] = v & r.elem_mask;
+            }
+            Instr::RegAdd { reg, cell, add } => {
+                let c = ov(temps, phv, cell) as usize;
+                let v = ov(temps, phv, add);
+                let r = &mut regs[*reg as usize];
+                if c >= r.cells.len() {
+                    fault!(SimError::IndexOutOfBounds {
+                        what: format!("{}[{}]", r.reg, r.instance),
+                        index: c as u64,
+                        len: r.cells.len(),
+                    });
+                }
+                let old = r.cells[c];
+                undo.push((*reg as u32, c as u64, old));
+                r.cells[c] = old.wrapping_add(v) & r.elem_mask;
+            }
+            Instr::SketchStep { idx_slot, salt, src, mask, reg, add, dst_slot } => {
+                let h = splitmix(*salt ^ ov(temps, phv, src)) & *mask;
+                phv_set(phv, *idx_slot as usize, h);
+                // Read the index back through the slot so the cell matches
+                // what the unfused `RegAdd` would have seen (the slot's own
+                // width mask re-applies on store).
+                // SAFETY: `idx_slot` validated at build ([`validate`]).
+                let c = unsafe { *phv.slots.get_unchecked(*idx_slot as usize) } as usize;
+                let v = ov(temps, phv, add);
+                let r = &mut regs[*reg as usize];
+                // In bounds by construction: [`peephole`] only forms this
+                // instruction when `mask & slot-mask < cells.len()`, and
+                // shards clone the register file at full length.
+                let old = r.cells[c];
+                undo.push((*reg as u32, c as u64, old));
+                let new = old.wrapping_add(v) & r.elem_mask;
+                r.cells[c] = new;
+                phv_set(phv, *dst_slot as usize, new);
+            }
+            Instr::MinOrInit { slot, src } => {
+                let x = ov(temps, phv, src);
+                // SAFETY: `slot` validated at build ([`validate`]).
+                let cur = unsafe { *phv.slots.get_unchecked(*slot as usize) };
+                if x < cur || cur == 0 {
+                    phv_set(phv, *slot as usize, x);
+                }
+            }
+            Instr::RegToSlot { slot, reg, cell } => {
+                let c = ov(temps, phv, cell) as usize;
+                let r = &regs[*reg as usize];
+                match r.cells.get(c) {
+                    Some(v) => phv_set(phv, *slot as usize, *v),
+                    None => fault!(SimError::IndexOutOfBounds {
+                        what: format!("{}[{}]", r.reg, r.instance),
+                        index: c as u64,
+                        len: r.cells.len(),
+                    }),
+                }
+            }
+            Instr::JFAnd { op1, a1, b1, op2, a2, b2, target } => {
+                if !(cmp(*op1, ov(temps, phv, a1), ov(temps, phv, b1))
+                    && cmp(*op2, ov(temps, phv, a2), ov(temps, phv, b2)))
+                {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::JFOr { op1, a1, b1, op2, a2, b2, target } => {
+                if !(cmp(*op1, ov(temps, phv, a1), ov(temps, phv, b1))
+                    || cmp(*op2, ov(temps, phv, a2), ov(temps, phv, b2)))
+                {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::JF { op, a, b, target } => {
+                if !cmp(*op, ov(temps, phv, a), ov(temps, phv, b)) {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::JT { op, a, b, target } => {
+                if cmp(*op, ov(temps, phv, a), ov(temps, phv, b)) {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::Jmp { target } => {
+                pc = *target as usize;
+                continue;
+            }
+            Instr::Stage { s } => {
+                // The mark itself is free: `executed` already counted it.
+                stage_cost[*cur] += executed - 1;
+                executed = 0;
+                *cur = *s as usize;
+            }
+            Instr::Apply { site } => {
+                let site = &prog.apply_sites[*site as usize];
+                keys.clear();
+                for op in &site.key_ops {
+                    keys.push(ov(temps, phv, op));
+                }
+                let action = match ctables[site.table as usize].entries.get(keys.as_slice()) {
+                    Some(e) => {
+                        for &(slot, val) in &e.data {
+                            phv.set(slot as usize, val);
+                        }
+                        Some(e.action)
+                    }
+                    None => match &prog.tables[site.table as usize].default_action {
+                        DefaultAction::None => None,
+                        DefaultAction::Run(id) => Some(*id),
+                        DefaultAction::Unknown(name) => {
+                            fault!(SimError::UnknownAction(name.clone()))
+                        }
+                    },
+                };
+                if let Some(id) = action {
+                    let (bs, be) = prog.action_code[id as usize];
+                    stage_cost[*cur] += executed;
+                    executed = 0;
+                    exec_range(
+                        prog, ctables, regs, phv, temps, keys, undo, stage_cost, cur, bs, be,
+                    )?;
+                }
+            }
+        }
+        pc += 1;
+    }
+    stage_cost[*cur] += executed;
+    Ok(())
+}
+
+/// Human-readable listing of the lowered program, one stage per section —
+/// the ground truth for "what does this packet actually execute".
+pub(crate) fn disasm(prog: &CompiledProgram) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (s, &(start, end)) in prog.stages.iter().enumerate() {
+        let _ = writeln!(out, "stage {s}: [{start}..{end}]");
+        for pc in start as usize..end as usize {
+            let _ = writeln!(out, "  {pc:>5}  {:?}", prog.code[pc]);
+        }
+    }
+    for (id, &(start, end)) in prog.action_code.iter().enumerate() {
+        let name = prog
+            .action_ids
+            .iter()
+            .find(|(_, &v)| v == id as u32)
+            .map(|(k, _)| k.as_str())
+            .unwrap_or("?");
+        let _ = writeln!(out, "action {id} ({name}): [{start}..{end}]");
+        for pc in start as usize..end as usize {
+            let _ = writeln!(out, "  {pc:>5}  {:?}", prog.code[pc]);
+        }
+    }
+    out
+}
+
+pub(crate) use crate::interp::splitmix;

@@ -19,6 +19,10 @@ impl Switch {
         data: &[(&str, u64)],
     ) -> Result<(), SimError> {
         let entry = self.make_entry(table, action, data)?;
+        // Resolve the bytecode form now, while the names are at hand:
+        // install time is the last moment a string may be hashed.
+        let centry = crate::compiled::compile_entry(self, &self.compiled.action_ids, &entry);
+        let tidx = self.compiled.table_ids[table] as usize;
         let t = self
             .tables_mut()
             .get_mut(table)
@@ -26,7 +30,8 @@ impl Switch {
         if !t.entries.contains_key(&key) && t.is_full() {
             return Err(SimError::TableFull(table.to_string()));
         }
-        t.entries.insert(key, entry);
+        t.entries.insert(key.clone(), entry);
+        self.ctables[tidx].entries.insert(key, centry);
         Ok(())
     }
 
@@ -36,7 +41,10 @@ impl Switch {
             .tables_mut()
             .get_mut(table)
             .ok_or_else(|| SimError::UnknownTable(table.to_string()))?;
-        Ok(t.entries.remove(key).is_some())
+        let existed = t.entries.remove(key).is_some();
+        let tidx = self.compiled.table_ids[table] as usize;
+        self.ctables[tidx].entries.remove(key);
+        Ok(existed)
     }
 
     /// Drop every entry of a table.
@@ -46,6 +54,8 @@ impl Switch {
             .get_mut(table)
             .ok_or_else(|| SimError::UnknownTable(table.to_string()))?;
         t.entries.clear();
+        let tidx = self.compiled.table_ids[table] as usize;
+        self.ctables[tidx].entries.clear();
         Ok(())
     }
 

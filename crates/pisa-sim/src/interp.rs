@@ -60,8 +60,11 @@ impl std::error::Error for SimError {}
 
 // ---------------------------------------------------------- compiled forms
 
+/// Slot-resolved expression tree — the reference interpreter walks these;
+/// the bytecode backend ([`crate::compiled`]) lowers them further into a
+/// flat instruction stream.
 #[derive(Debug, Clone)]
-enum CExpr {
+pub(crate) enum CExpr {
     Const(u64),
     Slot(usize),
     DynSlot { base: usize, count: usize, idx: Box<CExpr>, what: String },
@@ -72,47 +75,78 @@ enum CExpr {
 }
 
 #[derive(Debug, Clone)]
-enum CDst {
+pub(crate) enum CDst {
     Slot(usize),
     DynSlot { base: usize, count: usize, idx: CExpr, what: String },
     Reg { reg: usize, cell: CExpr },
 }
 
 #[derive(Debug, Clone)]
-enum CStmt {
+pub(crate) enum CStmt {
     Assign { dst: CDst, val: CExpr },
     Hash { dst: CDst, inputs: Vec<CExpr>, range: u64, salt: u64 },
     If { cond: CExpr, then_body: Vec<CStmt>, else_body: Vec<CStmt> },
 }
 
 #[derive(Debug, Clone)]
-struct CAction {
+pub(crate) struct CAction {
     /// Retained for diagnostics when a stage faults.
     #[allow(dead_code)]
-    label: String,
-    guard: Option<CExpr>,
-    body: Vec<CStmt>,
+    pub(crate) label: String,
+    pub(crate) guard: Option<CExpr>,
+    pub(crate) body: Vec<CStmt>,
     /// For table applies: table name + compiled key expressions.
-    table: Option<(String, Vec<CExpr>)>,
+    pub(crate) table: Option<(String, Vec<CExpr>)>,
+}
+
+/// Which execution engine [`Switch::run_packet`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The tree-walking reference interpreter (the oracle).
+    Interp,
+    /// The flat bytecode engine (the default fast path).
+    #[default]
+    Compiled,
 }
 
 // ------------------------------------------------------------- the switch
 
 /// A behavioral switch executing one compiled program.
 pub struct Switch {
-    masks: Vec<u64>,
+    pub(crate) masks: Vec<u64>,
+    /// Header fields occupy the first `header_count` PHV slots; the flow
+    /// hash that shards traces across replay workers covers exactly them.
+    pub(crate) header_count: usize,
     header_slots: HashMap<String, usize>,
     meta_scalars: HashMap<String, usize>,
     meta_arrays: HashMap<String, (usize, usize)>,
-    registers: Vec<RegState>,
+    pub(crate) registers: Vec<RegState>,
     reg_index: HashMap<(String, usize), usize>,
     tables: HashMap<String, TableState>,
     /// Compiled bodies of actions invocable from tables.
-    table_actions: HashMap<String, Vec<CStmt>>,
-    stages: Vec<Vec<CAction>>,
-    cur: Phv,
-    next: Phv,
+    pub(crate) table_actions: HashMap<String, Vec<CStmt>>,
+    pub(crate) stages: Vec<Vec<CAction>>,
+    pub(crate) cur: Phv,
+    pub(crate) next: Phv,
+    // ---- bytecode backend state ----
+    pub(crate) backend: Backend,
+    pub(crate) compiled: crate::compiled::CompiledProgram,
+    pub(crate) ctables: Vec<crate::compiled::CompiledTableState>,
+    pub(crate) ctx: crate::compiled::ExecCtx,
+    /// Register-write undo log for the current packet: on a per-packet
+    /// fault every stage write is rolled back so a dropped packet leaves
+    /// no trace in persistent state.
+    pub(crate) undo: Vec<RegUndo>,
+    /// Statements (interp) / instructions (compiled) executed, by stage,
+    /// accumulated across packets; [`Switch::run_trace`] resets and
+    /// reports it.
+    pub(crate) stage_cost: Vec<u64>,
+    /// Running statement counter backing `stage_cost` on the interp path.
+    stmt_count: u64,
 }
+
+/// One undone register write: `(register index, cell, previous value)`.
+pub(crate) type RegUndo = (u32, u64, u64);
 
 impl Switch {
     /// Compile a concrete program into an executable switch. `program` is
@@ -154,6 +188,7 @@ impl Switch {
         let mut sw = Switch {
             cur: Phv::new(masks.clone()),
             next: Phv::new(masks.clone()),
+            header_count: concrete.headers.len(),
             masks,
             header_slots,
             meta_scalars,
@@ -163,6 +198,13 @@ impl Switch {
             tables: HashMap::new(),
             table_actions: HashMap::new(),
             stages: Vec::new(),
+            backend: Backend::default(),
+            compiled: crate::compiled::CompiledProgram::default(),
+            ctables: Vec::new(),
+            ctx: crate::compiled::ExecCtx::default(),
+            undo: Vec::new(),
+            stage_cost: Vec::new(),
+            stmt_count: 0,
         };
 
         // ---- Tables & their actions ----
@@ -240,7 +282,23 @@ impl Switch {
             stages.push(actions);
         }
         sw.stages = stages;
+        sw.stage_cost = vec![0; sw.stages.len()];
+        let (compiled, ctables) = crate::compiled::lower(&sw);
+        sw.ctx = crate::compiled::ExecCtx::for_program(&compiled);
+        sw.compiled = compiled;
+        sw.ctables = ctables;
         Ok(sw)
+    }
+
+    /// Select the execution backend (the bytecode engine is the default;
+    /// the tree-walking interpreter is the reference oracle).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// Currently selected execution backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     // -------------------------------------------------------- compilation
@@ -418,6 +476,7 @@ impl Switch {
     /// Reset the working PHV for a new packet.
     pub fn begin_packet(&mut self) {
         self.cur.clear();
+        self.undo.clear();
     }
 
     /// Set a header field on the working PHV.
@@ -430,13 +489,50 @@ impl Switch {
         Ok(())
     }
 
-    /// Run the working PHV through every stage.
+    /// Run the working PHV through every stage with the selected backend.
+    ///
+    /// On a per-packet fault (`DivByZero`, `IndexOutOfBounds`, …) every
+    /// register write the packet performed is rolled back before the error
+    /// returns: a faulting packet is droppable without corrupting
+    /// persistent state ([`Switch::run_trace`] counts it as dropped).
     pub fn run_packet(&mut self) -> Result<(), SimError> {
+        self.undo.clear();
+        let result = match self.backend {
+            Backend::Interp => self.run_packet_interp(),
+            Backend::Compiled => self.run_packet_compiled(),
+        };
+        if result.is_err() {
+            self.rollback();
+        }
+        result
+    }
+
+    /// Undo every register write recorded since the packet began.
+    pub(crate) fn rollback(&mut self) {
+        while let Some((reg, cell, old)) = self.undo.pop() {
+            self.registers[reg as usize].cells[cell as usize] = old;
+        }
+    }
+
+    fn run_packet_compiled(&mut self) -> Result<(), SimError> {
+        crate::compiled::run_packet(
+            &self.compiled,
+            &self.ctables,
+            &mut self.registers,
+            &mut self.cur,
+            &mut self.ctx,
+            &mut self.undo,
+            &mut self.stage_cost,
+        )
+    }
+
+    fn run_packet_interp(&mut self) -> Result<(), SimError> {
         for s in 0..self.stages.len() {
             // Stage-input snapshot: actions read `next`'s previous content.
             self.next.slots.copy_from_slice(&self.cur.slots);
             // We need split borrows: temporarily move the stage program out.
             let actions = std::mem::take(&mut self.stages[s]);
+            let before = self.stmt_count;
             let mut result = Ok(());
             for a in &actions {
                 if let Some(g) = &a.guard {
@@ -461,6 +557,7 @@ impl Switch {
                 }
             }
             self.stages[s] = actions;
+            self.stage_cost[s] += self.stmt_count - before;
             result?;
             std::mem::swap(&mut self.cur, &mut self.next);
         }
@@ -506,6 +603,7 @@ impl Switch {
     }
 
     fn exec_stmt(&mut self, s: &CStmt) -> Result<(), SimError> {
+        self.stmt_count += 1;
         match s {
             CStmt::Assign { dst, val } => {
                 let v = self.eval(val)?;
@@ -556,6 +654,7 @@ impl Switch {
                         len: r.cells.len(),
                     });
                 }
+                self.undo.push((*reg as u32, c as u64, r.cells[c]));
                 r.cells[c] = v & r.elem_mask;
                 Ok(())
             }
@@ -660,9 +759,59 @@ impl Switch {
         Ok(self.cur.get(slot))
     }
 
+    /// Header field names in slot order — what a trace generator needs to
+    /// synthesize input packets for [`Switch::run_trace`].
+    pub fn header_fields(&self) -> Vec<String> {
+        let mut fields: Vec<(usize, &String)> =
+            self.header_slots.iter().map(|(name, &slot)| (slot, name)).collect();
+        fields.sort();
+        fields.into_iter().map(|(_, name)| name.clone()).collect()
+    }
+
     /// Total PHV bits modelled (diagnostics).
     pub fn phv_slots(&self) -> usize {
         self.masks.len()
+    }
+
+    /// Pipeline stage count.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The full working PHV after `run_packet` — slot-for-slot, for
+    /// differential testing of backends.
+    pub fn phv_snapshot(&self) -> Vec<u64> {
+        self.cur.slots.clone()
+    }
+
+    /// Disassembly of the bytecode program, one section per stage — what
+    /// the compiled backend actually executes per packet (diagnostics).
+    pub fn dump_bytecode(&self) -> String {
+        crate::compiled::disasm(&self.compiled)
+    }
+
+    /// Every register instance as `(name, instance, stage, cells)`, in
+    /// placement order — the observable persistent state, for
+    /// differential testing and golden-trace dumps.
+    pub fn registers_snapshot(&self) -> Vec<(String, usize, usize, Vec<u64>)> {
+        self.registers
+            .iter()
+            .map(|r| (r.reg.clone(), r.instance, r.stage, r.cells.clone()))
+            .collect()
+    }
+
+    /// Build a full-layout input PHV for [`Switch::run_trace`]: the named
+    /// header fields are set (width-masked), everything else is zero.
+    pub fn make_packet(&self, fields: &[(&str, u64)]) -> Result<Phv, SimError> {
+        let mut phv = Phv::new(self.masks.clone());
+        for (f, v) in fields {
+            let slot = *self
+                .header_slots
+                .get(*f)
+                .ok_or_else(|| SimError::UnknownField(format!("hdr.{f}")))?;
+            phv.set(slot, *v);
+        }
+        Ok(phv)
     }
 
     pub(crate) fn registers(&self) -> &[RegState] {
@@ -794,8 +943,10 @@ fn action_registers(a: &p4all_core::ConcreteAction) -> Vec<(String, usize)> {
     out
 }
 
-/// SplitMix64 finalizer — the simulator's hash primitive.
-fn splitmix(mut z: u64) -> u64 {
+/// SplitMix64 finalizer — the simulator's hash primitive, shared by both
+/// backends (and by the replay engine's flow-sharding hash).
+#[inline(always)]
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -12,11 +12,27 @@
 //! surface of Figure 4 — run as real packet processing over the compiled
 //! artifact rather than as an analytic model.
 
+//!
+//! Two execution backends share one build pipeline:
+//!
+//! - [`interp`] — the tree-walking **reference interpreter**, the oracle
+//!   every fast path is differentially tested against;
+//! - [`compiled`] — the **bytecode engine**: field names resolved to
+//!   dense PHV slots, expressions flattened to a register-machine
+//!   instruction stream, table dispatch by precomputed index. The default.
+//!
+//! [`replay`] adds `Switch::run_trace`: whole-trace replay, optionally
+//! sharded by flow hash across worker threads with delta-sum state
+//! merging, reporting pkts/sec + per-stage cost in [`SimStats`].
+
+pub mod compiled;
 pub mod control_plane;
 pub mod interp;
 pub mod netcache_rt;
+pub mod replay;
 pub mod state;
 
-pub use interp::{SimError, Switch};
+pub use interp::{Backend, SimError, Switch};
 pub use netcache_rt::{NetCacheConfig, NetCacheRuntime, NetCacheStats};
+pub use replay::SimStats;
 pub use state::{Phv, RegState, TableEntry, TableState};

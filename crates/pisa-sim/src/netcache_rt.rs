@@ -174,6 +174,12 @@ impl NetCacheRuntime {
         self.cache.len()
     }
 
+    /// The underlying switch, for state inspection (register dumps,
+    /// stage-cost telemetry) without tearing the runtime down.
+    pub fn switch(&self) -> &Switch {
+        &self.switch
+    }
+
     pub fn stats(&self) -> NetCacheStats {
         self.stats
     }

@@ -1,0 +1,406 @@
+//! Batched, sharded trace replay.
+//!
+//! [`Switch::run_trace`] replays a whole packet trace through the
+//! pipeline at once. With one thread it runs in place (honoring the
+//! selected backend); with `threads > 1` it shards the trace by **flow
+//! hash** over the header fields — mirroring how a real switch's CRC
+//! partitions flows across pipes — and executes every shard on its own
+//! worker with a private copy of the register file, running the bytecode
+//! engine in cache-friendly batches.
+//!
+//! Merging after the join is the delta-sum rule: for every register cell,
+//! `merged = base + Σ_w (worker_w − base)` (wrapping, element-masked).
+//! This is exact for the two state classes elastic data planes use:
+//!
+//! - **mergeable counters** (count-min rows, Bloom/counting-Bloom cells):
+//!   every update is an increment, and increments commute — the summed
+//!   deltas equal the sequential count;
+//! - **per-flow state** (key/value slots, per-flow trackers): the cell
+//!   index derives from the flow key, every packet of a flow lands in the
+//!   same shard, so at most one worker has a nonzero delta.
+//!
+//! A per-packet fault (division by zero, out-of-bounds index) drops just
+//! that packet: its register writes are rolled back from the undo log and
+//! [`SimStats::dropped`] counts it — the trace keeps going, as a real
+//! pipeline would keep forwarding.
+
+use std::time::{Duration, Instant};
+
+use crate::compiled::{self, ExecCtx};
+use crate::interp::{splitmix, RegUndo, Switch};
+use crate::state::{Phv, RegState};
+
+/// Packets are executed in runs of this many per shard, keeping the
+/// working set (temps, undo log, PHV pair) hot in cache between packets.
+const BATCH: usize = 256;
+
+/// Telemetry of one [`Switch::run_trace`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Packets offered (processed + dropped).
+    pub packets: u64,
+    /// Packets dropped on a per-packet fault, with their writes undone.
+    pub dropped: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock of the replay (excludes trace construction).
+    pub elapsed: Duration,
+    /// Instructions (bytecode) / statements (interpreter) executed per
+    /// stage, summed over all packets and workers: where the pipeline's
+    /// cost concentrates.
+    pub stage_cost: Vec<u64>,
+}
+
+impl SimStats {
+    /// Packets per second of wall-clock.
+    pub fn pkts_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.packets as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Total per-stage cost (all stages).
+    pub fn total_cost(&self) -> u64 {
+        self.stage_cost.iter().sum()
+    }
+}
+
+/// One replay worker: a private register file plus all per-packet scratch.
+struct Worker<'a> {
+    prog: &'a compiled::CompiledProgram,
+    ctables: &'a [compiled::CompiledTableState],
+    regs: Vec<RegState>,
+    cur: Phv,
+    ctx: ExecCtx,
+    undo: Vec<RegUndo>,
+    stage_cost: Vec<u64>,
+    dropped: u64,
+}
+
+impl Worker<'_> {
+    fn run_shard(&mut self, trace: &[Phv], shard: &[u32]) {
+        for batch in shard.chunks(BATCH) {
+            for &i in batch {
+                let input = &trace[i as usize];
+                self.cur.slots.copy_from_slice(&input.slots);
+                self.undo.clear();
+                let r = compiled::run_packet(
+                    self.prog,
+                    self.ctables,
+                    &mut self.regs,
+                    &mut self.cur,
+                    &mut self.ctx,
+                    &mut self.undo,
+                    &mut self.stage_cost,
+                );
+                if r.is_err() {
+                    while let Some((reg, cell, old)) = self.undo.pop() {
+                        self.regs[reg as usize].cells[cell as usize] = old;
+                    }
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Switch {
+    /// Replay `trace` (inputs built with [`Switch::make_packet`]) and
+    /// return throughput + drop + per-stage-cost telemetry. `threads = 0`
+    /// uses every available core; `threads = 1` runs in place with the
+    /// selected backend; `threads > 1` always runs the bytecode engine
+    /// (the interpreter exists as the single-threaded oracle).
+    ///
+    /// Register state after the call reflects the whole trace (sharded
+    /// runs are merged by the delta-sum rule — see the module docs for
+    /// when that is exact). The working PHV afterwards is the final PHV
+    /// of whichever packet ran last, so per-packet PHV observations only
+    /// make sense single-threaded.
+    pub fn run_trace(&mut self, trace: &[Phv], threads: usize) -> SimStats {
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+        let threads = threads.min(trace.len()).max(1);
+        self.stage_cost.iter_mut().for_each(|c| *c = 0);
+        let start = Instant::now();
+
+        let mut dropped = 0u64;
+        if threads == 1 {
+            for batch in trace.chunks(BATCH) {
+                for input in batch {
+                    self.cur.slots.copy_from_slice(&input.slots);
+                    // `run_packet` rolls the faulting packet's register
+                    // writes back before returning the error.
+                    if self.run_packet().is_err() {
+                        dropped += 1;
+                    }
+                }
+            }
+        } else {
+            dropped = self.run_trace_sharded(trace, threads);
+        }
+
+        SimStats {
+            packets: trace.len() as u64,
+            dropped,
+            threads,
+            elapsed: start.elapsed(),
+            stage_cost: self.stage_cost.clone(),
+        }
+    }
+
+    fn run_trace_sharded(&mut self, trace: &[Phv], threads: usize) -> u64 {
+        // Shard by flow hash over the header slots (the first
+        // `header_count` slots of the layout): every packet of a flow
+        // lands on the same worker, so per-flow register state is
+        // shard-private by construction.
+        let header_count = self.header_count;
+        let mut shards: Vec<Vec<u32>> = vec![Vec::new(); threads];
+        for (i, p) in trace.iter().enumerate() {
+            let mut h = 0xa076_1d64_78bd_642fu64;
+            for &v in &p.slots[..header_count] {
+                h = splitmix(h ^ v);
+            }
+            shards[(h % threads as u64) as usize].push(i as u32);
+        }
+
+        let base = self.registers.clone();
+        let prog = &self.compiled;
+        let ctables = &self.ctables;
+        let masks = &self.masks;
+        let stages = self.stage_cost.len();
+
+        let workers: Vec<Worker> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    let mut w = Worker {
+                        prog,
+                        ctables,
+                        regs: base.clone(),
+                        cur: Phv::new(masks.clone()),
+                        ctx: ExecCtx::for_program(prog),
+                        undo: Vec::new(),
+                        stage_cost: vec![0; stages],
+                        dropped: 0,
+                    };
+                    scope.spawn(move || {
+                        w.run_shard(trace, shard);
+                        w
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("replay worker panicked")).collect()
+        });
+
+        // Delta-sum merge back into the live register file.
+        for (ri, reg) in self.registers.iter_mut().enumerate() {
+            for (ci, cell) in reg.cells.iter_mut().enumerate() {
+                let b = base[ri].cells[ci];
+                let mut v = b;
+                for w in &workers {
+                    v = v.wrapping_add(w.regs[ri].cells[ci].wrapping_sub(b));
+                }
+                *cell = v & reg.elem_mask;
+            }
+        }
+
+        let mut dropped = 0;
+        for w in workers {
+            dropped += w.dropped;
+            for (s, c) in w.stage_cost.iter().enumerate() {
+                self.stage_cost[s] += c;
+            }
+            // Expose *some* final PHV so post-trace metadata reads don't
+            // see stale single-thread state.
+            self.cur.slots.copy_from_slice(&w.cur.slots);
+        }
+        dropped
+    }
+
+    /// Accumulated per-stage execution cost since the last `run_trace`
+    /// reset (also grows across plain `run_packet` calls).
+    pub fn stage_cost(&self) -> &[u64] {
+        &self.stage_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Backend, SimError};
+    use p4all_core::Compiler;
+    use p4all_pisa::presets;
+
+    fn build(src: &str) -> Switch {
+        let c = Compiler::new(presets::paper_eval(1 << 14)).compile(src).unwrap();
+        let program = p4all_lang::parse(src).unwrap();
+        Switch::build(&c.concrete, &program).unwrap()
+    }
+
+    const CMS: &str = r#"
+        symbolic int rows;
+        symbolic int cols;
+        assume rows >= 2 && rows <= 2;
+        assume cols >= 16 && cols <= 16;
+        optimize rows * cols;
+        header pkt { bit<32> key; }
+        struct metadata { bit<32>[rows] index; bit<32>[rows] count; bit<32> min; }
+        register<bit<32>>[cols][rows] cms;
+        action incr()[int i] {
+            meta.index[i] = hash(hdr.key, cols);
+            cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+            meta.count[i] = cms[i][meta.index[i]];
+        }
+        action set_min()[int i] { meta.min = meta.count[i]; }
+        control sketch() { apply { for (i < rows) { incr()[i]; } } }
+        control minimum() {
+            apply {
+                for (i < rows) {
+                    if (meta.count[i] < meta.min || meta.min == 0) { set_min()[i]; }
+                }
+            }
+        }
+        control Main() { apply { sketch.apply(); minimum.apply(); } }
+    "#;
+
+    /// Two independent registers: `a` counts every packet, `b[hdr.i]`
+    /// faults when `i` is out of bounds — the faulting packet's increment
+    /// of `a` must be rolled back.
+    const FAULTY_IDX: &str = r#"
+        header h { bit<32> x; bit<32> i; }
+        struct metadata { bit<32> t; }
+        register<bit<32>>[4] a;
+        register<bit<32>>[4] b;
+        action first() { a[0] = a[0] + 1; meta.t = a[0]; }
+        action second() { b[hdr.i] = hdr.x; }
+        control Main() { apply { first(); second(); } }
+    "#;
+
+    /// `q = x / y` faults on y == 0, after `a` was bumped.
+    const FAULTY_DIV: &str = r#"
+        header h { bit<32> x; bit<32> y; }
+        struct metadata { bit<32> q; }
+        register<bit<32>>[4] a;
+        action tally() { a[0] = a[0] + 1; }
+        action divide() { meta.q = hdr.x / hdr.y; }
+        control Main() { apply { tally(); divide(); } }
+    "#;
+
+    fn cms_trace(sw: &Switch, n: u64) -> Vec<Phv> {
+        (0..n).map(|k| sw.make_packet(&[("key", k % 7)]).unwrap()).collect()
+    }
+
+    #[test]
+    fn run_trace_matches_per_packet_execution() {
+        let mut a = build(CMS);
+        a.set_backend(Backend::Interp);
+        for k in 0..50u64 {
+            a.begin_packet();
+            a.set_header("key", k % 7).unwrap();
+            a.run_packet().unwrap();
+        }
+        let mut b = build(CMS);
+        let trace = cms_trace(&b, 50);
+        let stats = b.run_trace(&trace, 1);
+        assert_eq!(stats.packets, 50);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(a.registers_snapshot(), b.registers_snapshot());
+        assert_eq!(a.phv_snapshot(), b.phv_snapshot());
+    }
+
+    #[test]
+    fn sharded_replay_merges_sketch_counters_exactly() {
+        let mut seq = build(CMS);
+        let trace = cms_trace(&seq, 400);
+        seq.run_trace(&trace, 1);
+        for threads in [2, 4, 8] {
+            let mut par = build(CMS);
+            let trace = cms_trace(&par, 400);
+            let stats = par.run_trace(&trace, threads);
+            assert_eq!(stats.threads, threads);
+            assert_eq!(
+                seq.registers_snapshot(),
+                par.registers_snapshot(),
+                "merged counters diverge at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_report_stage_cost_and_rate() {
+        let mut sw = build(CMS);
+        let trace = cms_trace(&sw, 100);
+        let stats = sw.run_trace(&trace, 1);
+        assert_eq!(stats.stage_cost.len(), sw.stage_count());
+        assert!(stats.total_cost() > 0, "cost telemetry must be populated");
+        assert!(stats.pkts_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_packet_drops_and_rolls_back_mid_trace() {
+        for backend in [Backend::Interp, Backend::Compiled] {
+            let mut sw = build(FAULTY_IDX);
+            sw.set_backend(backend);
+            let mut trace = Vec::new();
+            for p in 0..10u64 {
+                // Packet 5 indexes b[9] — out of bounds (len 4).
+                let i = if p == 5 { 9 } else { p % 4 };
+                trace.push(sw.make_packet(&[("x", p), ("i", i)]).unwrap());
+            }
+            let stats = sw.run_trace(&trace, 1);
+            assert_eq!(stats.dropped, 1, "{backend:?}");
+            assert_eq!(stats.packets, 10);
+            // 10 packets, 1 dropped: its increment of a[0] was undone.
+            assert_eq!(sw.read_register("a", 0, 0).unwrap(), 9, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn div_by_zero_packet_drops_and_rolls_back_mid_trace() {
+        for backend in [Backend::Interp, Backend::Compiled] {
+            let mut sw = build(FAULTY_DIV);
+            sw.set_backend(backend);
+            let trace: Vec<Phv> = (0..20u64)
+                .map(|p| {
+                    let y = if p % 10 == 3 { 0 } else { 2 }; // packets 3, 13 fault
+                    sw.make_packet(&[("x", 100 + p), ("y", y)]).unwrap()
+                })
+                .collect();
+            let stats = sw.run_trace(&trace, 1);
+            assert_eq!(stats.dropped, 2, "{backend:?}");
+            assert_eq!(sw.read_register("a", 0, 0).unwrap(), 18, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn run_packet_surfaces_error_but_leaves_state_clean() {
+        let mut sw = build(FAULTY_DIV);
+        sw.begin_packet();
+        sw.set_header("x", 4).unwrap();
+        sw.set_header("y", 2).unwrap();
+        sw.run_packet().unwrap();
+        assert_eq!(sw.read_register("a", 0, 0).unwrap(), 1);
+        sw.begin_packet();
+        sw.set_header("x", 4).unwrap();
+        sw.set_header("y", 0).unwrap();
+        let err = sw.run_packet().unwrap_err();
+        assert_eq!(err, SimError::DivByZero);
+        assert_eq!(sw.read_register("a", 0, 0).unwrap(), 1, "faulting write must roll back");
+    }
+
+    #[test]
+    fn sharded_replay_counts_drops() {
+        let mut sw = build(FAULTY_DIV);
+        let trace: Vec<Phv> = (0..64u64)
+            .map(|p| sw.make_packet(&[("x", p), ("y", p % 4)]).unwrap())
+            .collect();
+        let stats = sw.run_trace(&trace, 4);
+        assert_eq!(stats.dropped, 16);
+        assert_eq!(sw.read_register("a", 0, 0).unwrap(), 48);
+    }
+}
