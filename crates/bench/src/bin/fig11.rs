@@ -5,9 +5,14 @@
 //! Each app is compiled twice — with the sequential solver
 //! (`threads = 1`) and with all available cores (`threads = 0`) — so the
 //! table records both solve times for the scaling note in EXPERIMENTS.md.
+//! Both compiles share one [`CompileCtx`] per app: the thread count only
+//! affects the solve pass, so the second compile reuses the cached front
+//! half (parse → elaborate → bounds → unroll → depgraph) and re-runs just
+//! encode + solve. The per-pass split of the sequential compile is
+//! printed for each app.
 
 use p4all_bench::{bench_netcache_options, emit_tsv};
-use p4all_core::{loc, CompileOptions, Compiler};
+use p4all_core::{loc, CompileCtx, CompileOptions};
 use p4all_elastic::apps::{conquest, netcache, precision, sketchlearn};
 use p4all_elastic::baselines;
 use p4all_pisa::presets;
@@ -39,10 +44,12 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, elastic_src, baseline_src) in apps {
-        let seq = Compiler::with_options(target.clone(), CompileOptions::default().with_threads(1));
-        let par = Compiler::with_options(target.clone(), CompileOptions::default().with_threads(0));
-        let par_result = par.compile(&elastic_src);
-        match seq.compile(&elastic_src) {
+        let mut ctx = CompileCtx::new(CompileOptions::default().with_threads(0));
+        let par_result = ctx.compile(&elastic_src, &target);
+        // Same source, same target: the sequential compile below reuses the
+        // cached front half and only re-runs encode + solve with 1 thread.
+        ctx.options = CompileOptions::default().with_threads(1);
+        match ctx.compile(&elastic_src, &target) {
             Ok(c) => {
                 let threads = c
                     .solve_stats
@@ -69,14 +76,17 @@ fn main() {
                 ));
                 eprintln!(
                     "{name}: P4 {} LoC, P4All {} LoC, compile {:.3}s \
-                     (solve {:.3}s @1t, {par_solve_s}s @{par_threads}t), ILP ({}, {})",
+                     (solve {:.3}s @1t, {par_solve_s}s @{par_threads}t), ILP ({}, {}), \
+                     {} front pass(es) cached",
                     loc(&baseline_src),
                     loc(&elastic_src),
                     c.timings.total.as_secs_f64(),
                     c.timings.solve.as_secs_f64(),
                     c.ilp_stats.num_vars,
-                    c.ilp_stats.num_constraints
+                    c.ilp_stats.num_constraints,
+                    c.trace.cache_hits(),
                 );
+                eprintln!("{}", c.trace.render());
             }
             Err(e) => {
                 rows.push(format!(

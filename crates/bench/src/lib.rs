@@ -7,7 +7,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use p4all_core::{Compilation, CompileError, Compiler};
+use p4all_core::{Compilation, Compiler};
 use p4all_elastic::apps::netcache::{self, NetCacheOptions};
 use p4all_pisa::TargetSpec;
 use p4all_sim::{NetCacheConfig, NetCacheRuntime, Phv, Switch};
@@ -36,21 +36,24 @@ pub fn netcache_sim_config(
     }
 }
 
+/// Harness error: a typed compile failure or a simulator-setup message.
+pub type BenchError = Box<dyn std::error::Error>;
+
 /// Compile NetCache and wrap it in its runtime.
 pub fn build_netcache(
     opts: &NetCacheOptions,
     target: &TargetSpec,
     promote_threshold: u64,
     epoch_packets: usize,
-) -> Result<(NetCacheRuntime, Compilation), CompileError> {
+) -> Result<(NetCacheRuntime, Compilation), BenchError> {
     let src = netcache::source(opts);
     let c = Compiler::new(target.clone()).compile(&src)?;
     let program = p4all_lang::parse(&src)?;
     let switch = Switch::build(&c.concrete, &program)
-        .map_err(|e| CompileError::Solver(format!("simulator build failed: {e}")))?;
+        .map_err(|e| format!("simulator build failed: {e}"))?;
     let rt =
         NetCacheRuntime::new(switch, netcache_sim_config(opts, promote_threshold, epoch_packets))
-            .map_err(|e| CompileError::Solver(format!("runtime init failed: {e}")))?;
+            .map_err(|e| format!("runtime init failed: {e}"))?;
     Ok((rt, c))
 }
 
@@ -60,12 +63,12 @@ pub fn build_netcache(
 pub fn build_netcache_switch(
     opts: &NetCacheOptions,
     target: &TargetSpec,
-) -> Result<(Switch, String), CompileError> {
+) -> Result<(Switch, String), BenchError> {
     let src = netcache::source(opts);
     let c = Compiler::new(target.clone()).compile(&src)?;
     let program = p4all_lang::parse(&src)?;
     let switch = Switch::build(&c.concrete, &program)
-        .map_err(|e| CompileError::Solver(format!("simulator build failed: {e}")))?;
+        .map_err(|e| format!("simulator build failed: {e}"))?;
     Ok((switch, netcache::runtime_config(opts).key_header))
 }
 

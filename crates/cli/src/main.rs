@@ -22,13 +22,20 @@
 //!   --sim-backend B      interp | compiled   (default: compiled)
 //!   --sim-threads N      replay worker threads (0 = all cores;
 //!                        default 1 = sequential)
+//!   --timings            print the per-pass compile trace (wall time,
+//!                        artifact sizes, cache hits)
+//!   --json-diagnostics   also emit diagnostics as one stable-schema JSON
+//!                        object on stdout: {"diagnostics": [...]}
 //! ```
 //!
-//! Exit codes: 0 success, 1 usage error, 2 compile error.
+//! Exit codes: `0` success, `1` usage error, `2` invalid source (or
+//! unreadable input), `3` no feasible layout on the target, `4` solver
+//! failure or limit, `5` internal compiler error.
 
 use std::process::ExitCode;
 
 use p4all_core::{CompileError, CompileOptions, Compiler};
+use p4all_lang::diag::Diagnostic;
 use p4all_pisa::{presets, TargetSpec};
 use p4all_sim::{Backend, Switch};
 
@@ -44,13 +51,49 @@ struct Args {
     sim: Option<u64>,
     sim_backend: Backend,
     sim_threads: usize,
+    timings: bool,
+    json_diagnostics: bool,
+}
+
+/// A run failure: the per-class exit code, the human-readable report for
+/// stderr, and the machine-readable diagnostics for `--json-diagnostics`.
+struct Failure {
+    code: u8,
+    human: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Failure {
+    /// An input/IO failure (same exit class as invalid source).
+    fn io(message: String) -> Self {
+        Failure { code: 2, human: message.clone(), diagnostics: vec![Diagnostic::error(message)] }
+    }
+
+    fn compile(e: CompileError, src: &str, file: &str) -> Self {
+        let human = match e.diagnostic() {
+            Some(d) => d.render(src, file),
+            None => format!("{e}"),
+        };
+        let diagnostics = match e.diagnostic() {
+            Some(d) => vec![d.clone()],
+            None => vec![Diagnostic::error(e.to_string())],
+        };
+        Failure { code: e.exit_class(), human, diagnostics }
+    }
+}
+
+/// The stable `--json-diagnostics` payload: one object per line of output.
+fn json_report(diagnostics: &[Diagnostic]) -> String {
+    let body: Vec<String> = diagnostics.iter().map(|d| d.to_json()).collect();
+    format!("{{\"diagnostics\":[{}]}}", body.join(","))
 }
 
 fn usage() -> &'static str {
     "usage: p4allc PROGRAM.p4all [--target tofino|paper-eval|paper-example|small] \
      [--stages N] [--memory BITS] [--stateful-alus N] [--stateless-alus N] \
      [--phv BITS] [--emit p4|layout|stats|all] [--out FILE] [--threads N] [--greedy] \
-     [--sim N] [--sim-backend interp|compiled] [--sim-threads N]"
+     [--sim N] [--sim-backend interp|compiled] [--sim-threads N] \
+     [--timings] [--json-diagnostics]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +106,8 @@ fn parse_args() -> Result<Args, String> {
     let mut sim = None;
     let mut sim_backend = Backend::Compiled;
     let mut sim_threads = 1usize;
+    let mut timings = false;
+    let mut json_diagnostics = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -114,6 +159,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--threads needs an integer".to_string())?;
             }
             "--greedy" => greedy = true,
+            "--timings" => timings = true,
+            "--json-diagnostics" => json_diagnostics = true,
             "--sim" => {
                 sim = Some(
                     next(&mut i, "--sim")?
@@ -166,23 +213,32 @@ fn parse_args() -> Result<Args, String> {
         sim,
         sim_backend,
         sim_threads,
+        timings,
+        json_diagnostics,
     })
 }
 
-fn run(args: Args) -> Result<(), String> {
+fn run(args: Args) -> Result<(), Failure> {
     let src = std::fs::read_to_string(&args.input)
-        .map_err(|e| format!("cannot read {}: {e}", args.input))?;
+        .map_err(|e| Failure::io(format!("cannot read {}: {e}", args.input)))?;
     eprintln!("target: {}", args.target);
 
     let options = CompileOptions::default().with_threads(args.threads);
     let compiler = Compiler::with_options(args.target, options);
     if args.greedy {
-        let layout = compiler.compile_greedy(&src).map_err(|e| render(e, &src))?;
+        let layout = compiler
+            .compile_greedy(&src)
+            .map_err(|e| Failure::compile(e, &src, &args.input))?;
         println!("{}", layout.render());
         return Ok(());
     }
 
-    let c = compiler.compile(&src).map_err(|e| render(e, &src))?;
+    let c = compiler
+        .compile(&src)
+        .map_err(|e| Failure::compile(e, &src, &args.input))?;
+    if args.timings {
+        print!("{}", c.trace.render());
+    }
     if args.emit_layout {
         println!("{}", c.layout.render());
     }
@@ -207,9 +263,10 @@ fn run(args: Args) -> Result<(), String> {
         println!("generated P4: {} lines", p4all_core::loc(&c.p4_text));
     }
     if let Some(packets) = args.sim {
-        let program = p4all_lang::parse(&src).map_err(|e| e.render(&src))?;
-        let mut sw =
-            Switch::build(&c.concrete, &program).map_err(|e| format!("simulator: {e}"))?;
+        let program = p4all_lang::parse(&src)
+            .map_err(|e| Failure::compile(CompileError::from(e), &src, &args.input))?;
+        let mut sw = Switch::build(&c.concrete, &program)
+            .map_err(|e| Failure::io(format!("simulator: {e}")))?;
         sw.set_backend(args.sim_backend);
         let trace = synth_trace(&sw, packets);
         let stats = sw.run_trace(&trace, args.sim_threads);
@@ -233,7 +290,8 @@ fn run(args: Args) -> Result<(), String> {
     }
     match (&args.out, args.emit_p4) {
         (Some(path), _) => {
-            std::fs::write(path, &c.p4_text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &c.p4_text)
+                .map_err(|e| Failure::io(format!("cannot write {path}: {e}")))?;
             eprintln!("wrote {path}");
         }
         (None, true) => println!("{}", c.p4_text),
@@ -265,13 +323,6 @@ fn synth_trace(sw: &Switch, packets: u64) -> Vec<p4all_sim::Phv> {
     out
 }
 
-fn render(e: CompileError, src: &str) -> String {
-    match e {
-        CompileError::Lang(le) => le.render(src),
-        other => other.to_string(),
-    }
-}
-
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -280,11 +331,28 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    let json = args.json_diagnostics;
     match run(args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::from(2)
+        Ok(()) => {
+            if json {
+                println!("{}", json_report(&[]));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(f) => {
+            // Rendered diagnostics already carry their own `error:` prefix.
+            if f.human.starts_with("error") || f.human.starts_with("internal error") {
+                eprint!("{}", f.human);
+            } else {
+                eprint!("error: {}", f.human);
+            }
+            if !f.human.ends_with('\n') {
+                eprintln!();
+            }
+            if json {
+                println!("{}", json_report(&f.diagnostics));
+            }
+            ExitCode::from(f.code)
         }
     }
 }

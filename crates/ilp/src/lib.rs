@@ -35,6 +35,7 @@
 //! ```
 
 pub mod branch;
+pub mod iis;
 pub mod lpwrite;
 pub mod model;
 pub mod parallel;
@@ -43,6 +44,7 @@ pub mod simplex;
 pub mod telemetry;
 
 pub use branch::{solve, solve_with, MipOutcome, SolveOptions, SolveStatus};
+pub use iis::{find_iis, IisOptions, IisReport};
 pub use telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry, ThreadTelemetry};
 pub use model::{
     brute_force, Cmp, Constraint, LinExpr, Model, ModelStats, Sense, Solution, VarId, VarKind,

@@ -1,4 +1,4 @@
-//! Export a [`Model`](crate::Model) in CPLEX LP text format.
+//! Export a [`Model`] in CPLEX LP text format.
 //!
 //! Lets a compiler user inspect the generated program or cross-check our
 //! solver against an external one (`gurobi_cl model.lp`, `glpsol --lp`),

@@ -331,8 +331,17 @@ impl Model {
     }
 
     /// Add the constraint `expr cmp rhs`. The expression's constant term is
-    /// folded into the right-hand side.
-    pub fn constrain(&mut self, name: impl Into<String>, mut expr: LinExpr, cmp: Cmp, rhs: f64) {
+    /// folded into the right-hand side. Returns the row index of the new
+    /// constraint — stable for the life of the model — so callers can
+    /// attach provenance to rows (see `p4all-core`'s ILP generator) and
+    /// map IIS members back to their origin.
+    pub fn constrain(
+        &mut self,
+        name: impl Into<String>,
+        mut expr: LinExpr,
+        cmp: Cmp,
+        rhs: f64,
+    ) -> usize {
         expr.normalize();
         let adjusted_rhs = rhs - expr.constant;
         self.cons.push(Constraint {
@@ -341,21 +350,31 @@ impl Model {
             cmp,
             rhs: adjusted_rhs,
         });
+        self.cons.len() - 1
     }
 
-    /// Convenience: `lhs <= rhs`.
-    pub fn le(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) {
-        self.constrain(name, lhs, Cmp::Le, rhs);
+    /// Convenience: `lhs <= rhs`. Returns the row index.
+    pub fn le(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) -> usize {
+        self.constrain(name, lhs, Cmp::Le, rhs)
     }
 
-    /// Convenience: `lhs >= rhs`.
-    pub fn ge(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) {
-        self.constrain(name, lhs, Cmp::Ge, rhs);
+    /// Convenience: `lhs >= rhs`. Returns the row index.
+    pub fn ge(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) -> usize {
+        self.constrain(name, lhs, Cmp::Ge, rhs)
     }
 
-    /// Convenience: `lhs == rhs`.
-    pub fn eq(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) {
-        self.constrain(name, lhs, Cmp::Eq, rhs);
+    /// Convenience: `lhs == rhs`. Returns the row index.
+    pub fn eq(&mut self, name: impl Into<String>, lhs: LinExpr, rhs: f64) -> usize {
+        self.constrain(name, lhs, Cmp::Eq, rhs)
+    }
+
+    /// Clone the model keeping only the constraint rows in `keep`
+    /// (variables, bounds, and objective are preserved). Used by the IIS
+    /// deletion filter to probe constraint subsets.
+    pub fn restricted_to(&self, keep: &[usize]) -> Model {
+        let mut m = self.clone();
+        m.cons = keep.iter().filter_map(|&i| self.cons.get(i).cloned()).collect();
+        m
     }
 
     /// Set a variable's branch priority (higher = branched earlier).

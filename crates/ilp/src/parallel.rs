@@ -1,6 +1,6 @@
 //! Parallel best-first branch-and-bound.
 //!
-//! Two execution modes, selected by [`SolveOptions::deterministic`]:
+//! Two execution modes, selected by [`crate::SolveOptions::deterministic`]:
 //!
 //! * **Deterministic rounds** (default): workers synchronize on a barrier.
 //!   Each round the orchestrating thread pops the best `T` frontier nodes

@@ -1,6 +1,6 @@
 //! Bounded-variable two-phase primal simplex.
 //!
-//! Solves the LP relaxation of a [`Model`](crate::Model): maximize `c·x`
+//! Solves the LP relaxation of a [`Model`]: maximize `c·x`
 //! subject to `A x {<=,>=,==} b` and `l <= x <= u`. Variables may have
 //! infinite upper bounds; lower bounds of structural variables must be
 //! finite (enforced by `Model`), while slack variables may be free on one

@@ -69,7 +69,7 @@ fn build(raw: &RawModel) -> Model {
             0 => m.le(format!("c{k}"), e, c.rhs as f64),
             1 => m.ge(format!("c{k}"), e, c.rhs as f64),
             _ => m.eq(format!("c{k}"), e, c.rhs as f64),
-        }
+        };
     }
     let mut obj = LinExpr::zero();
     for (i, &a) in raw.obj.iter().enumerate() {

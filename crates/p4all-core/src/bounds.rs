@@ -14,7 +14,7 @@
 
 use std::collections::BTreeMap;
 
-use p4all_lang::errors::LangError;
+use p4all_lang::diag::Diagnostic;
 use p4all_pisa::TargetSpec;
 
 use crate::depgraph::DepGraph;
@@ -32,11 +32,11 @@ pub const DEFAULT_MAX_UNROLL: usize = 64;
 /// iteration — the most conservative assumption for nested/parallel loops
 /// (§4.2, "Nested loops").
 pub fn upper_bound(
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     sym: &str,
     target: &TargetSpec,
     max_unroll: usize,
-) -> Result<usize, LangError> {
+) -> Result<usize, Diagnostic> {
     let cap = info
         .mined
         .get(sym)
@@ -82,13 +82,42 @@ pub fn upper_bound(
 
 /// Upper bounds for every count symbolic of the program.
 pub fn all_upper_bounds(
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     target: &TargetSpec,
     max_unroll: usize,
-) -> Result<BTreeMap<String, usize>, LangError> {
+) -> Result<BTreeMap<String, usize>, Diagnostic> {
     let mut out = BTreeMap::new();
     for sym in info.count_symbolics() {
         let b = upper_bound(info, sym, target, max_unroll)?;
+        // An `assume`d lower bound above the structural upper bound can
+        // never be satisfied: report it here, with the declaration span,
+        // instead of letting the ILP return a bare "infeasible".
+        if let Some(lo) = info.mined.get(sym).and_then(|m| m.lo) {
+            if lo as usize > b {
+                let span = info
+                    .program
+                    .symbolics
+                    .iter()
+                    .find(|s| s.name == sym)
+                    .map(|s| s.span);
+                let mut d = Diagnostic::error(format!(
+                    "unroll bound exceeded: `{sym}` is assumed >= {lo}, but target \
+                     `{}` supports at most {b} iteration{} of the loops it bounds",
+                    target.name,
+                    if b == 1 { "" } else { "s" },
+                ))
+                .with_note(format!(
+                    "the bound comes from the target's {} stages and {} ALUs (unrolling \
+                     criteria 1 and 2)",
+                    target.stages,
+                    target.total_alus(),
+                ));
+                if let Some(span) = span {
+                    d = d.with_span(span);
+                }
+                return Err(d);
+            }
+        }
         out.insert(sym.to_string(), b);
     }
     Ok(out)
@@ -128,7 +157,7 @@ mod tests {
     /// CMS loop unrolls at most twice.
     #[test]
     fn figure_9_bound_is_2() {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let target = presets::paper_example(); // S = 3
         let b = upper_bound(&info, "rows", &target, DEFAULT_MAX_UNROLL).unwrap();
@@ -137,7 +166,7 @@ mod tests {
 
     #[test]
     fn more_stages_allow_more_iterations() {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let target = presets::paper_eval(1 << 20); // S = 10
         let b = upper_bound(&info, "rows", &target, DEFAULT_MAX_UNROLL).unwrap();
@@ -152,7 +181,7 @@ mod tests {
             "symbolic int rows;",
             "symbolic int rows;\nassume rows <= 3;",
         );
-        let p = parse(&src).unwrap();
+        let p = std::sync::Arc::new(parse(&src).unwrap());
         let info = elaborate(&p).unwrap();
         let target = presets::paper_eval(1 << 20);
         let b = upper_bound(&info, "rows", &target, DEFAULT_MAX_UNROLL).unwrap();
@@ -174,7 +203,7 @@ mod tests {
             }
             control Main() { apply { for (i < n) { bump()[i]; } } }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let target = presets::paper_example(); // (F+L)*S = 12 ALUs
         let b = upper_bound(&info, "n", &target, DEFAULT_MAX_UNROLL).unwrap();
@@ -195,7 +224,7 @@ mod tests {
             }
             control Main() { apply { for (i < n) { bump()[i]; } } }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let target = presets::paper_eval(1 << 20); // 1040 ALUs
         let b = upper_bound(&info, "n", &target, 16).unwrap();
@@ -204,7 +233,7 @@ mod tests {
 
     #[test]
     fn all_bounds_covers_every_count_symbolic() {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let target = presets::paper_example();
         let all = all_upper_bounds(&info, &target, DEFAULT_MAX_UNROLL).unwrap();

@@ -11,7 +11,7 @@
 use std::fmt::Write;
 
 use p4all_lang::ast::{Expr, Size, Stmt, TableDecl};
-use p4all_lang::errors::LangError;
+use p4all_lang::diag::Diagnostic;
 use p4all_lang::printer::{print_expr, print_lvalue};
 
 use crate::elaborate::ProgramInfo;
@@ -75,11 +75,11 @@ impl ConcreteProgram {
 
 /// Build the concrete program for a solved layout.
 pub fn concretize(
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     unrolled: &Unrolled,
     layout: &Layout,
     stages: usize,
-) -> Result<ConcreteProgram, LangError> {
+) -> Result<ConcreteProgram, Diagnostic> {
     let mut out_stages: Vec<Vec<ConcreteAction>> = vec![Vec::new(); stages];
 
     // An instance is placed at the stage of the placement whose label
@@ -91,7 +91,7 @@ pub fn concretize(
             .find(|p| p.label.split('+').any(|part| part == inst.label))
             .map(|p| p.stage);
         let Some(stage) = stage else { continue };
-        let stmts: Result<Vec<Stmt>, LangError> =
+        let stmts: Result<Vec<Stmt>, Diagnostic> =
             inst.stmts.iter().map(|s| resolve_stmt(s, layout)).collect();
         out_stages[stage].push(ConcreteAction {
             label: inst.label.clone(),
@@ -145,16 +145,16 @@ pub fn concretize(
 }
 
 /// Resolve symbolic hash ranges to constants.
-fn resolve_stmt(s: &Stmt, layout: &Layout) -> Result<Stmt, LangError> {
+fn resolve_stmt(s: &Stmt, layout: &Layout) -> Result<Stmt, Diagnostic> {
     Ok(match s {
         Stmt::HashAssign { lhs, inputs, range, span } => {
             let cells = match range {
                 Size::Const(k) => *k,
                 Size::Symbolic(v) => layout.value_of(v).ok_or_else(|| {
-                    LangError::new(
-                        format!("no concrete value for hash range symbolic `{v}`"),
-                        *span,
-                    )
+                    Diagnostic::internal(format!(
+                        "no concrete value for hash range symbolic `{v}`"
+                    ))
+                    .with_span(*span)
                 })?,
             };
             Stmt::HashAssign {

@@ -264,7 +264,7 @@ mod tests {
     "#;
 
     fn cms_graph(rows: usize) -> DepGraph {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), rows);
@@ -331,7 +331,7 @@ mod tests {
             action second() { r[1] = 5; }
             control Main() { apply { first(); second(); } }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let u = instantiate(&info, &BTreeMap::new()).unwrap();
         let g = build_full(&u);
@@ -352,7 +352,7 @@ mod tests {
                 }
             }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let u = instantiate(&info, &BTreeMap::new()).unwrap();
         let g = build_full(&u);
@@ -374,7 +374,7 @@ mod tests {
                 }
             }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let u = instantiate(&info, &BTreeMap::new()).unwrap();
         let g = build_full(&u);
@@ -393,7 +393,7 @@ mod tests {
             action set2() { meta.x = 2; }
             control Main() { apply { set1(); set2(); } }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let u = instantiate(&info, &BTreeMap::new()).unwrap();
         let g = build_full(&u);
@@ -404,7 +404,7 @@ mod tests {
     #[test]
     fn total_alus_uses_cost_model() {
         let g = cms_graph(2);
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 2);

@@ -12,9 +12,10 @@
 //! register, controls do not recurse, and the program has an entry control.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use p4all_lang::ast::*;
-use p4all_lang::errors::LangError;
+use p4all_lang::diag::Diagnostic;
 use p4all_lang::span::Span;
 
 /// Role of a symbolic value (see module docs).
@@ -35,9 +36,13 @@ pub struct MinedBounds {
 }
 
 /// The elaborated program: the AST plus symbol roles and derived tables.
-#[derive(Debug)]
-pub struct ProgramInfo<'p> {
-    pub program: &'p Program,
+///
+/// Owns the AST behind an `Arc` so the artifact is `'static` and can be
+/// cached/shared across compilations by the pass manager (front-half reuse
+/// in target sweeps).
+#[derive(Debug, Clone)]
+pub struct ProgramInfo {
+    pub program: Arc<Program>,
     pub roles: BTreeMap<String, SymRole>,
     /// Simple per-symbolic bounds extracted from conjunctive assumes.
     pub mined: BTreeMap<String, MinedBounds>,
@@ -45,7 +50,7 @@ pub struct ProgramInfo<'p> {
     pub header_bits: BTreeMap<String, u32>,
 }
 
-impl<'p> ProgramInfo<'p> {
+impl ProgramInfo {
     /// All count symbolics, in declaration order.
     pub fn count_symbolics(&self) -> Vec<&str> {
         self.program
@@ -92,24 +97,23 @@ impl<'p> ProgramInfo<'p> {
 }
 
 /// Elaborate a parsed program.
-pub fn elaborate(program: &Program) -> Result<ProgramInfo<'_>, LangError> {
+///
+/// Accepts the AST behind an `Arc` (clone the parse artifact once; every
+/// downstream pass shares it).
+pub fn elaborate(program: &Arc<Program>) -> Result<ProgramInfo, Diagnostic> {
     let mut roles: BTreeMap<String, SymRole> = BTreeMap::new();
-    let mut set_role = |name: &str, role: SymRole, span: Span| -> Result<(), LangError> {
+    let mut set_role = |name: &str, role: SymRole, span: Span| -> Result<(), Diagnostic> {
         match roles.get(name) {
             None => {
                 roles.insert(name.to_string(), role);
                 Ok(())
             }
             Some(r) if *r == role => Ok(()),
-            Some(r) => Err(LangError::new(
-                format!(
-                    "symbolic `{name}` used both as a {} and as a {} — split it into two \
-                     symbolic values",
-                    role_name(*r),
-                    role_name(role)
-                ),
+            Some(r) => Err(Diagnostic::error_at(
+                format!("symbolic `{name}` used both as a {} and as a {}", role_name(*r), role_name(role)),
                 span,
-            )),
+            )
+            .with_note("split it into two symbolic values")),
         }
     };
 
@@ -173,13 +177,17 @@ pub fn elaborate(program: &Program) -> Result<ProgramInfo<'_>, LangError> {
     for s in &program.symbolics {
         if !roles.contains_key(&s.name) {
             // A symbolic referenced only in assume/optimize is meaningless.
-            return Err(LangError::new(
+            return Err(Diagnostic::error_at(
                 format!(
                     "symbolic `{}` is never used as a loop bound, array extent, or hash \
                      range",
                     s.name
                 ),
                 s.span,
+            )
+            .with_note(
+                "a symbolic referenced only in `assume`/`optimize` gives the ILP nothing \
+                 to place",
             ));
         }
     }
@@ -199,7 +207,7 @@ pub fn elaborate(program: &Program) -> Result<ProgramInfo<'_>, LangError> {
         regs.sort_unstable();
         regs.dedup();
         if regs.len() > 1 {
-            return Err(LangError::new(
+            return Err(Diagnostic::error_at(
                 format!(
                     "action `{}` accesses {} registers ({}); PISA stateful actions may \
                      access only one",
@@ -222,7 +230,7 @@ pub fn elaborate(program: &Program) -> Result<ProgramInfo<'_>, LangError> {
 
     let mined = mine_assume_bounds(program);
 
-    Ok(ProgramInfo { program, roles, mined, header_bits })
+    Ok(ProgramInfo { program: Arc::clone(program), roles, mined, header_bits })
 }
 
 fn role_name(r: SymRole) -> &'static str {
@@ -278,21 +286,21 @@ fn collect_action_registers<'a>(body: &'a [Stmt], out: &mut Vec<&'a str>) {
     }
 }
 
-fn check_control_recursion(program: &Program) -> Result<(), LangError> {
+fn check_control_recursion(program: &Program) -> Result<(), Diagnostic> {
     fn visit(
         program: &Program,
         name: &str,
         stack: &mut Vec<String>,
         span: Span,
-    ) -> Result<(), LangError> {
+    ) -> Result<(), Diagnostic> {
         if stack.iter().any(|s| s == name) {
-            return Err(LangError::new(
+            return Err(Diagnostic::error_at(
                 format!("control `{name}` is applied recursively ({})", stack.join(" -> ")),
                 span,
             ));
         }
         let Some(ctl) = program.control(name) else {
-            return Err(LangError::new(format!("undeclared control `{name}`"), span));
+            return Err(Diagnostic::error_at(format!("undeclared control `{name}`"), span));
         };
         stack.push(name.to_string());
         let mut work: Vec<&Stmt> = ctl.body.iter().collect();
@@ -374,6 +382,10 @@ mod tests {
     use super::*;
     use p4all_lang::parse;
 
+    fn parse_arc(src: &str) -> Arc<Program> {
+        Arc::new(parse(src).unwrap())
+    }
+
     const CMS: &str = r#"
         symbolic int rows;
         symbolic int cols;
@@ -401,7 +413,7 @@ mod tests {
 
     #[test]
     fn roles_for_cms() {
-        let p = parse(CMS).unwrap();
+        let p = parse_arc(CMS);
         let info = elaborate(&p).unwrap();
         assert_eq!(info.roles["rows"], SymRole::Count);
         assert_eq!(info.roles["cols"], SymRole::Size);
@@ -411,7 +423,7 @@ mod tests {
 
     #[test]
     fn mined_bounds_from_assumes() {
-        let p = parse(CMS).unwrap();
+        let p = parse_arc(CMS);
         let info = elaborate(&p).unwrap();
         assert_eq!(info.mined["rows"], MinedBounds { lo: Some(1), hi: Some(4) });
         assert_eq!(info.mined["cols"], MinedBounds { lo: Some(16), hi: None });
@@ -419,14 +431,14 @@ mod tests {
 
     #[test]
     fn meta_chunk_bits_sums_arrays() {
-        let p = parse(CMS).unwrap();
+        let p = parse_arc(CMS);
         let info = elaborate(&p).unwrap();
         assert_eq!(info.meta_chunk_bits("rows"), 64); // index + count
     }
 
     #[test]
     fn fixed_phv_counts_scalars_and_headers() {
-        let p = parse(CMS).unwrap();
+        let p = parse_arc(CMS);
         let info = elaborate(&p).unwrap();
         assert_eq!(info.fixed_phv_bits(), 32 + 32); // meta.min + hdr.key
     }
@@ -440,14 +452,14 @@ mod tests {
             register<bit<32>>[n] r;
             control Main() { apply { for (i < n) { } } }
         "#;
-        let e = elaborate(&parse(src).unwrap()).unwrap_err();
+        let e = elaborate(&parse_arc(src)).unwrap_err();
         assert!(e.message.contains("both"), "{e}");
     }
 
     #[test]
     fn unused_symbolic_rejected() {
         let src = "symbolic int ghost; assume ghost >= 1;";
-        let e = elaborate(&parse(src).unwrap()).unwrap_err();
+        let e = elaborate(&parse_arc(src)).unwrap_err();
         assert!(e.message.contains("never used"), "{e}");
     }
 
@@ -461,7 +473,7 @@ mod tests {
                 r1[0] = r2[0];
             }
         "#;
-        let e = elaborate(&parse(src).unwrap()).unwrap_err();
+        let e = elaborate(&parse_arc(src)).unwrap_err();
         assert!(e.message.contains("only one"), "{e}");
     }
 
@@ -485,7 +497,7 @@ mod tests {
             struct metadata { bit<32>[n] a; }
             assume 2 <= n && 8 >= n;
         "#;
-        let p = parse(src).unwrap();
+        let p = parse_arc(src);
         let info = elaborate(&p).unwrap();
         assert_eq!(info.mined["n"], MinedBounds { lo: Some(2), hi: Some(8) });
     }
@@ -497,7 +509,7 @@ mod tests {
             struct metadata { bit<32>[n] a; }
             assume n < 5 && n > 0;
         "#;
-        let info_prog = parse(src).unwrap();
+        let info_prog = parse_arc(src);
         let info = elaborate(&info_prog).unwrap();
         assert_eq!(info.mined["n"], MinedBounds { lo: Some(1), hi: Some(4) });
     }

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use p4all_lang::errors::LangError;
+use p4all_lang::diag::Diagnostic;
 use p4all_pisa::{PipelineUsage, TargetSpec};
 
 use crate::depgraph::DepGraph;
@@ -24,11 +24,11 @@ use crate::solution::{Layout, Placement, RegisterAllocation};
 /// with the ILP's (objective is left at 0.0; evaluate utilities with
 /// [`crate::pipeline::evaluate_utility`]).
 pub fn place_greedy(
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     unrolled: &Unrolled,
     graph: &DepGraph,
     target: &TargetSpec,
-) -> Result<Layout, LangError> {
+) -> Result<Layout, Diagnostic> {
     let stages = target.stages;
     let costs = &target.alu_costs;
 
@@ -109,12 +109,14 @@ pub fn place_greedy(
             }
             None => {
                 if tag[g].is_empty() {
-                    return Err(LangError::new(
-                        format!(
-                            "greedy placement failed: mandatory group `{}` does not fit",
-                            graph.nodes[g].label
-                        ),
-                        Default::default(),
+                    return Err(Diagnostic::error(format!(
+                        "greedy placement failed: mandatory group `{}` does not fit on \
+                         target `{}`",
+                        graph.nodes[g].label, target.name
+                    ))
+                    .with_note(
+                        "the greedy baseline only drops elastic loop iterations; a \
+                         non-loop group that does not fit makes the program unplaceable",
                     ));
                 }
                 for it in &tag[g] {
@@ -152,7 +154,12 @@ pub fn place_greedy(
                 if slots.iter().any(|x| x.reg == r.reg && x.instance == r.instance) {
                     continue;
                 }
-                let decl = info.program.register(&r.reg).expect("declared register");
+                let Some(decl) = info.program.register(&r.reg) else {
+                    return Err(Diagnostic::internal(format!(
+                        "unrolled program references undeclared register `{}`",
+                        r.reg
+                    )));
+                };
                 slots.push(RegSlot {
                     reg: r.reg.clone(),
                     instance: r.instance,
@@ -298,7 +305,7 @@ mod tests {
 
     #[test]
     fn greedy_layout_is_feasible() {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 2);
@@ -314,7 +321,7 @@ mod tests {
 
     #[test]
     fn greedy_respects_precedence() {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 2);
@@ -332,7 +339,7 @@ mod tests {
 
     #[test]
     fn greedy_drops_iterations_that_do_not_fit() {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 8); // way beyond a 3-stage pipeline

@@ -30,13 +30,107 @@ use std::collections::BTreeMap;
 
 use p4all_ilp::{LinExpr, Model, Sense, VarId};
 use p4all_lang::ast::{BinOp, Expr, Size, UnOp};
-use p4all_lang::errors::LangError;
+use p4all_lang::diag::Diagnostic;
 use p4all_lang::span::Span;
 use p4all_pisa::TargetSpec;
 
 use crate::depgraph::DepGraph;
 use crate::elaborate::{ProgramInfo, SymRole};
 use crate::ir::{ActionInstance, Iter, Unrolled};
+
+/// PISA resource kind a constraint row draws on (the paper's S/M/F/L/P),
+/// plus the non-physical origins (program structure, user assumptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// Pipeline stages `S` (placement, ordering, exclusion).
+    Stages,
+    /// Per-stage SRAM `M` (register cells).
+    Memory,
+    /// Stateful ALUs `F` per stage.
+    StatefulAlu,
+    /// Stateless ALUs `L` per stage.
+    StatelessAlu,
+    /// PHV bits `P`.
+    Phv,
+    /// Program structure (iteration coherence, liveness links) — consumes
+    /// no physical resource by itself.
+    Structural,
+    /// A user-written `assume`.
+    Assumption,
+}
+
+impl ResourceKind {
+    /// The paper's single-letter resource name (`S`/`M`/`F`/`L`/`P`).
+    pub fn letter(self) -> &'static str {
+        match self {
+            ResourceKind::Stages => "S",
+            ResourceKind::Memory => "M",
+            ResourceKind::StatefulAlu => "F",
+            ResourceKind::StatelessAlu => "L",
+            ResourceKind::Phv => "P",
+            ResourceKind::Structural => "-",
+            ResourceKind::Assumption => "A",
+        }
+    }
+
+    /// Human-readable resource name for explanations.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ResourceKind::Stages => "pipeline stages (S)",
+            ResourceKind::Memory => "per-stage SRAM (M)",
+            ResourceKind::StatefulAlu => "stateful ALUs (F)",
+            ResourceKind::StatelessAlu => "stateless ALUs (L)",
+            ResourceKind::Phv => "PHV bits (P)",
+            ResourceKind::Structural => "program structure",
+            ResourceKind::Assumption => "user assumption",
+        }
+    }
+
+    /// True for the five physical PISA resources.
+    pub fn is_physical(self) -> bool {
+        !matches!(self, ResourceKind::Structural | ResourceKind::Assumption)
+    }
+}
+
+/// Where one ILP constraint row came from. Attached to every row the
+/// generator emits; the infeasibility explainer maps IIS members through
+/// this back to elastic structures and source spans.
+#[derive(Debug, Clone)]
+pub struct RowProvenance {
+    /// Human-readable origin, e.g. `precedence incr[0] -> set_min[0]`.
+    pub detail: String,
+    pub resource: ResourceKind,
+    /// Symbolic values implicated by the row.
+    pub symbolics: Vec<String>,
+    /// Source anchor (loop statement, register declaration, or assume).
+    pub span: Option<Span>,
+}
+
+impl RowProvenance {
+    fn new(detail: impl Into<String>, resource: ResourceKind) -> Self {
+        RowProvenance { detail: detail.into(), resource, symbolics: Vec::new(), span: None }
+    }
+
+    fn syms<I: IntoIterator<Item = String>>(mut self, syms: I) -> Self {
+        self.symbolics.extend(syms);
+        self.symbolics.sort();
+        self.symbolics.dedup();
+        self
+    }
+
+    fn at(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+}
+
+/// Record provenance for `row`, growing the table as rows are appended.
+fn tag(prov: &mut Vec<Option<RowProvenance>>, row: usize, p: RowProvenance) {
+    if prov.len() <= row {
+        prov.resize(row + 1, None);
+    }
+    prov[row] = Some(p);
+}
 
 /// One ILP placement group (a dependency-graph node).
 #[derive(Debug, Clone)]
@@ -81,21 +175,48 @@ pub struct Encoding {
     /// size symbolic -> `V_sz`
     pub sizes: BTreeMap<String, VarId>,
     pub stages: usize,
+    /// Per-row provenance, indexed by constraint row (entries may be `None`
+    /// only if a row was added outside the generator).
+    pub provenance: Vec<Option<RowProvenance>>,
+    /// Resource-derived *column* bounds: capacity limits folded directly
+    /// into a variable's bounds rather than emitted as rows (e.g. a size
+    /// symbolic clamped to what one stage's SRAM can hold). The IIS filter
+    /// only sees rows, so the explainer consults this table to attribute
+    /// such hidden limits when their symbolics appear in a conflict core.
+    pub derived_bounds: Vec<DerivedBound>,
+}
+
+/// A capacity limit encoded as a variable bound instead of a row.
+#[derive(Debug, Clone)]
+pub struct DerivedBound {
+    /// The symbolic value whose range the target clamps.
+    pub symbolic: String,
+    /// The physical resource the clamp derives from.
+    pub resource: ResourceKind,
+    /// Human-readable statement of the clamp.
+    pub detail: String,
+    /// Source anchor (the register declaration that forced it).
+    pub span: Option<Span>,
 }
 
 impl Encoding {
     fn placed(&self, g: usize) -> LinExpr {
         LinExpr::sum(self.x[g].iter().map(|&v| LinExpr::from(v)))
     }
+
+    /// Provenance of a constraint row, if recorded.
+    pub fn provenance_of(&self, row: usize) -> Option<&RowProvenance> {
+        self.provenance.get(row).and_then(|p| p.as_ref())
+    }
 }
 
 /// Generate the ILP for an unrolled program on a target.
 pub fn encode(
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     unrolled: &Unrolled,
     graph: &DepGraph,
     target: &TargetSpec,
-) -> Result<Encoding, LangError> {
+) -> Result<Encoding, Diagnostic> {
     let stages = target.stages;
     let costs = &target.alu_costs;
     let mut model = Model::new();
@@ -121,6 +242,22 @@ pub fn encode(
             reg_instance: None, // filled below
         });
     }
+
+    // Provenance lookups for row tagging: span and symbolics per group.
+    let mut prov: Vec<Option<RowProvenance>> = Vec::new();
+    let mut derived: Vec<DerivedBound> = Vec::new();
+    let gspan: Vec<Span> =
+        groups.iter().map(|grp| unrolled.instances[grp.members[0]].span).collect();
+    let gsyms: Vec<Vec<String>> = groups
+        .iter()
+        .map(|grp| {
+            let mut v: Vec<String> = grp.iters.iter().map(|it| it.symbolic.clone()).collect();
+            v.sort();
+            v.dedup();
+            v
+        })
+        .collect();
+    let glabel: Vec<String> = groups.iter().map(|grp| grp.label.clone()).collect();
 
     // ---- Iteration symmetry breaking ----
     // Iterations of one elastic loop are interchangeable: any feasible
@@ -148,7 +285,8 @@ pub fn encode(
                 grp.members.iter().map(|&m| unrolled.instances[m].base.clone()).collect();
             bases.sort();
             let mut prefix = grp.iters.clone();
-            let last = prefix.pop().expect("non-empty tag");
+            // Guarded by the `iters.is_empty()` check above.
+            let Some(last) = prefix.pop() else { continue };
             families
                 .entry((bases, prefix, last.symbolic.clone()))
                 .or_default()
@@ -188,9 +326,28 @@ pub fn encode(
             (0..stages).map(|s| model.binary(format!("x[{}][{s}]", grp.label))).collect();
         let placed = LinExpr::sum(vars.iter().map(|&v| LinExpr::from(v)));
         if grp.iters.is_empty() {
-            model.eq(format!("place_once[{g}]"), placed, 1.0); // #17
+            let row = model.eq(format!("place_once[{g}]"), placed, 1.0); // #17
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!("inelastic `{}` must be placed in some stage", grp.label),
+                    ResourceKind::Stages,
+                )
+                .at(gspan[g]),
+            );
         } else {
-            model.le(format!("place_at_most_once[{g}]"), placed, 1.0); // #15
+            let row = model.le(format!("place_at_most_once[{g}]"), placed, 1.0); // #15
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!("`{}` is placed in at most one stage", grp.label),
+                    ResourceKind::Stages,
+                )
+                .syms(gsyms[g].iter().cloned())
+                .at(gspan[g]),
+            );
         }
         x.push(vars);
     }
@@ -237,10 +394,23 @@ pub fn encode(
             for t in 0..s {
                 earlier += LinExpr::from(x[a][t]);
             }
-            model.le(
+            let row = model.le(
                 format!("prec[{a}->{b}][{s}]"),
                 LinExpr::from(x[b][s]) - earlier,
                 0.0,
+            );
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!(
+                        "`{}` must run in a stage strictly before `{}` (data dependency)",
+                        glabel[a], glabel[b]
+                    ),
+                    ResourceKind::Stages,
+                )
+                .syms(gsyms[a].iter().chain(&gsyms[b]).cloned())
+                .at(gspan[b]),
             );
         }
     }
@@ -253,10 +423,23 @@ pub fn encode(
             }
         }
         for s in 0..stages {
-            model.le(
+            let row = model.le(
                 format!("excl[{a}--{b}][{s}]"),
                 LinExpr::from(x[a][s]) + LinExpr::from(x[b][s]),
                 1.0,
+            );
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!(
+                        "`{}` and `{}` may not share a stage (conflicting accesses)",
+                        glabel[a], glabel[b]
+                    ),
+                    ResourceKind::Stages,
+                )
+                .syms(gsyms[a].iter().chain(&gsyms[b]).cloned())
+                .at(gspan[b]),
             );
         }
     }
@@ -268,10 +451,24 @@ pub fn encode(
             for t in 0..s {
                 earlier += LinExpr::from(x[a][t]);
             }
-            model.le(
+            let row = model.le(
                 format!("sym_strict[{a}->{b}][{s}]"),
                 LinExpr::from(x[b][s]) - earlier,
                 0.0,
+            );
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!(
+                        "iterations `{}` and `{}` are strictly ordered (commutative \
+                         accumulator, symmetry breaking)",
+                        glabel[a], glabel[b]
+                    ),
+                    ResourceKind::Stages,
+                )
+                .syms(gsyms[a].iter().chain(&gsyms[b]).cloned())
+                .at(gspan[b]),
             );
         }
     }
@@ -286,10 +483,23 @@ pub fn encode(
             placed_b += LinExpr::from(x[b][s]);
         }
         // stage(b) >= stage(a) - S*(1 - placed(b))
-        model.ge(
+        let row = model.ge(
             format!("sym_weak[{a}<={b}]"),
             diff + (LinExpr::constant(stages as f64) - placed_b * (stages as f64)),
             0.0,
+        );
+        tag(
+            &mut prov,
+            row,
+            RowProvenance::new(
+                format!(
+                    "iteration `{}` is placed no earlier than `{}` (symmetry breaking)",
+                    glabel[b], glabel[a]
+                ),
+                ResourceKind::Stages,
+            )
+            .syms(gsyms[a].iter().chain(&gsyms[b]).cloned())
+            .at(gspan[b]),
         );
     }
 
@@ -307,7 +517,21 @@ pub fn encode(
                 let (a, b) = (w[0], w[1]);
                 let pa = LinExpr::sum(x[a].iter().map(|&v| LinExpr::from(v)));
                 let pb = LinExpr::sum(x[b].iter().map(|&v| LinExpr::from(v)));
-                model.eq(format!("coherent[{tag:?}][{a}=={b}]"), pa - pb, 0.0);
+                let row = model.eq(format!("coherent[{tag:?}][{a}=={b}]"), pa - pb, 0.0);
+                crate::ilpgen::tag(
+                    &mut prov,
+                    row,
+                    RowProvenance::new(
+                        format!(
+                            "`{}` and `{}` belong to one loop iteration and are placed \
+                             together",
+                            glabel[a], glabel[b]
+                        ),
+                        ResourceKind::Structural,
+                    )
+                    .syms(gsyms[a].iter().cloned())
+                    .at(gspan[a]),
+                );
             }
         }
     }
@@ -329,15 +553,41 @@ pub fn encode(
         for &g in gs {
             let placed = LinExpr::sum(x[g].iter().map(|&v| LinExpr::from(v)));
             // d >= placed(g)  (#14)
-            model.ge(
+            let row = model.ge(
                 format!("d_lb[{}][{}][{g}]", key.0, key.1),
                 LinExpr::from(dv) - placed.clone(),
                 0.0,
             );
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!(
+                        "iteration {} of `{}` needs its metadata chunk live when placed",
+                        key.1, key.0
+                    ),
+                    ResourceKind::Structural,
+                )
+                .syms([key.0.clone()])
+                .at(gspan[g]),
+            );
             any += placed;
         }
         // d <= sum placed: the chunk is live only if some iteration ran.
-        model.le(format!("d_ub[{}][{}]", key.0, key.1), LinExpr::from(dv) - any, 0.0);
+        let row =
+            model.le(format!("d_ub[{}][{}]", key.0, key.1), LinExpr::from(dv) - any, 0.0);
+        tag(
+            &mut prov,
+            row,
+            RowProvenance::new(
+                format!(
+                    "metadata chunk {} of `{}` is live only if some iteration is placed",
+                    key.1, key.0
+                ),
+                ResourceKind::Structural,
+            )
+            .syms([key.0.clone()]),
+        );
     }
     // In-order iterations (#16): d[v][i+1] <= d[v][i].
     {
@@ -356,10 +606,22 @@ pub fn encode(
             for w in is.windows(2) {
                 let lo = d[&(v.clone(), w[0])];
                 let hi = d[&(v.clone(), w[1])];
-                model.le(
+                let row = model.le(
                     format!("order[{v}][{}<={}]", w[1], w[0]),
                     LinExpr::from(hi) - LinExpr::from(lo),
                     0.0,
+                );
+                tag(
+                    &mut prov,
+                    row,
+                    RowProvenance::new(
+                        format!(
+                            "iterations of `{v}` are used in order ({} before {})",
+                            w[0], w[1]
+                        ),
+                        ResourceKind::Structural,
+                    )
+                    .syms([v.clone()]),
                 );
             }
         }
@@ -370,24 +632,40 @@ pub fn encode(
         let program_fixed = info.fixed_phv_bits();
         let target_budget = target.phv_elastic_bits();
         if program_fixed > target_budget {
-            return Err(LangError::new(
-                format!(
-                    "fixed headers/metadata need {program_fixed} PHV bits but the target \
-                     provides only {target_budget}"
-                ),
-                Span::default(),
+            return Err(Diagnostic::error(format!(
+                "fixed headers/metadata need {program_fixed} PHV bits but target `{}` \
+                 provides only {target_budget}",
+                target.name
+            ))
+            .with_note(
+                "fixed fields are allocated before any elastic structure; shrink headers \
+                 or scalar metadata",
             ));
         }
         let elastic_budget = (target_budget - program_fixed) as f64;
         let mut used = LinExpr::zero();
+        let mut phv_syms: Vec<String> = Vec::new();
         for ((v, _i), &dv) in &d {
             let bits = info.meta_chunk_bits(v) as f64;
             if bits > 0.0 {
                 used += LinExpr::term(dv, bits);
+                phv_syms.push(v.clone());
             }
         }
         if !used.terms.is_empty() {
-            model.le("phv_budget", used, elastic_budget);
+            let row = model.le("phv_budget", used, elastic_budget);
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!(
+                        "elastic metadata must fit the {elastic_budget} PHV bits left \
+                         after fixed fields"
+                    ),
+                    ResourceKind::Phv,
+                )
+                .syms(phv_syms),
+            );
         }
     }
 
@@ -407,8 +685,20 @@ pub fn encode(
         }
         for ((reg_name, instance), owner_group) in owner {
             let decl = info.program.register(&reg_name).ok_or_else(|| {
-                LangError::new(format!("undeclared register `{reg_name}`"), Span::default())
+                Diagnostic::internal(format!(
+                    "unrolled instance references undeclared register `{reg_name}`"
+                ))
             })?;
+            // Symbolics implicated by this register's memory rows: its size
+            // symbolic plus the count symbolic of its instance dimension.
+            let mut reg_syms: Vec<String> = Vec::new();
+            if let Some(sz) = decl.cells.symbolic_name() {
+                reg_syms.push(sz.to_string());
+            }
+            if let Some(cnt) = decl.instances.as_ref().and_then(|i| i.symbolic_name()) {
+                reg_syms.push(cnt.to_string());
+            }
+            let reg_span = decl.span;
             let cap = (target.memory_bits / decl.elem_bits as u64).max(1);
             let ridx = regs.len();
             groups[owner_group].reg_instance = Some(ridx);
@@ -419,10 +709,24 @@ pub fn encode(
                 .collect();
             // #9: cells only where the owner sits.
             for s in 0..stages {
-                model.le(
+                let row = model.le(
                     format!("colocate[{reg_name}[{instance}]][{s}]"),
                     LinExpr::from(svars[s]) - LinExpr::term(x[owner_group][s], cap as f64),
                     0.0,
+                );
+                tag(
+                    &mut prov,
+                    row,
+                    RowProvenance::new(
+                        format!(
+                            "memory of `{reg_name}[{instance}]` sits in the stage of its \
+                             action `{}`",
+                            glabel[owner_group]
+                        ),
+                        ResourceKind::Memory,
+                    )
+                    .syms(reg_syms.iter().cloned())
+                    .at(reg_span),
                 );
             }
             let total = LinExpr::sum(svars.iter().map(|&v| LinExpr::from(v)));
@@ -430,30 +734,88 @@ pub fn encode(
             match &decl.cells {
                 Size::Const(k) => {
                     // Exactly k cells when placed, 0 otherwise.
-                    model.eq(
+                    let row = model.eq(
                         format!("fixed_cells[{reg_name}[{instance}]]"),
                         total - placed * (*k as f64),
                         0.0,
                     );
+                    tag(
+                        &mut prov,
+                        row,
+                        RowProvenance::new(
+                            format!(
+                                "`{reg_name}[{instance}]` needs exactly {k} cells when placed"
+                            ),
+                            ResourceKind::Memory,
+                        )
+                        .syms(reg_syms.iter().cloned())
+                        .at(reg_span),
+                    );
                 }
                 Size::Symbolic(sz) => {
-                    let vsz = *sizes.entry(sz.clone()).or_insert_with(|| {
-                        let mined = info.mined.get(sz).copied().unwrap_or_default();
-                        let lo = mined.lo.unwrap_or(1).max(1) as f64;
-                        let hi = mined.hi.map(|h| h as f64).unwrap_or(cap as f64).min(cap as f64);
-                        model.integer(format!("V[{sz}]"), lo, hi)
-                    });
+                    let vsz = match sizes.get(sz) {
+                        Some(&v) => v,
+                        None => {
+                            let mined = info.mined.get(sz).copied().unwrap_or_default();
+                            let lo = mined.lo.unwrap_or(1).max(1) as f64;
+                            let mined_hi = mined.hi.map(|h| h as f64);
+                            let hi = mined_hi.unwrap_or(cap as f64).min(cap as f64);
+                            // When the target's SRAM (not the program's own
+                            // assumes) is what caps this symbolic, remember
+                            // that: the clamp lives in a column bound the
+                            // IIS filter can't see.
+                            if mined_hi.is_none_or(|h| h > cap as f64) {
+                                derived.push(DerivedBound {
+                                    symbolic: sz.clone(),
+                                    resource: ResourceKind::Memory,
+                                    detail: format!(
+                                        "one stage's SRAM holds at most {cap} cells of \
+                                         `{reg_name}`, capping `{sz}`"
+                                    ),
+                                    span: Some(reg_span),
+                                });
+                            }
+                            let v = model.integer(format!("V[{sz}]"), lo, hi);
+                            sizes.insert(sz.clone(), v);
+                            v
+                        }
+                    };
                     // total <= V_sz ; total >= V_sz - cap*(1 - placed).
-                    model.le(
+                    let row = model.le(
                         format!("size_ub[{reg_name}[{instance}]]"),
                         total.clone() - LinExpr::from(vsz),
                         0.0,
                     );
-                    model.ge(
+                    tag(
+                        &mut prov,
+                        row,
+                        RowProvenance::new(
+                            format!(
+                                "`{reg_name}[{instance}]` allocates at most `{sz}` cells"
+                            ),
+                            ResourceKind::Memory,
+                        )
+                        .syms(reg_syms.iter().cloned())
+                        .at(reg_span),
+                    );
+                    let row = model.ge(
                         format!("size_lb[{reg_name}[{instance}]]"),
                         total - LinExpr::from(vsz) - placed * (cap as f64)
                             + LinExpr::constant(cap as f64),
                         0.0,
+                    );
+                    tag(
+                        &mut prov,
+                        row,
+                        RowProvenance::new(
+                            format!(
+                                "`{reg_name}[{instance}]` gets its full `{sz}` cells when \
+                                 placed (equal row sizes)"
+                            ),
+                            ResourceKind::Memory,
+                        )
+                        .syms(reg_syms.iter().cloned())
+                        .at(reg_span),
                     );
                 }
             }
@@ -481,29 +843,90 @@ pub fn encode(
     }
 
     // ---- Per-stage memory (#8) and ALU budgets (#11, #12) ----
+    let mem_syms: Vec<String> = {
+        let mut v: Vec<String> = regs
+            .iter()
+            .flat_map(|r| {
+                let mut s: Vec<String> = Vec::new();
+                if let Size::Symbolic(sz) = &r.cells {
+                    s.push(sz.clone());
+                }
+                if let Some(decl) = info.program.register(&r.reg) {
+                    if let Some(cnt) = decl.instances.as_ref().and_then(|i| i.symbolic_name())
+                    {
+                        s.push(cnt.to_string());
+                    }
+                }
+                s
+            })
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
     for s in 0..stages {
         let mut mem = LinExpr::zero();
         for (r, svars) in cells.iter().enumerate() {
             mem += LinExpr::term(svars[s], regs[r].elem_bits as f64);
         }
         if !mem.terms.is_empty() {
-            model.le(format!("stage_mem[{s}]"), mem, target.memory_bits as f64);
+            let row = model.le(format!("stage_mem[{s}]"), mem, target.memory_bits as f64);
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!(
+                        "register memory in stage {s} fits the {} bits of per-stage SRAM",
+                        target.memory_bits
+                    ),
+                    ResourceKind::Memory,
+                )
+                .syms(mem_syms.iter().cloned()),
+            );
         }
         let mut hf = LinExpr::zero();
         let mut hl = LinExpr::zero();
+        let mut hf_syms: Vec<String> = Vec::new();
+        let mut hl_syms: Vec<String> = Vec::new();
         for (g, grp) in groups.iter().enumerate() {
             if grp.stateful_alus > 0 {
                 hf += LinExpr::term(x[g][s], grp.stateful_alus as f64);
+                hf_syms.extend(gsyms[g].iter().cloned());
             }
             if grp.stateless_alus > 0 {
                 hl += LinExpr::term(x[g][s], grp.stateless_alus as f64);
+                hl_syms.extend(gsyms[g].iter().cloned());
             }
         }
         if !hf.terms.is_empty() {
-            model.le(format!("stage_hf[{s}]"), hf, target.stateful_alus as f64);
+            let row = model.le(format!("stage_hf[{s}]"), hf, target.stateful_alus as f64);
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!(
+                        "stateful work in stage {s} fits the target's {} stateful ALUs",
+                        target.stateful_alus
+                    ),
+                    ResourceKind::StatefulAlu,
+                )
+                .syms(hf_syms),
+            );
         }
         if !hl.terms.is_empty() {
-            model.le(format!("stage_hl[{s}]"), hl, target.stateless_alus as f64);
+            let row = model.le(format!("stage_hl[{s}]"), hl, target.stateless_alus as f64);
+            tag(
+                &mut prov,
+                row,
+                RowProvenance::new(
+                    format!(
+                        "stateless work in stage {s} fits the target's {} stateless ALUs",
+                        target.stateless_alus
+                    ),
+                    ResourceKind::StatelessAlu,
+                )
+                .syms(hl_syms),
+            );
         }
     }
 
@@ -515,8 +938,18 @@ pub fn encode(
         model.set_branch_priority(sv, -10);
     }
 
-    let mut enc =
-        Encoding { model, groups, x, regs, cells, d, sizes, stages };
+    let mut enc = Encoding {
+        model,
+        groups,
+        x,
+        regs,
+        cells,
+        d,
+        sizes,
+        stages,
+        provenance: prov,
+        derived_bounds: derived,
+    };
 
     // ---- User assumes ----
     for (k, a) in info.program.assumes.iter().enumerate() {
@@ -556,10 +989,10 @@ pub fn encode(
 /// that register family).
 pub fn linearize(
     enc: &Encoding,
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     e: &Expr,
     span: Span,
-) -> Result<LinExpr, LangError> {
+) -> Result<LinExpr, Diagnostic> {
     if let Some(c) = const_value(e) { return Ok(LinExpr::constant(c)) }
     match e {
         Expr::Symbolic(name) => match info.roles.get(name) {
@@ -574,12 +1007,13 @@ pub fn linearize(
             }
             Some(SymRole::Size) => match enc.sizes.get(name) {
                 Some(&v) => Ok(LinExpr::from(v)),
-                None => Err(LangError::new(
-                    format!("size symbolic `{name}` has no variable in this encoding"),
-                    span,
-                )),
+                None => Err(Diagnostic::internal(format!(
+                    "size symbolic `{name}` has no variable in this encoding"
+                ))
+                .with_span(span)),
             },
-            None => Err(LangError::new(format!("unknown symbolic `{name}`"), span)),
+            None => Err(Diagnostic::error_at(format!("unknown symbolic `{name}`"), span)
+                .with_note("declare it with `symbolic int ...;` and use it in the program")),
         },
         Expr::Unary { op: UnOp::Neg, operand } => Ok(-linearize(enc, info, operand, span)?),
         Expr::Binary { op: BinOp::Add, lhs, rhs } => {
@@ -601,18 +1035,17 @@ pub fn linearize(
                     return Ok(expr);
                 }
             }
-            Err(LangError::new(
+            Err(Diagnostic::error_at(
                 "non-linear utility term: products must be `constant * expr` or \
-                 `count * size` of one register array"
-                    .to_string(),
+                 `count * size` of one register array",
                 span,
             ))
         }
         Expr::Binary { op: BinOp::Div, lhs, rhs } => match const_value(rhs) {
             Some(k) if k != 0.0 => Ok(linearize(enc, info, lhs, span)? * (1.0 / k)),
-            _ => Err(LangError::new("division by a non-constant in utility", span)),
+            _ => Err(Diagnostic::error_at("division by a non-constant in utility", span)),
         },
-        other => Err(LangError::new(
+        other => Err(Diagnostic::error_at(
             format!("expression not allowed in utility/assume: {other:?}"),
             span,
         )),
@@ -623,7 +1056,7 @@ pub fn linearize(
 /// product equals the total cells allocated to that register family.
 fn product_cells(
     enc: &Encoding,
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     a: &str,
     b: &str,
 ) -> Option<LinExpr> {
@@ -645,6 +1078,19 @@ fn product_cells(
         }
     }
     Some(sum)
+}
+
+/// Collect every symbolic name mentioned in an expression.
+fn collect_symbolics(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Symbolic(name) => out.push(name.clone()),
+        Expr::Unary { operand, .. } => collect_symbolics(operand, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_symbolics(lhs, out);
+            collect_symbolics(rhs, out);
+        }
+        _ => {}
+    }
 }
 
 fn const_value(e: &Expr) -> Option<f64> {
@@ -670,11 +1116,11 @@ fn const_value(e: &Expr) -> Option<f64> {
 /// comparisons become linear rows. Disjunctions are rejected (non-convex).
 fn add_assume(
     enc: &mut Encoding,
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     e: &Expr,
     span: Span,
     name: &str,
-) -> Result<(), LangError> {
+) -> Result<(), Diagnostic> {
     match e {
         Expr::Binary { op: BinOp::And, lhs, rhs } => {
             add_assume(enc, info, lhs, span, &format!("{name}.l"))?;
@@ -686,19 +1132,31 @@ fn add_assume(
             let l = linearize(enc, info, lhs, span)?;
             let r = linearize(enc, info, rhs, span)?;
             let diff = l - r;
-            match op {
+            let row = match op {
                 BinOp::Le => enc.model.le(name, diff, 0.0),
                 BinOp::Lt => enc.model.le(name, diff, -1.0),
                 BinOp::Ge => enc.model.ge(name, diff, 0.0),
                 BinOp::Gt => enc.model.ge(name, diff, 1.0),
                 BinOp::Eq => enc.model.eq(name, diff, 0.0),
-                _ => unreachable!(),
-            }
+                // Guarded by the `matches!` arm pattern above.
+                _ => return Err(Diagnostic::internal("non-comparison op in assume arm")),
+            };
+            let mut syms: Vec<String> = Vec::new();
+            collect_symbolics(e, &mut syms);
+            tag(
+                &mut enc.provenance,
+                row,
+                RowProvenance::new(
+                    format!("user assumption `{}`", p4all_lang::print_expr(e)),
+                    ResourceKind::Assumption,
+                )
+                .syms(syms)
+                .at(span),
+            );
             Ok(())
         }
-        _ => Err(LangError::new(
-            "assume must be a conjunction of linear comparisons over symbolic values"
-                .to_string(),
+        _ => Err(Diagnostic::error_at(
+            "assume must be a conjunction of linear comparisons over symbolic values",
             span,
         )),
     }
@@ -777,8 +1235,8 @@ mod tests {
         control Main() { apply { hash_inc.apply(); find_min.apply(); } }
     "#;
 
-    fn encode_cms(rows: usize) -> (Encoding, p4all_lang::ast::Program) {
-        let p = parse(CMS).unwrap();
+    fn encode_cms(rows: usize) -> (Encoding, std::sync::Arc<p4all_lang::ast::Program>) {
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let target = presets::paper_example();
         let enc = {
             let info = elaborate(&p).unwrap();
@@ -850,7 +1308,7 @@ mod tests {
     #[test]
     fn assume_upper_bound_enforced() {
         let src = CMS.replace("assume cols >= 4;", "assume cols >= 4 && cols <= 10;");
-        let p = parse(&src).unwrap();
+        let p = std::sync::Arc::new(parse(&src).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 2);
@@ -865,7 +1323,7 @@ mod tests {
 
     #[test]
     fn infeasible_when_phv_too_small() {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 2);
@@ -882,7 +1340,7 @@ mod tests {
     fn nonlinear_utility_rejected() {
         // rows * rows has no register family pairing.
         let src = CMS.replace("optimize rows * cols;", "optimize rows * rows;");
-        let p = parse(&src).unwrap();
+        let p = std::sync::Arc::new(parse(&src).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 2);
@@ -899,7 +1357,7 @@ mod tests {
             "optimize rows * cols;",
             "optimize 0.4 * (rows * cols) + 0.6 * rows;",
         );
-        let p = parse(&src).unwrap();
+        let p = std::sync::Arc::new(parse(&src).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 2);
@@ -914,7 +1372,7 @@ mod tests {
     #[test]
     fn memory_constraint_binds() {
         // Tiny memory: 128 bits per stage -> 4 cells of 32b.
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), 2);

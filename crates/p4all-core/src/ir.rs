@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 
 use p4all_lang::ast::*;
-use p4all_lang::errors::LangError;
+use p4all_lang::diag::Diagnostic;
 use p4all_lang::span::Span;
 use p4all_pisa::PrimitiveOp;
 
@@ -97,6 +97,9 @@ pub struct ActionInstance {
     pub stmts: Vec<Stmt>,
     /// Set for table-apply instances.
     pub table: Option<String>,
+    /// Source span of the originating call/statement — survives into ILP
+    /// row provenance and infeasibility explanations.
+    pub span: Span,
     /// Scalar slots both read and written — the commutativity witness used
     /// for exclusion edges (the paper's `min` accumulator pattern).
     pub accumulators: Vec<Slot>,
@@ -125,9 +128,9 @@ impl Unrolled {
 /// Unroll the entry control of `info.program`, bounding each elastic loop
 /// `for (i < v)` by `bounds[v]` iterations.
 pub fn instantiate(
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     bounds: &BTreeMap<String, usize>,
-) -> Result<Unrolled, LangError> {
+) -> Result<Unrolled, Diagnostic> {
     let mut ctx = Instantiator {
         info,
         bounds,
@@ -143,8 +146,8 @@ pub fn instantiate(
     Ok(ctx.out)
 }
 
-struct Instantiator<'a, 'p> {
-    info: &'a ProgramInfo<'p>,
+struct Instantiator<'a> {
+    info: &'a ProgramInfo,
     bounds: &'a BTreeMap<String, usize>,
     out: Unrolled,
     env: BTreeMap<String, usize>,
@@ -153,22 +156,22 @@ struct Instantiator<'a, 'p> {
     inline_counter: usize,
 }
 
-impl<'a, 'p> Instantiator<'a, 'p> {
-    fn block(&mut self, stmts: &[Stmt], ctx_name: &str) -> Result<(), LangError> {
+impl<'a> Instantiator<'a> {
+    fn block(&mut self, stmts: &[Stmt], ctx_name: &str) -> Result<(), Diagnostic> {
         for s in stmts {
             self.stmt(s, ctx_name)?;
         }
         Ok(())
     }
 
-    fn stmt(&mut self, s: &Stmt, ctx_name: &str) -> Result<(), LangError> {
+    fn stmt(&mut self, s: &Stmt, ctx_name: &str) -> Result<(), Diagnostic> {
         match s {
             Stmt::For { var, bound, body, span } => {
                 let (n, tagged) = match bound {
                     Size::Const(c) => (*c as usize, None),
                     Size::Symbolic(v) => {
                         let Some(&n) = self.bounds.get(v) else {
-                            return Err(LangError::new(
+                            return Err(Diagnostic::error_at(
                                 format!("no unroll bound provided for symbolic `{v}`"),
                                 *span,
                             ));
@@ -206,7 +209,7 @@ impl<'a, 'p> Instantiator<'a, 'p> {
                     .info
                     .program
                     .action(name)
-                    .ok_or_else(|| LangError::new(format!("undeclared action `{name}`"), *span))?
+                    .ok_or_else(|| Diagnostic::error_at(format!("undeclared action `{name}`"), *span))?
                     .clone();
                 let mut env = BTreeMap::new();
                 match (&action.index_param, index) {
@@ -215,13 +218,13 @@ impl<'a, 'p> Instantiator<'a, 'p> {
                         env.insert(param.clone(), v);
                     }
                     (Some(_), None) => {
-                        return Err(LangError::new(
+                        return Err(Diagnostic::error_at(
                             format!("indexed action `{name}` called without `[i]`"),
                             *span,
                         ))
                     }
                     (None, Some(_)) => {
-                        return Err(LangError::new(
+                        return Err(Diagnostic::error_at(
                             format!("action `{name}` takes no index"),
                             *span,
                         ))
@@ -232,7 +235,7 @@ impl<'a, 'p> Instantiator<'a, 'p> {
                     Some(i) => format!("{name}[{i}]"),
                     None => name.clone(),
                 };
-                let stmts: Result<Vec<Stmt>, LangError> =
+                let stmts: Result<Vec<Stmt>, Diagnostic> =
                     action.body.iter().map(|st| subst_stmt(st, &env)).collect();
                 self.emit(label, name.clone(), stmts?, None, *span)
             }
@@ -250,7 +253,7 @@ impl<'a, 'p> Instantiator<'a, 'p> {
                     .info
                     .program
                     .control(name)
-                    .ok_or_else(|| LangError::new(format!("undeclared control `{name}`"), *span))?
+                    .ok_or_else(|| Diagnostic::error_at(format!("undeclared control `{name}`"), *span))?
                     .clone();
                 self.block(&ctl.body, &ctl.name)
             }
@@ -265,7 +268,7 @@ impl<'a, 'p> Instantiator<'a, 'p> {
         stmts: Vec<Stmt>,
         table: Option<String>,
         span: Span,
-    ) -> Result<(), LangError> {
+    ) -> Result<(), Diagnostic> {
         let mut reads: Vec<Slot> = Vec::new();
         let mut writes: Vec<Slot> = Vec::new();
         let mut reg_accesses: Vec<(String, usize, RegKind)> = Vec::new();
@@ -288,7 +291,7 @@ impl<'a, 'p> Instantiator<'a, 'p> {
                 .info
                 .program
                 .table(tname)
-                .ok_or_else(|| LangError::new(format!("undeclared table `{tname}`"), span))?;
+                .ok_or_else(|| Diagnostic::error_at(format!("undeclared table `{tname}`"), span))?;
             ops.push(PrimitiveOp::TableMatch);
             for k in &tbl.keys {
                 expr_reads(k, &mut reads, &mut reg_accesses, span)?;
@@ -322,7 +325,7 @@ impl<'a, 'p> Instantiator<'a, 'p> {
                     };
                 }
                 Some(m) => {
-                    return Err(LangError::new(
+                    return Err(Diagnostic::error_at(
                         format!(
                             "action instance `{label}` accesses two register instances \
                              ({}[{}] and {reg}[{inst}]); stateful actions are atomic on one",
@@ -363,6 +366,7 @@ impl<'a, 'p> Instantiator<'a, 'p> {
             guard,
             stmts,
             table,
+            span,
             accumulators,
         });
         Ok(())
@@ -375,13 +379,13 @@ fn dedup(v: &mut Vec<Slot>) {
 }
 
 /// Evaluate an action-call index expression to a constant.
-fn eval_index(e: &Expr, env: &BTreeMap<String, usize>, span: Span) -> Result<usize, LangError> {
+fn eval_index(e: &Expr, env: &BTreeMap<String, usize>, span: Span) -> Result<usize, Diagnostic> {
     match e {
         Expr::Int(v) => Ok(*v as usize),
         Expr::IndexVar(name) => env.get(name).copied().ok_or_else(|| {
-            LangError::new(format!("index variable `{name}` not in scope"), span)
+            Diagnostic::error_at(format!("index variable `{name}` not in scope"), span)
         }),
-        _ => Err(LangError::new(
+        _ => Err(Diagnostic::error_at(
             "action index must be a loop variable or constant".to_string(),
             span,
         )),
@@ -389,7 +393,7 @@ fn eval_index(e: &Expr, env: &BTreeMap<String, usize>, span: Span) -> Result<usi
 }
 
 /// Substitute loop variables with constants in an expression.
-pub fn subst_expr(e: &Expr, env: &BTreeMap<String, usize>) -> Result<Expr, LangError> {
+pub fn subst_expr(e: &Expr, env: &BTreeMap<String, usize>) -> Result<Expr, Diagnostic> {
     Ok(match e {
         Expr::IndexVar(name) => match env.get(name) {
             Some(&v) => Expr::Int(v as u64),
@@ -423,7 +427,7 @@ pub fn subst_expr(e: &Expr, env: &BTreeMap<String, usize>) -> Result<Expr, LangE
 }
 
 /// Substitute loop variables in a statement.
-pub fn subst_stmt(s: &Stmt, env: &BTreeMap<String, usize>) -> Result<Stmt, LangError> {
+pub fn subst_stmt(s: &Stmt, env: &BTreeMap<String, usize>) -> Result<Stmt, Diagnostic> {
     Ok(match s {
         Stmt::Assign { lhs, rhs, span } => Stmt::Assign {
             lhs: subst_lvalue(lhs, env)?,
@@ -443,7 +447,7 @@ pub fn subst_stmt(s: &Stmt, env: &BTreeMap<String, usize>) -> Result<Stmt, LangE
             span: *span,
         },
         Stmt::For { span, .. } => {
-            return Err(LangError::new(
+            return Err(Diagnostic::error_at(
                 "loops are not allowed inside action bodies".to_string(),
                 *span,
             ))
@@ -452,7 +456,7 @@ pub fn subst_stmt(s: &Stmt, env: &BTreeMap<String, usize>) -> Result<Stmt, LangE
     })
 }
 
-fn subst_lvalue(l: &LValue, env: &BTreeMap<String, usize>) -> Result<LValue, LangError> {
+fn subst_lvalue(l: &LValue, env: &BTreeMap<String, usize>) -> Result<LValue, Diagnostic> {
     Ok(match l {
         LValue::Meta { field, index } => LValue::Meta {
             field: field.clone(),
@@ -479,7 +483,7 @@ fn expr_reads(
     reads: &mut Vec<Slot>,
     regs: &mut Vec<(String, usize, RegKind)>,
     span: Span,
-) -> Result<(), LangError> {
+) -> Result<(), Diagnostic> {
     match e {
         Expr::Meta { field, index } => {
             match index.as_deref() {
@@ -510,11 +514,11 @@ fn expr_reads(
     }
 }
 
-fn reg_instance_index(instance: Option<&Expr>, span: Span) -> Result<usize, LangError> {
+fn reg_instance_index(instance: Option<&Expr>, span: Span) -> Result<usize, Diagnostic> {
     match instance {
         None => Ok(0),
         Some(Expr::Int(v)) => Ok(*v as usize),
-        Some(_) => Err(LangError::new(
+        Some(_) => Err(Diagnostic::error_at(
             "register instance index must resolve to a constant (use the loop variable)"
                 .to_string(),
             span,
@@ -530,7 +534,7 @@ fn stmt_effects(
     regs: &mut Vec<(String, usize, RegKind)>,
     ops: &mut Vec<PrimitiveOp>,
     span: Span,
-) -> Result<(), LangError> {
+) -> Result<(), Diagnostic> {
     match s {
         Stmt::Assign { lhs, rhs, .. } => {
             expr_reads(rhs, reads, regs, span)?;
@@ -595,12 +599,12 @@ fn stmt_effects(
             }
             Ok(())
         }
-        Stmt::For { span: fspan, .. } => Err(LangError::new(
+        Stmt::For { span: fspan, .. } => Err(Diagnostic::error_at(
             "loops are not allowed inside action bodies".to_string(),
             *fspan,
         )),
         Stmt::CallAction { span, .. } | Stmt::ApplyTable { span, .. }
-        | Stmt::ApplyControl { span, .. } => Err(LangError::new(
+        | Stmt::ApplyControl { span, .. } => Err(Diagnostic::error_at(
             "nested calls/applies are not allowed inside action bodies".to_string(),
             *span,
         )),
@@ -638,7 +642,7 @@ mod tests {
     "#;
 
     fn unroll_cms(rows: usize) -> Unrolled {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("rows".to_string(), rows);
@@ -736,7 +740,7 @@ mod tests {
                 }
             }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let u = instantiate(&info, &BTreeMap::new()).unwrap();
         assert_eq!(u.instances.len(), 2);
@@ -759,7 +763,7 @@ mod tests {
             }
             control Main() { apply { cache.apply(); } }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let u = instantiate(&info, &BTreeMap::new()).unwrap();
         assert_eq!(u.instances.len(), 1);
@@ -777,7 +781,7 @@ mod tests {
             action put()[int i] { meta.slot[i] = 7; }
             control Main() { apply { for (i < 3) { put()[i]; } } }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let u = instantiate(&info, &BTreeMap::new()).unwrap();
         assert_eq!(u.instances.len(), 3);
@@ -787,7 +791,7 @@ mod tests {
 
     #[test]
     fn missing_bound_is_an_error() {
-        let p = parse(CMS).unwrap();
+        let p = std::sync::Arc::new(parse(CMS).unwrap());
         let info = elaborate(&p).unwrap();
         let e = instantiate(&info, &BTreeMap::new()).unwrap_err();
         assert!(e.message.contains("no unroll bound"), "{e}");
@@ -812,7 +816,7 @@ mod tests {
                 }
             }
         "#;
-        let p = parse(src).unwrap();
+        let p = std::sync::Arc::new(parse(src).unwrap());
         let info = elaborate(&p).unwrap();
         let mut bounds = BTreeMap::new();
         bounds.insert("outer".to_string(), 2);

@@ -48,13 +48,18 @@ pub mod bounds;
 pub mod codegen;
 pub mod depgraph;
 pub mod elaborate;
+pub mod explain;
 pub mod greedy;
 pub mod ilpgen;
 pub mod ir;
+pub mod passes;
 pub mod pipeline;
 pub mod solution;
 
 pub use codegen::{loc, print_p4, ConcreteAction, ConcreteProgram, ConcreteRegister};
+pub use explain::{explain_infeasible, ExplainedRow, Infeasibility};
+pub use ilpgen::{DerivedBound, ResourceKind, RowProvenance};
+pub use passes::{CompileCtx, CompileTrace, PassRecord};
 pub use pipeline::{
     evaluate_utility, Compilation, CompileError, CompileOptions, Compiler, SolveStats, Timings,
 };

@@ -106,7 +106,7 @@ impl Layout {
 /// Read a layout out of a solved encoding.
 pub fn extract(
     enc: &Encoding,
-    info: &ProgramInfo<'_>,
+    info: &ProgramInfo,
     sol: &Solution,
     target: &TargetSpec,
 ) -> Layout {

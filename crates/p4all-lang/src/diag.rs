@@ -1,0 +1,324 @@
+//! Unified, span-carrying diagnostics.
+//!
+//! Every compiler pass reports failures as a [`Diagnostic`]: a severity, a
+//! primary message, an optional source [`Span`], and any number of
+//! [`Note`]s (each optionally spanned). The type replaces the older
+//! `LangError`-or-`String` split so that source anchors survive from the
+//! lexer all the way to ILP infeasibility explanations.
+//!
+//! Two renderers are provided:
+//!
+//! - [`Diagnostic::render`] — rustc-style text: the offending source line,
+//!   a caret underline, and indented notes;
+//! - [`Diagnostic::to_json`] — a stable machine-readable schema for
+//!   `p4allc --json-diagnostics` (fields: `severity`, `message`, `span`,
+//!   `notes`; spans are `{start, end, line, col}` or `null`).
+
+use std::fmt;
+
+use crate::errors::LangError;
+use crate::span::Span;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational follow-up (only meaningful attached to an error).
+    Note,
+    /// Suspicious but compilable.
+    Warning,
+    /// The program cannot be compiled.
+    Error,
+    /// A compiler invariant was violated — always a bug in the compiler,
+    /// never in the user's program.
+    Internal,
+}
+
+impl Severity {
+    /// Keyword used by both renderers (`error:`, `"severity": "error"`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+            Severity::Internal => "internal error",
+        }
+    }
+}
+
+/// A secondary message attached to a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Note {
+    pub message: String,
+    pub span: Option<Span>,
+}
+
+/// A structured compiler message, optionally anchored to source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub message: String,
+    pub span: Option<Span>,
+    pub notes: Vec<Note>,
+}
+
+impl Diagnostic {
+    /// A user-facing error without a span (prefer [`Diagnostic::error_at`]).
+    pub fn error(message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A user-facing error anchored at `span`.
+    pub fn error_at(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span: Some(span),
+            notes: Vec::new(),
+        }
+    }
+
+    /// An internal-compiler-error diagnostic: reports a violated invariant
+    /// with an apology instead of a panic, so malformed input can never
+    /// crash the process.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Internal,
+            message: message.into(),
+            span: None,
+            notes: vec![Note {
+                message: "this is a bug in the P4All compiler, not in your program; \
+                          please report it"
+                    .to_string(),
+                span: None,
+            }],
+        }
+    }
+
+    /// Attach (or replace) the primary span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Append an unspanned note.
+    pub fn with_note(mut self, message: impl Into<String>) -> Self {
+        self.notes.push(Note { message: message.into(), span: None });
+        self
+    }
+
+    /// Append a spanned note.
+    pub fn with_note_at(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push(Note { message: message.into(), span: Some(span) });
+        self
+    }
+
+    /// True for `Error` and `Internal` severities.
+    pub fn is_error(&self) -> bool {
+        matches!(self.severity, Severity::Error | Severity::Internal)
+    }
+
+    /// Render rustc-style against the source text:
+    ///
+    /// ```text
+    /// error: symbolic `n` used both as a count and as a size
+    ///   --> fw.p4all:4:1
+    ///    |
+    ///  4 | register<bit<32>>[n] r;
+    ///    | ^^^^^^^^
+    ///    = note: split it into two symbolic values
+    /// ```
+    ///
+    /// `filename` appears in the `-->` anchor line; pass `"<input>"` when
+    /// no path is known. Notes with spans get their own snippet.
+    pub fn render(&self, src: &str, filename: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}: {}\n", self.severity.keyword(), self.message));
+        if let Some(span) = self.span {
+            render_snippet(&mut out, src, filename, span);
+        }
+        for note in &self.notes {
+            match note.span {
+                Some(span) => {
+                    out.push_str(&format!("note: {}\n", note.message));
+                    render_snippet(&mut out, src, filename, span);
+                }
+                None => out.push_str(&format!("  = note: {}\n", note.message)),
+            }
+        }
+        out
+    }
+
+    /// One-line summary (no snippet) — used when the source is unavailable.
+    pub fn summary(&self) -> String {
+        match self.span {
+            Some(s) => format!("{}: {} at {}", self.severity.keyword(), self.message, s),
+            None => format!("{}: {}", self.severity.keyword(), self.message),
+        }
+    }
+
+    /// Stable machine-readable form (one JSON object, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"severity\":{}", json_str(self.severity.keyword())));
+        out.push_str(&format!(",\"message\":{}", json_str(&self.message)));
+        out.push_str(",\"span\":");
+        out.push_str(&json_span(self.span));
+        out.push_str(",\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"message\":{},\"span\":{}}}",
+                json_str(&n.message),
+                json_span(n.span)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+impl From<LangError> for Diagnostic {
+    fn from(e: LangError) -> Self {
+        Diagnostic::error_at(e.message, e.span)
+    }
+}
+
+/// Render one `--> file:line:col` anchor plus the underlined source line.
+fn render_snippet(out: &mut String, src: &str, filename: &str, span: Span) {
+    let line_no = span.line.max(1);
+    let line_idx = (line_no - 1) as usize;
+    let line = src.lines().nth(line_idx).unwrap_or("");
+    let col = span.col.saturating_sub(1) as usize;
+    let col = col.min(line.len());
+    let width = span
+        .end
+        .saturating_sub(span.start)
+        .max(1)
+        .min(line.len().saturating_sub(col).max(1));
+    let gutter = format!("{line_no}").len().max(2);
+    out.push_str(&format!(
+        "{:>gutter$} {filename}:{}:{}\n",
+        "-->",
+        line_no,
+        span.col.max(1),
+        gutter = gutter + 1
+    ));
+    out.push_str(&format!("{:>gutter$} |\n", "", gutter = gutter));
+    out.push_str(&format!("{line_no:>gutter$} | {line}\n", gutter = gutter));
+    out.push_str(&format!(
+        "{:>gutter$} | {}{}\n",
+        "",
+        " ".repeat(col),
+        "^".repeat(width),
+        gutter = gutter
+    ));
+}
+
+/// JSON-escape a string (control chars, quotes, backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_span(span: Option<Span>) -> String {
+    match span {
+        Some(s) => format!(
+            "{{\"start\":{},\"end\":{},\"line\":{},\"col\":{}}}",
+            s.start, s.end, s.line, s.col
+        ),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_anchor_caret_and_notes() {
+        let src = "symbolic int rows;\nassume rows <> 4;\n";
+        let d = Diagnostic::error_at("unexpected token", Span::new(31, 33, 2, 13))
+            .with_note("expected a comparison operator");
+        let r = d.render(src, "bad.p4all");
+        assert!(r.contains("error: unexpected token"), "{r}");
+        assert!(r.contains("bad.p4all:2:13"), "{r}");
+        assert!(r.contains("assume rows <> 4;"), "{r}");
+        assert!(r.contains("^^"), "{r}");
+        assert!(r.contains("= note: expected a comparison operator"), "{r}");
+    }
+
+    #[test]
+    fn internal_diagnostic_carries_bug_note() {
+        let d = Diagnostic::internal("placement matrix lost a group");
+        assert_eq!(d.severity, Severity::Internal);
+        assert!(d.render("", "<input>").contains("bug in the P4All compiler"));
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let d = Diagnostic::error_at("bad \"thing\"", Span::new(0, 3, 1, 1))
+            .with_note("try\nharder");
+        let j = d.to_json();
+        assert_eq!(
+            j,
+            "{\"severity\":\"error\",\"message\":\"bad \\\"thing\\\"\",\
+             \"span\":{\"start\":0,\"end\":3,\"line\":1,\"col\":1},\
+             \"notes\":[{\"message\":\"try\\nharder\",\"span\":null}]}"
+        );
+    }
+
+    #[test]
+    fn lang_error_converts() {
+        let e = LangError::new("boom", Span::new(0, 1, 4, 2));
+        let d: Diagnostic = e.into();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.unwrap().line, 4);
+        assert_eq!(format!("{d}"), "error: boom at 4:2");
+    }
+
+    #[test]
+    fn spanned_note_renders_its_own_snippet() {
+        let src = "line one\nline two\n";
+        let d = Diagnostic::error_at("primary", Span::new(0, 4, 1, 1))
+            .with_note_at("secondary", Span::new(9, 13, 2, 1));
+        let r = d.render(src, "f");
+        assert!(r.contains("note: secondary"), "{r}");
+        assert!(r.matches("| line").count() >= 2, "{r}");
+    }
+
+    #[test]
+    fn render_handles_out_of_range_spans() {
+        // Span pointing past EOF must not panic.
+        let d = Diagnostic::error_at("eof", Span::new(100, 120, 99, 50));
+        let r = d.render("short\n", "f");
+        assert!(r.contains("error: eof"));
+    }
+}

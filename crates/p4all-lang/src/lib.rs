@@ -26,6 +26,7 @@
 //! ```
 
 pub mod ast;
+pub mod diag;
 pub mod errors;
 pub mod lexer;
 pub mod parser;
@@ -37,6 +38,7 @@ pub use ast::{
     ActionDecl, Assume, BinOp, ControlDecl, Expr, HeaderDecl, LValue, MetaField, Program,
     RegisterDecl, Size, Stmt, SymbolicDecl, TableDecl, UnOp,
 };
+pub use diag::{Diagnostic, Note, Severity};
 pub use errors::LangError;
 pub use parser::parse;
 pub use printer::{print_expr, print_program};

@@ -1,25 +1,25 @@
 //! The bytecode backend: a flat, slot-resolved register machine.
 //!
-//! [`lower`] takes the slot-indexed action trees the reference
+//! `lower` takes the slot-indexed action trees the reference
 //! interpreter walks ([`crate::interp`]) and flattens them into one
 //! contiguous instruction stream. The instruction set is built around
-//! inline operands ([`Opnd`]): an instruction input is a temp, a static
+//! inline operands (`Opnd`): an instruction input is a temp, a static
 //! PHV slot, or an immediate, so constants and plain field reads cost
 //! zero dispatches. On top of that, the lowerer fuses the patterns the
 //! interpreter pays for dearly:
 //!
 //! - guards and `if` conditions become fused compare-and-branch
-//!   ([`Instr::JF`]/[`Instr::JT`]) instead of a materialized boolean plus
+//!   (`Instr::JF`/`Instr::JT`) instead of a materialized boolean plus
 //!   a separate test, and *pure* `&&`/`||` chains lower structurally into
 //!   branch sequences (skipping a pure operand is unobservable — it
 //!   cannot fault and has no effects — so the interpreter's
 //!   both-operands-evaluated semantics are preserved);
 //! - the ubiquitous single-input `hash(x, range)`-to-slot statement
-//!   becomes one [`Instr::Hash1Mask`]/[`Instr::Hash1Mod`] with the salt
+//!   becomes one `Instr::Hash1Mask`/`Instr::Hash1Mod` with the salt
 //!   pre-mixed at lower time;
 //! - the sketch idiom `reg[c] = reg[c] + v` becomes one undo-logged
-//!   [`Instr::RegAdd`];
-//! - a table apply is a single [`Instr::Apply`] whose key operands are
+//!   `Instr::RegAdd`;
+//! - a table apply is a single `Instr::Apply` whose key operands are
 //!   read inline; installed entries resolve action names and action-data
 //!   field names to dense indices *at install time*.
 //!

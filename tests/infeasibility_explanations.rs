@@ -1,0 +1,85 @@
+//! Integration: when NetCache does not fit on an undersized target, the
+//! compiler must not just say `Infeasible` — it must name the elastic
+//! structures in conflict, the exhausted PISA resource kinds, and anchor
+//! the explanation at source spans (ISSUE acceptance criterion).
+
+use p4all_core::{CompileError, Compiler, ResourceKind};
+use p4all_elastic::apps::netcache::{self, NetCacheOptions};
+use p4all_pisa::presets;
+
+/// NetCache with the §6.2 key-value-store reservation on a target whose
+/// SRAM cannot possibly hold it: the `assume kv_items >= ...` collides
+/// with the memory rows of Figure 10.
+#[test]
+fn undersized_netcache_explains_the_conflict() {
+    // Reserve far more key-value items than the target's SRAM can hold.
+    let opts =
+        NetCacheOptions { min_kv_items: Some(1 << 20), ..NetCacheOptions::default() };
+    let src = netcache::source(&opts);
+
+    // paper_eval with only 16 Kb of SRAM: the 2^20-item store needs
+    // 128 Mb, so no assignment of the elastic parameters fits.
+    let target = presets::paper_eval(1 << 14);
+
+    let x = match Compiler::new(target).compile(&src) {
+        Ok(_) => panic!("a 128 Mb reservation cannot fit in 16 Kb of SRAM"),
+        Err(CompileError::Infeasible(x)) => x,
+        Err(other) => panic!("expected Infeasible, got {other:?}"),
+    };
+
+    // Names the conflicting elastic structures...
+    assert!(
+        !x.symbolics.is_empty(),
+        "explanation must name at least one symbolic value, got none"
+    );
+    assert!(
+        x.symbolics.iter().any(|s| s.starts_with("kv")),
+        "the key-value store's symbolics must be implicated, got {:?}",
+        x.symbolics
+    );
+
+    // ...the exhausted physical resource kinds...
+    assert!(
+        x.resources.iter().any(|r| r.is_physical()),
+        "explanation must implicate a physical PISA resource, got {:?}",
+        x.resources
+    );
+    assert!(
+        x.resources.contains(&ResourceKind::Memory),
+        "a memory conflict must implicate M, got {:?}",
+        x.resources
+    );
+
+    // ...and anchors at least one source span.
+    let spanned = x.diagnostic.span.is_some()
+        || x.diagnostic.notes.iter().any(|n| n.span.is_some());
+    assert!(spanned, "explanation must carry at least one source span");
+
+    // The rendered text is self-contained: target name, resource
+    // description, and the conflict core size all appear.
+    let rendered = x.diagnostic.render(&src, "<netcache>");
+    assert!(rendered.contains("does not fit"), "got: {rendered}");
+    assert!(rendered.contains("(M)"), "memory letter missing: {rendered}");
+    assert!(rendered.contains("conflict core:"), "got: {rendered}");
+}
+
+/// The deletion filter stays within its probe budget even for the full
+/// NetCache model, and reports whether the core is irreducible.
+#[test]
+fn explanation_is_bounded() {
+    let opts =
+        NetCacheOptions { min_kv_items: Some(1 << 20), ..NetCacheOptions::default() };
+    let src = netcache::source(&opts);
+    let x = match Compiler::new(presets::paper_eval(1 << 14)).compile(&src) {
+        Ok(_) => panic!("undersized target"),
+        Err(CompileError::Infeasible(x)) => x,
+        Err(other) => panic!("expected Infeasible, got {other:?}"),
+    };
+    assert!(
+        x.probes <= p4all_ilp::IisOptions::default().max_probes,
+        "probe budget exceeded: {} probes",
+        x.probes
+    );
+    // The core is a strict subset of the model: shrinking happened.
+    assert!(!x.rows.is_empty());
+}

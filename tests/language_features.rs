@@ -158,9 +158,9 @@ fn zero_lower_bound_symbolic_can_vanish() {
 fn error_messages_carry_source_locations() {
     let src = "symbolic int rows;\nassume rows >= oops;";
     match Compiler::new(presets::paper_example()).compile(src) {
-        Err(CompileError::Lang(e)) => {
-            assert_eq!(e.span.line, 2);
-            assert!(e.render(src).contains("assume rows >= oops;"));
+        Err(CompileError::Source(e)) => {
+            assert_eq!(e.span.expect("source errors carry spans").line, 2);
+            assert!(e.render(src, "<test>").contains("assume rows >= oops;"));
         }
         other => panic!("expected a spanned language error, got {other:?}", other = other.err().map(|e| e.to_string())),
     }

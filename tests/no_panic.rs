@@ -1,0 +1,106 @@
+//! Property: no source text — however malformed — panics the compiler.
+//! Every failure must surface as a [`p4all_core::CompileError`], i.e. a
+//! diagnostic, not an unwind (ISSUE acceptance criterion).
+//!
+//! The corpus is the ui diagnostic suite plus a known-good elastic
+//! program; each case mutates one corpus entry by truncation, byte
+//! substitution, or splicing a fragment of another entry.
+
+use std::time::Duration;
+
+use p4all_core::{CompileCtx, CompileOptions};
+use p4all_pisa::presets;
+use proptest::prelude::*;
+
+/// The ui diagnostic corpus, plus one well-formed elastic source so
+/// mutations also explore the "almost valid" neighborhood.
+const CORPUS: &[&str] = &[
+    include_str!("../crates/cli/tests/ui/lex_error.p4all"),
+    include_str!("../crates/cli/tests/ui/parse_error.p4all"),
+    include_str!("../crates/cli/tests/ui/unknown_symbolic.p4all"),
+    include_str!("../crates/cli/tests/ui/unroll_cap_exceeded.p4all"),
+    include_str!("../crates/cli/tests/ui/infeasible_target.p4all"),
+    r#"
+        symbolic int rows;
+        assume rows >= 1 && rows <= 3;
+        optimize rows;
+        header pkt { bit<32> key; }
+        struct metadata { bit<32>[rows] idx; }
+        register<bit<32>>[32][rows] sketch;
+        action bump()[int i] {
+            meta.idx[i] = hash(hdr.key, 32);
+            sketch[i][meta.idx[i]] = sketch[i][meta.idx[i]] + 1;
+        }
+        control Main() { apply { for (i < rows) { bump()[i]; } } }
+    "#,
+];
+
+/// Compile with a small target and a tightly bounded solver so even
+/// pathological mutants finish fast; the property is "returns", not
+/// "returns quickly optimal".
+fn compile_bounded(src: &str) {
+    let mut options = CompileOptions { max_unroll: 8, ..CompileOptions::default() };
+    options.solver.node_limit = 2_000;
+    options.solver.time_limit = Some(Duration::from_secs(5));
+    options.iis.max_probes = 16;
+    let mut ctx = CompileCtx::new(options);
+    // Ok and every Err variant are both fine; only a panic fails the test.
+    let _ = ctx.compile(src, &presets::paper_example());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncated_sources_never_panic(
+        pick in 0usize..6,
+        cut in 0usize..1_000,
+    ) {
+        let base = CORPUS[pick];
+        let cut = cut.min(base.len());
+        // Snap to a char boundary so the mutant stays valid UTF-8.
+        let mut cut = cut;
+        while !base.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        compile_bounded(&base[..cut]);
+    }
+
+    #[test]
+    fn byte_substituted_sources_never_panic(
+        pick in 0usize..6,
+        pos in 0usize..1_000,
+        byte in proptest::prelude::any::<u8>(),
+    ) {
+        let base = CORPUS[pick];
+        if base.is_empty() {
+            return Ok(());
+        }
+        let mut bytes = base.as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        // Lossy round-trip keeps the mutant valid UTF-8.
+        let mutant = String::from_utf8_lossy(&bytes).into_owned();
+        compile_bounded(&mutant);
+    }
+
+    #[test]
+    fn spliced_sources_never_panic(
+        a in 0usize..6,
+        b in 0usize..6,
+        cut_a in 0usize..1_000,
+        cut_b in 0usize..1_000,
+    ) {
+        let (sa, sb) = (CORPUS[a], CORPUS[b]);
+        let mut ca = cut_a.min(sa.len());
+        while !sa.is_char_boundary(ca) {
+            ca -= 1;
+        }
+        let mut cb = cut_b.min(sb.len());
+        while !sb.is_char_boundary(cb) {
+            cb -= 1;
+        }
+        let mutant = format!("{}{}", &sa[..ca], &sb[cb..]);
+        compile_bounded(&mutant);
+    }
+}

@@ -93,7 +93,7 @@ fn ilp_beats_every_pinned_configuration() {
                         pinned.layout.objective
                     );
                 }
-                Err(CompileError::Infeasible) => {} // pinned shape does not fit
+                Err(CompileError::Infeasible(_)) => {} // pinned shape does not fit
                 Err(e) => panic!("unexpected error at {rows}x{cols}: {e}"),
             }
         }

@@ -32,7 +32,7 @@ fn nested_loops_bound_conservatively() {
             }
         }
     "#;
-    let program = p4all_lang::parse(src).unwrap();
+    let program = std::sync::Arc::new(p4all_lang::parse(src).unwrap());
     let info = elaborate(&program).unwrap();
     let target = presets::paper_example(); // S = 3, (F+L)*S = 12
     let bounds = all_upper_bounds(&info, &target, DEFAULT_MAX_UNROLL).unwrap();
@@ -65,7 +65,7 @@ fn one_symbolic_bounding_two_loops_uses_both() {
         }
         control Main() { apply { fill.apply(); reduce.apply(); } }
     "#;
-    let program = p4all_lang::parse(src).unwrap();
+    let program = std::sync::Arc::new(p4all_lang::parse(src).unwrap());
     let info = elaborate(&program).unwrap();
     // Figure 9 geometry: put_i -> keep_i plus keep-keep exclusions; on S
     // stages the chain caps n at S - 1.

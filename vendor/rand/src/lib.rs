@@ -1,7 +1,7 @@
 //! Offline drop-in subset of the `rand` 0.8 API.
 //!
 //! The build container has no route to crates.io, so the workspace vendors
-//! the exact slice of `rand` it consumes: a seedable [`StdRng`]
+//! the exact slice of `rand` it consumes: a seedable [`rngs::StdRng`]
 //! (xoshiro256++ seeded via SplitMix64), the [`Rng`] extension trait with
 //! `gen` and `gen_range`, and [`SeedableRng::seed_from_u64`]. Statistical
 //! quality matches the upstream generator family (xoshiro256++ is the
