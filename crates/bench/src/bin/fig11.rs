@@ -63,8 +63,10 @@ fn main() {
                     ),
                     Err(_) => ("-".to_string(), threads),
                 };
+                let pivots = c.solve_stats.telemetry.total_pivots();
+                let warm_lps = c.solve_stats.telemetry.total_warm_solves();
                 rows.push(format!(
-                    "{name}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{par_solve_s}\t{par_threads}\t{}\t{}\t{:?}",
+                    "{name}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{par_solve_s}\t{par_threads}\t{}\t{}\t{pivots}\t{warm_lps}\t{:?}",
                     loc(&baseline_src),
                     loc(&elastic_src),
                     loc(&c.p4_text),
@@ -77,7 +79,7 @@ fn main() {
                 eprintln!(
                     "{name}: P4 {} LoC, P4All {} LoC, compile {:.3}s \
                      (solve {:.3}s @1t, {par_solve_s}s @{par_threads}t), ILP ({}, {}), \
-                     {} front pass(es) cached",
+                     {pivots} pivots ({warm_lps} warm LPs), {} front pass(es) cached",
                     loc(&baseline_src),
                     loc(&elastic_src),
                     c.timings.total.as_secs_f64(),
@@ -90,7 +92,7 @@ fn main() {
             }
             Err(e) => {
                 rows.push(format!(
-                    "{name}\t{}\t{}\t-\t-\t-\t-\t-\t-\t-\t{e}",
+                    "{name}\t{}\t{}\t-\t-\t-\t-\t-\t-\t-\t-\t-\t{e}",
                     loc(&baseline_src),
                     loc(&elastic_src)
                 ));
@@ -100,7 +102,7 @@ fn main() {
     }
     emit_tsv(
         "fig11_applications",
-        "app\tp4_loc\tp4all_loc\tgenerated_loc\tcompile_s\tsolve_1t_s\tsolve_nt_s\tnt_threads\tilp_vars\tilp_constraints\tstatus",
+        "app\tp4_loc\tp4all_loc\tgenerated_loc\tcompile_s\tsolve_1t_s\tsolve_nt_s\tnt_threads\tilp_vars\tilp_constraints\tlp_pivots\twarm_lps\tstatus",
         &rows,
     );
 }

@@ -7,7 +7,9 @@
 //! pipeline (parse → elaborate → bounds → unroll → depgraph) does not
 //! depend on the target's memory size, so only the first point pays for
 //! it — the rest re-run just ILP encode + solve (the per-pass split is
-//! printed for each point).
+//! printed for each point). The shared context also threads each point's
+//! incumbent into the next solve's warm start (the `warm_accepted`
+//! column records whether the seed survived re-validation).
 
 use p4all_bench::{bench_netcache_options, emit_tsv};
 use p4all_core::{CompileCtx, CompileOptions};
@@ -42,14 +44,17 @@ fn main() {
                     .filter(|x| x.reg == "kvs")
                     .map(|x| x.bits())
                     .sum();
+                let warm = c.solve_stats.telemetry.warm_start_accepted();
+                let pivots = c.solve_stats.telemetry.total_pivots();
                 rows.push(format!(
-                    "{mem}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{cms_bits}\t{kv_bits}",
+                    "{mem}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{cms_bits}\t{kv_bits}\t{}\t{pivots}",
                     r * w,
-                    s * k
+                    s * k,
+                    warm as u8
                 ));
                 eprintln!(
                     "M={mem}: cms {r}x{w} ({} counters, {cms_bits}b), kv {s}x{k} ({} items, {kv_bits}b) \
-                     [{} front pass(es) cached]",
+                     [warm_accepted={warm}, {pivots} pivots, {} front pass(es) cached]",
                     r * w,
                     s * k,
                     c.trace.cache_hits(),
@@ -57,14 +62,14 @@ fn main() {
                 eprintln!("{}", c.trace.render());
             }
             Err(e) => {
-                rows.push(format!("{mem}\t-\t-\t-\t-\t-\t-\t-\t- ({e})"));
+                rows.push(format!("{mem}\t-\t-\t-\t-\t-\t-\t-\t- ({e})\t-\t-"));
                 eprintln!("M={mem}: {e}");
             }
         }
     }
     emit_tsv(
         "fig12_elastic_stretch",
-        "mem_bits_per_stage\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\tcms_bits\tkv_bits",
+        "mem_bits_per_stage\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\tcms_bits\tkv_bits\twarm_accepted\tlp_pivots",
         &rows,
     );
 }

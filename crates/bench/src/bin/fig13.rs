@@ -48,8 +48,9 @@ fn main() {
                 let s = c.layout.symbol_values["kv_slices"];
                 let k = c.layout.symbol_values["kv_cols"];
                 let total = c.layout.total_memory_bits();
+                let pivots = c.solve_stats.telemetry.total_pivots();
                 rows.push(format!(
-                    "{label}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{total}\t{:.1}\t{:.3}\t{par_solve_s}",
+                    "{label}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{total}\t{:.1}\t{:.3}\t{par_solve_s}\t{pivots}",
                     r * w,
                     s * k,
                     c.layout.objective,
@@ -57,7 +58,7 @@ fn main() {
                 ));
                 eprintln!(
                     "{label}: cms {r}x{w} ({}), kv {s}x{k} ({}), total {total} bits, \
-                     utility {:.1}, solve {:.3}s @1t / {par_solve_s}s @Nt",
+                     utility {:.1}, solve {:.3}s @1t / {par_solve_s}s @Nt, {pivots} pivots",
                     r * w,
                     s * k,
                     c.layout.objective,
@@ -65,14 +66,14 @@ fn main() {
                 );
             }
             Err(e) => {
-                rows.push(format!("{label}\t-\t-\t-\t-\t-\t-\t-\t- ({e})\t-\t-"));
+                rows.push(format!("{label}\t-\t-\t-\t-\t-\t-\t-\t- ({e})\t-\t-\t-"));
                 eprintln!("{label}: {e}");
             }
         }
     }
     emit_tsv(
         "fig13_utility_functions",
-        "utility\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\ttotal_bits\tobjective\tsolve_1t_s\tsolve_nt_s",
+        "utility\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\ttotal_bits\tobjective\tsolve_1t_s\tsolve_nt_s\tlp_pivots",
         &rows,
     );
 }

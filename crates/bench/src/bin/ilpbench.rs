@@ -1,0 +1,276 @@
+//! ILP solver benchmark: warm-started dual simplex vs the all-cold
+//! historical search, single-threaded, on the four evaluation apps and
+//! the Figure-12 memory sweep. Writes `BENCH_ilp.json` with per-app
+//! cold/warm solve times, node counts, and pivot counts, plus the sweep's
+//! cross-solve warm-start acceptance.
+//!
+//! ```sh
+//! cargo run --release --bin ilpbench            # median-of-3, writes BENCH_ilp.json
+//! cargo run --release --bin ilpbench -- --smoke # 1 rep, compares against the
+//!                                               # committed BENCH_ilp.json (CI gate)
+//! ```
+//!
+//! In `--smoke` mode the harness runs the same workload once and **fails**
+//! (exit 1) when the total warm solve time regresses more than 20% against
+//! the committed baseline — the CI tripwire for accidental de-optimization
+//! of the warm path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use p4all_bench::bench_netcache_options;
+use p4all_core::{CompileCtx, CompileOptions, Compilation};
+use p4all_elastic::apps::{conquest, netcache, precision, sketchlearn};
+use p4all_pisa::{presets, TargetSpec};
+
+/// One measured solve: wall time plus the solver-work counters that
+/// explain it.
+#[derive(Clone, Copy, Default)]
+struct Sample {
+    solve_s: f64,
+    nodes: usize,
+    lp_solves: usize,
+    pivots: usize,
+    warm_lps: usize,
+    fallbacks: usize,
+    objective: f64,
+}
+
+impl Sample {
+    fn of(c: &Compilation) -> Sample {
+        Sample {
+            solve_s: c.timings.solve.as_secs_f64(),
+            nodes: c.solve_stats.nodes,
+            lp_solves: c.solve_stats.lp_solves,
+            pivots: c.solve_stats.telemetry.total_pivots(),
+            warm_lps: c.solve_stats.telemetry.total_warm_solves(),
+            fallbacks: c.solve_stats.telemetry.total_cold_fallbacks(),
+            objective: c.layout.objective,
+        }
+    }
+
+    fn add(&mut self, s: &Sample) {
+        self.solve_s += s.solve_s;
+        self.nodes += s.nodes;
+        self.lp_solves += s.lp_solves;
+        self.pivots += s.pivots;
+        self.warm_lps += s.warm_lps;
+        self.fallbacks += s.fallbacks;
+        self.objective += s.objective;
+    }
+}
+
+fn options(warm: bool) -> CompileOptions {
+    let mut o = CompileOptions::default().with_threads(1);
+    o.solver.warm_lp = warm;
+    o
+}
+
+/// Compile `src` on a fresh context and return the solve sample.
+fn solve_once(src: &str, target: &TargetSpec, warm: bool) -> Sample {
+    let mut ctx = CompileCtx::new(options(warm));
+    let c = ctx.compile(src, target).expect("bench app must compile");
+    Sample::of(&c)
+}
+
+/// One full pass over the Figure-12 memory sweep (8 points). Warm mode
+/// shares one context so each point's incumbent seeds the next solve;
+/// cold mode uses a fresh context per point (the historical behavior:
+/// greedy seed only, every LP solved from scratch).
+fn sweep_once(src: &str, warm: bool) -> (Sample, usize) {
+    let mut totals = Sample::default();
+    let mut warm_accepted = 0usize;
+    let mut shared = CompileCtx::new(options(true));
+    for shift in [13u32, 14, 15, 16, 17, 18, 19, 20] {
+        let target = presets::paper_eval(1u64 << shift);
+        let c = if warm {
+            shared.compile(src, &target)
+        } else {
+            CompileCtx::new(options(false)).compile(src, &target)
+        }
+        .expect("sweep point must compile");
+        if c.solve_stats.telemetry.warm_start_accepted() {
+            warm_accepted += 1;
+        }
+        totals.add(&Sample::of(&c));
+    }
+    (totals, warm_accepted)
+}
+
+/// Median by solve time (so one scheduler hiccup doesn't skew a row).
+fn median(mut v: Vec<(Sample, usize)>) -> (Sample, usize) {
+    v.sort_by(|a, b| a.0.solve_s.total_cmp(&b.0.solve_s));
+    let mid = v.len() / 2;
+    v.swap_remove(mid)
+}
+
+/// Extract `"key": <number>` from the hand-rolled baseline JSON.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { 3 };
+    let target = presets::paper_eval(1 << 16);
+    let t_all = Instant::now();
+
+    let netcache_src = netcache::source(&bench_netcache_options());
+    let apps: Vec<(&str, String)> = vec![
+        ("NetCache", netcache_src.clone()),
+        ("SketchLearn", sketchlearn::source(&Default::default())),
+        ("Precision", precision::source(&Default::default())),
+        ("ConQuest", conquest::source(&Default::default())),
+    ];
+    println!(
+        "ilpbench: 1-thread cold vs warm-started solves, {reps} rep(s){}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // Interleave cold/warm reps (like simbench) so a noisy window on a
+    // shared box hits both variants and the ratio stays honest.
+    let mut rows: Vec<(String, Sample, Sample)> = Vec::new();
+    for (name, src) in &apps {
+        let mut cold = Vec::new();
+        let mut warm = Vec::new();
+        solve_once(src, &target, false); // untimed warm-up (page cache, allocator)
+        for _ in 0..reps {
+            cold.push((solve_once(src, &target, false), 0));
+            warm.push((solve_once(src, &target, true), 0));
+        }
+        let (c, _) = median(cold);
+        let (w, _) = median(warm);
+        assert!(
+            (c.objective - w.objective).abs() < 1e-6,
+            "{name}: warm objective {} != cold {}",
+            w.objective,
+            c.objective
+        );
+        println!(
+            "  {name:<12} cold {:>8.3}s ({} nodes, {} pivots)   warm {:>8.3}s ({} nodes, {} pivots, {} warm LPs, {} fallbacks)  {:.2}x",
+            c.solve_s, c.nodes, c.pivots, w.solve_s, w.nodes, w.pivots, w.warm_lps, w.fallbacks,
+            c.solve_s / w.solve_s.max(1e-9)
+        );
+        rows.push((name.to_string(), c, w));
+    }
+
+    let mut sweep_cold = Vec::new();
+    let mut sweep_warm = Vec::new();
+    for _ in 0..reps {
+        sweep_cold.push(sweep_once(&netcache_src, false));
+        sweep_warm.push(sweep_once(&netcache_src, true));
+    }
+    let (sc, _) = median(sweep_cold);
+    let (sw, sw_accepted) = median(sweep_warm);
+    println!(
+        "  {:<12} cold {:>8.3}s ({} nodes, {} pivots)   warm {:>8.3}s ({} nodes, {} pivots, {}/8 points warm-accepted)  {:.2}x",
+        "fig12-sweep",
+        sc.solve_s,
+        sc.nodes,
+        sc.pivots,
+        sw.solve_s,
+        sw.nodes,
+        sw.pivots,
+        sw_accepted,
+        sc.solve_s / sw.solve_s.max(1e-9)
+    );
+
+    // The acceptance metric: geometric-mean speedup over NetCache and the
+    // sweep (the two workloads the warm path is built for), plus the
+    // all-rows geomean for context.
+    let speedup = |c: &Sample, w: &Sample| c.solve_s / w.solve_s.max(1e-9);
+    let nc = &rows[0];
+    let geo_accept = (speedup(&nc.1, &nc.2) * speedup(&sc, &sw)).sqrt();
+    let mut log_sum = speedup(&sc, &sw).ln();
+    for (_, c, w) in &rows {
+        log_sum += speedup(c, w).ln();
+    }
+    let geo_all = (log_sum / (rows.len() + 1) as f64).exp();
+    println!(
+        "  geomean speedup: {geo_accept:.2}x (NetCache + sweep), {geo_all:.2}x (all rows)"
+    );
+
+    let total_warm_s: f64 = rows.iter().map(|(_, _, w)| w.solve_s).sum::<f64>() + sw.solve_s;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"threads\": 1,");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"apps\": [\n");
+    for (i, (name, c, w)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"app\": \"{name}\", \"cold_solve_s\": {:.4}, \"warm_solve_s\": {:.4}, \
+             \"speedup\": {:.2}, \"cold_nodes\": {}, \"warm_nodes\": {}, \
+             \"cold_lp_solves\": {}, \"warm_lp_solves\": {}, \
+             \"cold_pivots\": {}, \"warm_pivots\": {}, \
+             \"warm_path_lps\": {}, \"cold_fallbacks\": {}}}",
+            c.solve_s,
+            w.solve_s,
+            speedup(c, w),
+            c.nodes,
+            w.nodes,
+            c.lp_solves,
+            w.lp_solves,
+            c.pivots,
+            w.pivots,
+            w.warm_lps,
+            w.fallbacks
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"fig12_sweep\": {{\"points\": 8, \"cold_solve_s\": {:.4}, \"warm_solve_s\": {:.4}, \
+         \"speedup\": {:.2}, \"cold_nodes\": {}, \"warm_nodes\": {}, \
+         \"cold_pivots\": {}, \"warm_pivots\": {}, \"warm_accepted_points\": {sw_accepted}}},",
+        sc.solve_s,
+        sw.solve_s,
+        speedup(&sc, &sw),
+        sc.nodes,
+        sw.nodes,
+        sc.pivots,
+        sw.pivots
+    );
+    let _ = writeln!(json, "  \"geomean_speedup_netcache_sweep\": {geo_accept:.2},");
+    let _ = writeln!(json, "  \"geomean_speedup_all\": {geo_all:.2},");
+    let _ = writeln!(json, "  \"total_warm_solve_s\": {total_warm_s:.4}");
+    json.push_str("}\n");
+
+    if smoke {
+        // CI gate: the same workload must not have gotten slower on the
+        // warm path. Compare against the committed full-run baseline.
+        match std::fs::read_to_string("BENCH_ilp.json") {
+            Ok(baseline) => {
+                let base = json_number(&baseline, "total_warm_solve_s")
+                    .expect("baseline BENCH_ilp.json lacks total_warm_solve_s");
+                let ratio = total_warm_s / base.max(1e-9);
+                println!(
+                    "smoke: warm total {total_warm_s:.3}s vs baseline {base:.3}s ({ratio:.2}x)"
+                );
+                if ratio > 1.20 {
+                    eprintln!(
+                        "FAIL: warm solve time regressed {:.0}% (> 20%) vs committed BENCH_ilp.json",
+                        (ratio - 1.0) * 100.0
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: no committed BENCH_ilp.json to compare against: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        std::fs::write("BENCH_ilp.json", &json).expect("write BENCH_ilp.json");
+        println!("\nwrote BENCH_ilp.json ({:.1}s total)", t_all.elapsed().as_secs_f64());
+    }
+}

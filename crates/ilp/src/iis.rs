@@ -37,6 +37,13 @@ pub struct IisOptions {
     pub probe_node_limit: usize,
     /// Wall-clock limit per probe.
     pub probe_time_limit: Option<Duration>,
+    /// Warm-start probe LPs from parent bases (see
+    /// [`crate::SolveOptions::warm_lp`]), and seed each probe's incumbent
+    /// with the last feasible probe's point (probes are zero-objective, so
+    /// any accepted point settles a probe immediately). Off reproduces the
+    /// historical all-cold filter; either way the deleted rows and the
+    /// final core are decided by the same feasible/infeasible verdicts.
+    pub warm_lp: bool,
 }
 
 impl Default for IisOptions {
@@ -45,6 +52,7 @@ impl Default for IisOptions {
             max_probes: 192,
             probe_node_limit: 400,
             probe_time_limit: Some(Duration::from_secs(5)),
+            warm_lp: true,
         }
     }
 }
@@ -79,8 +87,13 @@ pub fn find_iis(model: &Model, opts: &IisOptions) -> IisReport {
     let n = model.num_constraints();
     let mut keep: Vec<usize> = (0..n).collect();
     let mut probes = 0usize;
+    // Restricted models share the full variable set, so a feasible point
+    // from one probe is a length-compatible warm start for every later
+    // probe (the solver re-validates feasibility per probe and simply
+    // drops points the new row subset rejects).
+    let mut last_feasible: Option<Vec<f64>> = None;
 
-    let probe = |rows: &[usize], probes: &mut usize| -> Probe {
+    let mut probe = |rows: &[usize], probes: &mut usize| -> Probe {
         *probes += 1;
         let mut m = model.restricted_to(rows);
         // Zero objective: any integral feasible point settles the probe.
@@ -90,12 +103,17 @@ pub fn find_iis(model: &Model, opts: &IisOptions) -> IisReport {
             node_limit: opts.probe_node_limit,
             dive_limit: 50,
             threads: 1,
+            warm_lp: opts.warm_lp,
+            warm_start: if opts.warm_lp { last_feasible.clone() } else { None },
             ..SolveOptions::default()
         };
         match solve_with(&m, &solver_opts) {
             Ok(out) => match out.status {
                 SolveStatus::Infeasible => Probe::Infeasible,
                 SolveStatus::Optimal | SolveStatus::Feasible | SolveStatus::Unbounded => {
+                    if let Some(sol) = out.solution {
+                        last_feasible = Some(sol.values);
+                    }
                     Probe::Feasible
                 }
                 SolveStatus::Unknown => Probe::Inconclusive,
@@ -215,6 +233,27 @@ mod tests {
         // Whatever survives must still contain the true conflict.
         assert!(r.rows.iter().any(|&i| m.constraints()[i].name == "x_lo"));
         assert!(r.rows.iter().any(|&i| m.constraints()[i].name == "x_hi"));
+    }
+
+    /// The warm probe path (parent-basis LPs + cross-probe incumbent
+    /// seeding) must delete the same rows and reach the same core as the
+    /// historical all-cold filter.
+    #[test]
+    fn warm_probes_find_the_same_core() {
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 10.0);
+        let y = m.integer("y", 0.0, 10.0);
+        m.ge("sum_lo", LinExpr::from(x) + LinExpr::from(y), 5.0);
+        m.le("x_cap", LinExpr::from(x), 1.0);
+        m.le("y_cap", LinExpr::from(y), 1.0);
+        for k in 0..10 {
+            let z = m.integer(format!("pad{k}"), 0.0, 4.0);
+            m.le(format!("pad_cap{k}"), LinExpr::from(z), 3.0);
+        }
+        let warm = find_iis(&m, &IisOptions { warm_lp: true, ..IisOptions::default() });
+        let cold = find_iis(&m, &IisOptions { warm_lp: false, ..IisOptions::default() });
+        assert_eq!(warm.rows, cold.rows);
+        assert_eq!(warm.minimal, cold.minimal);
     }
 
     #[test]

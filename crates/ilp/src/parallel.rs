@@ -24,13 +24,16 @@
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Condvar, Mutex};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Instant;
 
-use crate::branch::{finish, MipOutcome, Node, Prepared, SearchCtx, SolveStatus};
+use crate::branch::{finish, LpWork, MipOutcome, Node, Prepared, SearchCtx, SolveStatus};
 use crate::model::Model;
-use crate::simplex::{solve_lp, LpError, LpResult};
-use crate::telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry, ThreadTelemetry};
+use crate::simplex::{solve_lp_ext, Basis, LpError, LpResult, LpSolve};
+use crate::telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry};
+
+/// Per-worker counters: nodes, LP solves, and LP work (pivots etc.).
+type WorkerCounts = (usize, usize, LpWork);
 
 /// Frontier entry: best-first on the inherited LP bound, FIFO on the
 /// insertion sequence for ties so the heap order is total and reproducible.
@@ -100,6 +103,7 @@ fn push_children(
     j: usize,
     v: f64,
     score: f64,
+    basis: &Option<Arc<Basis>>,
 ) -> usize {
     let floor = v.floor();
     let mut down = bounds.to_vec();
@@ -111,7 +115,7 @@ fn push_children(
     for child in [near, far] {
         if child[j].0 <= child[j].1 {
             heap.push(HeapNode {
-                node: Node { bounds: child, parent_score: score },
+                node: Node { bounds: child, parent_score: score, basis: basis.clone() },
                 seq: *next_seq,
             });
             *next_seq += 1;
@@ -138,12 +142,12 @@ pub(crate) fn solve_parallel(
 fn make_telemetry(
     ctx: &SearchCtx<'_>,
     threads: usize,
-    per_thread: &[(usize, usize)],
+    per_thread: &[WorkerCounts],
     events: Vec<IncumbentEvent>,
 ) -> SolveTelemetry {
     let mut t = SolveTelemetry::trivial(threads, ctx.opts.deterministic);
-    for (w, &(nodes, lps)) in per_thread.iter().enumerate() {
-        t.per_thread[w] = ThreadTelemetry { thread: w, nodes, lp_solves: lps };
+    for (w, &(nodes, lps, work)) in per_thread.iter().enumerate() {
+        t.per_thread[w] = work.into_thread(w, nodes, lps);
     }
     t.incumbents = events;
     t
@@ -152,7 +156,7 @@ fn make_telemetry(
 fn unbounded_outcome(
     ctx: &SearchCtx<'_>,
     threads: usize,
-    per_thread: &[(usize, usize)],
+    per_thread: &[WorkerCounts],
     events: Vec<IncumbentEvent>,
 ) -> MipOutcome {
     let telemetry = make_telemetry(ctx, threads, per_thread, events);
@@ -183,26 +187,39 @@ fn solve_deterministic(
 ) -> Result<MipOutcome, LpError> {
     let model = ctx.model;
     let opts = ctx.opts;
-    let Prepared { root_bounds, root_score, mut incumbent, lp_solves: root_lps, mut events } =
-        prepared;
+    let Prepared {
+        root_bounds,
+        root_score,
+        mut incumbent,
+        lp_solves: root_lps,
+        mut events,
+        root_basis,
+        lp_work: root_work,
+    } = prepared;
 
     let mut heap = BinaryHeap::new();
     let mut next_seq = 1u64;
-    heap.push(HeapNode { node: Node { bounds: root_bounds, parent_score: root_score }, seq: 0 });
+    heap.push(HeapNode {
+        node: Node { bounds: root_bounds, parent_score: root_score, basis: root_basis },
+        seq: 0,
+    });
 
-    // Per-worker (nodes, lp_solves); worker 0 also owns the root phase.
-    let mut per_thread = vec![(0usize, 0usize); threads];
+    // Per-worker (nodes, lp_solves, LP work); worker 0 also owns the root
+    // phase.
+    let mut per_thread: Vec<WorkerCounts> = vec![(0, 0, LpWork::default()); threads];
     per_thread[0].1 = root_lps;
+    per_thread[0].2 = root_work;
 
-    // Worker mailboxes: slot w holds the bounds worker w must relax, then
-    // the LP result it produced. Only worker w and the orchestrator touch
-    // slot w, and never in the same barrier phase.
-    type InSlot = Mutex<Option<Vec<(f64, f64)>>>;
-    type OutSlot = Mutex<Option<Result<LpResult, LpError>>>;
+    // Worker mailboxes: slot w holds the bounds (and warm basis) worker w
+    // must relax, then the LP outcome it produced. Only worker w and the
+    // orchestrator touch slot w, and never in the same barrier phase.
+    type InSlot = Mutex<Option<(Vec<(f64, f64)>, Option<Arc<Basis>>)>>;
+    type OutSlot = Mutex<Option<Result<LpSolve, LpError>>>;
     let in_slots: Vec<InSlot> = (0..threads).map(|_| Mutex::new(None)).collect();
     let out_slots: Vec<OutSlot> = (0..threads).map(|_| Mutex::new(None)).collect();
     let barrier = Barrier::new(threads);
     let done = AtomicBool::new(false);
+    let warm_lp = opts.warm_lp;
 
     let mut proven = true;
     let mut final_err: Option<LpError> = None;
@@ -220,8 +237,9 @@ fn solve_deterministic(
                     break;
                 }
                 let job = in_slot.lock().unwrap().take();
-                if let Some(bounds) = job {
-                    let res = solve_lp(model, &bounds);
+                if let Some((bounds, basis)) = job {
+                    let warm = if warm_lp { basis.as_deref() } else { None };
+                    let res = solve_lp_ext(model, &bounds, warm);
                     *out_slot.lock().unwrap() = Some(res);
                 }
                 barrier.wait(); // round end: results published
@@ -267,11 +285,13 @@ fn solve_deterministic(
                 per_thread[i].0 += 1;
                 per_thread[i].1 += 1;
                 if i > 0 {
-                    *in_slots[i].lock().unwrap() = Some(node.bounds.clone());
+                    *in_slots[i].lock().unwrap() =
+                        Some((node.bounds.clone(), node.basis.clone()));
                 }
             }
             barrier.wait(); // round start
-            let own = solve_lp(model, &batch[0].bounds);
+            let own_warm = if warm_lp { batch[0].basis.as_deref() } else { None };
+            let own = solve_lp_ext(model, &batch[0].bounds, own_warm);
             *out_slots[0].lock().unwrap() = Some(own);
             barrier.wait(); // round end
 
@@ -282,17 +302,25 @@ fn solve_deterministic(
                     .unwrap()
                     .take()
                     .expect("worker published no result");
-                let (x, score) = match res {
+                let (x, score, child_basis) = match res {
                     Err(e) => {
                         final_err = Some(e);
                         break;
                     }
-                    Ok(LpResult::Infeasible) => continue,
-                    Ok(LpResult::Unbounded) => {
-                        unbounded = true;
-                        break;
+                    Ok(sol) => {
+                        per_thread[i].2.add(&sol.stats);
+                        match sol.result {
+                            LpResult::Infeasible => continue,
+                            LpResult::Unbounded => {
+                                unbounded = true;
+                                break;
+                            }
+                            LpResult::Optimal { x, obj } => {
+                                let basis = sol.basis.map(Arc::new).or_else(|| node.basis.clone());
+                                (x, ctx.sgn * obj, basis)
+                            }
+                        }
                     }
-                    Ok(LpResult::Optimal { x, obj }) => (x, ctx.sgn * obj),
                 };
                 if let Some((inc_score, _)) = &incumbent {
                     if score <= *inc_score + ctx.prune_gap(*inc_score) {
@@ -316,7 +344,15 @@ fn solve_deterministic(
                         }
                     }
                     Some((j, v)) => {
-                        push_children(&mut heap, &mut next_seq, &node.bounds, j, v, score);
+                        push_children(
+                            &mut heap,
+                            &mut next_seq,
+                            &node.bounds,
+                            j,
+                            v,
+                            score,
+                            &child_basis,
+                        );
                     }
                 }
             }
@@ -359,8 +395,8 @@ struct FreeShared {
     next_seq: u64,
     incumbent: Option<(f64, Vec<f64>)>,
     events: Vec<IncumbentEvent>,
-    /// Per-worker (nodes, lp_solves).
-    per_thread: Vec<(usize, usize)>,
+    /// Per-worker (nodes, lp_solves, LP work).
+    per_thread: Vec<WorkerCounts>,
     /// Workers currently waiting for the frontier to refill.
     idle: usize,
     done: bool,
@@ -375,12 +411,24 @@ fn solve_free(
     threads: usize,
 ) -> Result<MipOutcome, LpError> {
     let opts = ctx.opts;
-    let Prepared { root_bounds, root_score, incumbent, lp_solves: root_lps, events } = prepared;
+    let Prepared {
+        root_bounds,
+        root_score,
+        incumbent,
+        lp_solves: root_lps,
+        events,
+        root_basis,
+        lp_work: root_work,
+    } = prepared;
 
     let mut heap = BinaryHeap::new();
-    heap.push(HeapNode { node: Node { bounds: root_bounds, parent_score: root_score }, seq: 0 });
-    let mut per_thread = vec![(0usize, 0usize); threads];
+    heap.push(HeapNode {
+        node: Node { bounds: root_bounds, parent_score: root_score, basis: root_basis },
+        seq: 0,
+    });
+    let mut per_thread: Vec<WorkerCounts> = vec![(0, 0, LpWork::default()); threads];
     per_thread[0].1 = root_lps;
+    per_thread[0].2 = root_work;
 
     let shared = Mutex::new(FreeShared {
         heap,
@@ -475,7 +523,8 @@ fn free_worker(
                 g.per_thread[w].0 += 1;
                 g.per_thread[w].1 += 1;
                 drop(g);
-                let lp = solve_lp(model, &hn.node.bounds);
+                let warm = if opts.warm_lp { hn.node.basis.as_deref() } else { None };
+                let lp = solve_lp_ext(model, &hn.node.bounds, warm);
                 g = shared.lock().unwrap();
                 match lp {
                     Err(e) => {
@@ -484,15 +533,20 @@ fn free_worker(
                         cv.notify_all();
                         break;
                     }
-                    Ok(LpResult::Infeasible) => continue,
-                    Ok(LpResult::Unbounded) => {
-                        g.unbounded = true;
-                        g.done = true;
-                        cv.notify_all();
-                        break;
-                    }
-                    Ok(LpResult::Optimal { x, obj }) => {
-                        let score = ctx.sgn * obj;
+                    Ok(sol) => {
+                        g.per_thread[w].2.add(&sol.stats);
+                        match sol.result {
+                            LpResult::Infeasible => continue,
+                            LpResult::Unbounded => {
+                                g.unbounded = true;
+                                g.done = true;
+                                cv.notify_all();
+                                break;
+                            }
+                            LpResult::Optimal { x, obj } => {
+                                let score = ctx.sgn * obj;
+                                let child_basis =
+                                    sol.basis.map(Arc::new).or_else(|| hn.node.basis.clone());
                         if let Some((inc_score, _)) = &g.incumbent {
                             if score <= *inc_score + ctx.prune_gap(*inc_score) {
                                 continue;
@@ -523,11 +577,14 @@ fn free_worker(
                                     j,
                                     v,
                                     score,
+                                    &child_basis,
                                 );
                                 g.next_seq = seq;
                                 for _ in 0..pushed {
                                     cv.notify_one();
                                 }
+                            }
+                        }
                             }
                         }
                     }

@@ -1,4 +1,5 @@
-//! Bounded-variable two-phase primal simplex.
+//! Bounded-variable two-phase primal simplex with a warm-started dual
+//! simplex for re-optimization.
 //!
 //! Solves the LP relaxation of a [`Model`]: maximize `c·x`
 //! subject to `A x {<=,>=,==} b` and `l <= x <= u`. Variables may have
@@ -12,10 +13,18 @@
 //! - phase 1 introduces artificial variables only for rows whose slack
 //!   basis is infeasible, and minimizes their sum;
 //! - the basis inverse `B^-1` is kept explicitly (dense) and updated by
-//!   elementary row operations per pivot; it is refactorized from scratch
-//!   when a residual check fails;
+//!   elementary row operations per pivot; the update skips the zero
+//!   entries of the pivot row (compiler bases stay sparse for a long
+//!   time), and `B^-1` is refactorized from scratch when a residual check
+//!   fails;
 //! - Dantzig pricing with an automatic switch to Bland's rule after a run
-//!   of degenerate pivots guarantees termination.
+//!   of degenerate pivots guarantees termination;
+//! - [`solve_lp_ext`] accepts an optimal [`Basis`] from a previous solve
+//!   of the same model under different bounds (the branch-and-bound
+//!   case). Such a basis stays *dual-feasible* after bound tightening, so
+//!   a bounded-variable dual simplex re-optimizes it in a handful of
+//!   pivots; any structural or numerical trouble falls back to the cold
+//!   two-phase solve, so warm starting never changes what is solvable.
 
 // Indexed `for i in 0..m` loops mirror the textbook simplex notation and
 // often index several arrays in lockstep; iterator chains obscure that.
@@ -56,6 +65,95 @@ const PIVOT_TOL: f64 = 1e-8;
 const COST_TOL: f64 = 1e-7;
 const DEGENERATE_SWITCH: usize = 60;
 const REFRESH_PERIOD: usize = 128;
+/// Dual-feasibility tolerance when validating a warm basis. Slightly
+/// looser than `COST_TOL`: the parent's optimum satisfies `COST_TOL`, and
+/// the refactorization adds a little noise on top.
+const DUAL_FEAS_TOL: f64 = 1e-6;
+/// Consecutive zero-length dual steps before the warm path gives up and
+/// falls back to the cold solve (dual degeneracy stalls are rare but the
+/// cold path is always available).
+const DUAL_DEGENERATE_LIMIT: usize = 200;
+
+/// Status of one variable in a [`Basis`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BStat {
+    Basic,
+    AtLower,
+    AtUpper,
+    Free,
+}
+
+/// Row cap above which a snapshot stores only variable statuses, not the
+/// dense basis inverse (8 MB at 1024 rows). Beyond it a warm install pays
+/// one refactorization instead; below it the install is an O(m²) copy.
+const BINV_SNAPSHOT_MAX_ROWS: usize = 1024;
+
+/// Snapshot of an optimal simplex basis: the status of every structural
+/// and slack variable (`n + m` entries), plus — for models up to
+/// `BINV_SNAPSHOT_MAX_ROWS` (1024) rows — the row assignment and the dense
+/// basis inverse. `B^-1` depends only on the basic set and the model's
+/// (bound-independent) equilibrated matrix, so a child node can install
+/// the parent's inverse verbatim and skip the O(m³) refactorization that
+/// would otherwise dominate a warm re-solve. Snapshots are shared across
+/// a branch-and-bound frontier behind `Arc` (see `SolveOptions::warm_lp`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    stat: Vec<BStat>,
+    /// Basic variable of each row (the assignment `binv` corresponds to);
+    /// empty when the inverse was not captured.
+    rows: Vec<usize>,
+    /// Dense row-major m×m basis inverse in the solver's equilibrated
+    /// space; empty when not captured (then a warm install refactorizes).
+    binv: Vec<f64>,
+}
+
+impl Basis {
+    /// Number of variables (structural + slack) the snapshot covers.
+    pub fn len(&self) -> usize {
+        self.stat.len()
+    }
+
+    /// True when the snapshot covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.stat.is_empty()
+    }
+}
+
+/// Work counters of one LP solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Simplex basis changes (primal and dual pivots; bound flips are not
+    /// counted — they touch no basis column).
+    pub pivots: usize,
+    /// From-scratch rebuilds of `B^-1` (numerical-health refactorizations
+    /// and warm installs whose snapshot lacked a captured inverse).
+    pub refactorizations: usize,
+    /// The solve started from a caller-supplied basis and finished on the
+    /// dual-simplex path.
+    pub warm: bool,
+    /// A warm attempt was abandoned (dual-infeasible or numerically
+    /// unusable basis) and the cold two-phase solve ran instead.
+    pub fell_back: bool,
+}
+
+impl LpStats {
+    /// Accumulate another solve's counters into this one.
+    pub fn absorb(&mut self, other: &LpStats) {
+        self.pivots += other.pivots;
+        self.refactorizations += other.refactorizations;
+        self.warm |= other.warm;
+        self.fell_back |= other.fell_back;
+    }
+}
+
+/// Full outcome of [`solve_lp_ext`]: the result, the optimal basis (only
+/// for `Optimal` results whose basis is reusable), and work counters.
+#[derive(Debug, Clone)]
+pub struct LpSolve {
+    pub result: LpResult,
+    pub basis: Option<Basis>,
+    pub stats: LpStats,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VStat {
@@ -72,19 +170,92 @@ enum VStat {
 /// bound tightens bounds this way). Integrality is ignored. The returned
 /// objective is in the model's own sense.
 pub fn solve_lp(model: &Model, bounds: &[(f64, f64)]) -> Result<LpResult, LpError> {
+    Ok(solve_lp_ext(model, bounds, None)?.result)
+}
+
+/// Re-solve an LP from a previous optimal [`Basis`] of the same model
+/// under (typically tighter) bounds. Equivalent to
+/// [`solve_lp_ext`]`(model, bounds, Some(basis)).result`.
+pub fn solve_lp_warm(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    basis: &Basis,
+) -> Result<LpResult, LpError> {
+    Ok(solve_lp_ext(model, bounds, Some(basis))?.result)
+}
+
+/// Solve the LP relaxation, optionally warm-starting from `warm`, and
+/// return the result together with the optimal basis and work counters.
+///
+/// With `warm = Some(basis)` the solver installs the basis (reusing the
+/// snapshot's captured inverse when present, else one refactorization),
+/// verifies dual feasibility, and runs the bounded-variable dual simplex.
+/// Any structural mismatch (stale shape,
+/// wrong basic count), dual infeasibility, or numerical breakdown falls
+/// back to the cold two-phase solve — warm starting can change how the
+/// optimum is reached, never whether it is found.
+pub fn solve_lp_ext(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    warm: Option<&Basis>,
+) -> Result<LpSolve, LpError> {
     assert_eq!(bounds.len(), model.num_vars());
+    let mut stats = LpStats::default();
+    if let Some(basis) = warm {
+        let mut sx = Simplex::build(model, bounds);
+        match sx.solve_warm(basis) {
+            Ok(Some(result)) => {
+                stats.pivots += sx.pivots;
+                stats.refactorizations += sx.refactorizations;
+                stats.warm = true;
+                let basis = match &result {
+                    LpResult::Optimal { .. } => sx.snapshot_basis(),
+                    _ => None,
+                };
+                return Ok(LpSolve { result, basis, stats });
+            }
+            // Unusable basis or numerical trouble on the warm path: count
+            // the wasted work and fall through to the cold solve.
+            Ok(None) | Err(_) => {
+                stats.pivots += sx.pivots;
+                stats.refactorizations += sx.refactorizations;
+                stats.fell_back = true;
+            }
+        }
+    }
+    let (result, basis) = run_cold(model, bounds, &mut stats)?;
+    Ok(LpSolve { result, basis, stats })
+}
+
+/// The cold two-phase solve with its Bland's-rule restart, accumulating
+/// work counters and snapshotting the optimal basis.
+fn run_cold(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    stats: &mut LpStats,
+) -> Result<(LpResult, Option<Basis>), LpError> {
     let mut sx = Simplex::build(model, bounds);
-    match sx.solve() {
+    let outcome = match sx.solve() {
         Err(LpError::Numerical(_)) => {
             // Numerical breakdown (ill-conditioned basis): restart from the
             // slack basis under Bland's rule — slower, but immune to the
             // aggressive pivoting that got us here.
-            let mut retry = Simplex::build(model, bounds);
-            retry.force_bland = true;
-            retry.solve()
+            stats.pivots += sx.pivots;
+            stats.refactorizations += sx.refactorizations;
+            sx = Simplex::build(model, bounds);
+            sx.force_bland = true;
+            sx.solve()
         }
         other => other,
-    }
+    };
+    let result = outcome?;
+    stats.pivots += sx.pivots;
+    stats.refactorizations += sx.refactorizations;
+    let basis = match &result {
+        LpResult::Optimal { .. } => sx.snapshot_basis(),
+        _ => None,
+    };
+    Ok((result, basis))
 }
 
 struct Simplex {
@@ -110,8 +281,11 @@ struct Simplex {
     banned: Vec<bool>,
     degenerate_run: usize,
     pivots: usize,
+    refactorizations: usize,
     /// Use Bland's rule from the first pivot (robust restart mode).
     force_bland: bool,
+    /// Reusable list of nonzero pivot-row columns for the eta update.
+    eta_scratch: Vec<usize>,
 }
 
 impl Simplex {
@@ -183,7 +357,9 @@ impl Simplex {
             banned: Vec::new(),
             degenerate_run: 0,
             pivots: 0,
+            refactorizations: 0,
             force_bland: false,
+            eta_scratch: Vec::new(),
         }
     }
 
@@ -348,7 +524,10 @@ impl Simplex {
         for &(r, a) in &self.cols[j] {
             let col = r;
             for i in 0..m {
-                w[i] += self.binv[i * m + col] * a;
+                let v = self.binv[i * m + col];
+                if v != 0.0 {
+                    w[i] += v * a;
+                }
             }
         }
         w
@@ -364,17 +543,28 @@ impl Simplex {
         for k in 0..m {
             self.binv[row * m + k] *= inv;
         }
+        // The pivot row of B^-1 is typically ~1-5% dense for compiler
+        // models; collect its nonzero columns once so every eta row update
+        // touches only those instead of all m entries.
+        let mut nz = std::mem::take(&mut self.eta_scratch);
+        nz.clear();
+        for k in 0..m {
+            if self.binv[row * m + k] != 0.0 {
+                nz.push(k);
+            }
+        }
         for i in 0..m {
             if i == row {
                 continue;
             }
             let f = w[i];
             if f != 0.0 {
-                for k in 0..m {
+                for &k in &nz {
                     self.binv[i * m + k] -= f * self.binv[row * m + k];
                 }
             }
         }
+        self.eta_scratch = nz;
         let old = self.basis[row];
         debug_assert!(matches!(self.stat[old], VStat::Basic(r) if r == row));
         self.basis[row] = j;
@@ -401,7 +591,10 @@ impl Simplex {
         for i in 0..m {
             let mut acc = 0.0;
             for k in 0..m {
-                acc += self.binv[i * m + k] * resid[k];
+                let v = self.binv[i * m + k];
+                if v != 0.0 {
+                    acc += v * resid[k];
+                }
             }
             self.xb[i] = acc;
         }
@@ -482,6 +675,7 @@ impl Simplex {
             }
         }
         self.binv = inv;
+        self.refactorizations += 1;
         self.refresh_values();
         Ok(())
     }
@@ -498,7 +692,10 @@ impl Simplex {
                 let cb = c[self.basis[i]];
                 if cb != 0.0 {
                     for k in 0..m {
-                        y[k] += cb * self.binv[i * m + k];
+                        let v = self.binv[i * m + k];
+                        if v != 0.0 {
+                            y[k] += cb * v;
+                        }
                     }
                 }
             }
@@ -613,6 +810,287 @@ impl Simplex {
             }
         }
         Err(LpError::IterationLimit)
+    }
+
+    /// Snapshot the current basis (statuses plus, for small-enough
+    /// models, the row assignment and `B^-1`) for reuse by a warm start.
+    /// Returns `None` when the basis is not representable — a redundant
+    /// row left an artificial variable basic.
+    fn snapshot_basis(&self) -> Option<Basis> {
+        let nv = self.n + self.m;
+        if self.basis.iter().any(|&b| b >= nv) {
+            return None;
+        }
+        let stat = (0..nv)
+            .map(|j| match self.stat[j] {
+                VStat::Basic(_) => BStat::Basic,
+                VStat::AtLower => BStat::AtLower,
+                VStat::AtUpper => BStat::AtUpper,
+                VStat::Free => BStat::Free,
+            })
+            .collect();
+        let (rows, binv) = if self.m <= BINV_SNAPSHOT_MAX_ROWS {
+            (self.basis.clone(), self.binv.clone())
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Some(Basis { stat, rows, binv })
+    }
+
+    /// Re-optimize from a caller-supplied basis with the bounded-variable
+    /// dual simplex.
+    ///
+    /// Returns `Ok(None)` when the basis is unusable and the caller should
+    /// fall back to the cold solve: wrong shape, wrong basic count,
+    /// singular after refactorization, dual-infeasible (the basis was not
+    /// optimal for this objective), a dual degeneracy stall, or the
+    /// iteration cap. `Ok(Some(Infeasible))` is only returned after the
+    /// initial dual-feasibility check passed, which makes the
+    /// no-entering-candidate certificate sound.
+    fn solve_warm(&mut self, warm: &Basis) -> Result<Option<LpResult>, LpError> {
+        let n = self.n;
+        let m = self.m;
+        let nv = n + m;
+        if warm.stat.len() != nv {
+            return Ok(None);
+        }
+        // Install statuses. When the snapshot carries its row assignment
+        // and inverse (same model, bound-independent matrix), reuse them —
+        // the install is then one O(m²) copy plus a residual check.
+        // Otherwise basic variables take rows in ascending index order and
+        // one refactorization rebuilds B^-1.
+        self.stat = vec![VStat::Free; nv];
+        self.banned = vec![false; nv];
+        self.basis = Vec::with_capacity(m);
+        let reuse_inv = warm.rows.len() == m
+            && warm.binv.len() == m * m
+            && warm.rows.iter().all(|&j| j < nv && warm.stat[j] == BStat::Basic);
+        if reuse_inv {
+            for (i, &j) in warm.rows.iter().enumerate() {
+                if matches!(self.stat[j], VStat::Basic(_)) {
+                    return Ok(None); // duplicate row entry: corrupt snapshot
+                }
+                self.stat[j] = VStat::Basic(i);
+            }
+            self.basis = warm.rows.clone();
+        }
+        for j in 0..nv {
+            if matches!(self.stat[j], VStat::Basic(_)) {
+                continue;
+            }
+            self.stat[j] = match warm.stat[j] {
+                BStat::Basic => {
+                    if reuse_inv || self.basis.len() == m {
+                        // With a row assignment every Basic entry is
+                        // already placed; a leftover means a mismatch.
+                        return Ok(None);
+                    }
+                    self.basis.push(j);
+                    VStat::Basic(self.basis.len() - 1)
+                }
+                // A recorded resting side can be incompatible with the
+                // node's bounds only in pathological callers; snap to a
+                // valid resting status rather than reject.
+                BStat::AtLower if self.lb[j].is_finite() => VStat::AtLower,
+                BStat::AtUpper if self.ub[j].is_finite() => VStat::AtUpper,
+                _ => Self::rest_status(self.lb[j], self.ub[j]),
+            };
+        }
+        if self.basis.len() != m {
+            return Ok(None);
+        }
+        self.xb = vec![0.0; m];
+        if reuse_inv {
+            self.binv = warm.binv.clone();
+            self.refresh_values();
+            if self.basis_residual() > 1e-6 {
+                // The inverse does not match this model's matrix (foreign
+                // or numerically stale snapshot): rebuild from scratch.
+                self.binv = identity(m);
+                if self.refactorize().is_err() {
+                    return Ok(None);
+                }
+            }
+        } else {
+            self.binv = identity(m);
+            if self.refactorize().is_err() {
+                return Ok(None);
+            }
+        }
+
+        // Verify dual feasibility under the phase-2 objective. The parent
+        // optimum satisfies this by construction; a stale or foreign basis
+        // may not, and the Infeasible certificate below is only sound when
+        // it does.
+        let obj = self.obj.clone();
+        let mut y = vec![0.0; m];
+        for i in 0..m {
+            let cb = obj[self.basis[i]];
+            if cb != 0.0 {
+                for k in 0..m {
+                    let v = self.binv[i * m + k];
+                    if v != 0.0 {
+                        y[k] += cb * v;
+                    }
+                }
+            }
+        }
+        for j in 0..nv {
+            if matches!(self.stat[j], VStat::Basic(_)) {
+                continue;
+            }
+            let mut d = obj[j];
+            for &(r, a) in &self.cols[j] {
+                d -= y[r] * a;
+            }
+            let bad = match self.stat[j] {
+                VStat::AtLower => d > DUAL_FEAS_TOL,
+                VStat::AtUpper => d < -DUAL_FEAS_TOL,
+                VStat::Free => d.abs() > DUAL_FEAS_TOL,
+                VStat::Basic(_) => false,
+            };
+            if bad {
+                return Ok(None);
+            }
+        }
+
+        let max_iters = 20_000 + 200 * nv;
+        let mut since_refresh = 0usize;
+        let mut degenerate = 0usize;
+        for _iter in 0..max_iters {
+            // Leaving: the basic variable with the largest bound violation.
+            // `viol` is signed — positive above the upper bound, negative
+            // below the lower bound. Ties keep the first (lowest) row.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..m {
+                let b = self.basis[i];
+                let v = self.xb[i];
+                let viol = if v > self.ub[b] + FEAS_TOL {
+                    v - self.ub[b]
+                } else if v < self.lb[b] - FEAS_TOL {
+                    v - self.lb[b]
+                } else {
+                    continue;
+                };
+                match leave {
+                    Some((_, best)) if viol.abs() <= best.abs() => {}
+                    _ => leave = Some((i, viol)),
+                }
+            }
+            let Some((row, viol)) = leave else {
+                // Primal feasible again: the primal loop certifies
+                // optimality (usually zero pivots — we kept dual
+                // feasibility throughout) and cleans up tolerance drift.
+                return match self.run(&obj)? {
+                    RunOutcome::Optimal => {
+                        let x: Vec<f64> = (0..n).map(|j| self.var_value(j)).collect();
+                        let mut obj_val = 0.0;
+                        for j in 0..n {
+                            obj_val += self.obj[j] * x[j];
+                        }
+                        Ok(Some(LpResult::Optimal { x, obj: self.sense_sign * obj_val }))
+                    }
+                    RunOutcome::Unbounded => Ok(Some(LpResult::Unbounded)),
+                };
+            };
+
+            // Fresh dual prices for this basis (skipping zero B^-1
+            // entries), then price only direction-feasible candidates.
+            let mut y = vec![0.0; m];
+            for i in 0..m {
+                let cb = obj[self.basis[i]];
+                if cb != 0.0 {
+                    for k in 0..m {
+                        let v = self.binv[i * m + k];
+                        if v != 0.0 {
+                            y[k] += cb * v;
+                        }
+                    }
+                }
+            }
+            // Entering: dual ratio test. alpha_j = (B^-1 A_j)[row]; the
+            // candidate must move the leaving variable toward its violated
+            // bound without leaving its own resting side, and the minimal
+            // |d_j / alpha_j| keeps every other reduced cost dual-feasible.
+            let mut enter: Option<(usize, f64)> = None; // (j, |theta|)
+            for j in 0..nv {
+                if matches!(self.stat[j], VStat::Basic(_)) || self.banned[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(r, a) in &self.cols[j] {
+                    let p = self.binv[row * m + r];
+                    if p != 0.0 {
+                        alpha += p * a;
+                    }
+                }
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let ok = match self.stat[j] {
+                    VStat::AtLower => viol > 0.0 && alpha > 0.0 || viol < 0.0 && alpha < 0.0,
+                    VStat::AtUpper => viol > 0.0 && alpha < 0.0 || viol < 0.0 && alpha > 0.0,
+                    VStat::Free => true,
+                    VStat::Basic(_) => false,
+                };
+                if !ok {
+                    continue;
+                }
+                let mut d = obj[j];
+                for &(r, a) in &self.cols[j] {
+                    d -= y[r] * a;
+                }
+                let theta = (d / alpha).abs();
+                match enter {
+                    Some((_, best)) if theta >= best => {}
+                    _ => enter = Some((j, theta)),
+                }
+            }
+            let Some((q, theta)) = enter else {
+                // No column can repair the violated row while keeping dual
+                // feasibility: the node is primal infeasible.
+                return Ok(Some(LpResult::Infeasible));
+            };
+            if theta < 1e-10 {
+                degenerate += 1;
+                if degenerate > DUAL_DEGENERATE_LIMIT {
+                    return Ok(None);
+                }
+            } else {
+                degenerate = 0;
+            }
+
+            let w = self.ftran(q);
+            let alpha_q = w[row];
+            if alpha_q.abs() <= PIVOT_TOL {
+                return Ok(None);
+            }
+            // The leaving variable moves exactly to its violated bound:
+            // d(xb[row]) = -alpha_q * dx = -viol.
+            let dx = viol / alpha_q;
+            let enter_value = self.nb_value(q) + dx;
+            for i in 0..m {
+                if i != row {
+                    self.xb[i] -= dx * w[i];
+                }
+            }
+            let leaving = self.basis[row];
+            self.do_pivot(q, row, &w, enter_value);
+            self.stat[leaving] = if viol > 0.0 { VStat::AtUpper } else { VStat::AtLower };
+            since_refresh += 1;
+            if since_refresh >= REFRESH_PERIOD {
+                since_refresh = 0;
+                if self.basis_residual() > 1e-6 {
+                    if self.refactorize().is_err() {
+                        return Ok(None);
+                    }
+                } else {
+                    self.refresh_values();
+                }
+            }
+        }
+        // Iteration cap: the cold path is still available.
+        Ok(None)
     }
 
     /// Residual ||B x_B + A_N v_N - b||_inf as a numerical health check.
@@ -854,6 +1332,138 @@ mod tests {
         assert!((obj - 465.0).abs() < 1e-5, "obj = {obj}");
         let total: f64 = x_vals.iter().sum();
         assert!((total - 50.0).abs() < 1e-5);
+    }
+}
+
+#[cfg(test)]
+mod warm_tests {
+    use super::*;
+    use crate::model::{LinExpr, Model, Sense};
+
+    fn knapsack() -> (Model, Vec<(f64, f64)>) {
+        let mut m = Model::new();
+        let weights = [4.0, 3.0, 5.0, 6.0, 2.0];
+        let values = [7.0, 4.0, 9.0, 10.0, 3.0];
+        let xs: Vec<_> = (0..5).map(|i| m.binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for i in 0..5 {
+            cap += LinExpr::term(xs[i], weights[i]);
+            obj += LinExpr::term(xs[i], values[i]);
+        }
+        m.le("cap", cap, 10.0);
+        m.set_objective(obj, Sense::Maximize);
+        let bounds = m.vars().iter().map(|v| (v.lb, v.ub)).collect();
+        (m, bounds)
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_branching() {
+        let (m, root_bounds) = knapsack();
+        let root = solve_lp_ext(&m, &root_bounds, None).unwrap();
+        assert!(matches!(root.result, LpResult::Optimal { .. }));
+        let basis = root.basis.expect("root basis");
+        assert!(!root.stats.warm && !root.stats.fell_back);
+
+        // Branch every variable both ways; warm must agree with cold.
+        for j in 0..5 {
+            for v in [0.0, 1.0] {
+                let mut b = root_bounds.clone();
+                b[j] = (v, v);
+                let warm = solve_lp_ext(&m, &b, Some(&basis)).unwrap();
+                let cold = solve_lp(&m, &b).unwrap();
+                match (&warm.result, &cold) {
+                    (
+                        LpResult::Optimal { obj: ow, .. },
+                        LpResult::Optimal { obj: oc, .. },
+                    ) => assert!((ow - oc).abs() < 1e-6, "x{j}={v}: warm {ow} vs cold {oc}"),
+                    (LpResult::Infeasible, LpResult::Infeasible) => {}
+                    other => panic!("x{j}={v}: mismatch {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_detects_infeasible_child() {
+        let (m, root_bounds) = knapsack();
+        let basis = solve_lp_ext(&m, &root_bounds, None).unwrap().basis.unwrap();
+        // Fixing x0, x2, x4 to 1 and x3 to 0 needs weight 11 > 10.
+        let b = vec![(1.0, 1.0), (0.0, 1.0), (1.0, 1.0), (0.0, 0.0), (1.0, 1.0)];
+        let warm = solve_lp_ext(&m, &b, Some(&basis)).unwrap();
+        assert!(matches!(warm.result, LpResult::Infeasible), "{:?}", warm.result);
+    }
+
+    #[test]
+    fn dual_infeasible_basis_falls_back_to_cold() {
+        // max x s.t. x <= 4. The basis claiming x nonbasic-at-lower with
+        // the slack basic is primal feasible but NOT dual feasible (x has
+        // positive reduced cost), so the warm path must fall back and
+        // still find the optimum.
+        let mut m = Model::new();
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        m.le("cap", LinExpr::from(x), 4.0);
+        m.set_objective(LinExpr::from(x), Sense::Maximize);
+        let bad = Basis {
+            stat: vec![BStat::AtLower, BStat::Basic],
+            rows: Vec::new(),
+            binv: Vec::new(),
+        };
+        let out = solve_lp_ext(&m, &[(0.0, f64::INFINITY)], Some(&bad)).unwrap();
+        assert!(out.stats.fell_back, "warm path should have fallen back");
+        assert!(!out.stats.warm);
+        match out.result {
+            LpResult::Optimal { obj, .. } => assert!((obj - 4.0).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_shape_basis_falls_back_without_error() {
+        let (m, bounds) = knapsack();
+        let bad = Basis { stat: vec![BStat::Basic; 2], rows: Vec::new(), binv: Vec::new() };
+        let out = solve_lp_ext(&m, &bounds, Some(&bad)).unwrap();
+        assert!(out.stats.fell_back);
+        assert!(matches!(out.result, LpResult::Optimal { .. }));
+    }
+
+    #[test]
+    fn warm_solve_counts_work() {
+        let (m, root_bounds) = knapsack();
+        let root = solve_lp_ext(&m, &root_bounds, None).unwrap();
+        assert!(root.stats.pivots > 0, "cold solve should pivot");
+        let basis = root.basis.unwrap();
+        let mut b = root_bounds.clone();
+        b[0] = (0.0, 0.0);
+        let warm = solve_lp_ext(&m, &b, Some(&basis)).unwrap();
+        assert!(warm.stats.warm);
+        // The snapshot carried the parent's inverse, so the install is a
+        // copy + residual check — no from-scratch refactorization.
+        assert_eq!(warm.stats.refactorizations, 0);
+        assert!(warm.stats.pivots <= root.stats.pivots);
+    }
+
+    #[test]
+    fn statuses_only_basis_still_warm_starts() {
+        // A snapshot without the captured inverse (e.g. a model above the
+        // capture cap) must still warm-start via one refactorization.
+        let (m, root_bounds) = knapsack();
+        let root = solve_lp_ext(&m, &root_bounds, None).unwrap();
+        let mut basis = root.basis.unwrap();
+        basis.rows.clear();
+        basis.binv.clear();
+        let mut b = root_bounds.clone();
+        b[0] = (0.0, 0.0);
+        let warm = solve_lp_ext(&m, &b, Some(&basis)).unwrap();
+        assert!(warm.stats.warm, "statuses alone must suffice");
+        assert!(warm.stats.refactorizations >= 1);
+        let cold = solve_lp(&m, &b).unwrap();
+        match (&warm.result, &cold) {
+            (LpResult::Optimal { obj: ow, .. }, LpResult::Optimal { obj: oc, .. }) => {
+                assert!((ow - oc).abs() < 1e-6)
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }
 

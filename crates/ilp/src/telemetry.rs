@@ -8,7 +8,7 @@ use std::time::Duration;
 
 /// Work attributed to one worker thread (thread 0 is the orchestrating
 /// thread and additionally owns the root LP and the diving heuristic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ThreadTelemetry {
     /// Worker index in `0..threads`.
     pub thread: usize,
@@ -17,6 +17,18 @@ pub struct ThreadTelemetry {
     /// LP relaxations this worker solved (>= `nodes`: includes the root
     /// LP and heuristic dives on thread 0).
     pub lp_solves: usize,
+    /// Simplex pivots across this worker's LP solves (primal and dual).
+    /// The warm-vs-cold win shows up here: a warm re-solve typically
+    /// pivots a handful of times where a cold solve pivots hundreds.
+    pub pivots: usize,
+    /// From-scratch basis-inverse rebuilds (numerical-health failures,
+    /// plus warm installs whose snapshot did not capture the parent's
+    /// inverse — snapshots of small models carry it and skip the rebuild).
+    pub refactorizations: usize,
+    /// LP solves completed on the warm dual-simplex path.
+    pub warm_solves: usize,
+    /// Warm attempts that fell back to the cold two-phase solve.
+    pub cold_fallbacks: usize,
 }
 
 /// One improvement of the best known feasible solution.
@@ -83,7 +95,7 @@ impl SolveTelemetry {
             threads,
             deterministic,
             per_thread: (0..threads)
-                .map(|t| ThreadTelemetry { thread: t, nodes: 0, lp_solves: 0 })
+                .map(|t| ThreadTelemetry { thread: t, ..Default::default() })
                 .collect(),
             incumbents: Vec::new(),
             best_bound: None,
@@ -121,8 +133,8 @@ impl SolveTelemetry {
         for t in &self.per_thread {
             let _ = writeln!(
                 s,
-                "  thread {}: {} nodes, {} LP solves",
-                t.thread, t.nodes, t.lp_solves
+                "  thread {}: {} nodes, {} LP solves, {} pivots ({} warm, {} fallbacks, {} refactorizations)",
+                t.thread, t.nodes, t.lp_solves, t.pivots, t.warm_solves, t.cold_fallbacks, t.refactorizations
             );
         }
         if self.incumbents.is_empty() {
@@ -165,5 +177,34 @@ impl SolveTelemetry {
     /// `MipOutcome::lp_solves`).
     pub fn total_lp_solves(&self) -> usize {
         self.per_thread.iter().map(|t| t.lp_solves).sum()
+    }
+
+    /// Total simplex pivots across workers.
+    pub fn total_pivots(&self) -> usize {
+        self.per_thread.iter().map(|t| t.pivots).sum()
+    }
+
+    /// Total basis refactorizations across workers.
+    pub fn total_refactorizations(&self) -> usize {
+        self.per_thread.iter().map(|t| t.refactorizations).sum()
+    }
+
+    /// LP solves that finished on the warm dual-simplex path.
+    pub fn total_warm_solves(&self) -> usize {
+        self.per_thread.iter().map(|t| t.warm_solves).sum()
+    }
+
+    /// Warm attempts that fell back to the cold solve.
+    pub fn total_cold_fallbacks(&self) -> usize {
+        self.per_thread.iter().map(|t| t.cold_fallbacks).sum()
+    }
+
+    /// Whether a caller-provided warm-start assignment was accepted as
+    /// the seed incumbent (the cross-solve warm start of parameter
+    /// sweeps).
+    pub fn warm_start_accepted(&self) -> bool {
+        self.incumbents
+            .iter()
+            .any(|e| e.source == IncumbentSource::WarmStart)
     }
 }

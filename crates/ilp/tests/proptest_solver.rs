@@ -144,6 +144,42 @@ proptest! {
         prop_assert_eq!(par.telemetry.total_lp_solves(), par.lp_solves);
     }
 
+    /// Differential test for LP warm starting: with `warm_lp` on (each
+    /// node's LP re-optimized by the dual simplex from its parent's
+    /// basis) and off (every node solved cold), the search returns the
+    /// same status and the same optimal objective. The explored tree may
+    /// differ — the LP can land on a different co-optimal vertex — but
+    /// what is solvable and the optimum value may not.
+    #[test]
+    fn warm_lp_matches_cold(raw in raw_model_strategy(), threads in 1usize..=4) {
+        let m = build(&raw);
+        let cold = solve_with(
+            &m,
+            &SolveOptions { threads, warm_lp: false, ..SolveOptions::default() },
+        )
+        .expect("cold solve must not error");
+        let warm = solve_with(
+            &m,
+            &SolveOptions { threads, warm_lp: true, ..SolveOptions::default() },
+        )
+        .expect("warm solve must not error");
+        prop_assert_eq!(warm.status, cold.status);
+        match (&cold.solution, &warm.solution) {
+            (Some(a), Some(b)) => {
+                prop_assert!(
+                    (a.objective - b.objective).abs() < 1e-6,
+                    "threads {}: cold {} != warm {}", threads, a.objective, b.objective
+                );
+                prop_assert!(m.check_feasible(&b.values, 1e-5).is_ok());
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "warm and cold disagree on solution existence"),
+        }
+        // A cold solve must never take the warm path or fall back.
+        prop_assert_eq!(cold.telemetry.total_warm_solves(), 0);
+        prop_assert_eq!(cold.telemetry.total_cold_fallbacks(), 0);
+    }
+
     /// Presolve's tightened bounds never cut off the optimum.
     #[test]
     fn presolve_preserves_optimum(raw in raw_model_strategy()) {

@@ -149,11 +149,19 @@ fn front_key(src: &str, target: &TargetSpec, max_unroll: usize) -> u64 {
 pub struct CompileCtx {
     pub options: CompileOptions,
     front: Option<(u64, FrontArtifacts)>,
+    /// Variable assignment of the previous successful solve on this
+    /// context. A parameter sweep (Figure 12) re-encodes an almost
+    /// identical model at each point, so the last point's incumbent is
+    /// usually feasible for the next and seeds branch-and-bound pruning
+    /// from the root. [`CompileCtx::compile`] re-validates it against the
+    /// fresh encoding before use, so a stale assignment (different
+    /// program, shrunken target) is simply ignored.
+    pub(crate) last_incumbent: Option<Vec<f64>>,
 }
 
 impl CompileCtx {
     pub fn new(options: CompileOptions) -> Self {
-        CompileCtx { options, front: None }
+        CompileCtx { options, front: None, last_incumbent: None }
     }
 
     /// Run (or serve from cache) the front half: `parse` → `elaborate` →
@@ -211,6 +219,7 @@ impl CompileCtx {
     /// Drop any cached artifacts (mostly useful in tests).
     pub fn clear_cache(&mut self) {
         self.front = None;
+        self.last_incumbent = None;
     }
 }
 

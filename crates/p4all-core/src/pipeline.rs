@@ -214,13 +214,34 @@ impl CompileCtx {
         let t = Instant::now();
         // Warm start: the greedy allocator's layout (when it succeeds and
         // is feasible for the encoding) seeds the incumbent, so the branch
-        // and bound can prune from the first node.
+        // and bound can prune from the first node. On a reused context
+        // (e.g. a memory sweep) the previous solve's incumbent competes
+        // with the greedy seed: whichever scores better on *this*
+        // encoding's objective wins. Either candidate is re-validated
+        // against the fresh model, so a stale incumbent from a different
+        // program or a shrunken target is silently dropped.
         let mut solver_opts = self.options.solver.clone();
-        if let Ok(gl) =
+        let sgn = match enc.model.sense() {
+            p4all_ilp::Sense::Maximize => 1.0,
+            p4all_ilp::Sense::Minimize => -1.0,
+        };
+        let score = |v: &[f64]| -> Option<f64> {
+            (v.len() == enc.model.num_vars() && enc.model.check_feasible(v, 1e-6).is_ok())
+                .then(|| sgn * enc.model.objective_value(v))
+        };
+        let greedy_seed =
             crate::greedy::place_greedy(&front.info, &front.unrolled, &front.graph, target)
-        {
-            solver_opts.warm_start = Some(crate::ilpgen::warm_start_from_layout(&enc, &gl));
-        }
+                .ok()
+                .map(|gl| crate::ilpgen::warm_start_from_layout(&enc, &gl));
+        let prev_seed = self.last_incumbent.as_deref();
+        solver_opts.warm_start = match (prev_seed.and_then(score), &greedy_seed) {
+            (Some(ps), Some(g)) if score(g).is_some_and(|gs| gs >= ps) => greedy_seed,
+            (Some(_), _) => prev_seed.map(<[f64]>::to_vec),
+            // No usable previous incumbent: keep the historical behavior
+            // of handing the solver the greedy seed unconditionally (it
+            // validates and drops infeasible seeds itself).
+            (None, _) => greedy_seed,
+        };
         let out = p4all_ilp::solve_with(&enc.model, &solver_opts)
             .map_err(|e| CompileError::SolverNumerical(e.to_string()))?;
         let solve_time = t.elapsed();
@@ -271,6 +292,10 @@ impl CompileCtx {
                 )))
             }
         };
+
+        // Remember the incumbent for the next compile on this context
+        // (the cross-solve warm start of parameter sweeps).
+        self.last_incumbent = Some(sol.values.clone());
 
         let t = Instant::now();
         let layout = extract(&enc, &front.info, &sol, target);
@@ -506,6 +531,30 @@ mod tests {
             assert!(!c2.trace.cached(pass), "pass `{pass}` must re-run on point 2");
         }
         assert!(c2.layout.symbol_values["cols"] > c1.layout.symbol_values["cols"]);
+    }
+
+    #[test]
+    fn memory_sweep_threads_previous_incumbent() {
+        // Sweeping memory upward on one context: the previous point's
+        // layout stays feasible, so each later point starts from an
+        // accepted warm-start incumbent. Sweeping back down invalidates
+        // the cached incumbent (it no longer fits) and the compile must
+        // silently fall back rather than fail.
+        let mut ctx = CompileCtx::new(CompileOptions::default().with_threads(1));
+        let mut target = presets::paper_example();
+        target.memory_bits = 1024;
+        let c1 = ctx.compile(CMS, &target).unwrap();
+        assert!(ctx.last_incumbent.is_some(), "a successful solve must cache its incumbent");
+        target.memory_bits = 8192;
+        let c2 = ctx.compile(CMS, &target).unwrap();
+        assert!(
+            c2.solve_stats.telemetry.warm_start_accepted(),
+            "point 2 of an upward sweep must seed from a warm start"
+        );
+        assert!(c2.layout.objective >= c1.layout.objective);
+        target.memory_bits = 512;
+        let c3 = ctx.compile(CMS, &target).unwrap();
+        assert!(c3.layout.objective <= c2.layout.objective);
     }
 
     #[test]

@@ -4,9 +4,23 @@
 //! pipeline at once. With one thread it runs in place (honoring the
 //! selected backend); with `threads > 1` it shards the trace by **flow
 //! hash** over the header fields — mirroring how a real switch's CRC
-//! partitions flows across pipes — and executes every shard on its own
-//! worker with a private copy of the register file, running the bytecode
-//! engine in cache-friendly batches.
+//! partitions flows across pipes — and executes the shards on worker
+//! threads with private copies of the register file.
+//!
+//! Sharding is one fused linear sweep: each packet is flow-hashed to its
+//! shard and its slot vector copied into the shard's **contiguous input
+//! buffer**. Workers then stream their buffers with unit stride — no
+//! per-packet pointer chasing through the (heap-scattered) `Phv` list,
+//! which previously cost a cache miss per packet and erased the parallel
+//! win. Shards are executed on at most `available_parallelism` OS threads
+//! (static shard → thread assignment), so an oversubscribed `threads`
+//! request degrades to sequential shard execution instead of thrashing
+//! one core's cache with N register-file copies. One private register
+//! file per OS thread is enough for the merge below: every packet of a
+//! flow lands in one shard, and every shard runs on exactly one thread.
+//! With a single OS thread the whole partition collapses to in-order
+//! sequential replay (one register file holds every flow), skipping the
+//! hash-and-gather sweep entirely.
 //!
 //! Merging after the join is the delta-sum rule: for every register cell,
 //! `merged = base + Σ_w (worker_w − base)` (wrapping, element-masked).
@@ -30,9 +44,6 @@ use crate::compiled::{self, ExecCtx};
 use crate::interp::{splitmix, RegUndo, Switch};
 use crate::state::{Phv, RegState};
 
-/// Packets are executed in runs of this many per shard, keeping the
-/// working set (temps, undo log, PHV pair) hot in cache between packets.
-const BATCH: usize = 256;
 
 /// Telemetry of one [`Switch::run_trace`] call.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -41,7 +52,8 @@ pub struct SimStats {
     pub packets: u64,
     /// Packets dropped on a per-packet fault, with their writes undone.
     pub dropped: u64,
-    /// Worker threads used.
+    /// Shards requested (executed on at most `available_parallelism`
+    /// OS threads; the merged result is identical either way).
     pub threads: usize,
     /// Wall-clock of the replay (excludes trace construction).
     pub elapsed: Duration,
@@ -81,28 +93,42 @@ struct Worker<'a> {
 }
 
 impl Worker<'_> {
-    fn run_shard(&mut self, trace: &[Phv], shard: &[u32]) {
-        for batch in shard.chunks(BATCH) {
-            for &i in batch {
-                let input = &trace[i as usize];
-                self.cur.slots.copy_from_slice(&input.slots);
-                self.undo.clear();
-                let r = compiled::run_packet(
-                    self.prog,
-                    self.ctables,
-                    &mut self.regs,
-                    &mut self.cur,
-                    &mut self.ctx,
-                    &mut self.undo,
-                    &mut self.stage_cost,
-                );
-                if r.is_err() {
-                    while let Some((reg, cell, old)) = self.undo.pop() {
-                        self.regs[reg as usize].cells[cell as usize] = old;
-                    }
-                    self.dropped += 1;
-                }
+    /// Execute one packet given its input slot vector.
+    #[inline]
+    fn step(&mut self, slots: &[u64]) {
+        self.cur.slots.copy_from_slice(slots);
+        self.undo.clear();
+        let r = compiled::run_packet(
+            self.prog,
+            self.ctables,
+            &mut self.regs,
+            &mut self.cur,
+            &mut self.ctx,
+            &mut self.undo,
+            &mut self.stage_cost,
+        );
+        if r.is_err() {
+            while let Some((reg, cell, old)) = self.undo.pop() {
+                self.regs[reg as usize].cells[cell as usize] = old;
             }
+            self.dropped += 1;
+        }
+    }
+
+    /// Run one shard's gathered inputs: `inputs` holds the packets'
+    /// slot vectors back to back, `stride` slots per packet.
+    fn run_packed(&mut self, inputs: &[u64], stride: usize) {
+        for slots in inputs.chunks_exact(stride) {
+            self.step(slots);
+        }
+    }
+
+    /// Run the whole trace in order (the one-OS-thread degenerate case:
+    /// no hashing or gathering — any shard partition executed on a
+    /// single register file in trace order is exactly sequential replay).
+    fn run_seq(&mut self, trace: &[Phv]) {
+        for p in trace {
+            self.step(&p.slots);
         }
     }
 }
@@ -128,20 +154,22 @@ impl Switch {
         self.stage_cost.iter_mut().for_each(|c| *c = 0);
         let start = Instant::now();
 
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let mut dropped = 0u64;
-        if threads == 1 {
-            for batch in trace.chunks(BATCH) {
-                for input in batch {
-                    self.cur.slots.copy_from_slice(&input.slots);
-                    // `run_packet` rolls the faulting packet's register
-                    // writes back before returning the error.
-                    if self.run_packet().is_err() {
-                        dropped += 1;
-                    }
+        if threads == 1 || self.masks.is_empty() {
+            for input in trace {
+                self.cur.slots.copy_from_slice(&input.slots);
+                // `run_packet` rolls the faulting packet's register
+                // writes back before returning the error.
+                if self.run_packet().is_err() {
+                    dropped += 1;
                 }
             }
         } else {
-            dropped = self.run_trace_sharded(trace, threads);
+            // Never oversubscribe the machine: extra shards run
+            // sequentially on the available cores (same merged result,
+            // no cache thrash).
+            dropped = self.run_trace_sharded(trace, threads, threads.min(cores).max(1));
         }
 
         SimStats {
@@ -153,49 +181,83 @@ impl Switch {
         }
     }
 
-    fn run_trace_sharded(&mut self, trace: &[Phv], threads: usize) -> u64 {
-        // Shard by flow hash over the header slots (the first
-        // `header_count` slots of the layout): every packet of a flow
-        // lands on the same worker, so per-flow register state is
-        // shard-private by construction.
+    fn run_trace_sharded(&mut self, trace: &[Phv], shards: usize, os_threads: usize) -> u64 {
         let header_count = self.header_count;
-        let mut shards: Vec<Vec<u32>> = vec![Vec::new(); threads];
-        for (i, p) in trace.iter().enumerate() {
-            let mut h = 0xa076_1d64_78bd_642fu64;
-            for &v in &p.slots[..header_count] {
-                h = splitmix(h ^ v);
-            }
-            shards[(h % threads as u64) as usize].push(i as u32);
-        }
-
+        let stride = self.masks.len();
         let base = self.registers.clone();
         let prog = &self.compiled;
         let ctables = &self.ctables;
         let masks = &self.masks;
         let stages = self.stage_cost.len();
 
-        let workers: Vec<Worker> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|shard| {
-                    let mut w = Worker {
-                        prog,
-                        ctables,
-                        regs: base.clone(),
-                        cur: Phv::new(masks.clone()),
-                        ctx: ExecCtx::for_program(prog),
-                        undo: Vec::new(),
-                        stage_cost: vec![0; stages],
-                        dropped: 0,
-                    };
-                    scope.spawn(move || {
-                        w.run_shard(trace, shard);
-                        w
+        let workers: Vec<Worker> = if os_threads == 1 {
+            // One OS thread executes every shard on one register file, so
+            // the shard partition is irrelevant: run the trace in order
+            // with no hashing or gathering. The delta-sum merge below is
+            // still exact (one worker holds every flow's state).
+            let mut worker = Worker {
+                prog,
+                ctables,
+                regs: base.clone(),
+                cur: Phv::new(masks.clone()),
+                ctx: ExecCtx::for_program(prog),
+                undo: Vec::new(),
+                stage_cost: vec![0; stages],
+                dropped: 0,
+            };
+            worker.run_seq(trace);
+            vec![worker]
+        } else {
+            // One fused sweep: flow-hash each packet over the header
+            // slots (the first `header_count` slots of the layout) and
+            // gather its slot vector into the shard's contiguous input
+            // buffer, in trace order (per-flow packet order preserved;
+            // every packet of a flow lands in the same shard, so
+            // per-flow register state is shard-private by construction).
+            // Workers then stream their buffers with unit stride instead
+            // of chasing `trace[i]` pointers per packet.
+            let per_shard = (trace.len() / shards + trace.len() / (4 * shards) + 16) * stride;
+            let mut packed: Vec<Vec<u64>> =
+                (0..shards).map(|_| Vec::with_capacity(per_shard)).collect();
+            for p in trace {
+                let mut h = 0xa076_1d64_78bd_642fu64;
+                for &v in &p.slots[..header_count] {
+                    h = splitmix(h ^ v);
+                }
+                packed[(h % shards as u64) as usize].extend_from_slice(&p.slots);
+            }
+
+            let (base_ref, packed_ref) = (&base, &packed);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..os_threads)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            // Build the worker on its own thread so the
+                            // register copy and scratch are allocated
+                            // (and first-touched) thread-locally.
+                            let mut worker = Worker {
+                                prog,
+                                ctables,
+                                regs: base_ref.clone(),
+                                cur: Phv::new(masks.clone()),
+                                ctx: ExecCtx::for_program(prog),
+                                undo: Vec::new(),
+                                stage_cost: vec![0; stages],
+                                dropped: 0,
+                            };
+                            for s in (w..shards).step_by(os_threads) {
+                                worker.run_packed(&packed_ref[s], stride);
+                            }
+                            worker
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("replay worker panicked")).collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("replay worker panicked"))
+                    .collect()
+            })
+        };
 
         // Delta-sum merge back into the live register file.
         for (ri, reg) in self.registers.iter_mut().enumerate() {
@@ -331,6 +393,28 @@ mod tests {
         }
     }
 
+    /// The gather + multi-worker merge path, pinned to several OS threads
+    /// regardless of the host's core count (on a small box `run_trace`
+    /// legitimately collapses to the sequential worker, which would leave
+    /// this machinery untested).
+    #[test]
+    fn oversharded_gather_and_merge_match_sequential() {
+        let mut seq = build(CMS);
+        let trace = cms_trace(&seq, 400);
+        seq.run_trace(&trace, 1);
+        for (shards, os_threads) in [(4, 2), (8, 4), (8, 8)] {
+            let mut par = build(CMS);
+            let trace = cms_trace(&par, 400);
+            let dropped = par.run_trace_sharded(&trace, shards, os_threads);
+            assert_eq!(dropped, 0);
+            assert_eq!(
+                seq.registers_snapshot(),
+                par.registers_snapshot(),
+                "merged counters diverge at {shards} shards on {os_threads} threads"
+            );
+        }
+    }
+
     #[test]
     fn stats_report_stage_cost_and_rate() {
         let mut sw = build(CMS);
@@ -401,6 +485,15 @@ mod tests {
             .collect();
         let stats = sw.run_trace(&trace, 4);
         assert_eq!(stats.dropped, 16);
+        assert_eq!(sw.read_register("a", 0, 0).unwrap(), 48);
+
+        // Same trace through the pinned multi-worker gather path: drops
+        // and rollbacks must merge identically.
+        let mut sw = build(FAULTY_DIV);
+        let trace: Vec<Phv> = (0..64u64)
+            .map(|p| sw.make_packet(&[("x", p), ("y", p % 4)]).unwrap())
+            .collect();
+        assert_eq!(sw.run_trace_sharded(&trace, 4, 4), 16);
         assert_eq!(sw.read_register("a", 0, 0).unwrap(), 48);
     }
 }

@@ -3,7 +3,7 @@
 //! structures in conflict, the exhausted PISA resource kinds, and anchor
 //! the explanation at source spans (ISSUE acceptance criterion).
 
-use p4all_core::{CompileError, Compiler, ResourceKind};
+use p4all_core::{CompileError, CompileOptions, Compiler, ResourceKind};
 use p4all_elastic::apps::netcache::{self, NetCacheOptions};
 use p4all_pisa::presets;
 
@@ -82,4 +82,41 @@ fn explanation_is_bounded() {
     );
     // The core is a strict subset of the model: shrinking happened.
     assert!(!x.rows.is_empty());
+}
+
+/// Warm-starting the deletion filter's probe solves (the default) is a
+/// pure speedup: the explanation — conflict core, implicated symbolics
+/// and resources, rendered diagnostic — must be identical to the one the
+/// all-cold filter produces.
+#[test]
+fn warm_probes_leave_the_explanation_unchanged() {
+    let opts =
+        NetCacheOptions { min_kv_items: Some(1 << 20), ..NetCacheOptions::default() };
+    let src = netcache::source(&opts);
+    let target = presets::paper_eval(1 << 14);
+
+    let explain = |warm: bool| {
+        let mut copts = CompileOptions::default();
+        copts.iis.warm_lp = warm;
+        copts.solver.warm_lp = warm;
+        match Compiler::with_options(target.clone(), copts).compile(&src) {
+            Ok(_) => panic!("undersized target"),
+            Err(CompileError::Infeasible(x)) => x,
+            Err(other) => panic!("expected Infeasible, got {other:?}"),
+        }
+    };
+    let warm = explain(true);
+    let cold = explain(false);
+
+    let core = |x: &p4all_core::Infeasibility| -> Vec<(usize, String)> {
+        x.rows.iter().map(|r| (r.row, r.name.clone())).collect()
+    };
+    assert_eq!(core(&warm), core(&cold), "conflict core changed under warm probes");
+    assert_eq!(warm.symbolics, cold.symbolics);
+    assert_eq!(warm.resources, cold.resources);
+    assert_eq!(
+        warm.diagnostic.render(&src, "<netcache>"),
+        cold.diagnostic.render(&src, "<netcache>"),
+        "rendered explanation changed under warm probes"
+    );
 }
