@@ -1,0 +1,162 @@
+//! The fuzzing driver.
+//!
+//! Generates `--samples` cases from consecutive seeds, runs the full
+//! three-way oracle on each, shrinks any divergence, and (optionally)
+//! commits the minimized case to the corpus directory. Deterministic:
+//! the same `--seed`/`--samples` pair always examines the same cases, so
+//! a reported seed replays alone via `--samples 1 --seed <seed>`.
+//!
+//! Exit codes: `0` all clean, `1` divergences found, `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use p4all_fuzzgen::{generate, run_case, shrink, Outcome, OracleOptions};
+
+struct Args {
+    samples: u64,
+    seed: u64,
+    trace_len: usize,
+    corpus_dir: PathBuf,
+    save_corpus: bool,
+    do_shrink: bool,
+    cross_checks: bool,
+    max_divergences: usize,
+    shrink_budget: usize,
+    time_limit_s: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            samples: 200,
+            seed: 1,
+            trace_len: 48,
+            corpus_dir: PathBuf::from("tests/fuzz-corpus"),
+            save_corpus: false,
+            do_shrink: true,
+            cross_checks: true,
+            max_divergences: 5,
+            shrink_budget: 300,
+            time_limit_s: 10,
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: fuzzgen [options]
+  --samples N          number of cases to run (default 200)
+  --seed S             base seed; case i uses seed S+i (default 1)
+  --trace-len L        packets per replay trace (default 48)
+  --corpus-dir DIR     where to write shrunk cases (default tests/fuzz-corpus)
+  --save-corpus        write shrunk divergent cases into the corpus dir
+  --no-shrink          report divergences without minimizing them
+  --no-cross           skip the warm/cold and 1/4-thread solver cross-checks
+  --max-divergences M  stop after M distinct divergent samples (default 5)
+  --shrink-budget B    oracle runs per shrink (default 300)
+  --time-limit S       per-solve wall clock cap in seconds (default 10)
+  --help               this text";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--samples" => args.samples = val("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?,
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--trace-len" => args.trace_len = val("--trace-len")?.parse().map_err(|e| format!("--trace-len: {e}"))?,
+            "--corpus-dir" => args.corpus_dir = PathBuf::from(val("--corpus-dir")?),
+            "--save-corpus" => args.save_corpus = true,
+            "--no-shrink" => args.do_shrink = false,
+            "--no-cross" => args.cross_checks = false,
+            "--max-divergences" => {
+                args.max_divergences = val("--max-divergences")?.parse().map_err(|e| format!("--max-divergences: {e}"))?
+            }
+            "--shrink-budget" => {
+                args.shrink_budget = val("--shrink-budget")?.parse().map_err(|e| format!("--shrink-budget: {e}"))?
+            }
+            "--time-limit" => {
+                args.time_limit_s = val("--time-limit")?.parse().map_err(|e| format!("--time-limit: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzzgen: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = OracleOptions {
+        time_limit: Duration::from_secs(args.time_limit_s),
+        cross_checks: args.cross_checks,
+        ..OracleOptions::default()
+    };
+
+    let (mut clean_feasible, mut clean_infeasible, mut skipped) = (0u64, 0u64, 0u64);
+    let mut divergences = 0usize;
+    for i in 0..args.samples {
+        let seed = args.seed.wrapping_add(i);
+        let case = generate(seed, args.trace_len);
+        match run_case(&case, &opts) {
+            Outcome::Clean { feasible: true } => clean_feasible += 1,
+            Outcome::Clean { feasible: false } => clean_infeasible += 1,
+            Outcome::Skipped { reason } => {
+                skipped += 1;
+                eprintln!("seed {seed}: skipped ({reason})");
+            }
+            Outcome::Divergence(d) => {
+                divergences += 1;
+                eprintln!("== divergence at seed {seed} (target {}) ==", case.target.as_str());
+                eprintln!("kind: {}", d.kind);
+                eprintln!("{}", d.detail);
+                let (final_case, final_div) = if args.do_shrink {
+                    let s = shrink(&case, &d, &opts, args.shrink_budget);
+                    eprintln!(
+                        "shrunk in {} oracle runs to {} source lines, trace {} packets:",
+                        s.oracle_runs,
+                        s.case.source().lines().count(),
+                        s.case.trace_len
+                    );
+                    eprintln!("{}", s.case.source());
+                    (s.case, s.divergence)
+                } else {
+                    (case, d)
+                };
+                if args.save_corpus {
+                    match p4all_fuzzgen::save(&args.corpus_dir, &final_case, &final_div) {
+                        Ok(path) => eprintln!("saved to {}", path.display()),
+                        Err(e) => eprintln!("failed to save corpus case: {e}"),
+                    }
+                }
+                if divergences >= args.max_divergences {
+                    eprintln!("stopping after {divergences} divergences");
+                    break;
+                }
+            }
+        }
+    }
+
+    println!(
+        "fuzzgen: {} samples from seed {}: {} feasible, {} infeasible, {} skipped, {} divergent",
+        args.samples, args.seed, clean_feasible, clean_infeasible, skipped, divergences
+    );
+    if divergences > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

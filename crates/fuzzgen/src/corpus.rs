@@ -1,0 +1,242 @@
+//! The committed regression corpus.
+//!
+//! Every shrunk divergence is written to `tests/fuzz-corpus/` as a pair:
+//!
+//! - `<kind>-<seed>.p4all` — the minimized source (with a comment header
+//!   for humans);
+//! - `<kind>-<seed>.meta` — line-oriented replay coordinates: target,
+//!   trace seed and length, installed table entries, and optionally a
+//!   `known-issue:` marker.
+//!
+//! The deterministic replay test (`crates/fuzzgen/tests/corpus_replay.rs`)
+//! runs every pair through the full oracle forever: a case without a
+//! marker must stay clean (the bug it once caught is fixed and must not
+//! return); a case *with* a marker must still reproduce its recorded
+//! divergence class — if it stops reproducing, the marker is stale and
+//! the test demands its removal, so the corpus can never silently rot.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::gen::{EntrySpec, FuzzCase, TargetChoice};
+use crate::oracle::{run_case, Divergence, OracleOptions, Outcome};
+
+/// One loaded corpus case.
+#[derive(Debug)]
+pub struct CorpusEntry {
+    /// File stem (shared by the `.p4all` / `.meta` pair).
+    pub stem: String,
+    pub case: FuzzCase,
+    /// The divergence class recorded when the case was committed.
+    pub kind: String,
+    /// Present when the divergence is a documented known issue that is
+    /// *expected* to still reproduce.
+    pub known_issue: Option<String>,
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or("")
+}
+
+/// Write a (shrunk) divergent case into `dir`. Returns the `.p4all` path.
+pub fn save(dir: &Path, case: &FuzzCase, d: &Divergence) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let stem = format!("{}-{:016x}", d.kind, case.seed);
+    let src_path = dir.join(format!("{stem}.p4all"));
+    let source = format!(
+        "// fuzzgen corpus case — kind: {}\n// seed {} on target {}, trace {}x{}\n\n{}",
+        d.kind,
+        case.seed,
+        case.target.as_str(),
+        case.trace_seed,
+        case.trace_len,
+        case.source()
+    );
+    fs::write(&src_path, source)?;
+
+    let mut meta = String::new();
+    meta.push_str(&format!("kind: {}\n", d.kind));
+    meta.push_str(&format!("seed: {}\n", case.seed));
+    meta.push_str(&format!("trace_seed: {}\n", case.trace_seed));
+    meta.push_str(&format!("trace_len: {}\n", case.trace_len));
+    meta.push_str(&format!("target: {}\n", case.target.as_str()));
+    for e in &case.entries {
+        meta.push_str(&format!("entry: {} {} {}", e.table, e.key, e.action));
+        for (n, v) in &e.data {
+            meta.push_str(&format!(" {n}={v}"));
+        }
+        meta.push('\n');
+    }
+    meta.push_str(&format!("detail: {}\n", first_line(&d.detail)));
+    fs::write(dir.join(format!("{stem}.meta")), meta)?;
+    Ok(src_path)
+}
+
+/// Load every `.meta`/`.p4all` pair in `dir` (sorted by stem for
+/// deterministic test order). A missing directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut stems: Vec<String> = match fs::read_dir(dir) {
+        Err(_) => return Ok(Vec::new()),
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                name.strip_suffix(".meta").map(str::to_string)
+            })
+            .collect(),
+    };
+    stems.sort();
+    stems.iter().map(|stem| load_entry(dir, stem)).collect()
+}
+
+fn load_entry(dir: &Path, stem: &str) -> Result<CorpusEntry, String> {
+    let meta_path = dir.join(format!("{stem}.meta"));
+    let meta = fs::read_to_string(&meta_path)
+        .map_err(|e| format!("{}: {e}", meta_path.display()))?;
+    let src_path = dir.join(format!("{stem}.p4all"));
+    let src =
+        fs::read_to_string(&src_path).map_err(|e| format!("{}: {e}", src_path.display()))?;
+    let program = p4all_lang::parse(&src)
+        .map_err(|e| format!("{}: {}", src_path.display(), e.render(&src)))?;
+
+    let mut kind = None;
+    let mut seed = None;
+    let mut trace_seed = None;
+    let mut trace_len = None;
+    let mut target = None;
+    let mut entries = Vec::new();
+    let mut known_issue = None;
+    for line in meta.lines() {
+        let Some((key, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        match key {
+            "kind" => kind = Some(value.to_string()),
+            "seed" => seed = value.parse::<u64>().ok(),
+            "trace_seed" => trace_seed = value.parse::<u64>().ok(),
+            "trace_len" => trace_len = value.parse::<usize>().ok(),
+            "target" => target = TargetChoice::parse(value),
+            "known-issue" => known_issue = Some(value.to_string()),
+            "entry" => {
+                let mut parts = value.split_whitespace();
+                let (Some(table), Some(key), Some(action)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(format!("{stem}.meta: malformed entry line `{line}`"));
+                };
+                let key = key
+                    .parse::<u64>()
+                    .map_err(|_| format!("{stem}.meta: bad entry key in `{line}`"))?;
+                let data = parts
+                    .map(|kv| {
+                        let (n, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| format!("{stem}.meta: bad entry datum `{kv}`"))?;
+                        let v = v
+                            .parse::<u64>()
+                            .map_err(|_| format!("{stem}.meta: bad entry value `{kv}`"))?;
+                        Ok((n.to_string(), v))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                entries.push(EntrySpec {
+                    table: table.to_string(),
+                    key,
+                    action: action.to_string(),
+                    data,
+                });
+            }
+            _ => {}
+        }
+    }
+    let missing = |what: &str| format!("{stem}.meta: missing `{what}:` line");
+    Ok(CorpusEntry {
+        stem: stem.to_string(),
+        case: FuzzCase {
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            program,
+            target: target.ok_or_else(|| missing("target"))?,
+            entries,
+            trace_seed: trace_seed.ok_or_else(|| missing("trace_seed"))?,
+            trace_len: trace_len.ok_or_else(|| missing("trace_len"))?,
+        },
+        kind: kind.ok_or_else(|| missing("kind"))?,
+        known_issue,
+    })
+}
+
+/// What a corpus replay established.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReplayStatus {
+    /// The case ran clean (or was skipped on solver budget): the bug it
+    /// once caught stays fixed.
+    Pass,
+    /// A `known-issue:` case reproduced its recorded divergence class, as
+    /// expected.
+    KnownIssueStillPresent,
+}
+
+/// Replay one corpus entry through the full oracle and check it against
+/// its expectations. `Err` carries a human-actionable message.
+pub fn replay(entry: &CorpusEntry, opts: &OracleOptions) -> Result<ReplayStatus, String> {
+    let outcome = run_case(&entry.case, opts);
+    match (&entry.known_issue, outcome) {
+        (None, Outcome::Divergence(d)) => Err(format!(
+            "corpus case `{}` regressed: {} — {}",
+            entry.stem,
+            d.kind,
+            first_line(&d.detail)
+        )),
+        (None, _) => Ok(ReplayStatus::Pass),
+        (Some(_), Outcome::Divergence(d)) if d.kind == entry.kind => {
+            Ok(ReplayStatus::KnownIssueStillPresent)
+        }
+        (Some(_), Outcome::Divergence(d)) => Err(format!(
+            "known issue `{}` changed class: recorded {}, now {} — {}",
+            entry.stem,
+            entry.kind,
+            d.kind,
+            first_line(&d.detail)
+        )),
+        (Some(_), other) => Err(format!(
+            "known issue `{}` no longer reproduces (outcome {:?}) — it appears fixed; \
+             remove the `known-issue:` line from {}.meta so the case guards against regression",
+            entry.stem, other, entry.stem
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("fuzzgen-corpus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let case = generate(42, 16);
+        let d = Divergence { kind: "sim-registers".into(), detail: "for the test".into() };
+        save(&dir, &case, &d).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let e = &loaded[0];
+        assert_eq!(e.kind, "sim-registers");
+        assert_eq!(e.case.seed, case.seed);
+        assert_eq!(e.case.trace_seed, case.trace_seed);
+        assert_eq!(e.case.trace_len, case.trace_len);
+        assert_eq!(e.case.target, case.target);
+        assert_eq!(e.case.entries, case.entries);
+        assert_eq!(
+            e.case.program.strip_spans(),
+            case.program.strip_spans(),
+            "corpus source must parse back to the saved AST"
+        );
+        assert!(e.known_issue.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_missing_directory_is_an_empty_corpus() {
+        let dir = std::env::temp_dir().join("fuzzgen-corpus-definitely-missing");
+        assert!(load_dir(&dir).unwrap().is_empty());
+    }
+}

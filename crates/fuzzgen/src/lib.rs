@@ -1,0 +1,27 @@
+//! # p4all-fuzzgen — the adversarial compiler-correctness harness
+//!
+//! Random well-formed P4All programs ([`gen`]), a three-way differential
+//! oracle ([`oracle`]: ILP feasibility + greedy domination + solver
+//! cross-checks, interp-vs-bytecode trace replay at 1 and 4 shards, and
+//! an exact print→parse round trip), a delta-debugging shrinker
+//! ([`mod@shrink`]) for anything that diverges, and a committed regression
+//! corpus ([`corpus`]) replayed deterministically forever.
+//!
+//! The `fuzzgen` binary drives the loop:
+//!
+//! ```text
+//! fuzzgen --samples 1000 --seed 1 --save-corpus
+//! ```
+//!
+//! Every sample is a pure function of `--seed + index`, so a failure
+//! report's seed replays exactly with `--samples 1 --seed <that seed>`.
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+pub use corpus::{load_dir, replay, save, CorpusEntry, ReplayStatus};
+pub use gen::{gen_trace, generate, EntrySpec, FuzzCase, TargetChoice};
+pub use oracle::{run_case, Divergence, OracleOptions, Outcome};
+pub use shrink::{gc, shrink, ShrinkOutcome};

@@ -1,0 +1,495 @@
+//! The three-way differential oracle.
+//!
+//! Each [`FuzzCase`] is pushed through three independent closed loops:
+//!
+//! 0. **Round-trip** — the printed source must parse back to the exact
+//!    AST the generator built (modulo spans).
+//! 1. **ILP** — compile under the exact solver; a feasible answer must
+//!    survive [`p4all_core::verify_layout`], dominate the greedy
+//!    allocator on the program's own utility, and agree on the objective
+//!    with a cold-LP solve and a 4-thread solve. An infeasible answer
+//!    must be corroborated: greedy may not find a valid layout, and the
+//!    4-thread solver must agree.
+//! 2. **Simulation** — a random trace replays through the reference
+//!    interpreter and the bytecode backend in lockstep (per-packet PHV
+//!    and fault equivalence, final register equality), then through
+//!    `run_trace` at 1 shard (interp) and 4 shards (bytecode delta-sum
+//!    merge), all of which must reproduce the lockstep register state
+//!    and drop count.
+//!
+//! Every phase runs under `catch_unwind`, so a compiler or simulator
+//! panic is itself a reportable divergence, not a harness crash.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use p4all_core::{verify_layout, CompileError, CompileOptions, Compiler};
+use p4all_ilp::SolveStatus;
+use p4all_lang::ast::Program;
+use p4all_pisa::TargetSpec;
+use p4all_sim::{Backend, SimError, Switch};
+
+use crate::gen::{gen_trace, FuzzCase};
+
+/// Solver budget and scope knobs for one oracle run.
+#[derive(Debug, Clone)]
+pub struct OracleOptions {
+    /// Branch-and-bound node cap per solve; hitting it is a skip, not a
+    /// divergence.
+    pub node_limit: usize,
+    /// Wall-clock cap per solve.
+    pub time_limit: Duration,
+    /// Run the warm/cold and 1/4-thread solver cross-checks (on for
+    /// fuzzing; the shrinker keeps them on so the bug class is preserved).
+    pub cross_checks: bool,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            node_limit: 20_000,
+            time_limit: Duration::from_secs(10),
+            cross_checks: true,
+        }
+    }
+}
+
+/// One observed disagreement between two things that must agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Stable machine-readable class (`sim-registers`,
+    /// `greedy-beats-ilp`, ...) — the shrinker's interestingness key and
+    /// the corpus file prefix.
+    pub kind: String,
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(kind: &str, detail: impl Into<String>) -> Divergence {
+        Divergence { kind: kind.into(), detail: detail.into() }
+    }
+
+    /// Same bug class? Kind equality, plus a digit-insensitive first-line
+    /// match for kinds whose detail *is* the identity (panic messages,
+    /// rejection diagnostics) — line numbers and generated names shift
+    /// while shrinking, so digits are ignored.
+    pub fn same_bug(&self, other: &Divergence) -> bool {
+        if self.kind != other.kind {
+            return false;
+        }
+        match self.kind.as_str() {
+            "compile-reject" | "internal-error" | "compile-panic" | "greedy-panic"
+            | "sim-panic" | "solver-numerical" => {
+                digit_free_first_line(&self.detail) == digit_free_first_line(&other.detail)
+            }
+            _ => true,
+        }
+    }
+}
+
+fn digit_free_first_line(s: &str) -> String {
+    s.lines().next().unwrap_or("").chars().filter(|c| !c.is_ascii_digit()).collect()
+}
+
+/// Result of one oracle run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// All three loops closed. `feasible` records which ILP branch ran.
+    Clean { feasible: bool },
+    /// The solver hit its node/time budget — no verdict either way.
+    Skipped { reason: String },
+    Divergence(Divergence),
+}
+
+impl Outcome {
+    pub fn divergence(&self) -> Option<&Divergence> {
+        match self {
+            Outcome::Divergence(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+fn make_compiler(
+    target: &TargetSpec,
+    threads: usize,
+    warm_lp: bool,
+    opts: &OracleOptions,
+) -> Compiler {
+    let mut o = CompileOptions::default().with_threads(threads);
+    o.solver.node_limit = opts.node_limit;
+    o.solver.time_limit = Some(opts.time_limit);
+    o.solver.warm_lp = warm_lp;
+    // Infeasibility explanations (IIS probing) cost extra solves the
+    // oracle does not read; the *status* is the oracle's input.
+    o.explain_infeasible = false;
+    Compiler::with_options(target.clone(), o)
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Relative objective agreement: exact solvers on the same model must
+/// land on the same optimum.
+fn objectives_agree(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Run the full oracle on one case.
+pub fn run_case(case: &FuzzCase, opts: &OracleOptions) -> Outcome {
+    let src = case.source();
+
+    // Phase 0: print -> parse round trip.
+    let parsed = match p4all_lang::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            return Outcome::Divergence(Divergence::new(
+                "roundtrip-parse",
+                format!("{}\nsource:\n{src}", e.render(&src)),
+            ))
+        }
+    };
+    if parsed.strip_spans() != case.program.strip_spans() {
+        return Outcome::Divergence(Divergence::new(
+            "roundtrip-ast",
+            format!("parse(print(p)) != p for seed {}\nsource:\n{src}", case.seed),
+        ));
+    }
+
+    // Phase 1: the exact solver, verified and cross-checked.
+    let target = case.target.to_spec();
+    let compiler = make_compiler(&target, 1, true, opts);
+    let res = match catch_unwind(AssertUnwindSafe(|| compiler.compile(&src))) {
+        Ok(r) => r,
+        Err(p) => {
+            return Outcome::Divergence(Divergence::new(
+                "compile-panic",
+                format!("{}\nsource:\n{src}", panic_message(p)),
+            ))
+        }
+    };
+
+    match res {
+        Ok(c) => {
+            if let Err(violations) = verify_layout(&parsed, &c.layout, &target) {
+                return Outcome::Divergence(Divergence::new(
+                    "layout-invalid",
+                    violations.join("\n"),
+                ));
+            }
+            match catch_unwind(AssertUnwindSafe(|| compiler.compile_greedy(&src))) {
+                Err(p) => {
+                    return Outcome::Divergence(Divergence::new(
+                        "greedy-panic",
+                        panic_message(p),
+                    ))
+                }
+                Ok(Ok(g)) => {
+                    if let Err(violations) = verify_layout(&parsed, &g, &target) {
+                        return Outcome::Divergence(Divergence::new(
+                            "greedy-layout-invalid",
+                            violations.join("\n"),
+                        ));
+                    }
+                    if let Err(msg) = p4all_core::ilp_dominates_greedy(&parsed, &c.layout, &g) {
+                        return Outcome::Divergence(Divergence::new("greedy-beats-ilp", msg));
+                    }
+                }
+                // Greedy is an incomplete heuristic: failing where the
+                // exact solver succeeds is its documented weakness.
+                Ok(Err(_)) => {}
+            }
+
+            if opts.cross_checks && c.solve_stats.status == SolveStatus::Optimal {
+                for (kind, threads, warm) in
+                    [("warm-cold", 1usize, false), ("threads", 4, true)]
+                {
+                    if let Some(d) =
+                        cross_check(&src, &target, opts, kind, threads, warm, c.layout.objective)
+                    {
+                        return Outcome::Divergence(d);
+                    }
+                }
+            }
+
+            // Phase 2: differential simulation.
+            if let Err(d) = sim_phase(case, &c.concrete, &parsed) {
+                return Outcome::Divergence(d);
+            }
+            Outcome::Clean { feasible: true }
+        }
+        Err(CompileError::Infeasible(_)) => {
+            // Corroborate: greedy must not find a *valid* layout, and
+            // other solver configurations must agree on infeasibility.
+            match catch_unwind(AssertUnwindSafe(|| compiler.compile_greedy(&src))) {
+                Err(p) => {
+                    return Outcome::Divergence(Divergence::new(
+                        "greedy-panic",
+                        panic_message(p),
+                    ))
+                }
+                Ok(Ok(g)) => {
+                    return Outcome::Divergence(match verify_layout(&parsed, &g, &target) {
+                        Ok(()) => Divergence::new(
+                            "infeasible-vs-greedy",
+                            format!(
+                                "exact solver says infeasible but greedy found a valid layout: {:?}",
+                                g.symbol_values
+                            ),
+                        ),
+                        Err(violations) => {
+                            Divergence::new("greedy-layout-invalid", violations.join("\n"))
+                        }
+                    });
+                }
+                Ok(Err(_)) => {}
+            }
+            if opts.cross_checks {
+                for (kind, threads, warm) in
+                    [("warm-cold", 1usize, false), ("threads", 4, true)]
+                {
+                    if let Some(d) = cross_check_infeasible(&src, &target, opts, kind, threads, warm)
+                    {
+                        return Outcome::Divergence(d);
+                    }
+                }
+            }
+            Outcome::Clean { feasible: false }
+        }
+        Err(CompileError::SolverLimit(m)) => Outcome::Skipped { reason: m },
+        Err(CompileError::Source(d)) => Outcome::Divergence(Divergence::new(
+            "compile-reject",
+            format!("{d}\n{}", d.render(&src, "<fuzzgen>")),
+        )),
+        Err(CompileError::Internal(d)) => Outcome::Divergence(Divergence::new(
+            "internal-error",
+            format!("{d}\n{}", d.render(&src, "<fuzzgen>")),
+        )),
+        Err(CompileError::SolverNumerical(m)) => {
+            Outcome::Divergence(Divergence::new("solver-numerical", m))
+        }
+        Err(other) => {
+            Outcome::Divergence(Divergence::new("compile-unknown", other.to_string()))
+        }
+    }
+}
+
+/// Re-solve with a different solver configuration; an `Optimal` answer
+/// must match the baseline objective, and no configuration may flip to
+/// infeasible.
+fn cross_check(
+    src: &str,
+    target: &TargetSpec,
+    opts: &OracleOptions,
+    kind: &str,
+    threads: usize,
+    warm_lp: bool,
+    baseline_objective: f64,
+) -> Option<Divergence> {
+    let compiler = make_compiler(target, threads, warm_lp, opts);
+    match catch_unwind(AssertUnwindSafe(|| compiler.compile(src))) {
+        Err(p) => Some(Divergence::new("compile-panic", panic_message(p))),
+        Ok(Ok(c2)) => {
+            if c2.solve_stats.status == SolveStatus::Optimal
+                && !objectives_agree(baseline_objective, c2.layout.objective)
+            {
+                Some(Divergence::new(
+                    &format!("{kind}-objective"),
+                    format!(
+                        "baseline objective {baseline_objective} vs {} under threads={threads} warm_lp={warm_lp}",
+                        c2.layout.objective
+                    ),
+                ))
+            } else {
+                None
+            }
+        }
+        Ok(Err(CompileError::SolverLimit(_))) => None,
+        Ok(Err(e)) => Some(Divergence::new(
+            &format!("{kind}-status"),
+            format!("baseline feasible but threads={threads} warm_lp={warm_lp} failed: {e}"),
+        )),
+    }
+}
+
+/// The infeasible mirror of [`cross_check`]: no configuration may find a
+/// layout where the baseline proved none exists.
+fn cross_check_infeasible(
+    src: &str,
+    target: &TargetSpec,
+    opts: &OracleOptions,
+    kind: &str,
+    threads: usize,
+    warm_lp: bool,
+) -> Option<Divergence> {
+    let compiler = make_compiler(target, threads, warm_lp, opts);
+    match catch_unwind(AssertUnwindSafe(|| compiler.compile(src))) {
+        Err(p) => Some(Divergence::new("compile-panic", panic_message(p))),
+        Ok(Ok(c2)) => Some(Divergence::new(
+            &format!("{kind}-status"),
+            format!(
+                "baseline infeasible but threads={threads} warm_lp={warm_lp} found objective {}",
+                c2.layout.objective
+            ),
+        )),
+        Ok(Err(CompileError::Infeasible(_))) | Ok(Err(CompileError::SolverLimit(_))) => None,
+        Ok(Err(e)) => Some(Divergence::new(
+            &format!("{kind}-status"),
+            format!("baseline infeasible but threads={threads} warm_lp={warm_lp} errored differently: {e}"),
+        )),
+    }
+}
+
+fn step(sw: &mut Switch, pkt: &[u64; 4]) -> Result<(), SimError> {
+    sw.begin_packet();
+    for (i, (name, _)) in crate::gen::HEADER_FIELDS.iter().enumerate() {
+        sw.set_header(name, pkt[i]).expect("generated header fields always exist");
+    }
+    sw.run_packet()
+}
+
+/// Phase 2: lockstep interp-vs-bytecode replay, then whole-trace replay
+/// at 1 shard (interp) and 4 shards (bytecode, delta-sum merge).
+fn sim_phase(
+    case: &FuzzCase,
+    concrete: &p4all_core::ConcreteProgram,
+    parsed: &Program,
+) -> Result<(), Divergence> {
+    let run = catch_unwind(AssertUnwindSafe(|| sim_phase_inner(case, concrete, parsed)));
+    match run {
+        Ok(r) => r,
+        Err(p) => Err(Divergence::new("sim-panic", panic_message(p))),
+    }
+}
+
+fn sim_phase_inner(
+    case: &FuzzCase,
+    concrete: &p4all_core::ConcreteProgram,
+    parsed: &Program,
+) -> Result<(), Divergence> {
+    let build = |backend: Backend| -> Result<Switch, Divergence> {
+        let mut sw = Switch::build(concrete, parsed)
+            .map_err(|e| Divergence::new("sim-build", e.to_string()))?;
+        sw.set_backend(backend);
+        for e in &case.entries {
+            let data: Vec<(&str, u64)> = e.data.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+            sw.install_entry(&e.table, vec![e.key], &e.action, &data)
+                .map_err(|err| Divergence::new("sim-build", err.to_string()))?;
+        }
+        Ok(sw)
+    };
+    let mut interp = build(Backend::Interp)?;
+    let mut fast = build(Backend::Compiled)?;
+
+    let trace = gen_trace(case.trace_seed, case.trace_len);
+    let mut dropped = 0u64;
+    for (i, pkt) in trace.iter().enumerate() {
+        let ri = step(&mut interp, pkt);
+        let rf = step(&mut fast, pkt);
+        if ri != rf {
+            return Err(Divergence::new(
+                "sim-status",
+                format!("packet {i} {pkt:?}: interp {ri:?} vs compiled {rf:?}"),
+            ));
+        }
+        if ri.is_ok() {
+            if interp.phv_snapshot() != fast.phv_snapshot() {
+                return Err(Divergence::new(
+                    "sim-phv",
+                    format!(
+                        "packet {i} {pkt:?}: PHV diverges\ninterp:   {:?}\ncompiled: {:?}",
+                        interp.phv_snapshot(),
+                        fast.phv_snapshot()
+                    ),
+                ));
+            }
+        } else {
+            dropped += 1;
+        }
+    }
+    let baseline = interp.registers_snapshot();
+    if baseline != fast.registers_snapshot() {
+        return Err(Divergence::new(
+            "sim-registers",
+            format!(
+                "final registers diverge\ninterp:   {:?}\ncompiled: {:?}",
+                baseline,
+                fast.registers_snapshot()
+            ),
+        ));
+    }
+
+    // Whole-trace replay must reproduce the lockstep result: 1 shard on
+    // the interpreter, 4 shards (flow-hash partitioning + delta-sum
+    // register merge) on the bytecode engine.
+    for (label, sw, threads) in
+        [("sim-replay1", &mut interp, 1usize), ("sim-sharded", &mut fast, 4)]
+    {
+        let pkts: Result<Vec<_>, _> = trace
+            .iter()
+            .map(|pkt| {
+                sw.make_packet(&[
+                    ("key", pkt[0]),
+                    ("val", pkt[1]),
+                    ("d", pkt[2]),
+                    ("aux", pkt[3]),
+                ])
+            })
+            .collect();
+        let pkts = pkts.map_err(|e| Divergence::new("sim-build", e.to_string()))?;
+        sw.reset();
+        let stats = sw.run_trace(&pkts, threads);
+        if stats.dropped != dropped {
+            return Err(Divergence::new(
+                label,
+                format!(
+                    "{threads}-shard replay dropped {} packets, lockstep dropped {dropped}",
+                    stats.dropped
+                ),
+            ));
+        }
+        if sw.registers_snapshot() != baseline {
+            return Err(Divergence::new(
+                label,
+                format!(
+                    "{threads}-shard replay registers diverge from lockstep\nreplay:   {:?}\nlockstep: {:?}",
+                    sw.registers_snapshot(),
+                    baseline
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_bug_compares_kinds_and_digitless_details() {
+        let a = Divergence::new("sim-registers", "whatever 1");
+        let b = Divergence::new("sim-registers", "entirely different");
+        assert!(a.same_bug(&b));
+        let c = Divergence::new("sim-phv", "whatever 1");
+        assert!(!a.same_bug(&c));
+        let p1 = Divergence::new("compile-panic", "index out of bounds: 12 > 4");
+        let p2 = Divergence::new("compile-panic", "index out of bounds: 3 > 2");
+        let p3 = Divergence::new("compile-panic", "attempt to divide by zero");
+        assert!(p1.same_bug(&p2));
+        assert!(!p1.same_bug(&p3));
+    }
+
+    #[test]
+    fn objective_tolerance_is_relative() {
+        assert!(objectives_agree(1e7, 1e7 + 1.0));
+        assert!(!objectives_agree(64.0, 65.0));
+    }
+}

@@ -1,0 +1,569 @@
+//! Greedy delta-debugging over fuzz cases.
+//!
+//! A candidate edit is *accepted* when the oracle still reports the same
+//! bug class ([`Divergence::same_bug`]); the loop restarts from the
+//! smaller case until a full sweep yields no accepted edit or the oracle
+//! budget runs out. Edits, most aggressive first:
+//!
+//! 1. truncate the trace (traces have a prefix property, see
+//!    [`crate::gen::gen_trace`]);
+//! 2. drop a whole non-entry control (with its `apply` sites);
+//! 3. drop a table (with its `apply` sites and installed entries);
+//! 4. remove a single statement anywhere (recursively, so a `for` or
+//!    `if` subtree counts as one removable node);
+//! 5. pin a symbolic to a small constant via a replacement `assume`;
+//! 6. drop installed table entries.
+//!
+//! After every structural edit a mark-and-sweep GC removes newly
+//! unreferenced actions, tables, registers, metadata fields, symbolics,
+//! their `assume`s, and unreachable controls, and rebuilds the `optimize`
+//! expression from the surviving symbolics — so every candidate is again
+//! well-formed by construction and the final artifact is minimal enough
+//! to read.
+
+use std::collections::BTreeSet;
+
+use p4all_lang::ast::*;
+use p4all_lang::Span;
+
+use crate::gen::FuzzCase;
+use crate::oracle::{run_case, Divergence, OracleOptions, Outcome};
+
+/// The result of a shrink run: the smallest case still exhibiting the
+/// original bug class, its (re-confirmed) divergence, and the number of
+/// oracle runs spent.
+#[derive(Debug)]
+pub struct ShrinkOutcome {
+    pub case: FuzzCase,
+    pub divergence: Divergence,
+    pub oracle_runs: usize,
+}
+
+/// Shrink `case` while preserving `bug`'s class. `budget` caps the number
+/// of oracle runs (each runs the full compile + replay pipeline).
+pub fn shrink(
+    case: &FuzzCase,
+    bug: &Divergence,
+    opts: &OracleOptions,
+    budget: usize,
+) -> ShrinkOutcome {
+    let mut best = case.clone();
+    let mut best_div = bug.clone();
+    let mut runs = 0usize;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if runs >= budget {
+                break 'outer;
+            }
+            runs += 1;
+            if let Outcome::Divergence(d2) = run_case(&cand, opts) {
+                if bug.same_bug(&d2) {
+                    best = cand;
+                    best_div = d2;
+                    continue 'outer;
+                }
+            }
+        }
+        break; // full sweep, nothing accepted
+    }
+    ShrinkOutcome { case: best, divergence: best_div, oracle_runs: runs }
+}
+
+/// All single-edit candidates for one round, most aggressive first.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let p = &case.program;
+
+    // 1. Trace truncation.
+    if case.trace_len > 1 {
+        let mut c = case.clone();
+        c.trace_len /= 2;
+        out.push(c);
+        if case.trace_len > 2 {
+            let mut c = case.clone();
+            c.trace_len = 1;
+            out.push(c);
+        }
+    }
+
+    // 2. Drop a non-entry control.
+    if p.controls.len() > 1 {
+        for j in 0..p.controls.len() - 1 {
+            let name = p.controls[j].name.clone();
+            let mut c = case.clone();
+            c.program.controls.remove(j);
+            strip_applies(&mut c.program, &name, true);
+            gc(&mut c);
+            out.push(c);
+        }
+    }
+
+    // 3. Drop a table.
+    for t in &p.tables {
+        let name = t.name.clone();
+        let mut c = case.clone();
+        c.program.tables.retain(|x| x.name != name);
+        strip_applies(&mut c.program, &name, false);
+        gc(&mut c);
+        out.push(c);
+    }
+
+    // 4. Remove one statement (any position, subtrees count as one node).
+    for ci in 0..p.controls.len() {
+        for n in 0..count_stmts(&p.controls[ci].body) {
+            let mut c = case.clone();
+            let mut target = n as isize;
+            c.program.controls[ci].body = remove_nth(&p.controls[ci].body, &mut target);
+            gc(&mut c);
+            out.push(c);
+        }
+    }
+    for ai in 0..p.actions.len() {
+        for n in 0..count_stmts(&p.actions[ai].body) {
+            let mut c = case.clone();
+            let mut target = n as isize;
+            c.program.actions[ai].body = remove_nth(&p.actions[ai].body, &mut target);
+            gc(&mut c);
+            out.push(c);
+        }
+    }
+
+    // 5. Pin a symbolic to a constant.
+    for s in &p.symbolics {
+        for v in [1u64, 2, 8] {
+            let mut c = case.clone();
+            c.program.assumes.retain(|a| {
+                let mut syms = Vec::new();
+                a.expr.symbolics(&mut syms);
+                !syms.contains(&s.name)
+            });
+            c.program.assumes.push(Assume {
+                expr: Expr::Binary {
+                    op: BinOp::Eq,
+                    lhs: Box::new(Expr::Symbolic(s.name.clone())),
+                    rhs: Box::new(Expr::Int(v)),
+                },
+                span: Span::default(),
+            });
+            out.push(c);
+        }
+    }
+
+    // 6. Drop table entries.
+    if !case.entries.is_empty() {
+        let mut c = case.clone();
+        c.entries.clear();
+        out.push(c);
+        if case.entries.len() > 1 {
+            let mut c = case.clone();
+            c.entries.truncate(case.entries.len() / 2);
+            out.push(c);
+        }
+    }
+
+    out
+}
+
+// ------------------------------------------------------- statement edits
+
+/// Count every statement node (recursive; an `if`/`for` and each nested
+/// statement are separate positions).
+fn count_stmts(stmts: &[Stmt]) -> usize {
+    stmts
+        .iter()
+        .map(|s| {
+            1 + match s {
+                Stmt::If { then_body, else_body, .. } => {
+                    count_stmts(then_body) + count_stmts(else_body)
+                }
+                Stmt::For { body, .. } => count_stmts(body),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+/// Rebuild `stmts` with the `target`-th preorder node (and its subtree)
+/// removed. The counter decrements at every visited node; once negative,
+/// the walk just clones.
+fn remove_nth(stmts: &[Stmt], target: &mut isize) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        if *target == 0 {
+            *target -= 1;
+            continue; // drop this node and everything under it
+        }
+        *target -= 1;
+        let kept = match s {
+            Stmt::If { cond, then_body, else_body, span } => Stmt::If {
+                cond: cond.clone(),
+                then_body: remove_nth(then_body, target),
+                else_body: remove_nth(else_body, target),
+                span: *span,
+            },
+            Stmt::For { var, bound, body, span } => Stmt::For {
+                var: var.clone(),
+                bound: bound.clone(),
+                body: remove_nth(body, target),
+                span: *span,
+            },
+            other => other.clone(),
+        };
+        out.push(kept);
+    }
+    out
+}
+
+/// Remove every `name.apply()` site — control applies when `control` is
+/// true, table applies otherwise — from all control bodies.
+fn strip_applies(p: &mut Program, name: &str, control: bool) {
+    for c in &mut p.controls {
+        c.body = retain_stmts(&c.body, &|s: &Stmt| match s {
+            Stmt::ApplyControl { name: n, .. } => !(control && n == name),
+            Stmt::ApplyTable { name: n, .. } => control || n != name,
+            _ => true,
+        });
+    }
+}
+
+/// Recursive `retain` over a statement tree (keeps structure, filters
+/// nodes at every depth).
+fn retain_stmts(stmts: &[Stmt], keep: &impl Fn(&Stmt) -> bool) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        if !keep(s) {
+            continue;
+        }
+        let kept = match s {
+            Stmt::If { cond, then_body, else_body, span } => Stmt::If {
+                cond: cond.clone(),
+                then_body: retain_stmts(then_body, keep),
+                else_body: retain_stmts(else_body, keep),
+                span: *span,
+            },
+            Stmt::For { var, bound, body, span } => Stmt::For {
+                var: var.clone(),
+                bound: bound.clone(),
+                body: retain_stmts(body, keep),
+                span: *span,
+            },
+            other => other.clone(),
+        };
+        out.push(kept);
+    }
+    out
+}
+
+// --------------------------------------------------------------- the GC
+
+fn walk_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If { then_body, else_body, .. } => {
+                walk_stmts(then_body, f);
+                walk_stmts(else_body, f);
+            }
+            Stmt::For { body, .. } => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+fn walk_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match e {
+        Expr::Meta { index: Some(i), .. } => walk_expr(i, f),
+        Expr::RegisterRead { instance, cell, .. } => {
+            if let Some(i) = instance {
+                walk_expr(i, f);
+            }
+            walk_expr(cell, f);
+        }
+        Expr::Unary { operand, .. } => walk_expr(operand, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        _ => {}
+    }
+}
+
+/// Every expression directly held by one statement (not recursing into
+/// nested statements — pair with [`walk_stmts`]).
+fn stmt_exprs(s: &Stmt) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn lvalue<'a>(l: &'a LValue, out: &mut Vec<&'a Expr>) {
+        match l {
+            LValue::Meta { index: Some(i), .. } => out.push(i),
+            LValue::Register { instance, cell, .. } => {
+                if let Some(i) = instance {
+                    out.push(i);
+                }
+                out.push(cell);
+            }
+            _ => {}
+        }
+    }
+    match s {
+        Stmt::Assign { lhs, rhs, .. } => {
+            lvalue(lhs, &mut out);
+            out.push(rhs);
+        }
+        Stmt::HashAssign { lhs, inputs, .. } => {
+            lvalue(lhs, &mut out);
+            out.extend(inputs.iter());
+        }
+        Stmt::If { cond, .. } => out.push(cond),
+        Stmt::CallAction { index: Some(i), .. } => out.push(i),
+        _ => {}
+    }
+    out
+}
+
+/// Mark-and-sweep over one case: drop everything unreachable from the
+/// entry control, then re-anchor `assume`s and `optimize` to the
+/// surviving symbolics and filter installed entries to surviving
+/// tables/actions/metadata.
+pub fn gc(case: &mut FuzzCase) {
+    let p = &mut case.program;
+    let Some(entry) = p.controls.last().map(|c| c.name.clone()) else {
+        return;
+    };
+
+    // Reachable controls (transitively from the entry).
+    let mut live_controls: BTreeSet<String> = BTreeSet::new();
+    let mut frontier = vec![entry];
+    while let Some(name) = frontier.pop() {
+        if !live_controls.insert(name.clone()) {
+            continue;
+        }
+        if let Some(c) = p.controls.iter().find(|c| c.name == name) {
+            walk_stmts(&c.body, &mut |s| {
+                if let Stmt::ApplyControl { name, .. } = s {
+                    frontier.push(name.clone());
+                }
+            });
+        }
+    }
+    p.controls.retain(|c| live_controls.contains(&c.name));
+
+    // Tables applied by live controls; actions called by live controls or
+    // listed by live tables.
+    let mut live_tables = BTreeSet::new();
+    let mut live_actions = BTreeSet::new();
+    for c in &p.controls {
+        walk_stmts(&c.body, &mut |s| match s {
+            Stmt::ApplyTable { name, .. } => {
+                live_tables.insert(name.clone());
+            }
+            Stmt::CallAction { name, .. } => {
+                live_actions.insert(name.clone());
+            }
+            _ => {}
+        });
+    }
+    p.tables.retain(|t| live_tables.contains(&t.name));
+    for t in &p.tables {
+        live_actions.extend(t.actions.iter().cloned());
+        if let Some(d) = &t.default_action {
+            live_actions.insert(d.clone());
+        }
+    }
+    p.actions.retain(|a| live_actions.contains(&a.name));
+
+    // Registers and metadata referenced by live actions/controls/tables.
+    let mut live_regs = BTreeSet::new();
+    let mut live_meta = BTreeSet::new();
+    fn collect_expr(e: &Expr, regs: &mut BTreeSet<String>, meta: &mut BTreeSet<String>) {
+        walk_expr(e, &mut |e| match e {
+            Expr::RegisterRead { reg, .. } => {
+                regs.insert(reg.clone());
+            }
+            Expr::Meta { field, .. } => {
+                meta.insert(field.clone());
+            }
+            _ => {}
+        });
+    }
+    {
+        let mut on_stmt = |s: &Stmt| {
+            if let Stmt::Assign { lhs, .. } | Stmt::HashAssign { lhs, .. } = s {
+                match lhs {
+                    LValue::Meta { field, .. } => {
+                        live_meta.insert(field.clone());
+                    }
+                    LValue::Register { reg, .. } => {
+                        live_regs.insert(reg.clone());
+                    }
+                    _ => {}
+                }
+            }
+            for e in stmt_exprs(s) {
+                collect_expr(e, &mut live_regs, &mut live_meta);
+            }
+        };
+        for a in &p.actions {
+            walk_stmts(&a.body, &mut on_stmt);
+        }
+        for c in &p.controls {
+            walk_stmts(&c.body, &mut on_stmt);
+        }
+    }
+    for t in &p.tables {
+        for k in &t.keys {
+            collect_expr(k, &mut live_regs, &mut live_meta);
+        }
+    }
+    p.registers.retain(|r| live_regs.contains(&r.name));
+    p.metadata.retain(|m| live_meta.contains(&m.name));
+
+    // A symbolic is alive only through a *structural* role (array extent,
+    // loop bound, hash range) — one referenced solely by assumes or
+    // optimize is dead, because elaboration requires every symbolic to
+    // play a structural role.
+    let structural: BTreeSet<String> = {
+        let mut set = BTreeSet::new();
+        for m in &p.metadata {
+            if let Some(n) = m.count.as_ref().and_then(|s| s.symbolic_name()) {
+                set.insert(n.to_string());
+            }
+        }
+        for r in &p.registers {
+            if let Some(n) = r.cells.symbolic_name() {
+                set.insert(n.to_string());
+            }
+            if let Some(n) = r.instances.as_ref().and_then(|s| s.symbolic_name()) {
+                set.insert(n.to_string());
+            }
+        }
+        let mut on_stmt = |s: &Stmt| match s {
+            Stmt::For { bound, .. } => {
+                if let Some(n) = bound.symbolic_name() {
+                    set.insert(n.to_string());
+                }
+            }
+            Stmt::HashAssign { range, .. } => {
+                if let Some(n) = range.symbolic_name() {
+                    set.insert(n.to_string());
+                }
+            }
+            _ => {}
+        };
+        for a in &p.actions {
+            walk_stmts(&a.body, &mut on_stmt);
+        }
+        for c in &p.controls {
+            walk_stmts(&c.body, &mut on_stmt);
+        }
+        set
+    };
+    p.symbolics.retain(|s| structural.contains(&s.name));
+    let alive: BTreeSet<String> = p.symbolics.iter().map(|s| s.name.clone()).collect();
+    p.assumes.retain(|a| {
+        let mut syms = Vec::new();
+        a.expr.symbolics(&mut syms);
+        syms.iter().all(|s| alive.contains(s))
+    });
+    if let Some(opt) = &p.optimize {
+        let mut syms = Vec::new();
+        opt.symbolics(&mut syms);
+        if !syms.iter().all(|s| alive.contains(s)) {
+            // Rebuild as the plain sum of surviving symbolics (utility
+            // shape is not part of any bug's identity the oracle tracks).
+            p.optimize = p
+                .symbolics
+                .iter()
+                .map(|s| Expr::Symbolic(s.name.clone()))
+                .reduce(|a, b| Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(a),
+                    rhs: Box::new(b),
+                });
+        }
+    }
+    if p.symbolics.is_empty() {
+        p.optimize = None;
+    }
+
+    // Entries must still name a live table/action, and action data must
+    // bind live metadata fields.
+    let table_names: BTreeSet<String> = p.tables.iter().map(|t| t.name.clone()).collect();
+    let action_names: BTreeSet<String> = p.actions.iter().map(|a| a.name.clone()).collect();
+    let meta_names: BTreeSet<String> = p.metadata.iter().map(|m| m.name.clone()).collect();
+    case.entries.retain(|e| table_names.contains(&e.table) && action_names.contains(&e.action));
+    for e in &mut case.entries {
+        e.data.retain(|(n, _)| meta_names.contains(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn gc_keeps_generated_cases_intact() {
+        // A freshly generated case is fully live: GC must be a no-op.
+        for seed in 0..30u64 {
+            let case = generate(seed, 8);
+            let mut swept = case.clone();
+            gc(&mut swept);
+            assert_eq!(
+                swept.program.strip_spans(),
+                case.program.strip_spans(),
+                "seed {seed}: GC removed live structure"
+            );
+            assert_eq!(swept.entries, case.entries);
+        }
+    }
+
+    #[test]
+    fn gc_sweeps_after_control_removal() {
+        // Find a seed with at least one sketch block, drop its update
+        // control, and check the cascade: action, register, metadata,
+        // symbolics, assumes, optimize all follow.
+        let case = (0..200u64)
+            .map(|s| generate(s, 8))
+            .find(|c| c.program.controls.iter().any(|c| c.name == "sk0_upd"))
+            .expect("some seed generates a sketch");
+        let mut c = case.clone();
+        c.program.controls.retain(|x| x.name != "sk0_upd" && x.name != "sk0_scan");
+        strip_applies(&mut c.program, "sk0_upd", true);
+        strip_applies(&mut c.program, "sk0_scan", true);
+        gc(&mut c);
+        assert!(c.program.register("sk0").is_none(), "sk0 register must be swept");
+        assert!(c.program.action("sk0_incr").is_none());
+        assert!(c.program.meta_field("sk0_idx").is_none());
+        assert!(c.program.symbolic("rows0").is_none());
+        assert!(c.program.symbolic("cols0").is_none());
+        for a in &c.program.assumes {
+            let mut syms = Vec::new();
+            a.expr.symbolics(&mut syms);
+            assert!(!syms.contains(&"rows0".to_string()));
+        }
+        if let Some(opt) = &c.program.optimize {
+            let mut syms = Vec::new();
+            opt.symbolics(&mut syms);
+            assert!(!syms.contains(&"rows0".to_string()), "optimize must be rebuilt");
+        }
+        // The swept program still parses and round-trips.
+        let src = c.source();
+        let parsed = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+        assert_eq!(parsed.strip_spans(), c.program.strip_spans());
+    }
+
+    #[test]
+    fn remove_nth_enumerates_every_node() {
+        let case = generate(3, 8);
+        let main = case.program.entry_control().unwrap();
+        let total = count_stmts(&main.body);
+        assert!(total > 0);
+        for n in 0..total {
+            let mut target = n as isize;
+            let out = remove_nth(&main.body, &mut target);
+            assert!(target < 0, "target {n} must be consumed");
+            assert!(count_stmts(&out) < total, "removal {n} must shrink the tree");
+        }
+    }
+}

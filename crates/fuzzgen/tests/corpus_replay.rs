@@ -1,0 +1,37 @@
+//! Deterministic replay of the committed fuzz corpus
+//! (`tests/fuzz-corpus/` at the repository root).
+//!
+//! Every `.p4all`/`.meta` pair runs through the full oracle:
+//!
+//! - plain cases must stay clean — they are shrunk witnesses of bugs
+//!   that were fixed, and this test keeps them fixed;
+//! - `known-issue:` cases must still reproduce their recorded divergence
+//!   class — when one stops reproducing, the failure message demands the
+//!   marker's removal, so stale markers cannot accumulate.
+
+use std::path::PathBuf;
+
+use p4all_fuzzgen::{load_dir, replay, OracleOptions};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fuzz-corpus")
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let entries = load_dir(&corpus_dir()).unwrap_or_else(|e| panic!("corpus load failed: {e}"));
+    let opts = OracleOptions::default();
+    let mut failures = Vec::new();
+    for entry in &entries {
+        if let Err(msg) = replay(entry, &opts) {
+            failures.push(msg);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} corpus cases failed:\n{}",
+        failures.len(),
+        entries.len(),
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,62 @@
+//! The generator's own contract, over a fixed seed range:
+//!
+//! - every generated program round-trips print→parse to the identical
+//!   AST (modulo spans) and survives elaboration;
+//! - generation is a pure function of the seed;
+//! - a slice of full oracle runs comes back without divergence (the
+//!   committed baseline: the compiler and both simulator backends agree
+//!   on everything these seeds cover).
+
+use std::sync::Arc;
+
+use p4all_fuzzgen::{generate, run_case, OracleOptions, Outcome};
+
+#[test]
+fn generated_programs_roundtrip_and_elaborate() {
+    for seed in 0..120u64 {
+        let case = generate(seed, 16);
+        let src = case.source();
+        let parsed = p4all_lang::parse(&src)
+            .unwrap_or_else(|e| panic!("seed {seed} does not parse: {}\n{src}", e.render(&src)));
+        assert_eq!(
+            parsed.strip_spans(),
+            case.program.strip_spans(),
+            "seed {seed}: print->parse is not the identity\n{src}"
+        );
+        p4all_core::elaborate::elaborate(&Arc::new(parsed))
+            .unwrap_or_else(|d| panic!("seed {seed} does not elaborate: {d}\n{src}"));
+    }
+}
+
+#[test]
+fn generation_is_a_pure_function_of_the_seed() {
+    for seed in [0u64, 7, 99, 1 << 40, u64::MAX] {
+        let a = generate(seed, 32);
+        let b = generate(seed, 32);
+        assert_eq!(a.source(), b.source());
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.trace_seed, b.trace_seed);
+    }
+}
+
+/// A small full-oracle batch: compile (exact + greedy + cross-checks),
+/// replay (lockstep + 1-shard + 4-shard), round trip. Slower than the
+/// structural checks above, so the range is short; the CI smoke job runs
+/// the wide sweep through the `fuzzgen` binary.
+#[test]
+fn oracle_batch_is_divergence_free() {
+    let opts = OracleOptions::default();
+    for seed in 0..16u64 {
+        let case = generate(seed, 24);
+        match run_case(&case, &opts) {
+            Outcome::Divergence(d) => panic!(
+                "seed {seed} diverged: {} — {}\nsource:\n{}",
+                d.kind,
+                d.detail,
+                case.source()
+            ),
+            Outcome::Clean { .. } | Outcome::Skipped { .. } => {}
+        }
+    }
+}

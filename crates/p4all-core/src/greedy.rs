@@ -46,6 +46,33 @@ pub fn place_greedy(
         tag[g] = unrolled.instances[node.members[0]].iters.clone();
     }
 
+    // Minimum memory each group brings into its stage: a fixed-size
+    // register demands its full footprint, an elastic one at least its
+    // mined `assume` lower bound (default one cell). Charged to the first
+    // group touching each register instance, so shared instances are not
+    // double-counted; that owner group carries the demand through the
+    // stage-fit check below.
+    let mut mem_min = vec![0u64; n];
+    {
+        let mut owner: BTreeMap<(&str, usize), usize> = BTreeMap::new();
+        for (g, node) in graph.nodes.iter().enumerate() {
+            for &m in &node.members {
+                let Some(r) = &unrolled.instances[m].reg else { continue };
+                if owner.insert((r.reg.as_str(), r.instance), g).is_some() {
+                    continue;
+                }
+                let Some(decl) = info.program.register(&r.reg) else { continue };
+                let min_cells = match &decl.cells {
+                    p4all_lang::ast::Size::Const(k) => *k,
+                    p4all_lang::ast::Size::Symbolic(s) => {
+                        info.mined.get(s).and_then(|b| b.lo).unwrap_or(1).max(1)
+                    }
+                };
+                mem_min[g] += min_cells * decl.elem_bits as u64;
+            }
+        }
+    }
+
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
     for &(a, b) in &graph.precedence {
         preds[b].push(a);
@@ -58,6 +85,7 @@ pub fn place_greedy(
 
     let mut used_f = vec![0u32; stages];
     let mut used_l = vec![0u32; stages];
+    let mut used_m = vec![0u64; stages];
     let mut stage_of: Vec<Option<usize>> = vec![None; n];
     // Iterations of a count symbolic that failed: higher iterations of the
     // same symbolic are skipped (in-order rule #16).
@@ -89,6 +117,7 @@ pub fn place_greedy(
             'stage: for s in lo..stages {
                 if used_f[s] + hf[g] > target.stateful_alus
                     || used_l[s] + hl[g] > target.stateless_alus
+                    || used_m[s] + mem_min[g] > target.memory_bits
                 {
                     continue;
                 }
@@ -106,6 +135,7 @@ pub fn place_greedy(
                 stage_of[g] = Some(s);
                 used_f[s] += hf[g];
                 used_l[s] += hl[g];
+                used_m[s] += mem_min[g];
             }
             None => {
                 if tag[g].is_empty() {
@@ -129,6 +159,7 @@ pub fn place_greedy(
                         if let Some(s2) = stage_of[g2].take() {
                             used_f[s2] -= hf[g2];
                             used_l[s2] -= hl[g2];
+                            used_m[s2] -= mem_min[g2];
                         }
                     }
                 }
@@ -181,24 +212,34 @@ pub fn place_greedy(
             stage_free[sl.stage] -= (k * sl.elem_bits as u64) as i64;
         }
     }
-    // Elastic registers share evenly within their stage; the symbolic's
-    // value is the min across its instances (equal-row-size rule).
+    // Elastic registers share the leftover within their stage; each slot
+    // is granted its mined `assume` lower bound first (default one cell)
+    // and the remainder splits evenly, so registers with different lower
+    // bounds do not starve each other. The symbolic's value is the min
+    // across its instances (equal-row-size rule).
+    let lo_cells_of = |sym: &str| info.mined.get(sym).and_then(|b| b.lo).unwrap_or(1).max(1);
     let mut elastic_count_per_stage = vec![0u64; stages];
+    let mut elastic_lo_bits = vec![0u64; stages];
     for sl in &slots {
-        if sl.fixed_cells.is_none() {
+        if let Some(sym) = &sl.size_sym {
             elastic_count_per_stage[sl.stage] += 1;
+            elastic_lo_bits[sl.stage] += lo_cells_of(sym) * sl.elem_bits as u64;
         }
     }
     let mut sym_cells: BTreeMap<String, u64> = BTreeMap::new();
     for sl in &slots {
         let Some(sym) = &sl.size_sym else { continue };
         let peers = elastic_count_per_stage[sl.stage].max(1);
-        let share_bits = (stage_free[sl.stage].max(0) as u64) / peers;
+        let free = (stage_free[sl.stage].max(0) as u64).saturating_sub(elastic_lo_bits[sl.stage]);
+        let share_bits = lo_cells_of(sym) * sl.elem_bits as u64 + free / peers;
         let cells = share_bits / sl.elem_bits as u64;
         let e = sym_cells.entry(sym.clone()).or_insert(u64::MAX);
         *e = (*e).min(cells);
     }
-    // Honour mined hi bounds from assumes.
+    // Honour mined bounds from assumes. A share below the lower bound is
+    // an honest failure: emitting the register at zero cells (or silently
+    // dropping it) would hand back a layout that violates the program's
+    // own `assume`s.
     for (sym, cells) in sym_cells.iter_mut() {
         if let Some(b) = info.mined.get(sym) {
             if let Some(hi) = b.hi {
@@ -206,7 +247,14 @@ pub fn place_greedy(
             }
             if let Some(lo) = b.lo {
                 if *cells < lo {
-                    *cells = 0; // cannot honour the lower bound -> drop
+                    return Err(Diagnostic::error(format!(
+                        "greedy placement failed: best share for size symbolic `{sym}` \
+                         is {cells} cells, below its `assume` lower bound of {lo}"
+                    ))
+                    .with_note(
+                        "the greedy baseline splits stage memory evenly; the ILP may \
+                         still find a feasible asymmetric split",
+                    ));
                 }
             }
         }
@@ -261,12 +309,49 @@ pub fn place_greedy(
     for (sym, cells) in &sym_cells {
         symbol_values.insert(sym.clone(), *cells);
     }
+    // A size symbolic whose registers were never placed (all the loop
+    // iterations touching them were dropped) still needs a value for the
+    // layout to be checkable.
+    for sym in info.size_symbolics() {
+        symbol_values.entry(sym.to_string()).or_insert(0);
+    }
+    // Dropping iterations can sink a count symbolic below an `assume`
+    // lower bound (e.g. `rows >= 1` with every row dropped); that is a
+    // greedy failure, not a valid layout.
+    for (sym, v) in &symbol_values {
+        if let Some(lo) = info.mined.get(sym).and_then(|b| b.lo) {
+            if *v < lo {
+                return Err(Diagnostic::error(format!(
+                    "greedy placement failed: `{sym}` = {v} violates its `assume` \
+                     lower bound of {lo}"
+                )));
+            }
+        }
+    }
 
     let mut phv = info.fixed_phv_bits();
     for (sym, _) in seen_iter.keys() {
         phv += info.meta_chunk_bits(sym);
     }
     usage.phv_elastic_bits = phv;
+
+    // Backstop for anything the checks above cannot see (non-minable
+    // `assume` shapes, shared register instances whose owning group was
+    // unplaced): a greedy `Ok` must mean a genuinely valid layout.
+    if let Err(violations) = crate::verify::assumes_hold(&info.program, &symbol_values) {
+        return Err(Diagnostic::error(format!(
+            "greedy placement failed: {}",
+            violations.join("; ")
+        )));
+    }
+    if let Err(violations) = p4all_pisa::validate(&usage, target) {
+        let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        return Err(Diagnostic::error(format!(
+            "greedy placement failed: layout does not fit `{}`: {}",
+            target.name,
+            rendered.join("; ")
+        )));
+    }
 
     Ok(Layout { symbol_values, placements, registers, objective: 0.0, usage })
 }
@@ -335,6 +420,62 @@ mod tests {
         // Exclusion between set_mins.
         let s_min1 = layout.stage_of("set_min[1]").unwrap();
         assert_ne!(s_min0, s_min1);
+    }
+
+    /// Two fixed 1536-bit registers fit a 2048-bit stage individually but
+    /// not together; the ALU budget alone would co-locate them. Found by
+    /// fuzzing (corpus case `greedy-layout-invalid-6e`): greedy used to
+    /// place stages memory-blind and return an overflowing layout as `Ok`.
+    #[test]
+    fn greedy_is_memory_aware_for_fixed_registers() {
+        let src = r#"
+            header h { bit<32> key; }
+            register<bit<64>>[24] a;
+            register<bit<64>>[24] b;
+            action fa() { a[0] = a[0] + 1; }
+            action fb() { b[0] = b[0] + 1; }
+            control Main() { apply { fa(); fb(); } }
+        "#;
+        let p = std::sync::Arc::new(parse(src).unwrap());
+        let info = elaborate(&p).unwrap();
+        let u = instantiate(&info, &BTreeMap::new()).unwrap();
+        let g = build_full(&u);
+        let target = presets::paper_example();
+        let layout = place_greedy(&info, &u, &g, &target).unwrap();
+        p4all_pisa::validate(&layout.usage, &target)
+            .unwrap_or_else(|e| panic!("greedy produced invalid layout: {e:?}"));
+        let s_a = layout.stage_of("fa").unwrap();
+        let s_b = layout.stage_of("fb").unwrap();
+        assert_ne!(s_a, s_b, "1536 + 1536 bits cannot share a 2048-bit stage");
+    }
+
+    /// A lower bound the even split cannot honour is a greedy *failure*,
+    /// not a licence to emit the register with zero cells (corpus case
+    /// `greedy-layout-invalid-b7`).
+    #[test]
+    fn greedy_fails_honestly_when_a_lower_bound_cannot_be_met() {
+        let src = r#"
+            symbolic int cols;
+            assume cols >= 1024;
+            header h { bit<32> key; }
+            struct metadata { bit<32> idx; }
+            register<bit<32>>[cols] tab;
+            action touch() {
+                meta.idx = hash(hdr.key, cols);
+                tab[meta.idx] = tab[meta.idx] + 1;
+            }
+            control Main() { apply { touch(); } }
+        "#;
+        let p = std::sync::Arc::new(parse(src).unwrap());
+        let info = elaborate(&p).unwrap();
+        let u = instantiate(&info, &BTreeMap::new()).unwrap();
+        let g = build_full(&u);
+        // 1024 cells x 32 bits = 32768 bits >> 2048 per stage.
+        let err = place_greedy(&info, &u, &g, &presets::paper_example()).unwrap_err();
+        assert!(
+            err.to_string().contains("greedy placement failed"),
+            "expected an honest greedy failure, got: {err}"
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod ir;
 pub mod passes;
 pub mod pipeline;
 pub mod solution;
+pub mod verify;
 
 pub use codegen::{loc, print_p4, ConcreteAction, ConcreteProgram, ConcreteRegister};
 pub use explain::{explain_infeasible, ExplainedRow, Infeasibility};
@@ -64,3 +65,4 @@ pub use pipeline::{
     evaluate_utility, Compilation, CompileError, CompileOptions, Compiler, SolveStats, Timings,
 };
 pub use solution::{Layout, Placement, RegisterAllocation};
+pub use verify::{assumes_hold, evaluate_predicate, ilp_dominates_greedy, verify_layout};

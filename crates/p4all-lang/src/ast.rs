@@ -65,6 +65,117 @@ impl Program {
     pub fn entry_control(&self) -> Option<&ControlDecl> {
         self.controls.last()
     }
+
+    /// A copy of the program with every span reset to `Span::default()`.
+    ///
+    /// Two programs are *structurally* equal when their stripped forms are
+    /// `==`: generated ASTs (all-default spans) compare equal to their own
+    /// print→parse round trip, which carries real source positions.
+    pub fn strip_spans(&self) -> Program {
+        let sp = Span::default();
+        Program {
+            symbolics: self
+                .symbolics
+                .iter()
+                .map(|s| SymbolicDecl { name: s.name.clone(), span: sp })
+                .collect(),
+            assumes: self
+                .assumes
+                .iter()
+                .map(|a| Assume { expr: a.expr.clone(), span: sp })
+                .collect(),
+            optimize: self.optimize.clone(),
+            headers: self
+                .headers
+                .iter()
+                .map(|h| HeaderDecl { name: h.name.clone(), fields: h.fields.clone(), span: sp })
+                .collect(),
+            metadata: self
+                .metadata
+                .iter()
+                .map(|m| MetaField {
+                    name: m.name.clone(),
+                    bits: m.bits,
+                    count: m.count.clone(),
+                    span: sp,
+                })
+                .collect(),
+            registers: self
+                .registers
+                .iter()
+                .map(|r| RegisterDecl {
+                    name: r.name.clone(),
+                    elem_bits: r.elem_bits,
+                    cells: r.cells.clone(),
+                    instances: r.instances.clone(),
+                    span: sp,
+                })
+                .collect(),
+            actions: self
+                .actions
+                .iter()
+                .map(|a| ActionDecl {
+                    name: a.name.clone(),
+                    indexed: a.indexed,
+                    index_param: a.index_param.clone(),
+                    body: a.body.iter().map(strip_stmt).collect(),
+                    span: sp,
+                })
+                .collect(),
+            tables: self
+                .tables
+                .iter()
+                .map(|t| TableDecl {
+                    name: t.name.clone(),
+                    keys: t.keys.clone(),
+                    actions: t.actions.clone(),
+                    size: t.size,
+                    default_action: t.default_action.clone(),
+                    span: sp,
+                })
+                .collect(),
+            controls: self
+                .controls
+                .iter()
+                .map(|c| ControlDecl {
+                    name: c.name.clone(),
+                    body: c.body.iter().map(strip_stmt).collect(),
+                    span: sp,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Recursively reset statement spans (expressions carry none).
+fn strip_stmt(s: &Stmt) -> Stmt {
+    let sp = Span::default();
+    match s {
+        Stmt::Assign { lhs, rhs, .. } => Stmt::Assign { lhs: lhs.clone(), rhs: rhs.clone(), span: sp },
+        Stmt::HashAssign { lhs, inputs, range, .. } => Stmt::HashAssign {
+            lhs: lhs.clone(),
+            inputs: inputs.clone(),
+            range: range.clone(),
+            span: sp,
+        },
+        Stmt::If { cond, then_body, else_body, .. } => Stmt::If {
+            cond: cond.clone(),
+            then_body: then_body.iter().map(strip_stmt).collect(),
+            else_body: else_body.iter().map(strip_stmt).collect(),
+            span: sp,
+        },
+        Stmt::For { var, bound, body, .. } => Stmt::For {
+            var: var.clone(),
+            bound: bound.clone(),
+            body: body.iter().map(strip_stmt).collect(),
+            span: sp,
+        },
+        Stmt::CallAction { name, index, .. } => {
+            Stmt::CallAction { name: name.clone(), index: index.clone(), span: sp }
+        }
+        Stmt::ApplyTable { name, .. } => Stmt::ApplyTable { name: name.clone(), span: sp },
+        Stmt::ApplyControl { name, .. } => Stmt::ApplyControl { name: name.clone(), span: sp },
+    }
 }
 
 /// `symbolic int NAME;`

@@ -107,6 +107,15 @@ pub fn print_program(p: &Program) -> String {
     out
 }
 
+/// `Display` renders the formatted source text: `program.to_string()` is
+/// the exact input generators hand to `parse` (the round-trip contract the
+/// fuzz harness relies on).
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&print_program(self))
+    }
+}
+
 fn indent(out: &mut String, level: usize) {
     for _ in 0..level {
         out.push_str("    ");

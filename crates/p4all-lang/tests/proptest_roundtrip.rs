@@ -106,6 +106,9 @@ proptest! {
             Stmt::If { cond, .. } => cond.clone(),
             other => panic!("unexpected body {other:?}"),
         };
+        // Expressions carry no spans, so the re-parse must be *structurally
+        // identical*, not merely print-equal.
+        prop_assert_eq!(&reparsed, &e);
         prop_assert_eq!(print_expr(&reparsed), print_expr(&e));
     }
 }
@@ -120,6 +123,8 @@ struct RawProgram {
     meta_bits: Vec<u32>,
     reg_bits: Vec<u32>,
     hash_in_action: Vec<bool>,
+    with_table: bool,
+    with_branch: bool,
 }
 
 fn raw_program() -> impl Strategy<Value = RawProgram> {
@@ -128,12 +133,11 @@ fn raw_program() -> impl Strategy<Value = RawProgram> {
         proptest::collection::vec(prop_oneof![Just(8u32), Just(16), Just(32), Just(64)], 1..=4),
         proptest::collection::vec(prop_oneof![Just(8u32), Just(32)], 1..=3),
         proptest::collection::vec(any::<bool>(), 1..=3),
+        any::<bool>(),
+        any::<bool>(),
     )
-        .prop_map(|(n_syms, meta_bits, reg_bits, hash_in_action)| RawProgram {
-            n_syms,
-            meta_bits,
-            reg_bits,
-            hash_in_action,
+        .prop_map(|(n_syms, meta_bits, reg_bits, hash_in_action, with_table, with_branch)| {
+            RawProgram { n_syms, meta_bits, reg_bits, hash_in_action, with_table, with_branch }
         })
 }
 
@@ -209,6 +213,30 @@ fn build_program(raw: &RawProgram) -> Program {
             span: sp,
         });
     }
+    // A plain action for the table / branch arms.
+    if raw.with_table || raw.with_branch {
+        p.actions.push(ActionDecl {
+            name: "touch".into(),
+            indexed: false,
+            index_param: None,
+            body: vec![Stmt::Assign {
+                lhs: LValue::Header { field: "key".into() },
+                rhs: Expr::Int(7),
+                span: sp,
+            }],
+            span: sp,
+        });
+    }
+    if raw.with_table {
+        p.tables.push(TableDecl {
+            name: "watch".into(),
+            keys: vec![Expr::Header { field: "key".into() }],
+            actions: vec!["touch".into()],
+            size: 32,
+            default_action: Some("touch".into()),
+            span: sp,
+        });
+    }
     let mut main_body = Vec::new();
     for i in 0..raw.hash_in_action.len() {
         main_body.push(Stmt::For {
@@ -219,6 +247,21 @@ fn build_program(raw: &RawProgram) -> Program {
                 index: Some(Expr::IndexVar("i".into())),
                 span: sp,
             }],
+            span: sp,
+        });
+    }
+    if raw.with_table {
+        main_body.push(Stmt::ApplyTable { name: "watch".into(), span: sp });
+    }
+    if raw.with_branch {
+        main_body.push(Stmt::If {
+            cond: Expr::Binary {
+                op: BinOp::Lt,
+                lhs: Box::new(Expr::Header { field: "key".into() }),
+                rhs: Box::new(Expr::Int(9)),
+            },
+            then_body: vec![Stmt::CallAction { name: "touch".into(), index: None, span: sp }],
+            else_body: vec![],
             span: sp,
         });
     }
@@ -239,8 +282,8 @@ proptest! {
             .unwrap_or_else(|e| panic!("{}\nsource:\n{text1}", e.render(&text1)));
         let text2 = print_program(&p2);
         prop_assert_eq!(&text1, &text2, "printer must be a re-parse fixpoint");
-        prop_assert_eq!(p1.symbolics.len(), p2.symbolics.len());
-        prop_assert_eq!(p1.actions.len(), p2.actions.len());
-        prop_assert_eq!(p1.registers.len(), p2.registers.len());
+        // Full structural equality modulo spans: generation -> source ->
+        // parse must be the identity on the AST.
+        prop_assert_eq!(p1.strip_spans(), p2.strip_spans());
     }
 }

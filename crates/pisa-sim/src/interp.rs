@@ -479,6 +479,25 @@ impl Switch {
         self.undo.clear();
     }
 
+    /// Reset all packet-plane state — registers, working PHVs, cost
+    /// counters — leaving the compiled program, backend selection, and
+    /// control-plane-installed table entries in place. After a reset the
+    /// switch behaves as freshly built; harnesses that replay many traces
+    /// against one program (e.g. the fuzz oracle) reset instead of
+    /// rebuilding.
+    pub fn reset(&mut self) {
+        for r in &mut self.registers {
+            r.clear();
+        }
+        self.cur.clear();
+        self.next.clear();
+        self.undo.clear();
+        self.stage_cost.iter_mut().for_each(|c| *c = 0);
+        self.stmt_count = 0;
+        self.ctx.temps.iter_mut().for_each(|t| *t = 0);
+        self.ctx.keys.clear();
+    }
+
     /// Set a header field on the working PHV.
     pub fn set_header(&mut self, field: &str, value: u64) -> Result<(), SimError> {
         let slot = *self

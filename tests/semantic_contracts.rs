@@ -1,0 +1,215 @@
+//! Executable semantic contracts for the elastic example modules, checked
+//! over random seeded traces on *both* simulator backends:
+//!
+//! - **count-min sketch**: the data-plane estimate after each packet is an
+//!   over-approximation — at least the true occurrence count of that key
+//!   so far, and at most the total packet count;
+//! - **Bloom filter**: no false negatives — a key that was inserted at any
+//!   earlier point in the trace always queries as a member.
+//!
+//! These are the properties the paper's elasticity argument leans on: the
+//! ILP may shrink `rows`/`cols`/`bits` to fit a target, but no layout is
+//! allowed to break the structure's one-sided error guarantee. The traces
+//! are drawn from a seeded RNG so every failure is reproducible from the
+//! seed in the assertion message.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use p4all_core::Compiler;
+use p4all_elastic::modules::bloom::{self, BloomParams};
+use p4all_elastic::modules::cms::CmsParams;
+use p4all_elastic::modules::{cms, compose};
+use p4all_pisa::presets;
+use p4all_sim::{Backend, Switch};
+
+const BACKENDS: [Backend; 2] = [Backend::Interp, Backend::Compiled];
+
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::Interp => "interp",
+        Backend::Compiled => "compiled",
+    }
+}
+
+// ------------------------------------------------------------------ CMS
+
+fn build_cms(backend: Backend) -> Switch {
+    let params = CmsParams::default(); // prefix `cms`, estimate in `cms_min`
+    let src = compose(&[("key", 32)], &params.utility_term(), vec![cms::fragment(&params)]);
+    let c = Compiler::new(presets::paper_eval(1 << 15))
+        .compile(&src)
+        .unwrap_or_else(|e| panic!("cms compile failed: {e}\n{src}"));
+    assert!(c.layout.symbol_values[&params.rows_sym()] >= 1);
+    assert!(c.layout.symbol_values[&params.cols_sym()] >= 1);
+    let program = p4all_lang::parse(&src).unwrap();
+    let mut sw = Switch::build(&c.concrete, &program).unwrap();
+    sw.set_backend(backend);
+    sw
+}
+
+/// Feed one key through the sketch and return the data-plane estimate
+/// (the update and the min-scan happen in the same packet).
+fn cms_count(sw: &mut Switch, key: u64) -> u64 {
+    sw.begin_packet();
+    sw.set_header("key", key).unwrap();
+    sw.run_packet().unwrap();
+    sw.meta("cms_min").unwrap()
+}
+
+#[test]
+fn cms_estimate_dominates_true_count_on_random_traces() {
+    for seed in [11u64, 47, 2026] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A skewed key space (heavy keys + tail) so collisions actually occur.
+        let trace: Vec<u64> = (0..400)
+            .map(|_| if rng.gen_bool(0.5) { rng.gen_range(0..4) } else { rng.gen_range(0..256) })
+            .collect();
+        for backend in BACKENDS {
+            let mut sw = build_cms(backend);
+            let mut truth: BTreeMap<u64, u64> = BTreeMap::new();
+            for (i, &key) in trace.iter().enumerate() {
+                let est = cms_count(&mut sw, key);
+                let true_count = truth.entry(key).or_insert(0);
+                *true_count += 1;
+                assert!(
+                    est >= *true_count,
+                    "seed {seed}, packet {i}, backend {}: estimate {est} below true \
+                     count {true_count} for key {key} — count-min must over-approximate",
+                    backend_name(backend)
+                );
+                assert!(
+                    est <= (i + 1) as u64,
+                    "seed {seed}, packet {i}, backend {}: estimate {est} exceeds the \
+                     {} packets seen so far",
+                    backend_name(backend),
+                    i + 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cms_backends_agree_on_every_estimate() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let trace: Vec<u64> = (0..200).map(|_| rng.gen_range(0..32)).collect();
+    let mut interp = build_cms(Backend::Interp);
+    let mut fast = build_cms(Backend::Compiled);
+    for (i, &key) in trace.iter().enumerate() {
+        let a = cms_count(&mut interp, key);
+        let b = cms_count(&mut fast, key);
+        assert_eq!(a, b, "packet {i}: backends disagree on the estimate for key {key}");
+    }
+}
+
+#[test]
+fn cms_reference_model_matches_the_contract_too() {
+    // The Rust reference the simulator tests lean on obeys the same
+    // contract — guards against the oracle itself drifting.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut sketch = cms::CountMinSketch::new(3, 32);
+    let mut truth: BTreeMap<u64, u64> = BTreeMap::new();
+    for _ in 0..500 {
+        let key = rng.gen_range(0..64);
+        let est = sketch.insert(key);
+        let t = truth.entry(key).or_insert(0);
+        *t += 1;
+        assert!(est >= *t, "reference CMS under-counted key {key}: {est} < {t}");
+    }
+}
+
+// ---------------------------------------------------------------- Bloom
+
+fn build_bloom(backend: Backend) -> Switch {
+    let params = BloomParams {
+        prefix: "bf".into(),
+        key_expr: "hdr.key".into(),
+        min_hashes: 2,
+        max_hashes: 3,
+        min_bits: 256,
+        max_bits: Some(2048),
+    };
+    let mut hdr: Vec<(String, u32)> = vec![("key".into(), 32)];
+    hdr.extend(bloom::header_fields(&params));
+    let hdr_refs: Vec<(&str, u32)> = hdr.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+    let src = compose(&hdr_refs, &params.utility_term(), vec![bloom::fragment(&params)]);
+    let c = Compiler::new(presets::paper_eval(1 << 15))
+        .compile(&src)
+        .unwrap_or_else(|e| panic!("bloom compile failed: {e}\n{src}"));
+    let program = p4all_lang::parse(&src).unwrap();
+    let mut sw = Switch::build(&c.concrete, &program).unwrap();
+    sw.set_backend(backend);
+    sw
+}
+
+fn bloom_insert(sw: &mut Switch, key: u64) {
+    sw.begin_packet();
+    sw.set_header("key", key).unwrap();
+    sw.set_header("bf_op", 1).unwrap();
+    sw.run_packet().unwrap();
+}
+
+fn bloom_query(sw: &mut Switch, key: u64) -> bool {
+    sw.begin_packet();
+    sw.set_header("key", key).unwrap();
+    sw.set_header("bf_op", 0).unwrap();
+    sw.run_packet().unwrap();
+    sw.meta("bf_member").unwrap() == 1
+}
+
+#[test]
+fn bloom_has_no_false_negatives_on_random_traces() {
+    for seed in [5u64, 99, 4242] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random interleaving of inserts and queries over a shared key space.
+        let trace: Vec<(bool, u64)> =
+            (0..300).map(|_| (rng.gen_bool(0.4), rng.gen_range(0..128))).collect();
+        for backend in BACKENDS {
+            let mut sw = build_bloom(backend);
+            let mut inserted: BTreeSet<u64> = BTreeSet::new();
+            for (i, &(is_insert, key)) in trace.iter().enumerate() {
+                if is_insert {
+                    bloom_insert(&mut sw, key);
+                    inserted.insert(key);
+                } else {
+                    let member = bloom_query(&mut sw, key);
+                    assert!(
+                        member || !inserted.contains(&key),
+                        "seed {seed}, packet {i}, backend {}: false negative — key \
+                         {key} was inserted earlier but queried as absent",
+                        backend_name(backend)
+                    );
+                }
+            }
+            // Every inserted key must still be a member at the end.
+            for &key in &inserted {
+                assert!(
+                    bloom_query(&mut sw, key),
+                    "seed {seed}, backend {}: false negative for key {key} at end of trace",
+                    backend_name(backend)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bloom_backends_agree_on_membership() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut interp = build_bloom(Backend::Interp);
+    let mut fast = build_bloom(Backend::Compiled);
+    for i in 0..200 {
+        let key = rng.gen_range(0..64);
+        if rng.gen_bool(0.3) {
+            bloom_insert(&mut interp, key);
+            bloom_insert(&mut fast, key);
+        } else {
+            let a = bloom_query(&mut interp, key);
+            let b = bloom_query(&mut fast, key);
+            assert_eq!(a, b, "packet {i}: backends disagree on membership of key {key}");
+        }
+    }
+}
