@@ -1,8 +1,11 @@
 //! Simulator throughput benchmark: the bytecode replay engine against the
-//! reference interpreter, single-threaded and sharded, over a Zipf
-//! NetCache trace. Writes `BENCH_sim.json` with pkts/sec per
-//! configuration, the compiled-vs-interpreter speedup, and the thread
-//! scaling curve.
+//! reference interpreter (and, when `rustc` is on PATH, the generated-Rust
+//! native engine), single-threaded and sharded, over a Zipf NetCache
+//! trace. Writes `BENCH_sim.json` with pkts/sec per configuration, the
+//! compiled-vs-interpreter and native-vs-compiled speedups, and the
+//! thread scaling curve. `--smoke` additionally gates native ≥ 1x
+//! bytecode (exit 1 below), a deliberately loose CI floor — the real
+//! target (≥ 5x) is what the full run on a bench host records.
 //!
 //! ```sh
 //! cargo run --release --bin simbench            # 1M-packet trace
@@ -54,6 +57,29 @@ fn measure(sw: &mut Switch, trace: &[Phv], backend: Backend, threads: usize) -> 
     median((0..3).map(|_| one_pass(sw, trace, backend, threads)).collect())
 }
 
+/// Native vs compiled, interleaved for the same reasons as
+/// [`measure_pair`]. Returns `None` (with a printed reason) when the
+/// native engine can't run here, so the benchmark still completes on
+/// hosts without a `rustc`.
+fn measure_native(sw: &mut Switch, trace: &[Phv]) -> Option<(SimStats, SimStats)> {
+    if !p4all_sim::rustc_available() {
+        println!("  native    1 thread :      skipped  (rustc not on PATH)");
+        return None;
+    }
+    if let Err(e) = sw.prepare_native() {
+        println!("  native    1 thread :      skipped  ({e})");
+        return None;
+    }
+    one_pass(sw, trace, Backend::Native, 1);
+    let mut native = Vec::new();
+    let mut compiled = Vec::new();
+    for _ in 0..3 {
+        native.push(one_pass(sw, trace, Backend::Native, 1));
+        compiled.push(one_pass(sw, trace, Backend::Compiled, 1));
+    }
+    Some((median(native), median(compiled)))
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let packets = if smoke { 10_000 } else { 1_000_000 };
@@ -78,6 +104,18 @@ fn main() {
         "  compiled  1 thread : {:>12.0} pkts/sec  ({speedup:.1}x interp)",
         compiled.pkts_per_sec()
     );
+
+    // Native (generated Rust) vs compiled, with the compiled side
+    // re-measured inside the same interleaving window so the ratio is
+    // apples to apples.
+    let native = measure_native(&mut sw, &phvs).map(|(nat, comp)| {
+        let nat_speedup = nat.pkts_per_sec() / comp.pkts_per_sec();
+        println!(
+            "  native    1 thread : {:>12.0} pkts/sec  ({nat_speedup:.1}x compiled)",
+            nat.pkts_per_sec()
+        );
+        (nat, nat_speedup)
+    });
 
     // Sharded replay at 2/4/8 workers regardless of core count — on a
     // box with fewer cores the scaling column honestly reports ~1x.
@@ -109,6 +147,16 @@ fn main() {
     let _ = writeln!(json, "  \"interp_pkts_per_sec\": {:.0},", interp.pkts_per_sec());
     let _ = writeln!(json, "  \"compiled_pkts_per_sec\": {:.0},", compiled.pkts_per_sec());
     let _ = writeln!(json, "  \"speedup_compiled_vs_interp\": {speedup:.2},");
+    match &native {
+        Some((nat, nat_speedup)) => {
+            let _ = writeln!(json, "  \"native_pkts_per_sec\": {:.0},", nat.pkts_per_sec());
+            let _ = writeln!(json, "  \"speedup_native_vs_compiled\": {nat_speedup:.2},");
+        }
+        None => {
+            let _ = writeln!(json, "  \"native_pkts_per_sec\": null,");
+            let _ = writeln!(json, "  \"speedup_native_vs_compiled\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"stage_cost\": {:?},", compiled.stage_cost);
     json.push_str("  \"threads\": [\n");
     for (i, (t, pps, scaling)) in thread_rows.iter().enumerate() {
@@ -121,4 +169,20 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("\nwrote BENCH_sim.json");
+
+    // CI floor: generated code must never be slower than the bytecode it
+    // replaces. The honest perf claim (≥ 5x) comes from the full run on a
+    // bench host; a loaded 1-core CI runner only has to clear 1x.
+    if smoke {
+        if let Some((_, nat_speedup)) = native {
+            if nat_speedup < 1.0 {
+                eprintln!(
+                    "simbench: FAIL — native engine is slower than bytecode \
+                     ({nat_speedup:.2}x, floor 1.0x)"
+                );
+                std::process::exit(1);
+            }
+            println!("smoke gate: native {nat_speedup:.2}x compiled (floor 1.0x) — ok");
+        }
+    }
 }

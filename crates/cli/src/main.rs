@@ -19,7 +19,9 @@
 //!   --sim N              after compiling, replay N synthetic packets
 //!                        through the behavioral simulator and report
 //!                        throughput, drops, and per-stage cost
-//!   --sim-backend B      interp | compiled   (default: compiled)
+//!   --sim-backend B      interp | compiled | native   (default: compiled;
+//!                        native generates Rust, compiles it with the
+//!                        in-container rustc, and runs it as a cdylib)
 //!   --sim-threads N      replay worker threads (0 = all cores;
 //!                        default 1 = sequential)
 //!   --timings            print the per-pass compile trace (wall time,
@@ -92,7 +94,7 @@ fn usage() -> &'static str {
     "usage: p4allc PROGRAM.p4all [--target tofino|paper-eval|paper-example|small] \
      [--stages N] [--memory BITS] [--stateful-alus N] [--stateless-alus N] \
      [--phv BITS] [--emit p4|layout|stats|all] [--out FILE] [--threads N] [--greedy] \
-     [--sim N] [--sim-backend interp|compiled] [--sim-threads N] \
+     [--sim N] [--sim-backend interp|compiled|native] [--sim-threads N] \
      [--timings] [--json-diagnostics]"
 }
 
@@ -172,6 +174,7 @@ fn parse_args() -> Result<Args, String> {
                 sim_backend = match next(&mut i, "--sim-backend")?.as_str() {
                     "interp" => Backend::Interp,
                     "compiled" => Backend::Compiled,
+                    "native" => Backend::Native,
                     other => return Err(format!("unknown --sim-backend `{other}`")),
                 };
             }
@@ -233,9 +236,33 @@ fn run(args: Args) -> Result<(), Failure> {
         return Ok(());
     }
 
-    let c = compiler
+    let mut c = compiler
         .compile(&src)
         .map_err(|e| Failure::compile(e, &src, &args.input))?;
+    // Build the simulator up front when requested: preparing the native
+    // backend here registers its codegen + rustc phases in the compile
+    // trace before --timings renders it.
+    let mut sim_switch = None;
+    if args.sim.is_some() {
+        let program = p4all_lang::parse(&src)
+            .map_err(|e| Failure::compile(CompileError::from(e), &src, &args.input))?;
+        let mut sw = Switch::build(&c.concrete, &program)
+            .map_err(|e| Failure::io(format!("simulator: {e}")))?;
+        sw.set_backend(args.sim_backend);
+        if args.sim_backend == Backend::Native {
+            let report = sw
+                .prepare_native()
+                .map_err(|e| Failure::io(format!("native backend: {e}")))?;
+            c.trace.record(
+                "native-gen",
+                false,
+                report.gen_time,
+                format!("{} bytes of Rust", report.source_bytes),
+            );
+            c.trace.record("native-rustc", false, report.rustc_time, "cdylib".to_string());
+        }
+        sim_switch = Some(sw);
+    }
     if args.timings {
         print!("{}", c.trace.render());
     }
@@ -263,11 +290,7 @@ fn run(args: Args) -> Result<(), Failure> {
         println!("generated P4: {} lines", p4all_core::loc(&c.p4_text));
     }
     if let Some(packets) = args.sim {
-        let program = p4all_lang::parse(&src)
-            .map_err(|e| Failure::compile(CompileError::from(e), &src, &args.input))?;
-        let mut sw = Switch::build(&c.concrete, &program)
-            .map_err(|e| Failure::io(format!("simulator: {e}")))?;
-        sw.set_backend(args.sim_backend);
+        let mut sw = sim_switch.take().expect("built above when --sim is set");
         let trace = synth_trace(&sw, packets);
         let stats = sw.run_trace(&trace, args.sim_threads);
         // Sharded replay always runs the bytecode engine; the backend

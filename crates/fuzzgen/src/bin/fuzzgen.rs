@@ -1,7 +1,9 @@
 //! The fuzzing driver.
 //!
 //! Generates `--samples` cases from consecutive seeds, runs the full
-//! three-way oracle on each, shrinks any divergence, and (optionally)
+//! four-way oracle on each (reference interpreter, bytecode engine,
+//! generated-Rust native engine, sharded replay), shrinks any
+//! divergence, and (optionally)
 //! commits the minimized case to the corpus directory. Deterministic:
 //! the same `--seed`/`--samples` pair always examines the same cases, so
 //! a reported seed replays alone via `--samples 1 --seed <seed>`.
@@ -22,6 +24,7 @@ struct Args {
     save_corpus: bool,
     do_shrink: bool,
     cross_checks: bool,
+    native: bool,
     max_divergences: usize,
     shrink_budget: usize,
     time_limit_s: u64,
@@ -37,6 +40,7 @@ impl Default for Args {
             save_corpus: false,
             do_shrink: true,
             cross_checks: true,
+            native: true,
             max_divergences: 5,
             shrink_budget: 300,
             time_limit_s: 10,
@@ -53,6 +57,7 @@ usage: fuzzgen [options]
   --save-corpus        write shrunk divergent cases into the corpus dir
   --no-shrink          report divergences without minimizing them
   --no-cross           skip the warm/cold and 1/4-thread solver cross-checks
+  --no-native          skip the generated-Rust native engine (three-way oracle)
   --max-divergences M  stop after M distinct divergent samples (default 5)
   --shrink-budget B    oracle runs per shrink (default 300)
   --time-limit S       per-solve wall clock cap in seconds (default 10)
@@ -73,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
             "--save-corpus" => args.save_corpus = true,
             "--no-shrink" => args.do_shrink = false,
             "--no-cross" => args.cross_checks = false,
+            "--no-native" => args.native = false,
             "--max-divergences" => {
                 args.max_divergences = val("--max-divergences")?.parse().map_err(|e| format!("--max-divergences: {e}"))?
             }
@@ -100,9 +106,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let mut native = args.native;
+    if native && !p4all_sim::rustc_available() {
+        eprintln!("fuzzgen: rustc not found on PATH — native backend checks skipped (three-way oracle)");
+        native = false;
+    }
     let opts = OracleOptions {
         time_limit: Duration::from_secs(args.time_limit_s),
         cross_checks: args.cross_checks,
+        native,
         ..OracleOptions::default()
     };
 

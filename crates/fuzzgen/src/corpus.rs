@@ -148,6 +148,17 @@ fn load_entry(dir: &Path, stem: &str) -> Result<CorpusEntry, String> {
         }
     }
     let missing = |what: &str| format!("{stem}.meta: missing `{what}:` line");
+    let kind = kind.ok_or_else(|| missing("kind"))?;
+    // A kind the oracle can no longer produce means the case is
+    // unreplayable — fail loudly, naming the file, instead of letting the
+    // case pass vacuously forever.
+    if !crate::oracle::KNOWN_KINDS.contains(&kind.as_str()) {
+        return Err(format!(
+            "{stem}.meta: unknown divergence kind `{kind}` — the oracle no longer \
+             produces this class (known kinds: {})",
+            crate::oracle::KNOWN_KINDS.join(", ")
+        ));
+    }
     Ok(CorpusEntry {
         stem: stem.to_string(),
         case: FuzzCase {
@@ -158,7 +169,7 @@ fn load_entry(dir: &Path, stem: &str) -> Result<CorpusEntry, String> {
             trace_seed: trace_seed.ok_or_else(|| missing("trace_seed"))?,
             trace_len: trace_len.ok_or_else(|| missing("trace_len"))?,
         },
-        kind: kind.ok_or_else(|| missing("kind"))?,
+        kind,
         known_issue,
     })
 }
@@ -231,6 +242,23 @@ mod tests {
             "corpus source must parse back to the saved AST"
         );
         assert!(e.known_issue.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected_naming_the_file() {
+        let dir = std::env::temp_dir().join(format!("fuzzgen-corpus-badkind-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let case = generate(43, 16);
+        let d = Divergence { kind: "sim-registers".into(), detail: "x".into() };
+        let src = save(&dir, &case, &d).unwrap();
+        let stem = src.file_stem().unwrap().to_str().unwrap().to_string();
+        let meta_path = dir.join(format!("{stem}.meta"));
+        let meta = fs::read_to_string(&meta_path).unwrap();
+        fs::write(&meta_path, meta.replace("kind: sim-registers", "kind: sim-retired")).unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.contains(&format!("{stem}.meta")), "error must name the file: {err}");
+        assert!(err.contains("sim-retired"), "error must name the bad kind: {err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

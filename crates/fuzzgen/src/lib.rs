@@ -1,8 +1,9 @@
 //! # p4all-fuzzgen — the adversarial compiler-correctness harness
 //!
-//! Random well-formed P4All programs ([`gen`]), a three-way differential
+//! Random well-formed P4All programs ([`gen`]), a four-way differential
 //! oracle ([`oracle`]: ILP feasibility + greedy domination + solver
-//! cross-checks, interp-vs-bytecode trace replay at 1 and 4 shards, and
+//! cross-checks, interp-vs-bytecode-vs-generated-native trace replay at
+//! 1 and 4 shards, and
 //! an exact print→parse round trip), a delta-debugging shrinker
 //! ([`mod@shrink`]) for anything that diverges, and a committed regression
 //! corpus ([`corpus`]) replayed deterministically forever.
@@ -23,5 +24,5 @@ pub mod shrink;
 
 pub use corpus::{load_dir, replay, save, CorpusEntry, ReplayStatus};
 pub use gen::{gen_trace, generate, EntrySpec, FuzzCase, TargetChoice};
-pub use oracle::{run_case, Divergence, OracleOptions, Outcome};
+pub use oracle::{run_case, Divergence, OracleOptions, Outcome, KNOWN_KINDS};
 pub use shrink::{gc, shrink, ShrinkOutcome};

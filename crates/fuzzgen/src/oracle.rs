@@ -1,4 +1,4 @@
-//! The three-way differential oracle.
+//! The four-way differential oracle.
 //!
 //! Each [`FuzzCase`] is pushed through three independent closed loops:
 //!
@@ -11,11 +11,18 @@
 //!    must be corroborated: greedy may not find a valid layout, and the
 //!    4-thread solver must agree.
 //! 2. **Simulation** — a random trace replays through the reference
-//!    interpreter and the bytecode backend in lockstep (per-packet PHV
+//!    interpreter, the bytecode backend, and (when `rustc` is
+//!    available) the native-codegen backend in lockstep (per-packet PHV
 //!    and fault equivalence, final register equality), then through
-//!    `run_trace` at 1 shard (interp) and 4 shards (bytecode delta-sum
-//!    merge), all of which must reproduce the lockstep register state
-//!    and drop count.
+//!    `run_trace` at 1 shard (interp), 4 shards (bytecode delta-sum
+//!    merge), and 1 shard again on the native engine, all of which must
+//!    reproduce the lockstep register state and drop count.
+//!
+//! Native divergences carry `native-diverge-*` kinds so shrunk corpus
+//! cases are attributable at a glance; [`OracleOptions::native`] is the
+//! `--no-native` escape hatch, and a missing `rustc` downgrades the
+//! oracle to three-way silently per case (the fuzzgen binary logs the
+//! reason once at startup).
 //!
 //! Every phase runs under `catch_unwind`, so a compiler or simulator
 //! panic is itself a reportable divergence, not a harness crash.
@@ -42,6 +49,10 @@ pub struct OracleOptions {
     /// Run the warm/cold and 1/4-thread solver cross-checks (on for
     /// fuzzing; the shrinker keeps them on so the bug class is preserved).
     pub cross_checks: bool,
+    /// Include the native-codegen backend in the sim phase (the
+    /// `--no-native` escape hatch turns this off). Ignored when `rustc`
+    /// is unavailable at runtime: the case silently runs three-way.
+    pub native: bool,
 }
 
 impl Default for OracleOptions {
@@ -50,9 +61,45 @@ impl Default for OracleOptions {
             node_limit: 20_000,
             time_limit: Duration::from_secs(10),
             cross_checks: true,
+            native: true,
         }
     }
 }
+
+/// Every divergence kind the oracle can currently emit. Corpus loading
+/// validates `.meta` kinds against this list so a renamed or retired
+/// check fails loudly, naming the stale file, instead of silently
+/// replaying under a dead class.
+pub const KNOWN_KINDS: &[&str] = &[
+    "roundtrip-parse",
+    "roundtrip-ast",
+    "compile-panic",
+    "compile-reject",
+    "compile-unknown",
+    "internal-error",
+    "solver-numerical",
+    "layout-invalid",
+    "greedy-panic",
+    "greedy-layout-invalid",
+    "greedy-beats-ilp",
+    "infeasible-vs-greedy",
+    "warm-cold-objective",
+    "warm-cold-status",
+    "threads-objective",
+    "threads-status",
+    "sim-build",
+    "sim-panic",
+    "sim-status",
+    "sim-phv",
+    "sim-registers",
+    "sim-replay1",
+    "sim-sharded",
+    "native-diverge-build",
+    "native-diverge-status",
+    "native-diverge-phv",
+    "native-diverge-registers",
+    "native-diverge-replay",
+];
 
 /// One observed disagreement between two things that must agree.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,7 +267,7 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOptions) -> Outcome {
             }
 
             // Phase 2: differential simulation.
-            if let Err(d) = sim_phase(case, &c.concrete, &parsed) {
+            if let Err(d) = sim_phase(case, &c.concrete, &parsed, opts) {
                 return Outcome::Divergence(d);
             }
             Outcome::Clean { feasible: true }
@@ -355,14 +402,16 @@ fn step(sw: &mut Switch, pkt: &[u64; 4]) -> Result<(), SimError> {
     sw.run_packet()
 }
 
-/// Phase 2: lockstep interp-vs-bytecode replay, then whole-trace replay
-/// at 1 shard (interp) and 4 shards (bytecode, delta-sum merge).
+/// Phase 2: lockstep interp-vs-bytecode-vs-native replay, then
+/// whole-trace replay at 1 shard (interp), 4 shards (bytecode,
+/// delta-sum merge), and 1 shard on the native engine.
 fn sim_phase(
     case: &FuzzCase,
     concrete: &p4all_core::ConcreteProgram,
     parsed: &Program,
+    opts: &OracleOptions,
 ) -> Result<(), Divergence> {
-    let run = catch_unwind(AssertUnwindSafe(|| sim_phase_inner(case, concrete, parsed)));
+    let run = catch_unwind(AssertUnwindSafe(|| sim_phase_inner(case, concrete, parsed, opts)));
     match run {
         Ok(r) => r,
         Err(p) => Err(Divergence::new("sim-panic", panic_message(p))),
@@ -373,6 +422,7 @@ fn sim_phase_inner(
     case: &FuzzCase,
     concrete: &p4all_core::ConcreteProgram,
     parsed: &Program,
+    opts: &OracleOptions,
 ) -> Result<(), Divergence> {
     let build = |backend: Backend| -> Result<Switch, Divergence> {
         let mut sw = Switch::build(concrete, parsed)
@@ -387,6 +437,19 @@ fn sim_phase_inner(
     };
     let mut interp = build(Backend::Interp)?;
     let mut fast = build(Backend::Compiled)?;
+    // The fourth way: generated Rust compiled by the in-container rustc.
+    // A missing rustc downgrades to three-way (the binary logs why once);
+    // any other preparation failure is a codegen bug and diverges.
+    let mut native = if opts.native && p4all_sim::rustc_available() {
+        let mut sw = build(Backend::Native)?;
+        match sw.prepare_native() {
+            Ok(_) => Some(sw),
+            Err(p4all_sim::NativeError::RustcMissing(_)) => None,
+            Err(e) => return Err(Divergence::new("native-diverge-build", e.to_string())),
+        }
+    } else {
+        None
+    };
 
     let trace = gen_trace(case.trace_seed, case.trace_len);
     let mut dropped = 0u64;
@@ -413,6 +476,25 @@ fn sim_phase_inner(
         } else {
             dropped += 1;
         }
+        if let Some(nat) = native.as_mut() {
+            let rn = step(nat, pkt);
+            if rn != ri {
+                return Err(Divergence::new(
+                    "native-diverge-status",
+                    format!("packet {i} {pkt:?}: interp {ri:?} vs native {rn:?}"),
+                ));
+            }
+            if ri.is_ok() && nat.phv_snapshot() != interp.phv_snapshot() {
+                return Err(Divergence::new(
+                    "native-diverge-phv",
+                    format!(
+                        "packet {i} {pkt:?}: PHV diverges\ninterp: {:?}\nnative: {:?}",
+                        interp.phv_snapshot(),
+                        nat.phv_snapshot()
+                    ),
+                ));
+            }
+        }
     }
     let baseline = interp.registers_snapshot();
     if baseline != fast.registers_snapshot() {
@@ -426,12 +508,30 @@ fn sim_phase_inner(
         ));
     }
 
+    if let Some(nat) = &native {
+        if nat.registers_snapshot() != baseline {
+            return Err(Divergence::new(
+                "native-diverge-registers",
+                format!(
+                    "final registers diverge\ninterp: {:?}\nnative: {:?}",
+                    baseline,
+                    nat.registers_snapshot()
+                ),
+            ));
+        }
+    }
+
     // Whole-trace replay must reproduce the lockstep result: 1 shard on
     // the interpreter, 4 shards (flow-hash partitioning + delta-sum
-    // register merge) on the bytecode engine.
-    for (label, sw, threads) in
-        [("sim-replay1", &mut interp, 1usize), ("sim-sharded", &mut fast, 4)]
-    {
+    // register merge) on the bytecode engine, and 1 shard again on the
+    // native engine (threads > 1 always runs bytecode, so 1 shard is the
+    // native replay path).
+    let mut replays: Vec<(&str, &mut Switch, usize)> =
+        vec![("sim-replay1", &mut interp, 1usize), ("sim-sharded", &mut fast, 4)];
+    if let Some(nat) = native.as_mut() {
+        replays.push(("native-diverge-replay", nat, 1));
+    }
+    for (label, sw, threads) in replays {
         let pkts: Result<Vec<_>, _> = trace
             .iter()
             .map(|pkt| {

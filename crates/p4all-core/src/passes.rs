@@ -46,7 +46,11 @@ pub struct CompileTrace {
 }
 
 impl CompileTrace {
-    pub(crate) fn record(
+    /// Append one pass record. Public so downstream drivers can register
+    /// phases that run outside `CompileCtx` — e.g. the CLI records the
+    /// simulator's native-backend lowering and `rustc` invocation as
+    /// `native-gen` / `native-rustc` passes.
+    pub fn record(
         &mut self,
         name: &'static str,
         cached: bool,

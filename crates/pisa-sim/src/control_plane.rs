@@ -31,6 +31,11 @@ impl Switch {
             return Err(SimError::TableFull(table.to_string()));
         }
         t.entries.insert(key.clone(), entry);
+        // The native engine (if prepared) keeps its own table mirror;
+        // forward the pre-resolved form there too.
+        if let Some(engine) = &self.native {
+            engine.install(tidx as u64, &key, &centry);
+        }
         self.ctables[tidx].entries.insert(key, centry);
         Ok(())
     }
@@ -44,6 +49,9 @@ impl Switch {
         let existed = t.entries.remove(key).is_some();
         let tidx = self.compiled.table_ids[table] as usize;
         self.ctables[tidx].entries.remove(key);
+        if let Some(engine) = &self.native {
+            engine.remove(tidx as u64, key);
+        }
         Ok(existed)
     }
 
@@ -56,6 +64,9 @@ impl Switch {
         t.entries.clear();
         let tidx = self.compiled.table_ids[table] as usize;
         self.ctables[tidx].entries.clear();
+        if let Some(engine) = &self.native {
+            engine.clear_table(tidx as u64);
+        }
         Ok(())
     }
 

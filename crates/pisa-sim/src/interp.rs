@@ -107,6 +107,12 @@ pub enum Backend {
     /// The flat bytecode engine (the default fast path).
     #[default]
     Compiled,
+    /// Generated Rust compiled by the in-container `rustc` and loaded as
+    /// a cdylib ([`crate::native`]): no dispatch loop at all. Prepared
+    /// lazily on first packet, or explicitly via
+    /// [`Switch::prepare_native`]. Sharded replay (`threads > 1`) always
+    /// runs the bytecode engine; `stage_cost` is not attributed.
+    Native,
 }
 
 // ------------------------------------------------------------- the switch
@@ -143,6 +149,11 @@ pub struct Switch {
     pub(crate) stage_cost: Vec<u64>,
     /// Running statement counter backing `stage_cost` on the interp path.
     stmt_count: u64,
+    // ---- native backend state ----
+    /// The loaded native pipeline, if [`Backend::Native`] has been
+    /// prepared (lazily on first packet or via
+    /// [`Switch::prepare_native`]).
+    pub(crate) native: Option<crate::native::NativeEngine>,
 }
 
 /// One undone register write: `(register index, cell, previous value)`.
@@ -205,6 +216,7 @@ impl Switch {
             undo: Vec::new(),
             stage_cost: Vec::new(),
             stmt_count: 0,
+            native: None,
         };
 
         // ---- Tables & their actions ----
@@ -519,6 +531,7 @@ impl Switch {
         let result = match self.backend {
             Backend::Interp => self.run_packet_interp(),
             Backend::Compiled => self.run_packet_compiled(),
+            Backend::Native => self.run_packet_native(),
         };
         if result.is_err() {
             self.rollback();

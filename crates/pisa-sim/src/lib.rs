@@ -13,26 +13,34 @@
 //! artifact rather than as an analytic model.
 
 //!
-//! Two execution backends share one build pipeline:
+//! Three execution backends share one build pipeline:
 //!
 //! - [`interp`] — the tree-walking **reference interpreter**, the oracle
 //!   every fast path is differentially tested against;
 //! - [`compiled`] — the **bytecode engine**: field names resolved to
 //!   dense PHV slots, expressions flattened to a register-machine
 //!   instruction stream, table dispatch by precomputed index. The default.
+//! - [`native`] — the **native engine**: [`codegen`] prints the built
+//!   switch as monomorphized dependency-free Rust, the in-container
+//!   `rustc` compiles it to a cdylib, and packets run through a `dlopen`'d
+//!   function call. Opt-in; requires `rustc` on PATH at runtime
+//!   ([`rustc_available`]).
 //!
 //! [`replay`] adds `Switch::run_trace`: whole-trace replay, optionally
 //! sharded by flow hash across worker threads with delta-sum state
 //! merging, reporting pkts/sec + per-stage cost in [`SimStats`].
 
+pub mod codegen;
 pub mod compiled;
 pub mod control_plane;
 pub mod interp;
+pub mod native;
 pub mod netcache_rt;
 pub mod replay;
 pub mod state;
 
 pub use interp::{Backend, SimError, Switch};
+pub use native::{rustc_available, NativeError, NativeReport};
 pub use netcache_rt::{NetCacheConfig, NetCacheRuntime, NetCacheStats};
 pub use replay::SimStats;
 pub use state::{Phv, RegState, TableEntry, TableState};

@@ -23,7 +23,7 @@ use p4all_core::Compiler;
 use p4all_elastic::apps::netcache::{self, NetCacheOptions};
 use p4all_elastic::apps::precision::{self, PrecisionOptions};
 use p4all_pisa::presets;
-use p4all_sim::{NetCacheConfig, NetCacheRuntime, Switch};
+use p4all_sim::{rustc_available, Backend, NetCacheConfig, NetCacheRuntime, Switch};
 use p4all_workloads::zipf_trace;
 
 fn golden_dir() -> PathBuf {
@@ -102,11 +102,24 @@ fn canned_trace(name: &str, generate: impl Fn() -> Vec<(u64, u64)>) -> Vec<(u64,
         .collect()
 }
 
-/// NetCache end to end: CMS popularity tracking, control-plane promotion
-/// into the cache table, value serving from the key-value register — the
-/// register dump captures sketch counters *and* the promoted hot set.
-#[test]
-fn netcache_register_state_matches_golden() {
+/// Native-variant guard: the generated-Rust engine is checked against the
+/// SAME committed goldens as the default backend — it never re-blesses
+/// them. Returns true when the variant should bail out: in update mode
+/// (the default-backend test owns regeneration, avoiding write races) or
+/// when the in-container `rustc` is unavailable.
+fn skip_native_variant(test: &str) -> bool {
+    if update_mode() {
+        eprintln!("{test}: skipping under UPDATE_GOLDEN — default-backend test regenerates");
+        return true;
+    }
+    if !rustc_available() {
+        eprintln!("{test}: skipping — rustc not available on PATH");
+        return true;
+    }
+    false
+}
+
+fn netcache_golden(backend: Backend) {
     let mut opts = NetCacheOptions::paper_default();
     opts.cms.max_rows = 3;
     opts.kvs.max_slices = Some(4);
@@ -114,7 +127,8 @@ fn netcache_register_state_matches_golden() {
     let c = Compiler::new(presets::paper_eval(1 << 15)).compile(&src).expect("compiles");
     let program = p4all_lang::parse(&src).expect("parses");
     let names = netcache::runtime_config(&opts);
-    let switch = Switch::build(&c.concrete, &program).expect("sim builds");
+    let mut switch = Switch::build(&c.concrete, &program).expect("sim builds");
+    switch.set_backend(backend);
     let cfg = NetCacheConfig {
         cache_table: names.cache_table,
         hit_action: names.hit_action,
@@ -149,17 +163,31 @@ fn netcache_register_state_matches_golden() {
     check_golden("netcache", &header, &dump_registers(rt.switch()));
 }
 
-/// PRECISION-style heavy-hitter tracker replayed through `run_trace`:
-/// the dump pins per-stage key/count register contents (which flows were
-/// admitted into which stage) — the part of the pipeline most sensitive
-/// to hash or placement drift.
+/// NetCache end to end: CMS popularity tracking, control-plane promotion
+/// into the cache table, value serving from the key-value register — the
+/// register dump captures sketch counters *and* the promoted hot set.
 #[test]
-fn heavy_hitter_register_state_matches_golden() {
+fn netcache_register_state_matches_golden() {
+    netcache_golden(Backend::default());
+}
+
+/// The generated-Rust engine replays the same canned trace and must land
+/// on byte-identical register state vs the committed golden.
+#[test]
+fn netcache_native_matches_same_golden() {
+    if skip_native_variant("netcache_native_matches_same_golden") {
+        return;
+    }
+    netcache_golden(Backend::Native);
+}
+
+fn heavy_hitter_golden(backend: Backend) {
     let opts = PrecisionOptions { max_stages: 3, min_slots: 64 };
     let src = precision::source(&opts);
     let c = Compiler::new(presets::paper_eval(1 << 15)).compile(&src).expect("compiles");
     let program = p4all_lang::parse(&src).expect("parses");
     let mut sw = Switch::build(&c.concrete, &program).expect("sim builds");
+    sw.set_backend(backend);
 
     let trace = canned_trace("heavy_hitter", || {
         // Keys offset by 1 because 0 marks an empty tracker slot.
@@ -172,4 +200,23 @@ fn heavy_hitter_register_state_matches_golden() {
 
     let header = format!("# heavy-hitter golden: {} packets, 0 dropped\n", stats.packets);
     check_golden("heavy_hitter", &header, &dump_registers(&sw));
+}
+
+/// PRECISION-style heavy-hitter tracker replayed through `run_trace`:
+/// the dump pins per-stage key/count register contents (which flows were
+/// admitted into which stage) — the part of the pipeline most sensitive
+/// to hash or placement drift.
+#[test]
+fn heavy_hitter_register_state_matches_golden() {
+    heavy_hitter_golden(Backend::default());
+}
+
+/// Same trace, same golden, native engine — `run_trace` at 1 thread takes
+/// the generated-code path.
+#[test]
+fn heavy_hitter_native_matches_same_golden() {
+    if skip_native_variant("heavy_hitter_native_matches_same_golden") {
+        return;
+    }
+    heavy_hitter_golden(Backend::Native);
 }

@@ -1,0 +1,290 @@
+//! Codegen-specific tests for the native backend (`Backend::Native`):
+//! deterministic lowering, warning-free generated source, exact
+//! agreement with the reference interpreter on PHV/register/fault
+//! behavior, and control-plane installs reaching a live engine.
+//!
+//! Tests that need the in-container `rustc` skip with a logged reason
+//! when it is unavailable; lowering-only tests always run.
+
+use std::process::Command;
+
+use p4all_core::Compiler;
+use p4all_pisa::presets;
+use p4all_sim::{rustc_available, Backend, Switch};
+
+/// The backend-equivalence template family pinned to one member: CMS
+/// hash+RMW updates, a mergeable accumulator, arithmetic/compare/branch
+/// chains, an exact-match table with action data, and a
+/// header-controlled division that can fault.
+const SRC: &str = r#"
+    symbolic int rows;
+    symbolic int cols;
+    assume rows >= 3 && rows <= 3;
+    assume cols >= 32 && cols <= 32;
+    optimize rows * cols;
+    header pkt { bit<32> key; bit<32> val; bit<32> d; }
+    struct metadata {
+        bit<32>[rows] index;
+        bit<32>[rows] count;
+        bit<32> min;
+        bit<32> t0; bit<32> t1; bit<32> t2;
+        bit<32> q;
+        bit<8> flag;
+        bit<32> boost;
+        bit<32> slot;
+    }
+    register<bit<32>>[cols][rows] cms;
+    register<bit<64>>[8] acc;
+
+    action mark() { meta.flag = 1; meta.t0 = meta.t0 + meta.boost; }
+    action unmark() { meta.flag = 0; }
+    table watch {
+        key = { hdr.key; }
+        actions = { mark; unmark; }
+        size = 64;
+        default_action = unmark;
+    }
+
+    action incr()[int i] {
+        meta.index[i] = hash(hdr.key, cols);
+        cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+        meta.count[i] = cms[i][meta.index[i]];
+    }
+    action set_min()[int i] { meta.min = meta.count[i]; }
+    action mix0() { meta.t0 = hdr.key + 7; }
+    action mix1() { meta.t1 = meta.t0 * hdr.val; }
+    action mix2() {
+        if (meta.t1 < 500) { meta.t2 = meta.t1 + meta.t0; }
+        else { meta.t2 = hdr.key - 500; }
+    }
+    action divq() { meta.q = hdr.val / hdr.d; }
+    action accrue() {
+        meta.slot = hash(hdr.key, 8);
+        acc[meta.slot] = acc[meta.slot] + hdr.val;
+    }
+
+    control lookup() { apply { watch.apply(); } }
+    control sketch() { apply { for (i < rows) { incr()[i]; } } }
+    control minimum() {
+        apply {
+            for (i < rows) {
+                if (meta.count[i] < meta.min || meta.min == 0) { set_min()[i]; }
+            }
+        }
+    }
+    control arith() { apply { mix0(); mix1(); mix2(); divq(); accrue(); } }
+    control Main() {
+        apply { lookup.apply(); sketch.apply(); minimum.apply(); arith.apply(); }
+    }
+"#;
+
+fn build(backend: Backend) -> Switch {
+    let c = Compiler::new(presets::paper_eval(1 << 15)).compile(SRC).expect("compiles");
+    let program = p4all_lang::parse(SRC).expect("parses");
+    let mut sw = Switch::build(&c.concrete, &program).expect("sim builds");
+    sw.set_backend(backend);
+    for (i, k) in [3u64, 5, 9].into_iter().enumerate() {
+        sw.install_entry("watch", vec![k], "mark", &[("boost", 10 + i as u64)]).unwrap();
+    }
+    sw
+}
+
+/// A deterministic mixed trace: cache-hot keys, assorted values, and a
+/// few `d = 0` packets that must fault (DivByZero) and roll back.
+fn trace() -> Vec<(u64, u64, u64)> {
+    let mut pkts = Vec::new();
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    for i in 0..400u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let key = x % 24;
+        let val = (x >> 8) % 1000;
+        let d = if i % 17 == 0 { 0 } else { (x >> 16) % 5 + 1 };
+        pkts.push((key, val, d));
+    }
+    pkts
+}
+
+fn step(sw: &mut Switch, (key, val, d): (u64, u64, u64)) -> Result<(), p4all_sim::SimError> {
+    sw.begin_packet();
+    sw.set_header("key", key).unwrap();
+    sw.set_header("val", val).unwrap();
+    sw.set_header("d", d).unwrap();
+    sw.run_packet()
+}
+
+fn skip_no_rustc(test: &str) -> bool {
+    if rustc_available() {
+        return false;
+    }
+    eprintln!("{test}: skipping — rustc not available on PATH");
+    true
+}
+
+// ------------------------------------------------------------ lowering
+
+#[test]
+fn lowering_is_deterministic_across_independent_builds() {
+    let a = build(Backend::Native).native_source();
+    let b = build(Backend::Native).native_source();
+    assert_eq!(a, b, "two lowerings of the same program must be byte-identical");
+    // And stable across repeated calls on one switch.
+    let sw = build(Backend::Native);
+    assert_eq!(sw.native_source(), sw.native_source());
+}
+
+#[test]
+fn generated_source_compiles_warning_free() {
+    if skip_no_rustc("generated_source_compiles_warning_free") {
+        return;
+    }
+    let source = build(Backend::Native).native_source();
+    let dir = std::env::temp_dir().join(format!("p4all-dwarn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("p4n_check.rs");
+    let lib = dir.join("libp4n_check.so");
+    std::fs::write(&src, &source).unwrap();
+    let out = Command::new("rustc")
+        .args(["--edition", "2021", "-D", "warnings", "--crate-name", "p4n_check"])
+        .args(["--crate-type", "cdylib", "-o"])
+        .arg(&lib)
+        .arg(&src)
+        .output()
+        .expect("rustc runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(out.status.success(), "generated source must compile under -D warnings:\n{stderr}");
+}
+
+// ------------------------------------------------------- equivalence
+
+#[test]
+fn native_matches_interp_packet_by_packet() {
+    if skip_no_rustc("native_matches_interp_packet_by_packet") {
+        return;
+    }
+    let mut interp = build(Backend::Interp);
+    let mut native = build(Backend::Native);
+    native.prepare_native().expect("native engine prepares");
+
+    for (i, pkt) in trace().into_iter().enumerate() {
+        let ri = step(&mut interp, pkt);
+        let rn = step(&mut native, pkt);
+        assert_eq!(ri, rn, "packet {i}: status/fault must agree exactly");
+        if ri.is_ok() {
+            assert_eq!(
+                interp.phv_snapshot(),
+                native.phv_snapshot(),
+                "packet {i}: PHV must be byte-identical"
+            );
+        }
+    }
+    assert_eq!(
+        interp.registers_snapshot(),
+        native.registers_snapshot(),
+        "final register state must be byte-identical (faults rolled back)"
+    );
+}
+
+#[test]
+fn native_faults_carry_exact_errors_and_roll_back() {
+    if skip_no_rustc("native_faults_carry_exact_errors_and_roll_back") {
+        return;
+    }
+    let mut interp = build(Backend::Interp);
+    let mut native = build(Backend::Native);
+
+    // Warm both with one clean packet so registers are non-trivial.
+    step(&mut interp, (3, 10, 2)).unwrap();
+    step(&mut native, (3, 10, 2)).unwrap();
+    let before = native.registers_snapshot();
+
+    // d = 0 divides by zero after the CMS increments ran: the error must
+    // match the interpreter's and the increments must be rolled back.
+    let ei = step(&mut interp, (5, 100, 0)).unwrap_err();
+    let en = step(&mut native, (5, 100, 0)).unwrap_err();
+    assert_eq!(ei, en, "fault values must be identical across backends");
+    assert_eq!(
+        native.registers_snapshot(),
+        before,
+        "a faulting packet must leave no trace in native register state"
+    );
+    assert_eq!(interp.registers_snapshot(), native.registers_snapshot());
+}
+
+#[test]
+fn native_sees_mid_run_installs_and_removals() {
+    if skip_no_rustc("native_sees_mid_run_installs_and_removals") {
+        return;
+    }
+    let mut interp = build(Backend::Interp);
+    let mut native = build(Backend::Native);
+    native.prepare_native().expect("prepares");
+
+    // New entry installed after the engine is live (the NetCache runtime
+    // promotes mid-trace exactly like this).
+    for sw in [&mut interp, &mut native] {
+        sw.install_entry("watch", vec![7], "mark", &[("boost", 99)]).unwrap();
+    }
+    step(&mut interp, (7, 1, 1)).unwrap();
+    step(&mut native, (7, 1, 1)).unwrap();
+    assert_eq!(interp.meta("flag").unwrap(), 1);
+    assert_eq!(native.meta("flag").unwrap(), 1);
+    assert_eq!(native.meta("boost").unwrap(), 99);
+    assert_eq!(interp.phv_snapshot(), native.phv_snapshot());
+
+    for sw in [&mut interp, &mut native] {
+        assert!(sw.remove_entry("watch", &[7]).unwrap());
+    }
+    step(&mut interp, (7, 1, 1)).unwrap();
+    step(&mut native, (7, 1, 1)).unwrap();
+    assert_eq!(native.meta("flag").unwrap(), 0, "removed entry must miss");
+    assert_eq!(interp.phv_snapshot(), native.phv_snapshot());
+}
+
+#[test]
+fn native_run_trace_matches_compiled_and_shards_fall_back() {
+    if skip_no_rustc("native_run_trace_matches_compiled_and_shards_fall_back") {
+        return;
+    }
+    let mut compiled = build(Backend::Compiled);
+    let mut native = build(Backend::Native);
+    let pkts: Vec<_> = trace()
+        .into_iter()
+        .map(|(k, v, d)| {
+            compiled.make_packet(&[("key", k), ("val", v), ("d", d)]).unwrap()
+        })
+        .collect();
+
+    let sc = compiled.run_trace(&pkts, 1);
+    let sn = native.run_trace(&pkts, 1);
+    assert_eq!(sc.packets, sn.packets);
+    assert_eq!(sc.dropped, sn.dropped, "identical drop counts at 1 thread");
+    assert_eq!(compiled.registers_snapshot(), native.registers_snapshot());
+
+    // threads > 1 documented behavior: the sharded path always runs the
+    // bytecode engine; results still match the sequential native run.
+    let mut native4 = build(Backend::Native);
+    let s4 = native4.run_trace(&pkts, 4);
+    assert_eq!(s4.dropped, sn.dropped);
+    assert_eq!(native4.registers_snapshot(), native.registers_snapshot());
+}
+
+#[test]
+fn native_reset_replays_identically() {
+    if skip_no_rustc("native_reset_replays_identically") {
+        return;
+    }
+    let mut native = build(Backend::Native);
+    let pkts = trace();
+    for pkt in &pkts[..100] {
+        let _ = step(&mut native, *pkt);
+    }
+    let first = native.registers_snapshot();
+    native.reset();
+    for pkt in &pkts[..100] {
+        let _ = step(&mut native, *pkt);
+    }
+    assert_eq!(first, native.registers_snapshot(), "reset + replay must reproduce state");
+}

@@ -104,3 +104,30 @@ proptest! {
         compile_bounded(&mutant);
     }
 }
+
+/// The native backend's failure path is a typed diagnostic too: a broken
+/// or missing `rustc` must surface as [`p4all_sim::NativeError`], never an
+/// unwind. Sets `P4ALL_RUSTC` for this process only — the other native
+/// tests live in separate test binaries, so there is no env race.
+#[test]
+fn missing_rustc_is_a_typed_error_not_a_panic() {
+    std::env::set_var("P4ALL_RUSTC", "/nonexistent/definitely-not-rustc");
+    let src = CORPUS[5]; // the known-good elastic program
+    let mut options = CompileOptions { max_unroll: 8, ..CompileOptions::default() };
+    options.solver.time_limit = Some(Duration::from_secs(5));
+    let mut ctx = CompileCtx::new(options);
+    let c = ctx.compile(src, &presets::paper_example()).expect("corpus program compiles");
+    let program = p4all_lang::parse(src).expect("parses");
+    let mut sw = p4all_sim::Switch::build(&c.concrete, &program).expect("sim builds");
+    sw.set_backend(p4all_sim::Backend::Native);
+    let err = sw.prepare_native().expect_err("bogus rustc cannot prepare");
+    assert!(
+        matches!(err, p4all_sim::NativeError::RustcMissing(_)),
+        "expected RustcMissing, got: {err}"
+    );
+    // And the packet path degrades to the same typed story: a SimError,
+    // not a panic.
+    sw.begin_packet();
+    sw.set_header("key", 1).unwrap();
+    assert!(sw.run_packet().is_err(), "native run without an engine must error, not panic");
+}

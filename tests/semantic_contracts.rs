@@ -23,15 +23,26 @@ use p4all_elastic::modules::bloom::{self, BloomParams};
 use p4all_elastic::modules::cms::CmsParams;
 use p4all_elastic::modules::{cms, compose};
 use p4all_pisa::presets;
-use p4all_sim::{Backend, Switch};
+use p4all_sim::{rustc_available, Backend, Switch};
 
-const BACKENDS: [Backend; 2] = [Backend::Interp, Backend::Compiled];
+const BACKENDS: [Backend; 3] = [Backend::Interp, Backend::Compiled, Backend::Native];
 
 fn backend_name(b: Backend) -> &'static str {
     match b {
         Backend::Interp => "interp",
         Backend::Compiled => "compiled",
+        Backend::Native => "native",
     }
+}
+
+/// True when this backend can't run here (native without a `rustc`);
+/// callers `continue` past it with a logged reason.
+fn backend_unavailable(b: Backend) -> bool {
+    if matches!(b, Backend::Native) && !rustc_available() {
+        eprintln!("skipping native backend — rustc not available on PATH");
+        return true;
+    }
+    false
 }
 
 // ------------------------------------------------------------------ CMS
@@ -68,6 +79,9 @@ fn cms_estimate_dominates_true_count_on_random_traces() {
             .map(|_| if rng.gen_bool(0.5) { rng.gen_range(0..4) } else { rng.gen_range(0..256) })
             .collect();
         for backend in BACKENDS {
+            if backend_unavailable(backend) {
+                continue;
+            }
             let mut sw = build_cms(backend);
             let mut truth: BTreeMap<u64, u64> = BTreeMap::new();
             for (i, &key) in trace.iter().enumerate() {
@@ -98,10 +112,16 @@ fn cms_backends_agree_on_every_estimate() {
     let trace: Vec<u64> = (0..200).map(|_| rng.gen_range(0..32)).collect();
     let mut interp = build_cms(Backend::Interp);
     let mut fast = build_cms(Backend::Compiled);
+    let mut native =
+        (!backend_unavailable(Backend::Native)).then(|| build_cms(Backend::Native));
     for (i, &key) in trace.iter().enumerate() {
         let a = cms_count(&mut interp, key);
         let b = cms_count(&mut fast, key);
         assert_eq!(a, b, "packet {i}: backends disagree on the estimate for key {key}");
+        if let Some(nat) = native.as_mut() {
+            let c = cms_count(nat, key);
+            assert_eq!(a, c, "packet {i}: native disagrees on the estimate for key {key}");
+        }
     }
 }
 
@@ -168,6 +188,9 @@ fn bloom_has_no_false_negatives_on_random_traces() {
         let trace: Vec<(bool, u64)> =
             (0..300).map(|_| (rng.gen_bool(0.4), rng.gen_range(0..128))).collect();
         for backend in BACKENDS {
+            if backend_unavailable(backend) {
+                continue;
+            }
             let mut sw = build_bloom(backend);
             let mut inserted: BTreeSet<u64> = BTreeSet::new();
             for (i, &(is_insert, key)) in trace.iter().enumerate() {
@@ -201,15 +224,24 @@ fn bloom_backends_agree_on_membership() {
     let mut rng = StdRng::seed_from_u64(13);
     let mut interp = build_bloom(Backend::Interp);
     let mut fast = build_bloom(Backend::Compiled);
+    let mut native =
+        (!backend_unavailable(Backend::Native)).then(|| build_bloom(Backend::Native));
     for i in 0..200 {
         let key = rng.gen_range(0..64);
         if rng.gen_bool(0.3) {
             bloom_insert(&mut interp, key);
             bloom_insert(&mut fast, key);
+            if let Some(nat) = native.as_mut() {
+                bloom_insert(nat, key);
+            }
         } else {
             let a = bloom_query(&mut interp, key);
             let b = bloom_query(&mut fast, key);
             assert_eq!(a, b, "packet {i}: backends disagree on membership of key {key}");
+            if let Some(nat) = native.as_mut() {
+                let c = bloom_query(nat, key);
+                assert_eq!(a, c, "packet {i}: native disagrees on membership of key {key}");
+            }
         }
     }
 }
