@@ -19,8 +19,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use p4all_bench::bench_netcache_options;
-use p4all_core::{CompileCtx, CompileOptions, Compilation};
-use p4all_elastic::apps::{conquest, netcache, precision, sketchlearn};
+use p4all_core::{CompileCtx, CompileOptions, Compilation, TenantProgram};
+use p4all_elastic::apps::{conquest, lpm, netcache, precision, sketchlearn, vlan};
+use p4all_lang::Tenant;
 use p4all_pisa::{presets, TargetSpec};
 
 /// One measured solve: wall time plus the solver-work counters that
@@ -71,6 +72,28 @@ fn solve_once(src: &str, target: &TargetSpec, warm: bool) -> Sample {
     let mut ctx = CompileCtx::new(options(warm));
     let c = ctx.compile(src, target).expect("bench app must compile");
     Sample::of(&c)
+}
+
+/// The three-tenant joint workload (the `examples/p4all/` bounds):
+/// NetCache weight 2 plus the VLAN-filter and LPM-routing co-tenants.
+fn joint_tenants() -> Vec<TenantProgram> {
+    let mut nc = netcache::NetCacheOptions::default();
+    nc.cms.max_rows = 2;
+    nc.kvs.max_slices = Some(3);
+    let vlan_opts = vlan::VlanOptions { max_cells: Some(4096), ..Default::default() };
+    let lpm_opts = lpm::LpmOptions { max_cells: Some(4096), ..Default::default() };
+    vec![
+        TenantProgram::new(Tenant::new("cache", 2.0).unwrap(), netcache::source(&nc)),
+        TenantProgram::new(Tenant::new("filter", 1.0).unwrap(), vlan::source(&vlan_opts)),
+        TenantProgram::new(Tenant::new("routes", 1.0).unwrap(), lpm::source(&lpm_opts)),
+    ]
+}
+
+/// One joint compile of the three-tenant workload on a fresh context.
+fn solve_joint_once(tenants: &[TenantProgram], target: &TargetSpec, warm: bool) -> Sample {
+    let mut ctx = CompileCtx::new(options(warm));
+    let jc = ctx.compile_joint(tenants, target).expect("joint bench workload must compile");
+    Sample::of(&jc.compilation)
 }
 
 /// One full pass over the Figure-12 memory sweep (8 points). Warm mode
@@ -160,6 +183,30 @@ fn main() {
         rows.push((name.to_string(), c, w));
     }
 
+    // The multi-tenant joint solve: one ILP whose capacity rows are
+    // shared by all three tenants (the CI gate for the joint path).
+    let tenants = joint_tenants();
+    let mut joint_cold = Vec::new();
+    let mut joint_warm = Vec::new();
+    solve_joint_once(&tenants, &target, false); // untimed warm-up
+    for _ in 0..reps {
+        joint_cold.push((solve_joint_once(&tenants, &target, false), 0));
+        joint_warm.push((solve_joint_once(&tenants, &target, true), 0));
+    }
+    let (jc, _) = median(joint_cold);
+    let (jw, _) = median(joint_warm);
+    assert!(
+        (jc.objective - jw.objective).abs() < 1e-6,
+        "joint: warm objective {} != cold {}",
+        jw.objective,
+        jc.objective
+    );
+    println!(
+        "  {:<12} cold {:>8.3}s ({} nodes, {} pivots)   warm {:>8.3}s ({} nodes, {} pivots, {} warm LPs, {} fallbacks)  {:.2}x",
+        "joint-3tenant", jc.solve_s, jc.nodes, jc.pivots, jw.solve_s, jw.nodes, jw.pivots,
+        jw.warm_lps, jw.fallbacks, jc.solve_s / jw.solve_s.max(1e-9)
+    );
+
     let mut sweep_cold = Vec::new();
     let mut sweep_warm = Vec::new();
     for _ in 0..reps {
@@ -196,7 +243,8 @@ fn main() {
         "  geomean speedup: {geo_accept:.2}x (NetCache + sweep), {geo_all:.2}x (all rows)"
     );
 
-    let total_warm_s: f64 = rows.iter().map(|(_, _, w)| w.solve_s).sum::<f64>() + sw.solve_s;
+    let total_warm_s: f64 =
+        rows.iter().map(|(_, _, w)| w.solve_s).sum::<f64>() + jw.solve_s + sw.solve_s;
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -227,6 +275,19 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"joint_solve\": {{\"workload\": \"NetCache+VLAN+LPM\", \"tenants\": 3, \
+         \"cold_solve_s\": {:.4}, \"warm_solve_s\": {:.4}, \"speedup\": {:.2}, \
+         \"cold_nodes\": {}, \"warm_nodes\": {}, \"cold_pivots\": {}, \"warm_pivots\": {}}},",
+        jc.solve_s,
+        jw.solve_s,
+        speedup(&jc, &jw),
+        jc.nodes,
+        jw.nodes,
+        jc.pivots,
+        jw.pivots
+    );
     let _ = writeln!(
         json,
         "  \"fig12_sweep\": {{\"points\": 8, \"cold_solve_s\": {:.4}, \"warm_solve_s\": {:.4}, \

@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! p4allc PROGRAM.p4all [options]
+//! p4allc --tenant A.p4all:W [--tenant B.p4all:W ...] [options]
 //!
 //!   --target NAME        tofino | paper-eval | paper-example | small
 //!                        (default: tofino)
+//!   --tenant FILE[:W]    repeatable: jointly compile FILE as one tenant
+//!                        with utility weight W (default 1). All tenants
+//!                        share ONE pipeline; the solver maximizes the
+//!                        weighted sum of their utilities. Mutually
+//!                        exclusive with a positional PROGRAM
 //!   --stages N           override pipeline stage count
 //!   --memory BITS        override per-stage register memory
 //!   --stateful-alus N    override stateful ALUs per stage
@@ -36,13 +42,19 @@
 
 use std::process::ExitCode;
 
-use p4all_core::{CompileError, CompileOptions, Compiler};
+use p4all_core::{
+    merge_tenants, CompileCtx, CompileError, CompileOptions, Compilation, Compiler,
+    TenantProgram, TenantReport,
+};
 use p4all_lang::diag::Diagnostic;
+use p4all_lang::Tenant;
 use p4all_pisa::{presets, TargetSpec};
 use p4all_sim::{Backend, Switch};
 
 struct Args {
-    input: String,
+    input: Option<String>,
+    /// `--tenant FILE[:W]` specs, in order.
+    tenants: Vec<String>,
     target: TargetSpec,
     emit_p4: bool,
     emit_layout: bool,
@@ -91,7 +103,8 @@ fn json_report(diagnostics: &[Diagnostic]) -> String {
 }
 
 fn usage() -> &'static str {
-    "usage: p4allc PROGRAM.p4all [--target tofino|paper-eval|paper-example|small] \
+    "usage: p4allc PROGRAM.p4all | --tenant FILE[:WEIGHT] ... \
+     [--target tofino|paper-eval|paper-example|small] \
      [--stages N] [--memory BITS] [--stateful-alus N] [--stateless-alus N] \
      [--phv BITS] [--emit p4|layout|stats|all] [--out FILE] [--threads N] [--greedy] \
      [--sim N] [--sim-backend interp|compiled|native] [--sim-threads N] \
@@ -100,6 +113,7 @@ fn usage() -> &'static str {
 
 fn parse_args() -> Result<Args, String> {
     let mut input: Option<String> = None;
+    let mut tenants: Vec<String> = Vec::new();
     let mut target = presets::tofino_like();
     let mut emit = "all".to_string();
     let mut out = None;
@@ -153,6 +167,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--phv needs an integer".to_string())?;
             }
+            "--tenant" => tenants.push(next(&mut i, "--tenant")?),
             "--emit" => emit = next(&mut i, "--emit")?,
             "--out" => out = Some(next(&mut i, "--out")?),
             "--threads" => {
@@ -195,7 +210,13 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    let input = input.ok_or_else(|| usage().to_string())?;
+    match (&input, tenants.is_empty()) {
+        (None, true) => return Err(usage().to_string()),
+        (Some(_), false) => {
+            return Err("give either PROGRAM.p4all or --tenant, not both".to_string())
+        }
+        _ => {}
+    }
     let (emit_p4, emit_layout, emit_stats) = match emit.as_str() {
         "p4" => (true, false, false),
         "layout" => (false, true, false),
@@ -206,6 +227,7 @@ fn parse_args() -> Result<Args, String> {
     target.validate().map_err(|e| format!("invalid target: {e}"))?;
     Ok(Args {
         input,
+        tenants,
         target,
         emit_p4,
         emit_layout,
@@ -221,31 +243,148 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-fn run(args: Args) -> Result<(), Failure> {
-    let src = std::fs::read_to_string(&args.input)
-        .map_err(|e| Failure::io(format!("cannot read {}: {e}", args.input)))?;
-    eprintln!("target: {}", args.target);
+/// One `--tenant` input: the tenant program plus the file it came from
+/// (for rendering that tenant's own diagnostics).
+struct TenantFile {
+    tp: TenantProgram,
+    path: String,
+}
 
-    let options = CompileOptions::default().with_threads(args.threads);
-    let compiler = Compiler::with_options(args.target, options);
-    if args.greedy {
-        let layout = compiler
-            .compile_greedy(&src)
-            .map_err(|e| Failure::compile(e, &src, &args.input))?;
-        println!("{}", layout.render());
-        return Ok(());
+/// Derive a tenant name from the file stem, sanitized to a plain
+/// identifier (`apps/vlan.p4all` → `vlan`).
+fn tenant_name(path: &str) -> String {
+    let stem =
+        std::path::Path::new(path).file_stem().and_then(|s| s.to_str()).unwrap_or("tenant");
+    let mut name: String = stem
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if !name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+        name.insert(0, 't');
     }
+    name
+}
 
-    let mut c = compiler
-        .compile(&src)
-        .map_err(|e| Failure::compile(e, &src, &args.input))?;
+/// Load `--tenant FILE[:WEIGHT]` specs: read each file, derive the tenant
+/// name from its stem, default the weight to 1.
+fn load_tenants(specs: &[String]) -> Result<Vec<TenantFile>, Failure> {
+    let mut out = Vec::new();
+    for spec in specs {
+        let (path, weight) = match spec.rsplit_once(':') {
+            Some((p, w)) => match w.parse::<f64>() {
+                Ok(w) => (p.to_string(), w),
+                Err(_) => (spec.clone(), 1.0),
+            },
+            None => (spec.clone(), 1.0),
+        };
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| Failure::io(format!("cannot read {path}: {e}")))?;
+        let tenant = Tenant::new(tenant_name(&path), weight)
+            .map_err(|e| Failure::io(format!("--tenant {spec}: {e}")))?;
+        out.push(TenantFile { tp: TenantProgram::new(tenant, src), path });
+    }
+    Ok(out)
+}
+
+/// Attribute a joint-compile failure: a tenant-tagged source error renders
+/// against that tenant's own file; anything else (e.g. a joint
+/// infeasibility) renders against the merged program's printed source.
+fn joint_failure(e: CompileError, tenants: &[TenantFile]) -> Failure {
+    if let Some(d) = e.diagnostic() {
+        for t in tenants {
+            let tag = format!("in tenant `{}`", t.tp.tenant.name);
+            if d.notes.iter().any(|n| n.message.contains(&tag)) {
+                return Failure {
+                    code: e.exit_class(),
+                    human: d.render(&t.tp.src, &t.path),
+                    diagnostics: vec![d.clone()],
+                };
+            }
+        }
+        let tps: Vec<TenantProgram> = tenants.iter().map(|t| t.tp.clone()).collect();
+        if let Ok(joint) = merge_tenants(&tps) {
+            return Failure {
+                code: e.exit_class(),
+                human: d.render(&joint.src, "<joint>"),
+                diagnostics: vec![d.clone()],
+            };
+        }
+    }
+    Failure {
+        code: e.exit_class(),
+        human: format!("{e}"),
+        diagnostics: vec![Diagnostic::error(e.to_string())],
+    }
+}
+
+/// The `--json-diagnostics` success payload of a joint compile: the empty
+/// diagnostics list plus the per-tenant utility split.
+fn json_tenant_report(reports: &[TenantReport]) -> String {
+    let body: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let u = match r.utility {
+                Some(u) => format!("{u}"),
+                None => "null".to_string(),
+            };
+            format!("{{\"name\":\"{}\",\"weight\":{},\"utility\":{}}}", r.name, r.weight, u)
+        })
+        .collect();
+    format!("{{\"diagnostics\":[],\"tenants\":[{}]}}", body.join(","))
+}
+
+fn run(args: Args) -> Result<(), Failure> {
+    eprintln!("target: {}", args.target);
+    let options = CompileOptions::default().with_threads(args.threads);
+
+    let (src, mut c, reports): (String, Compilation, Option<Vec<TenantReport>>) =
+        if args.tenants.is_empty() {
+            let input = args.input.clone().expect("parse_args guarantees an input");
+            let src = std::fs::read_to_string(&input)
+                .map_err(|e| Failure::io(format!("cannot read {input}: {e}")))?;
+            let compiler = Compiler::with_options(args.target.clone(), options);
+            if args.greedy {
+                let layout = compiler
+                    .compile_greedy(&src)
+                    .map_err(|e| Failure::compile(e, &src, &input))?;
+                println!("{}", layout.render());
+                if args.json_diagnostics {
+                    println!("{}", json_report(&[]));
+                }
+                return Ok(());
+            }
+            let c = compiler
+                .compile(&src)
+                .map_err(|e| Failure::compile(e, &src, &input))?;
+            (src, c, None)
+        } else {
+            let files = load_tenants(&args.tenants)?;
+            let tps: Vec<TenantProgram> = files.iter().map(|f| f.tp.clone()).collect();
+            let mut ctx = CompileCtx::new(options);
+            if args.greedy {
+                let joint = merge_tenants(&tps).map_err(|e| joint_failure(e, &files))?;
+                let (layout, _trace) = ctx
+                    .compile_greedy(&joint.src, &args.target)
+                    .map_err(|e| Failure::compile(e, &joint.src, "<joint>"))?;
+                println!("{}", layout.render());
+                if args.json_diagnostics {
+                    println!("{}", json_report(&[]));
+                }
+                return Ok(());
+            }
+            let jc =
+                ctx.compile_joint(&tps, &args.target).map_err(|e| joint_failure(e, &files))?;
+            eprintln!("joint compile: {} tenants, one pipeline", jc.tenants.len());
+            (jc.joint.src, jc.compilation, Some(jc.tenants))
+        };
     // Build the simulator up front when requested: preparing the native
     // backend here registers its codegen + rustc phases in the compile
     // trace before --timings renders it.
     let mut sim_switch = None;
     if args.sim.is_some() {
-        let program = p4all_lang::parse(&src)
-            .map_err(|e| Failure::compile(CompileError::from(e), &src, &args.input))?;
+        let program = p4all_lang::parse(&src).map_err(|e| {
+            Failure::compile(CompileError::from(e), &src, args.input.as_deref().unwrap_or("<joint>"))
+        })?;
         let mut sw = Switch::build(&c.concrete, &program)
             .map_err(|e| Failure::io(format!("simulator: {e}")))?;
         sw.set_backend(args.sim_backend);
@@ -265,6 +404,18 @@ fn run(args: Args) -> Result<(), Failure> {
     }
     if args.timings {
         print!("{}", c.trace.render());
+        if let Some(reports) = &reports {
+            println!("tenant utility split:");
+            for r in reports {
+                match r.utility {
+                    Some(u) => println!(
+                        "  {:<12} weight {:>6.2}  utility {:>12.2}",
+                        r.name, r.weight, u
+                    ),
+                    None => println!("  {:<12} weight {:>6.2}  utility n/a", r.name, r.weight),
+                }
+            }
+        }
     }
     if args.emit_layout {
         println!("{}", c.layout.render());
@@ -320,6 +471,12 @@ fn run(args: Args) -> Result<(), Failure> {
         (None, true) => println!("{}", c.p4_text),
         _ => {}
     }
+    if args.json_diagnostics {
+        match &reports {
+            Some(rs) => println!("{}", json_tenant_report(rs)),
+            None => println!("{}", json_report(&[])),
+        }
+    }
     Ok(())
 }
 
@@ -356,12 +513,9 @@ fn main() -> ExitCode {
     };
     let json = args.json_diagnostics;
     match run(args) {
-        Ok(()) => {
-            if json {
-                println!("{}", json_report(&[]));
-            }
-            ExitCode::SUCCESS
-        }
+        // Success JSON (including the joint-compile tenant split) is
+        // printed inside `run`, which knows the compile mode.
+        Ok(()) => ExitCode::SUCCESS,
         Err(f) => {
             // Rendered diagnostics already carry their own `error:` prefix.
             if f.human.starts_with("error") || f.human.starts_with("internal error") {

@@ -24,8 +24,22 @@ fn ui_dir() -> PathBuf {
 /// snapshot stay machine-independent.
 fn run_case(case: &str, extra: &[&str]) -> (String, String) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_p4allc"));
+    cmd.arg(format!("{case}.p4all"));
+    finish(cmd, extra)
+}
+
+/// Run the CLI in joint (multi-tenant) mode; `tenants` are raw `--tenant`
+/// specs (`file.p4all[:weight]`) relative to the ui directory.
+fn run_tenant_case(tenants: &[&str], extra: &[&str]) -> (String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_p4allc"));
+    for t in tenants {
+        cmd.args(["--tenant", t]);
+    }
+    finish(cmd, extra)
+}
+
+fn finish(mut cmd: Command, extra: &[&str]) -> (String, String) {
     cmd.current_dir(ui_dir())
-        .arg(format!("{case}.p4all"))
         .args(["--target", "paper-example", "--emit", "layout"])
         .args(extra);
     let out = cmd.output().expect("run p4allc");
@@ -44,6 +58,10 @@ fn run_case(case: &str, extra: &[&str]) -> (String, String) {
 
 fn check_snapshot(case: &str) {
     let (got, _) = run_case(case, &[]);
+    check_against(case, got);
+}
+
+fn check_against(case: &str, got: String) {
     let snap = ui_dir().join(format!("{case}.stderr"));
     if std::env::var_os("UPDATE_UI").is_some() {
         std::fs::write(&snap, &got).expect("write snapshot");
@@ -80,6 +98,15 @@ fn ui_unroll_cap_exceeded() {
 #[test]
 fn ui_infeasible_target() {
     check_snapshot("infeasible_target");
+}
+
+/// Two tenants that fit the paper-example pipeline alone but not
+/// together: the joint diagnostic must name both tenants and the shared
+/// resource, with anchors into both tenants' spans of the merged source.
+#[test]
+fn ui_joint_infeasible() {
+    let (got, _) = run_tenant_case(&["joint_filter.p4all:2.0", "joint_routes.p4all"], &[]);
+    check_against("joint_infeasible", got);
 }
 
 #[test]

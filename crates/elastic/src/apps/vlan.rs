@@ -1,0 +1,110 @@
+//! VLAN filtering: a fixed-function ACL plus an elastic per-VLAN traffic
+//! counter — the kind of small housekeeping app that co-tenants alongside
+//! a flagship like NetCache and stretches into whatever SRAM is left.
+//!
+//! Structure: an exact-match table `vlan_acl` permits or denies on the
+//! VLAN tag (deny by default); permitted traffic is counted into an
+//! elastic bank array of hash-indexed counters whose total cell count
+//! `vlan_banks * vlan_cells` is the utility.
+
+use crate::modules::{compose_with_apply, Fragment};
+
+/// Application-level knobs.
+#[derive(Debug, Clone)]
+pub struct VlanOptions {
+    /// ACL table capacity (entries).
+    pub acl_size: u64,
+    /// Bounds on the counter bank count.
+    pub min_banks: u64,
+    pub max_banks: u64,
+    /// Bounds on cells per bank.
+    pub min_cells: u64,
+    pub max_cells: Option<u64>,
+}
+
+impl Default for VlanOptions {
+    fn default() -> Self {
+        VlanOptions {
+            acl_size: 4096,
+            min_banks: 1,
+            max_banks: 2,
+            min_cells: 16,
+            max_cells: None,
+        }
+    }
+}
+
+impl VlanOptions {
+    /// The utility expression: total counter cells.
+    pub fn utility(&self) -> String {
+        "(vlan_banks * vlan_cells)".into()
+    }
+}
+
+/// Generate the VLAN-filtering P4All program.
+pub fn source(opts: &VlanOptions) -> String {
+    let mut assumes = vec![
+        format!("vlan_banks >= {} && vlan_banks <= {}", opts.min_banks, opts.max_banks),
+        format!("vlan_cells >= {}", opts.min_cells),
+    ];
+    if let Some(mc) = opts.max_cells {
+        assumes.push(format!("vlan_cells <= {mc}"));
+    }
+    let frag = Fragment {
+        symbolics: vec!["vlan_banks".into(), "vlan_cells".into()],
+        assumes,
+        metadata: vec![
+            "bit<8> vlan_ok;".into(),
+            "bit<32>[vlan_banks] vlan_idx;".into(),
+        ],
+        registers: vec![
+            "register<bit<32>>[vlan_cells][vlan_banks] vlan_ctr;".into(),
+        ],
+        actions: vec![
+            "action vlan_permit() {\n    meta.vlan_ok = 1;\n}".into(),
+            "action vlan_deny() {\n    meta.vlan_ok = 0;\n}".into(),
+            "action vlan_count()[int b] {\n    meta.vlan_idx[b] = hash(hdr.vlan, vlan_cells);\n    \
+             vlan_ctr[b][meta.vlan_idx[b]] = vlan_ctr[b][meta.vlan_idx[b]] + 1;\n}"
+                .into(),
+        ],
+        tables: vec![format!(
+            "table vlan_acl {{\n    key = {{ hdr.vlan; }}\n    actions = {{ vlan_permit; \
+             vlan_deny; }}\n    size = {};\n    default_action = vlan_deny;\n}}",
+            opts.acl_size
+        )],
+        controls: vec![
+            "control vlan_filter() { apply { vlan_acl.apply(); } }".into(),
+            "control vlan_account() {\n    apply {\n        if (meta.vlan_ok == 1) {\n            \
+             for (b < vlan_banks) { vlan_count()[b]; }\n        }\n    }\n}"
+                .into(),
+        ],
+        apply: vec!["vlan_filter.apply();".into(), "vlan_account.apply();".into()],
+    };
+    compose_with_apply(&[("vlan", 16)], &opts.utility(), vec![frag], None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4all_core::Compiler;
+    use p4all_pisa::presets;
+
+    #[test]
+    fn source_parses() {
+        let src = source(&VlanOptions::default());
+        let p = p4all_lang::parse(&src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
+        assert!(p.table("vlan_acl").is_some());
+        assert!(p.register("vlan_ctr").is_some());
+        assert!(p.optimize.is_some());
+    }
+
+    #[test]
+    fn compiles_standalone() {
+        let src = source(&VlanOptions::default());
+        let target = presets::paper_eval(1 << 13);
+        let c = Compiler::new(target.clone()).compile(&src).unwrap();
+        assert!(c.layout.symbol_values["vlan_banks"] >= 1);
+        assert!(c.layout.symbol_values["vlan_cells"] >= 16);
+        p4all_pisa::validate(&c.layout.usage, &target).unwrap();
+    }
+}

@@ -17,9 +17,12 @@
 pub mod apps {
     pub mod conquest;
     pub mod flowradar;
+    pub mod lpm;
+    pub mod macrewrite;
     pub mod netcache;
     pub mod precision;
     pub mod sketchlearn;
+    pub mod vlan;
 }
 pub mod baselines;
 pub mod modules;

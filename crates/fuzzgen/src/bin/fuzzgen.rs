@@ -14,10 +14,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use p4all_fuzzgen::{generate, run_case, shrink, Outcome, OracleOptions};
+use p4all_fuzzgen::{
+    generate, generate_joint, merged_case, run_case, run_joint_case, shrink, Outcome,
+    OracleOptions,
+};
 
 struct Args {
     samples: u64,
+    joint_samples: u64,
     seed: u64,
     trace_len: usize,
     corpus_dir: PathBuf,
@@ -34,6 +38,7 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             samples: 200,
+            joint_samples: 25,
             seed: 1,
             trace_len: 48,
             corpus_dir: PathBuf::from("tests/fuzz-corpus"),
@@ -50,7 +55,9 @@ impl Default for Args {
 
 const USAGE: &str = "\
 usage: fuzzgen [options]
-  --samples N          number of cases to run (default 200)
+  --samples N          number of single-program cases to run (default 200)
+  --joint N            number of 2-3-tenant joint cases to run after the
+                       single-program samples (default 25)
   --seed S             base seed; case i uses seed S+i (default 1)
   --trace-len L        packets per replay trace (default 48)
   --corpus-dir DIR     where to write shrunk cases (default tests/fuzz-corpus)
@@ -72,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--samples" => args.samples = val("--samples")?.parse().map_err(|e| format!("--samples: {e}"))?,
+            "--joint" => args.joint_samples = val("--joint")?.parse().map_err(|e| format!("--joint: {e}"))?,
             "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--trace-len" => args.trace_len = val("--trace-len")?.parse().map_err(|e| format!("--trace-len: {e}"))?,
             "--corpus-dir" => args.corpus_dir = PathBuf::from(val("--corpus-dir")?),
@@ -118,57 +126,116 @@ fn main() -> ExitCode {
         ..OracleOptions::default()
     };
 
-    let (mut clean_feasible, mut clean_infeasible, mut skipped) = (0u64, 0u64, 0u64);
-    let mut divergences = 0usize;
+    let mut tally = Tally::default();
     for i in 0..args.samples {
         let seed = args.seed.wrapping_add(i);
         let case = generate(seed, args.trace_len);
-        match run_case(&case, &opts) {
-            Outcome::Clean { feasible: true } => clean_feasible += 1,
-            Outcome::Clean { feasible: false } => clean_infeasible += 1,
-            Outcome::Skipped { reason } => {
-                skipped += 1;
-                eprintln!("seed {seed}: skipped ({reason})");
-            }
-            Outcome::Divergence(d) => {
-                divergences += 1;
-                eprintln!("== divergence at seed {seed} (target {}) ==", case.target.as_str());
-                eprintln!("kind: {}", d.kind);
-                eprintln!("{}", d.detail);
-                let (final_case, final_div) = if args.do_shrink {
-                    let s = shrink(&case, &d, &opts, args.shrink_budget);
-                    eprintln!(
-                        "shrunk in {} oracle runs to {} source lines, trace {} packets:",
-                        s.oracle_runs,
-                        s.case.source().lines().count(),
-                        s.case.trace_len
-                    );
-                    eprintln!("{}", s.case.source());
-                    (s.case, s.divergence)
-                } else {
-                    (case, d)
-                };
-                if args.save_corpus {
-                    match p4all_fuzzgen::save(&args.corpus_dir, &final_case, &final_div) {
-                        Ok(path) => eprintln!("saved to {}", path.display()),
-                        Err(e) => eprintln!("failed to save corpus case: {e}"),
-                    }
-                }
-                if divergences >= args.max_divergences {
-                    eprintln!("stopping after {divergences} divergences");
-                    break;
-                }
+        let target = case.target.as_str();
+        let outcome = run_case(&case, &opts);
+        if handle(outcome, seed, "seed", target, Some(&case), &args, &opts, &mut tally) {
+            break;
+        }
+    }
+    // The multi-tenant pass: joint-specific kinds (`joint-*`) are
+    // reported by seed only; divergences from the shared machinery shrink
+    // and save as ordinary cases over the *merged* program, which replays
+    // through the standard corpus path.
+    if tally.divergences < args.max_divergences {
+        for i in 0..args.joint_samples {
+            let seed = args.seed.wrapping_add(i);
+            let case = generate_joint(seed, args.trace_len);
+            let target = case.target.as_str();
+            let outcome = run_joint_case(&case, &opts);
+            let merged = match outcome.divergence() {
+                Some(d) if !d.kind.starts_with("joint-") => merged_case(&case).ok(),
+                _ => None,
+            };
+            if handle(outcome, seed, "joint seed", target, merged.as_ref(), &args, &opts, &mut tally)
+            {
+                break;
             }
         }
     }
 
     println!(
-        "fuzzgen: {} samples from seed {}: {} feasible, {} infeasible, {} skipped, {} divergent",
-        args.samples, args.seed, clean_feasible, clean_infeasible, skipped, divergences
+        "fuzzgen: {} samples + {} joint from seed {}: {} feasible, {} infeasible, {} skipped, {} divergent",
+        args.samples,
+        args.joint_samples,
+        args.seed,
+        tally.clean_feasible,
+        tally.clean_infeasible,
+        tally.skipped,
+        tally.divergences
     );
-    if divergences > 0 {
+    if tally.divergences > 0 {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
     }
+}
+
+#[derive(Default)]
+struct Tally {
+    clean_feasible: u64,
+    clean_infeasible: u64,
+    skipped: u64,
+    divergences: usize,
+}
+
+/// Record one oracle outcome; on divergence, shrink and save when a
+/// shrinkable single-program form of the case is available. Returns true
+/// when the divergence budget is exhausted and the run should stop.
+#[allow(clippy::too_many_arguments)]
+fn handle(
+    outcome: Outcome,
+    seed: u64,
+    label: &str,
+    target: &str,
+    shrinkable: Option<&p4all_fuzzgen::FuzzCase>,
+    args: &Args,
+    opts: &OracleOptions,
+    tally: &mut Tally,
+) -> bool {
+    match outcome {
+        Outcome::Clean { feasible: true } => tally.clean_feasible += 1,
+        Outcome::Clean { feasible: false } => tally.clean_infeasible += 1,
+        Outcome::Skipped { reason } => {
+            tally.skipped += 1;
+            eprintln!("{label} {seed}: skipped ({reason})");
+        }
+        Outcome::Divergence(d) => {
+            tally.divergences += 1;
+            eprintln!("== divergence at {label} {seed} (target {target}) ==");
+            eprintln!("kind: {}", d.kind);
+            eprintln!("{}", d.detail);
+            let Some(case) = shrinkable else {
+                eprintln!("replay with the fuzzgen --joint path at this seed");
+                return tally.divergences >= args.max_divergences;
+            };
+            let (final_case, final_div) = if args.do_shrink {
+                let s = shrink(case, &d, opts, args.shrink_budget);
+                eprintln!(
+                    "shrunk in {} oracle runs to {} source lines, trace {} packets:",
+                    s.oracle_runs,
+                    s.case.source().lines().count(),
+                    s.case.trace_len
+                );
+                eprintln!("{}", s.case.source());
+                (s.case, s.divergence)
+            } else {
+                (case.clone(), d)
+            };
+            if args.save_corpus {
+                match p4all_fuzzgen::save(&args.corpus_dir, &final_case, &final_div) {
+                    Ok(path) => eprintln!("saved to {}", path.display()),
+                    Err(e) => eprintln!("failed to save corpus case: {e}"),
+                }
+            }
+            if tally.divergences >= args.max_divergences {
+                eprintln!("stopping after {} divergences", tally.divergences);
+                return true;
+            }
+        }
+    }
+    false
 }

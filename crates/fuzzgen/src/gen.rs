@@ -125,6 +125,47 @@ pub fn gen_trace(trace_seed: u64, len: usize) -> Vec<[u64; 4]> {
         .collect()
 }
 
+/// A multi-tenant fuzz sample: 2–3 independently generated programs, each
+/// wrapped as a weighted tenant and compiled jointly into one pipeline.
+///
+/// Sub-cases are ordinary [`generate`] outputs; their own target and trace
+/// coordinates are superseded by the joint ones here (all tenants replay
+/// the same trace, each through its own namespaced header fields).
+#[derive(Debug, Clone)]
+pub struct JointFuzzCase {
+    pub seed: u64,
+    /// `(tenant name, utility weight, sub-case)`.
+    pub tenants: Vec<(String, f64, FuzzCase)>,
+    pub target: TargetChoice,
+    pub trace_seed: u64,
+    pub trace_len: usize,
+}
+
+/// Generate one joint case from a seed. Pure, like [`generate`], and
+/// salted so joint case `i` does not reuse single case `i`'s programs.
+pub fn generate_joint(seed: u64, trace_len: usize) -> JointFuzzCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6a6f_696e_745f_7031);
+    let n = rng.gen_range(2usize..=3);
+    // Joint pipelines need headroom, so bias toward the roomy presets;
+    // the tight ones stay in rotation to exercise the infeasible path.
+    let target = match rng.gen_range(0u32..8) {
+        0 => TargetChoice::PaperExample,
+        1 | 2 => TargetChoice::PaperEval13,
+        _ => TargetChoice::PaperEval15,
+    };
+    const WEIGHTS: [f64; 4] = [0.5, 1.0, 2.0, 3.0];
+    let tenants = ["ta", "tb", "tc"][..n]
+        .iter()
+        .map(|name| {
+            let sub_seed = rng.gen::<u64>();
+            let weight = WEIGHTS[rng.gen_range(0usize..WEIGHTS.len())];
+            (name.to_string(), weight, generate(sub_seed, trace_len))
+        })
+        .collect();
+    let trace_seed = rng.gen::<u64>();
+    JointFuzzCase { seed, tenants, target, trace_seed, trace_len }
+}
+
 // ------------------------------------------------------- AST shorthands
 
 fn sp() -> Span {
@@ -636,6 +677,27 @@ mod tests {
                 case.program.strip_spans(),
                 "seed {seed} round-trip mismatch\n{src}"
             );
+        }
+    }
+
+    #[test]
+    fn joint_generation_is_deterministic_and_distinct_from_single() {
+        for seed in 0..10u64 {
+            let a = generate_joint(seed, 16);
+            let b = generate_joint(seed, 16);
+            assert!((2..=3).contains(&a.tenants.len()), "seed {seed}");
+            assert_eq!(a.tenants.len(), b.tenants.len(), "seed {seed}");
+            for ((na, wa, ca), (nb, wb, cb)) in a.tenants.iter().zip(&b.tenants) {
+                assert_eq!(na, nb);
+                assert_eq!(wa, wb);
+                assert_eq!(ca.source(), cb.source(), "seed {seed}");
+                assert_eq!(ca.entries, cb.entries, "seed {seed}");
+            }
+            assert_eq!(a.trace_seed, b.trace_seed);
+            // The salt keeps joint tenant programs decorrelated from the
+            // single-program case at the same seed.
+            let single = generate(seed, 16);
+            assert_ne!(a.tenants[0].2.source(), single.source(), "seed {seed}");
         }
     }
 

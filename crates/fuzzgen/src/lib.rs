@@ -23,6 +23,8 @@ pub mod oracle;
 pub mod shrink;
 
 pub use corpus::{load_dir, replay, save, CorpusEntry, ReplayStatus};
-pub use gen::{gen_trace, generate, EntrySpec, FuzzCase, TargetChoice};
-pub use oracle::{run_case, Divergence, OracleOptions, Outcome, KNOWN_KINDS};
+pub use gen::{gen_trace, generate, generate_joint, EntrySpec, FuzzCase, JointFuzzCase, TargetChoice};
+pub use oracle::{
+    merged_case, run_case, run_joint_case, Divergence, OracleOptions, Outcome, KNOWN_KINDS,
+};
 pub use shrink::{gc, shrink, ShrinkOutcome};

@@ -30,13 +30,17 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
-use p4all_core::{verify_layout, CompileError, CompileOptions, Compiler};
+use p4all_core::{
+    merge_tenants, verify_joint, verify_layout, CompileCtx, CompileError, CompileOptions,
+    Compiler, TenantProgram,
+};
 use p4all_ilp::SolveStatus;
 use p4all_lang::ast::Program;
+use p4all_lang::Tenant;
 use p4all_pisa::TargetSpec;
 use p4all_sim::{Backend, SimError, Switch};
 
-use crate::gen::{gen_trace, FuzzCase};
+use crate::gen::{gen_trace, EntrySpec, FuzzCase, JointFuzzCase};
 
 /// Solver budget and scope knobs for one oracle run.
 #[derive(Debug, Clone)]
@@ -99,6 +103,11 @@ pub const KNOWN_KINDS: &[&str] = &[
     "native-diverge-phv",
     "native-diverge-registers",
     "native-diverge-replay",
+    "joint-merge",
+    "joint-compile-panic",
+    "joint-compile-reject",
+    "joint-verify",
+    "joint-utility",
 ];
 
 /// One observed disagreement between two things that must agree.
@@ -328,6 +337,122 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOptions) -> Outcome {
     }
 }
 
+fn tenant_programs(case: &JointFuzzCase) -> Vec<TenantProgram> {
+    case.tenants
+        .iter()
+        .map(|(name, weight, sub)| {
+            TenantProgram::new(
+                Tenant::new(name, *weight).expect("generated tenant names are valid idents"),
+                sub.source(),
+            )
+        })
+        .collect()
+}
+
+/// Lower a joint case to an ordinary [`FuzzCase`] over the *merged*
+/// program: control-plane entries are re-addressed to each tenant's
+/// namespaced table, action, and action-data names. The merged program
+/// is a plain [`Program`], so the result shrinks and replays through the
+/// whole single-program machinery (and its corpus format) unchanged.
+pub fn merged_case(case: &JointFuzzCase) -> Result<FuzzCase, Divergence> {
+    let joint = merge_tenants(&tenant_programs(case)).map_err(|e| {
+        Divergence::new("joint-merge", format!("merge of generated tenants failed: {e}"))
+    })?;
+    let entries = case
+        .tenants
+        .iter()
+        .flat_map(|(name, _, sub)| {
+            sub.entries.iter().map(move |e| EntrySpec {
+                table: format!("{name}::{}", e.table),
+                key: e.key,
+                action: format!("{name}::{}", e.action),
+                data: e.data.iter().map(|(n, v)| (format!("{name}::{n}"), *v)).collect(),
+            })
+        })
+        .collect();
+    Ok(FuzzCase {
+        seed: case.seed,
+        program: joint.merged,
+        target: case.target,
+        entries,
+        trace_seed: case.trace_seed,
+        trace_len: case.trace_len,
+    })
+}
+
+/// Run the joint-compilation oracle on one multi-tenant case.
+///
+/// Joint-specific invariants come first: `compile_joint` must not panic
+/// or reject well-formed tenants, its layout must pass
+/// [`p4all_core::verify_joint`] (every tenant's assumes independently),
+/// and the per-tenant utility split must re-sum to the ILP objective.
+/// The case is then lowered via [`merged_case`] and pushed through the
+/// full single-program oracle — round trip, exact-vs-greedy ILP with
+/// cross-checks, and the four-way lockstep/sharded replay — so every
+/// existing divergence class also guards the joint path.
+pub fn run_joint_case(case: &JointFuzzCase, opts: &OracleOptions) -> Outcome {
+    let merged = match merged_case(case) {
+        Ok(m) => m,
+        Err(d) => return Outcome::Divergence(d),
+    };
+    let target = case.target.to_spec();
+    let mut o = CompileOptions::default().with_threads(1);
+    o.solver.node_limit = opts.node_limit;
+    o.solver.time_limit = Some(opts.time_limit);
+    o.explain_infeasible = false;
+
+    let tenants = tenant_programs(case);
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        CompileCtx::new(o).compile_joint(&tenants, &target)
+    }));
+    match res {
+        Err(p) => {
+            return Outcome::Divergence(Divergence::new("joint-compile-panic", panic_message(p)))
+        }
+        Ok(Ok(jc)) => {
+            if let Err(violations) = verify_joint(&jc.joint, &jc.compilation.layout, &target) {
+                return Outcome::Divergence(Divergence::new(
+                    "joint-verify",
+                    violations.join("\n"),
+                ));
+            }
+            // When every tenant that declares an `optimize` got an
+            // evaluable utility, the weighted split must re-sum to the
+            // joint objective.
+            let all_eval = jc
+                .joint
+                .tenants
+                .iter()
+                .zip(&jc.tenants)
+                .all(|((_, p), r)| p.optimize.is_none() || r.utility.is_some());
+            if jc.joint.merged.optimize.is_some()
+                && all_eval
+                && !objectives_agree(jc.weighted_utility(), jc.compilation.layout.objective)
+            {
+                return Outcome::Divergence(Divergence::new(
+                    "joint-utility",
+                    format!(
+                        "per-tenant split sums to {} but the joint objective is {}",
+                        jc.weighted_utility(),
+                        jc.compilation.layout.objective
+                    ),
+                ));
+            }
+        }
+        // Infeasibility is corroborated by the merged-case delegation
+        // below (greedy must fail too; cross-checks must agree).
+        Ok(Err(CompileError::Infeasible(_))) => {}
+        Ok(Err(CompileError::SolverLimit(m))) => return Outcome::Skipped { reason: m },
+        Ok(Err(e)) => {
+            // Generated tenants are well-formed by construction, so any
+            // rejection is a namespacing or merge bug, not a bad input.
+            return Outcome::Divergence(Divergence::new("joint-compile-reject", e.to_string()));
+        }
+    }
+
+    run_case(&merged, opts)
+}
+
 /// Re-solve with a different solver configuration; an `Optimal` answer
 /// must match the baseline objective, and no configuration may flip to
 /// infeasible.
@@ -394,10 +519,26 @@ fn cross_check_infeasible(
     }
 }
 
-fn step(sw: &mut Switch, pkt: &[u64; 4]) -> Result<(), SimError> {
+/// The header-assignment plan for a program: field `i` (in declaration
+/// order) reads trace column `i % 4`. A single-program case declares
+/// exactly the generator's four fields, reproducing the classic
+/// `[key, val, d, aux]` mapping; each tenant block of a merged program
+/// declares the same four (namespaced) fields in order, so every
+/// co-tenant replays the same trace row through its own header.
+fn header_plan(parsed: &Program) -> Vec<(String, usize)> {
+    parsed
+        .headers
+        .iter()
+        .flat_map(|h| h.fields.iter())
+        .enumerate()
+        .map(|(i, (name, _))| (name.clone(), i % 4))
+        .collect()
+}
+
+fn step(sw: &mut Switch, plan: &[(String, usize)], pkt: &[u64; 4]) -> Result<(), SimError> {
     sw.begin_packet();
-    for (i, (name, _)) in crate::gen::HEADER_FIELDS.iter().enumerate() {
-        sw.set_header(name, pkt[i]).expect("generated header fields always exist");
+    for (name, col) in plan {
+        sw.set_header(name, pkt[*col]).expect("program header fields always exist");
     }
     sw.run_packet()
 }
@@ -451,11 +592,12 @@ fn sim_phase_inner(
         None
     };
 
+    let plan = header_plan(parsed);
     let trace = gen_trace(case.trace_seed, case.trace_len);
     let mut dropped = 0u64;
     for (i, pkt) in trace.iter().enumerate() {
-        let ri = step(&mut interp, pkt);
-        let rf = step(&mut fast, pkt);
+        let ri = step(&mut interp, &plan, pkt);
+        let rf = step(&mut fast, &plan, pkt);
         if ri != rf {
             return Err(Divergence::new(
                 "sim-status",
@@ -477,7 +619,7 @@ fn sim_phase_inner(
             dropped += 1;
         }
         if let Some(nat) = native.as_mut() {
-            let rn = step(nat, pkt);
+            let rn = step(nat, &plan, pkt);
             if rn != ri {
                 return Err(Divergence::new(
                     "native-diverge-status",
@@ -535,12 +677,9 @@ fn sim_phase_inner(
         let pkts: Result<Vec<_>, _> = trace
             .iter()
             .map(|pkt| {
-                sw.make_packet(&[
-                    ("key", pkt[0]),
-                    ("val", pkt[1]),
-                    ("d", pkt[2]),
-                    ("aux", pkt[3]),
-                ])
+                let assigns: Vec<(&str, u64)> =
+                    plan.iter().map(|(name, col)| (name.as_str(), pkt[*col])).collect();
+                sw.make_packet(&assigns)
             })
             .collect();
         let pkts = pkts.map_err(|e| Divergence::new("sim-build", e.to_string()))?;
@@ -591,5 +730,40 @@ mod tests {
     fn objective_tolerance_is_relative() {
         assert!(objectives_agree(1e7, 1e7 + 1.0));
         assert!(!objectives_agree(64.0, 65.0));
+    }
+
+    #[test]
+    fn merged_case_namespaces_entries() {
+        let case = crate::gen::generate_joint(2, 8);
+        let merged = merged_case(&case).expect("generated tenants merge");
+        for e in &merged.entries {
+            assert!(e.table.contains("::"), "table not namespaced: {}", e.table);
+            assert!(e.action.contains("::"), "action not namespaced: {}", e.action);
+            for (n, _) in &e.data {
+                assert!(n.contains("::"), "action datum not namespaced: {n}");
+            }
+        }
+        // Each tenant contributes the generator's four header fields, so
+        // the merged header plan covers every trace column per tenant.
+        let plan = header_plan(&merged.program);
+        assert_eq!(plan.len(), 4 * case.tenants.len());
+        assert!(plan.iter().all(|(n, _)| n.contains("::")));
+    }
+
+    #[test]
+    fn joint_cases_run_clean() {
+        // A cheap in-tree fuzz pass: a few seeds through the whole joint
+        // oracle (cross-checks and the native backend are exercised by
+        // the fuzzgen binary and CI, not per unit-test run).
+        let opts =
+            OracleOptions { cross_checks: false, native: false, ..OracleOptions::default() };
+        for seed in 0..3u64 {
+            let case = crate::gen::generate_joint(seed, 12);
+            let out = run_joint_case(&case, &opts);
+            assert!(
+                !matches!(out, Outcome::Divergence(_)),
+                "joint seed {seed} diverged: {out:?}"
+            );
+        }
     }
 }

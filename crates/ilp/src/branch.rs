@@ -59,6 +59,18 @@ pub struct SolveOptions {
     /// nodes in the same order and returns the same answer; set `false`
     /// to reproduce the historical cold-solve arithmetic exactly.
     pub warm_lp: bool,
+    /// Run a local-branching improvement pass between the root phase and
+    /// the exact tree search: restrict the model to a Hamming ball of
+    /// radius [`SolveOptions::local_branch_radius`] around the incumbent's
+    /// binary assignment and solve that (much smaller) neighborhood with a
+    /// bounded sub-search. Off by default; intended for large joint
+    /// (multi-tenant) models where the exact search alone dives slowly.
+    pub local_branch: bool,
+    /// Hamming-ball radius for local branching: how many binary variables
+    /// may flip relative to the incumbent.
+    pub local_branch_radius: u32,
+    /// Node budget for the local-branching sub-search.
+    pub local_branch_nodes: usize,
 }
 
 impl Default for SolveOptions {
@@ -74,6 +86,9 @@ impl Default for SolveOptions {
             threads: 0,
             deterministic: true,
             warm_lp: true,
+            local_branch: false,
+            local_branch_radius: 10,
+            local_branch_nodes: 1_000,
         }
     }
 }
@@ -276,6 +291,68 @@ enum RootPhase {
     Search(Prepared),
 }
 
+/// One root dive: repeatedly fix the branch variable to its nearest
+/// integer (backtracking once to the other side on infeasibility) until
+/// the LP point is integral, then return the snapped point's score if it
+/// is feasible. Always solves cold so the trajectory — and therefore the
+/// incumbent it finds — is a pure function of the model, independent of
+/// `warm_lp` (warm dual-simplex solves are equally exact but can land on
+/// different co-optimal vertices and steer the dive somewhere worse).
+fn run_dive(
+    ctx: &SearchCtx<'_>,
+    root_bounds: &[(f64, f64)],
+    root_x: &[f64],
+    lp_solves: &mut usize,
+    lp_work: &mut LpWork,
+) -> Result<Option<(f64, Vec<f64>)>, LpError> {
+    let model = ctx.model;
+    let opts = ctx.opts;
+    let mut dive_bounds = root_bounds.to_vec();
+    let mut cur = root_x.to_vec();
+    let dive_solve = |bounds: &[(f64, f64)], lp_work: &mut LpWork| -> Result<LpResult, LpError> {
+        let sol = solve_lp_ext(model, bounds, None)?;
+        lp_work.add(&sol.stats);
+        Ok(sol.result)
+    };
+    for _ in 0..opts.dive_limit {
+        match ctx.pick_branch_var(&cur, opts.int_tol) {
+            None => {
+                let vals = ctx.snap(&cur);
+                if model.check_feasible(&vals, 1e-5).is_ok() {
+                    let obj = model.objective_value(&vals);
+                    return Ok(Some((ctx.sgn * obj, vals)));
+                }
+                return Ok(None);
+            }
+            Some((j, v)) => {
+                // Round to the nearest integer and fix; on infeasibility
+                // backtrack once to the other side before giving up.
+                let (lo, hi) = dive_bounds[j];
+                let r = v.round().clamp(lo, hi);
+                dive_bounds[j] = (r, r);
+                *lp_solves += 1;
+                match dive_solve(&dive_bounds, lp_work)? {
+                    LpResult::Optimal { x, .. } => cur = x,
+                    _ => {
+                        let alt = if r > v { v.floor() } else { v.ceil() };
+                        let alt = alt.clamp(lo, hi);
+                        if alt == r {
+                            return Ok(None);
+                        }
+                        dive_bounds[j] = (alt, alt);
+                        *lp_solves += 1;
+                        match dive_solve(&dive_bounds, lp_work)? {
+                            LpResult::Optimal { x, .. } => cur = x,
+                            _ => return Ok(None), // both sides infeasible
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
 fn root_phase(ctx: &SearchCtx<'_>) -> Result<RootPhase, LpError> {
     let model = ctx.model;
     let opts = ctx.opts;
@@ -390,65 +467,34 @@ fn root_phase(ctx: &SearchCtx<'_>) -> Result<RootPhase, LpError> {
     }
 
     // --- Root diving heuristic for an early incumbent ---
-    // Each dive step fixes one variable's bounds, which is exactly the
-    // dual simplex's sweet spot: warm-start every step from the previous
-    // step's basis when `warm_lp` is on.
+    // Skipped entirely when the seeded incumbent already closes the root
+    // gap (a cross-solve warm start re-solving a sweep point needs only
+    // the root LP). Otherwise the dive always runs with *cold* LP
+    // arithmetic, even under `warm_lp`: warm and cold solves are both
+    // exact but can land on different co-optimal vertices, so a
+    // basis-chained warm dive follows a different trajectory and
+    // sometimes ends at a strictly worse incumbent (the Precision
+    // regression — warm left the root gap open and branched for ~27
+    // nodes where cold closed at the root). A cold dive makes the root
+    // phase a pure function of the model, identical in both
+    // configurations; `warm_lp` keeps its payoff where it cannot change
+    // the outcome, re-optimizing tree-node LPs from parent bases.
     if opts.dive_limit > 0 {
-        let mut dive_bounds = root_bounds.clone();
-        let mut cur = root_x.clone();
-        let mut dive_basis = root_basis.clone();
-        let dive_solve = |bounds: &[(f64, f64)],
-                              basis: &mut Option<Arc<Basis>>,
-                              lp_work: &mut LpWork|
-         -> Result<LpResult, LpError> {
-            let warm = if opts.warm_lp { basis.as_deref() } else { None };
-            let sol = solve_lp_ext(model, bounds, warm)?;
-            lp_work.add(&sol.stats);
-            if let Some(b) = sol.basis {
-                *basis = Some(Arc::new(b));
-            }
-            Ok(sol.result)
-        };
-        for _ in 0..opts.dive_limit {
-            match ctx.pick_branch_var(&cur, opts.int_tol) {
-                None => {
-                    let vals = ctx.snap(&cur);
-                    if model.check_feasible(&vals, 1e-5).is_ok() {
-                        let obj = model.objective_value(&vals);
-                        let score = ctx.sgn * obj;
-                        incumbent = Some((score, vals));
-                        events.push(IncumbentEvent {
-                            elapsed: ctx.start.elapsed(),
-                            objective: obj,
-                            thread: 0,
-                            source: IncumbentSource::Dive,
-                        });
-                    }
-                    break;
-                }
-                Some((j, v)) => {
-                    // Round to the nearest integer and fix; on infeasibility
-                    // backtrack once to the other side before giving up.
-                    let (lo, hi) = dive_bounds[j];
-                    let r = v.round().clamp(lo, hi);
-                    dive_bounds[j] = (r, r);
-                    lp_solves += 1;
-                    match dive_solve(&dive_bounds, &mut dive_basis, &mut lp_work)? {
-                        LpResult::Optimal { x, .. } => cur = x,
-                        _ => {
-                            let alt = if r > v { v.floor() } else { v.ceil() };
-                            let alt = alt.clamp(lo, hi);
-                            if alt == r {
-                                break;
-                            }
-                            dive_bounds[j] = (alt, alt);
-                            lp_solves += 1;
-                            match dive_solve(&dive_bounds, &mut dive_basis, &mut lp_work)? {
-                                LpResult::Optimal { x, .. } => cur = x,
-                                _ => break, // both sides infeasible; give up
-                            }
-                        }
-                    }
+        let gap_closed = incumbent
+            .as_ref()
+            .is_some_and(|(s, _)| root_score <= *s + ctx.prune_gap(*s));
+        if !gap_closed {
+            if let Some((score, vals)) =
+                run_dive(ctx, &root_bounds, &root_x, &mut lp_solves, &mut lp_work)?
+            {
+                if incumbent.as_ref().is_none_or(|(b, _)| score > *b) {
+                    events.push(IncumbentEvent {
+                        elapsed: ctx.start.elapsed(),
+                        objective: ctx.score_to_objective(score),
+                        thread: 0,
+                        source: IncumbentSource::Dive,
+                    });
+                    incumbent = Some((score, vals));
                 }
             }
         }
@@ -468,15 +514,97 @@ fn root_phase(ctx: &SearchCtx<'_>) -> Result<RootPhase, LpError> {
 /// Solve `model` to proven optimality (subject to limits).
 pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpError> {
     let ctx = SearchCtx::new(model, opts);
-    let prepared = match root_phase(&ctx)? {
+    let mut prepared = match root_phase(&ctx)? {
         RootPhase::Done(out) => return Ok(out),
         RootPhase::Search(p) => p,
     };
+    if opts.local_branch {
+        local_branch_improve(&ctx, &mut prepared)?;
+    }
     if opts.effective_threads() <= 1 {
         solve_sequential(&ctx, prepared)
     } else {
         crate::parallel::solve_parallel(&ctx, prepared)
     }
+}
+
+/// Local-branching improvement between the root phase and the exact
+/// search: restrict the model to a Hamming ball around the incumbent's
+/// binary assignment and run a bounded sub-search inside it. Any
+/// improvement tightens the incumbent before the exact search starts, so
+/// large (joint multi-tenant) models prune from a much better bound. The
+/// sub-search's LP solves are accounted like dive LPs (they are heuristic
+/// work, not tree nodes); exactness is untouched because the extra
+/// constraint only ever *restricts* the neighborhood the heuristic looks
+/// at — the exact search still runs on the original model.
+fn local_branch_improve(ctx: &SearchCtx<'_>, prepared: &mut Prepared) -> Result<(), LpError> {
+    let opts = ctx.opts;
+    let Some((inc_score, inc_vals)) = prepared.incumbent.clone() else {
+        return Ok(());
+    };
+    // Nothing to improve if the root bound is already closed.
+    if prepared.root_score <= inc_score + ctx.prune_gap(inc_score) {
+        return Ok(());
+    }
+    let binaries: Vec<usize> = ctx
+        .int_vars
+        .iter()
+        .copied()
+        .filter(|&j| matches!(ctx.model.var(crate::VarId(j)).kind, VarKind::Binary))
+        .collect();
+    if binaries.is_empty() {
+        return Ok(());
+    }
+
+    // Hamming ball:  Σ_{j: inc=0} x_j + Σ_{j: inc=1} (1 - x_j) <= radius
+    // i.e.           Σ_{j: inc=0} x_j - Σ_{j: inc=1} x_j <= radius - |ones|
+    let mut ball = ctx.model.clone();
+    let mut lhs = crate::LinExpr::zero();
+    let mut ones = 0u32;
+    for &j in &binaries {
+        if inc_vals[j].round() >= 1.0 {
+            ones += 1;
+            lhs += crate::LinExpr::term(crate::VarId(j), -1.0);
+        } else {
+            lhs += crate::LinExpr::term(crate::VarId(j), 1.0);
+        }
+    }
+    ball.le(
+        "local-branch-ball",
+        lhs,
+        opts.local_branch_radius as f64 - ones as f64,
+    );
+
+    let sub_opts = SolveOptions {
+        local_branch: false,
+        threads: 1,
+        node_limit: opts.local_branch_nodes,
+        warm_start: Some(inc_vals),
+        time_limit: opts
+            .time_limit
+            .map(|l| l.saturating_sub(ctx.start.elapsed())),
+        ..opts.clone()
+    };
+    let sub = solve_with(&ball, &sub_opts)?;
+    prepared.lp_solves += sub.lp_solves;
+    prepared.lp_work.pivots += sub.telemetry.per_thread[0].pivots;
+    prepared.lp_work.refactorizations += sub.telemetry.per_thread[0].refactorizations;
+    prepared.lp_work.warm_solves += sub.telemetry.per_thread[0].warm_solves;
+    prepared.lp_work.cold_fallbacks += sub.telemetry.per_thread[0].cold_fallbacks;
+
+    if let Some(sol) = sub.solution {
+        let score = ctx.sgn * sol.objective;
+        if score > inc_score + 1e-12 && ctx.model.check_feasible(&sol.values, 1e-5).is_ok() {
+            prepared.events.push(IncumbentEvent {
+                elapsed: ctx.start.elapsed(),
+                objective: sol.objective,
+                thread: 0,
+                source: IncumbentSource::LocalBranch,
+            });
+            prepared.incumbent = Some((score, sol.values));
+        }
+    }
+    Ok(())
 }
 
 /// The historical depth-first search, byte-for-byte: node order, prune
@@ -874,6 +1002,71 @@ mod tests {
         assert_eq!(a.telemetry.per_thread[0].nodes, a.nodes);
         assert_eq!(a.telemetry.per_thread[0].lp_solves, a.lp_solves);
         assert!(a.telemetry.gap_abs.is_some());
+    }
+
+    #[test]
+    fn local_branching_agrees_with_exact_search() {
+        // Same answer with and without the local-branching pass; the pass
+        // is a heuristic that only tightens the incumbent early.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..16).map(|i| m.binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            cap += LinExpr::term(x, ((i * 7 + 3) % 11 + 1) as f64);
+            obj += LinExpr::term(x, ((i * 5 + 2) % 13 + 1) as f64);
+        }
+        m.le("cap", cap, 31.0);
+        m.set_objective(obj, Sense::Maximize);
+        let plain = solve_with(&m, &SolveOptions { threads: 1, ..Default::default() }).unwrap();
+        let lb = solve_with(
+            &m,
+            &SolveOptions {
+                threads: 1,
+                local_branch: true,
+                local_branch_radius: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.status, SolveStatus::Optimal);
+        assert_eq!(lb.status, SolveStatus::Optimal);
+        assert!(
+            (plain.solution.as_ref().unwrap().objective
+                - lb.solution.as_ref().unwrap().objective)
+                .abs()
+                < 1e-6
+        );
+        // The neighborhood search never *grows* the exact tree.
+        assert!(lb.nodes <= plain.nodes, "{} > {}", lb.nodes, plain.nodes);
+    }
+
+    #[test]
+    fn warm_dive_sanity_check_keeps_warm_and_cold_aligned() {
+        // Warm and cold solves must agree on the objective, and the cold
+        // re-dive bounds warm lp_solves to at most ~2x cold's root phase.
+        let mut m = Model::new();
+        let xs: Vec<_> = (0..12).map(|i| m.binary(format!("x{i}"))).collect();
+        let mut cap = LinExpr::zero();
+        let mut obj = LinExpr::zero();
+        for (i, &x) in xs.iter().enumerate() {
+            cap += LinExpr::term(x, ((i * 3 + 1) % 6 + 1) as f64);
+            obj += LinExpr::term(x, ((i * 4 + 3) % 8 + 1) as f64);
+        }
+        m.le("cap", cap, 14.0);
+        m.set_objective(obj, Sense::Maximize);
+        let cold = solve_with(&m, &SolveOptions { threads: 1, warm_lp: false, ..Default::default() })
+            .unwrap();
+        let warm = solve_with(&m, &SolveOptions { threads: 1, warm_lp: true, ..Default::default() })
+            .unwrap();
+        assert_eq!(cold.status, SolveStatus::Optimal);
+        assert_eq!(warm.status, SolveStatus::Optimal);
+        assert!(
+            (cold.solution.as_ref().unwrap().objective
+                - warm.solution.as_ref().unwrap().objective)
+                .abs()
+                < 1e-6
+        );
     }
 
     #[test]

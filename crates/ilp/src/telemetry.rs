@@ -52,6 +52,8 @@ pub enum IncumbentSource {
     WarmStart,
     /// The root diving heuristic.
     Dive,
+    /// The local-branching neighborhood search.
+    LocalBranch,
     /// An integral branch-and-bound node.
     Node,
 }
@@ -61,6 +63,7 @@ impl fmt::Display for IncumbentSource {
         match self {
             IncumbentSource::WarmStart => write!(f, "warm-start"),
             IncumbentSource::Dive => write!(f, "dive"),
+            IncumbentSource::LocalBranch => write!(f, "local-branch"),
             IncumbentSource::Node => write!(f, "node"),
         }
     }

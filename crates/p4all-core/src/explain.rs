@@ -51,6 +51,9 @@ pub struct Infeasibility {
     pub resources: Vec<ResourceKind>,
     /// Distinct symbolic values implicated, sorted.
     pub symbolics: Vec<String>,
+    /// Distinct tenants implicated (joint compiles only), sorted. Derived
+    /// from row provenance and symbolic `tenant::` prefixes.
+    pub tenants: Vec<String>,
     /// Feasibility probes the deletion filter spent.
     pub probes: usize,
     /// True when the core is irreducible (the filter ran to completion).
@@ -103,11 +106,30 @@ pub fn explain_infeasible(
     resources.sort();
     resources.dedup();
 
+    // Tenants implicated by the core: from each row's derived tenant and
+    // from the `tenant::` prefixes of the conflicting symbolics.
+    let mut tenants: Vec<String> = rows
+        .iter()
+        .filter_map(|r| r.provenance.as_ref())
+        .filter_map(|p| p.tenant.clone())
+        .chain(symbolics.iter().filter_map(|s| p4all_lang::tenant_of(s).map(str::to_string)))
+        .collect();
+    tenants.sort();
+    tenants.dedup();
+
     let mut d = Diagnostic::error(format!(
         "program does not fit on target `{}`: no assignment of its elastic \
          parameters satisfies every placement constraint",
         target.name
     ));
+
+    if tenants.len() > 1 {
+        let list: Vec<String> = tenants.iter().map(|t| format!("`{t}`")).collect();
+        d = d.with_note(format!(
+            "tenants {} conflict over shared pipeline capacity",
+            list.join(", ")
+        ));
+    }
 
     if !symbolics.is_empty() {
         let list: Vec<String> = symbolics.iter().map(|s| format!("`{s}`")).collect();
@@ -138,7 +160,11 @@ pub fn explain_infeasible(
 
     // Anchor the diagnostic at the first spanned row and attach up to four
     // of the most informative rows (spanned, non-structural first) as
-    // spanned notes the renderer can show snippets for.
+    // spanned notes the renderer can show snippets for. In a joint compile
+    // the first pass anchors one row per conflicting tenant — a two-tenant
+    // SRAM fight must show *both* tenants' source spans, not four spans
+    // from whichever tenant sorts first — and the second pass fills the
+    // remaining slots in quality order.
     let mut anchored = 0usize;
     let mut best_first: Vec<&ExplainedRow> = rows.iter().collect();
     best_first.sort_by_key(|r| match r.provenance.as_ref() {
@@ -148,19 +174,33 @@ pub fn explain_infeasible(
         None => 3,
     });
     let mut seen: Vec<(String, p4all_lang::Span)> = Vec::new();
-    for r in &best_first {
-        let Some(p) = r.provenance.as_ref() else { continue };
-        let Some(span) = p.span else { continue };
+    let mut tenants_anchored: Vec<&str> = Vec::new();
+    let mut anchor = |d: &mut Diagnostic, p: &RowProvenance, span: p4all_lang::Span| {
         if d.span.is_none() {
-            d = d.with_span(span);
+            *d = d.clone().with_span(span);
         }
         // A single logical constraint often contributes several model rows
         // (e.g. the big-M pair of a precedence constraint); show it once.
         if anchored < 4 && !seen.contains(&(p.detail.clone(), span)) {
             seen.push((p.detail.clone(), span));
-            d = d.with_note_at(format!("conflicting constraint: {}", p.detail), span);
+            *d = d.clone().with_note_at(format!("conflicting constraint: {}", p.detail), span);
             anchored += 1;
         }
+    };
+    if tenants.len() > 1 {
+        for r in &best_first {
+            let Some(p) = r.provenance.as_ref() else { continue };
+            let (Some(span), Some(t)) = (p.span, p.tenant.as_deref()) else { continue };
+            if !tenants_anchored.contains(&t) {
+                tenants_anchored.push(t);
+                anchor(&mut d, p, span);
+            }
+        }
+    }
+    for r in &best_first {
+        let Some(p) = r.provenance.as_ref() else { continue };
+        let Some(span) = p.span else { continue };
+        anchor(&mut d, p, span);
     }
 
     if d.span.is_none() {
@@ -181,6 +221,7 @@ pub fn explain_infeasible(
         rows,
         resources,
         symbolics,
+        tenants,
         probes: report.probes,
         minimal: report.minimal,
     }

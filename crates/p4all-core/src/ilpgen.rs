@@ -104,17 +104,38 @@ pub struct RowProvenance {
     pub symbolics: Vec<String>,
     /// Source anchor (loop statement, register declaration, or assume).
     pub span: Option<Span>,
+    /// Owning tenant in a joint (multi-tenant) compile, derived from the
+    /// `tenant::` prefix its symbolics share. `None` for single-program
+    /// compiles and for rows spanning several tenants (shared capacity
+    /// rows).
+    pub tenant: Option<String>,
 }
 
 impl RowProvenance {
     fn new(detail: impl Into<String>, resource: ResourceKind) -> Self {
-        RowProvenance { detail: detail.into(), resource, symbolics: Vec::new(), span: None }
+        RowProvenance {
+            detail: detail.into(),
+            resource,
+            symbolics: Vec::new(),
+            span: None,
+            tenant: None,
+        }
     }
 
     fn syms<I: IntoIterator<Item = String>>(mut self, syms: I) -> Self {
         self.symbolics.extend(syms);
         self.symbolics.sort();
         self.symbolics.dedup();
+        // All symbolics from one tenant's namespace: the row belongs to
+        // that tenant. Mixed or un-namespaced rows stay tenant-less.
+        let mut tenants = self
+            .symbolics
+            .iter()
+            .map(|s| p4all_lang::tenant_of(s));
+        self.tenant = match tenants.next() {
+            Some(Some(first)) if tenants.all(|t| t == Some(first)) => Some(first.to_string()),
+            _ => None,
+        };
         self
     }
 

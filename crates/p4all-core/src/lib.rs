@@ -52,6 +52,7 @@ pub mod explain;
 pub mod greedy;
 pub mod ilpgen;
 pub mod ir;
+pub mod joint;
 pub mod passes;
 pub mod pipeline;
 pub mod solution;
@@ -60,6 +61,10 @@ pub mod verify;
 pub use codegen::{loc, print_p4, ConcreteAction, ConcreteProgram, ConcreteRegister};
 pub use explain::{explain_infeasible, ExplainedRow, Infeasibility};
 pub use ilpgen::{DerivedBound, ResourceKind, RowProvenance};
+pub use joint::{
+    merge_tenants, tenant_reports, verify_joint, JointCompilation, JointSource, TenantProgram,
+    TenantReport,
+};
 pub use passes::{CompileCtx, CompileTrace, PassRecord};
 pub use pipeline::{
     evaluate_utility, Compilation, CompileError, CompileOptions, Compiler, SolveStats, Timings,

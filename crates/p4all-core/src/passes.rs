@@ -15,7 +15,7 @@
 //! `solve`.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -152,7 +152,10 @@ fn front_key(src: &str, target: &TargetSpec, max_unroll: usize) -> u64 {
 /// ```
 pub struct CompileCtx {
     pub options: CompileOptions,
-    front: Option<(u64, FrontArtifacts)>,
+    /// Front-half artifacts keyed by [`front_key`]. A map (not a single
+    /// slot) so a joint compile interleaving N tenant sources — or a
+    /// driver alternating between programs — keeps every front hot.
+    front: HashMap<u64, FrontArtifacts>,
     /// Variable assignment of the previous successful solve on this
     /// context. A parameter sweep (Figure 12) re-encodes an almost
     /// identical model at each point, so the last point's incumbent is
@@ -165,7 +168,7 @@ pub struct CompileCtx {
 
 impl CompileCtx {
     pub fn new(options: CompileOptions) -> Self {
-        CompileCtx { options, front: None, last_incumbent: None }
+        CompileCtx { options, front: HashMap::new(), last_incumbent: None }
     }
 
     /// Run (or serve from cache) the front half: `parse` → `elaborate` →
@@ -177,16 +180,14 @@ impl CompileCtx {
         trace: &mut CompileTrace,
     ) -> Result<FrontArtifacts, CompileError> {
         let key = front_key(src, target, self.options.max_unroll);
-        if let Some((k, f)) = &self.front {
-            if *k == key {
-                let f = f.clone();
-                trace.record("parse", true, Duration::ZERO, describe_program(&f.info));
-                trace.record("elaborate", true, Duration::ZERO, describe_info(&f.info));
-                trace.record("bounds", true, Duration::ZERO, describe_bounds(&f.bounds));
-                trace.record("unroll", true, Duration::ZERO, describe_unrolled(&f.unrolled));
-                trace.record("depgraph", true, Duration::ZERO, describe_graph(&f.graph));
-                return Ok(f);
-            }
+        if let Some(f) = self.front.get(&key) {
+            let f = f.clone();
+            trace.record("parse", true, Duration::ZERO, describe_program(&f.info));
+            trace.record("elaborate", true, Duration::ZERO, describe_info(&f.info));
+            trace.record("bounds", true, Duration::ZERO, describe_bounds(&f.bounds));
+            trace.record("unroll", true, Duration::ZERO, describe_unrolled(&f.unrolled));
+            trace.record("depgraph", true, Duration::ZERO, describe_graph(&f.graph));
+            return Ok(f);
         }
 
         let t = Instant::now();
@@ -216,13 +217,18 @@ impl CompileCtx {
         trace.record("depgraph", false, t.elapsed(), describe_graph(&graph));
 
         let f = FrontArtifacts { info, bounds, unrolled, graph };
-        self.front = Some((key, f.clone()));
+        // Bound the cache: a runaway sweep over many distinct sources
+        // must not hold every front forever.
+        if self.front.len() >= 64 {
+            self.front.clear();
+        }
+        self.front.insert(key, f.clone());
         Ok(f)
     }
 
     /// Drop any cached artifacts (mostly useful in tests).
     pub fn clear_cache(&mut self) {
-        self.front = None;
+        self.front.clear();
         self.last_incumbent = None;
     }
 }

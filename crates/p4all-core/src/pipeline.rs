@@ -264,6 +264,7 @@ impl CompileCtx {
                         rows: Vec::new(),
                         resources: Vec::new(),
                         symbolics: Vec::new(),
+                        tenants: Vec::new(),
                         probes: 0,
                         minimal: false,
                     })));

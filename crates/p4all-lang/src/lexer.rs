@@ -202,8 +202,25 @@ impl<'a> Lexer<'a> {
 
     fn ident(&mut self) -> TokenKind {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
-            self.bump();
+        loop {
+            while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                self.bump();
+            }
+            // Namespaced identifier: `tenant::name` is one token, so joint
+            // multi-tenant sources keep each tenant's globals distinct
+            // without any parser changes.
+            if self.peek() == Some(b':')
+                && self.peek2() == Some(b':')
+                && matches!(
+                    self.bytes.get(self.pos + 2),
+                    Some(b'a'..=b'z' | b'A'..=b'Z' | b'_')
+                )
+            {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            break;
         }
         let text = &self.src[start..self.pos];
         TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
@@ -322,6 +339,25 @@ mod tests {
     fn stray_character_errors() {
         assert!(lex("a $ b").is_err());
         assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn lex_namespaced_identifiers() {
+        assert_eq!(
+            kinds("a::kv_cols cache::cms_rows"),
+            vec![
+                TokenKind::Ident("a::kv_cols".into()),
+                TokenKind::Ident("cache::cms_rows".into()),
+                TokenKind::Eof
+            ]
+        );
+        // Deeper nesting stays one token too.
+        assert_eq!(kinds("a::b::c")[0], TokenKind::Ident("a::b::c".into()));
+        // A single colon is still a lex error (not part of the grammar).
+        assert!(lex("a:b").is_err());
+        // `::` not followed by an identifier is not consumed into the
+        // ident, so the stray colon errors out.
+        assert!(lex("a::1").is_err());
     }
 
     #[test]

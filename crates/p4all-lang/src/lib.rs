@@ -32,6 +32,7 @@ pub mod lexer;
 pub mod parser;
 pub mod printer;
 pub mod span;
+pub mod tenant;
 pub mod token;
 
 pub use ast::{
@@ -43,3 +44,6 @@ pub use errors::LangError;
 pub use parser::parse;
 pub use printer::{print_expr, print_program};
 pub use span::Span;
+pub use tenant::{
+    local_name, merge_programs, namespace_program, qualify, tenant_of, Tenant,
+};

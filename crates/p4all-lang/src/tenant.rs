@@ -1,0 +1,486 @@
+//! Multi-tenant program composition.
+//!
+//! A production switch runs several elastic apps at once (telemetry +
+//! cache + firewall). This module turns N independent P4All programs into
+//! ONE joint program the ordinary compile pipeline can solve:
+//!
+//! 1. [`Tenant`] names a program and carries its utility weight;
+//! 2. [`namespace_program`] rewrites every *global* name — symbolics,
+//!    header/metadata fields, registers, actions, tables, controls — to
+//!    `tenant::name`, so `kv_cols` in tenant `a` is distinct from tenant
+//!    `b`'s. Loop/action index variables are deliberately left alone
+//!    (they are lexically scoped already);
+//! 3. [`merge_programs`] concatenates the namespaced declarations in
+//!    descending-weight order, sums the per-tenant `optimize` expressions
+//!    scaled by weight, and appends a synthetic entry control that applies
+//!    each tenant's pipeline in turn.
+//!
+//! The merged program prints and re-parses with the ordinary
+//! printer/parser because `tenant::name` lexes as a single identifier —
+//! namespacing needs no new syntax anywhere downstream.
+
+use std::fmt;
+
+use crate::ast::{
+    ActionDecl, Assume, BinOp, ControlDecl, Expr, HeaderDecl, LValue, MetaField, Program,
+    RegisterDecl, Size, Stmt, SymbolicDecl, TableDecl,
+};
+use crate::errors::LangError;
+use crate::span::Span;
+use crate::token::TokenKind;
+
+/// One tenant: a name (a plain identifier) and a utility weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    pub name: String,
+    /// Relative utility weight; the joint objective scales this tenant's
+    /// `optimize` expression by it. Must be finite and positive.
+    pub weight: f64,
+}
+
+impl Tenant {
+    /// Build a tenant, validating the name is a plain (un-namespaced)
+    /// identifier and the weight is finite and positive.
+    pub fn new(name: impl Into<String>, weight: f64) -> Result<Tenant, LangError> {
+        let name = name.into();
+        if !is_plain_ident(&name) {
+            return Err(LangError::new(
+                format!("invalid tenant name `{name}`: must be a plain identifier"),
+                Span::default(),
+            ));
+        }
+        if TokenKind::keyword(&name).is_some() {
+            return Err(LangError::new(
+                format!("invalid tenant name `{name}`: collides with a keyword"),
+                Span::default(),
+            ));
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(LangError::new(
+                format!("invalid tenant weight {weight} for `{name}`: must be finite and > 0"),
+                Span::default(),
+            ));
+        }
+        Ok(Tenant { name, weight })
+    }
+
+    /// Parse `name` or `name:weight` (the CLI's `--tenant` argument form).
+    pub fn parse(spec: &str) -> Result<Tenant, LangError> {
+        match spec.rsplit_once(':') {
+            Some((name, w)) => {
+                let weight: f64 = w.parse().map_err(|_| {
+                    LangError::new(
+                        format!("invalid tenant weight `{w}` in `{spec}`"),
+                        Span::default(),
+                    )
+                })?;
+                Tenant::new(name, weight)
+            }
+            None => Tenant::new(spec, 1.0),
+        }
+    }
+}
+
+impl fmt::Display for Tenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.weight)
+    }
+}
+
+fn is_plain_ident(s: &str) -> bool {
+    let mut bytes = s.bytes();
+    matches!(bytes.next(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_'))
+        && bytes.all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// `tenant::name`.
+pub fn qualify(tenant: &str, name: &str) -> String {
+    format!("{tenant}::{name}")
+}
+
+/// The tenant prefix of a namespaced name, if any.
+pub fn tenant_of(name: &str) -> Option<&str> {
+    name.split_once("::").map(|(t, _)| t)
+}
+
+/// The name with any tenant prefix removed.
+pub fn local_name(name: &str) -> &str {
+    name.split_once("::").map(|(_, n)| n).unwrap_or(name)
+}
+
+/// Rewrite every global name in `p` into the `tenant::` namespace.
+///
+/// Globals are: symbolic values, header names and fields, metadata fields,
+/// registers, actions, tables, and controls — plus every reference to any
+/// of them in expressions, lvalues, sizes, table action lists, and apply
+/// statements. Loop variables and action index parameters are local and
+/// stay untouched. Spans are preserved (they point into the tenant's own
+/// source until the merged program is re-printed).
+pub fn namespace_program(p: &Program, tenant: &str) -> Program {
+    let ns = Namespacer { tenant };
+    Program {
+        symbolics: p
+            .symbolics
+            .iter()
+            .map(|s| SymbolicDecl { name: ns.q(&s.name), span: s.span })
+            .collect(),
+        assumes: p
+            .assumes
+            .iter()
+            .map(|a| Assume { expr: ns.expr(&a.expr), span: a.span })
+            .collect(),
+        optimize: p.optimize.as_ref().map(|e| ns.expr(e)),
+        headers: p
+            .headers
+            .iter()
+            .map(|h| HeaderDecl {
+                name: ns.q(&h.name),
+                fields: h.fields.iter().map(|(f, b)| (ns.q(f), *b)).collect(),
+                span: h.span,
+            })
+            .collect(),
+        metadata: p
+            .metadata
+            .iter()
+            .map(|m| MetaField {
+                name: ns.q(&m.name),
+                bits: m.bits,
+                count: m.count.as_ref().map(|s| ns.size(s)),
+                span: m.span,
+            })
+            .collect(),
+        registers: p
+            .registers
+            .iter()
+            .map(|r| RegisterDecl {
+                name: ns.q(&r.name),
+                elem_bits: r.elem_bits,
+                cells: ns.size(&r.cells),
+                instances: r.instances.as_ref().map(|s| ns.size(s)),
+                span: r.span,
+            })
+            .collect(),
+        actions: p
+            .actions
+            .iter()
+            .map(|a| ActionDecl {
+                name: ns.q(&a.name),
+                indexed: a.indexed,
+                index_param: a.index_param.clone(),
+                body: a.body.iter().map(|s| ns.stmt(s)).collect(),
+                span: a.span,
+            })
+            .collect(),
+        tables: p
+            .tables
+            .iter()
+            .map(|t| TableDecl {
+                name: ns.q(&t.name),
+                keys: t.keys.iter().map(|k| ns.expr(k)).collect(),
+                actions: t.actions.iter().map(|a| ns.q(a)).collect(),
+                size: t.size,
+                default_action: t.default_action.as_ref().map(|a| ns.q(a)),
+                span: t.span,
+            })
+            .collect(),
+        controls: p
+            .controls
+            .iter()
+            .map(|c| ControlDecl {
+                name: ns.q(&c.name),
+                body: c.body.iter().map(|s| ns.stmt(s)).collect(),
+                span: c.span,
+            })
+            .collect(),
+    }
+}
+
+struct Namespacer<'a> {
+    tenant: &'a str,
+}
+
+impl Namespacer<'_> {
+    fn q(&self, name: &str) -> String {
+        qualify(self.tenant, name)
+    }
+
+    fn size(&self, s: &Size) -> Size {
+        match s {
+            Size::Const(c) => Size::Const(*c),
+            Size::Symbolic(name) => Size::Symbolic(self.q(name)),
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> Expr {
+        match e {
+            Expr::Int(v) => Expr::Int(*v),
+            Expr::Float(v) => Expr::Float(*v),
+            Expr::Symbolic(s) => Expr::Symbolic(self.q(s)),
+            Expr::IndexVar(v) => Expr::IndexVar(v.clone()),
+            Expr::Meta { field, index } => Expr::Meta {
+                field: self.q(field),
+                index: index.as_ref().map(|i| Box::new(self.expr(i))),
+            },
+            Expr::Header { field } => Expr::Header { field: self.q(field) },
+            Expr::RegisterRead { reg, instance, cell } => Expr::RegisterRead {
+                reg: self.q(reg),
+                instance: instance.as_ref().map(|i| Box::new(self.expr(i))),
+                cell: Box::new(self.expr(cell)),
+            },
+            Expr::Unary { op, operand } => {
+                Expr::Unary { op: *op, operand: Box::new(self.expr(operand)) }
+            }
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(self.expr(lhs)),
+                rhs: Box::new(self.expr(rhs)),
+            },
+        }
+    }
+
+    fn lvalue(&self, lv: &LValue) -> LValue {
+        match lv {
+            LValue::Meta { field, index } => LValue::Meta {
+                field: self.q(field),
+                index: index.as_ref().map(|i| self.expr(i)),
+            },
+            LValue::Header { field } => LValue::Header { field: self.q(field) },
+            LValue::Register { reg, instance, cell } => LValue::Register {
+                reg: self.q(reg),
+                instance: instance.as_ref().map(|i| self.expr(i)),
+                cell: Box::new(self.expr(cell)),
+            },
+        }
+    }
+
+    fn stmt(&self, s: &Stmt) -> Stmt {
+        match s {
+            Stmt::Assign { lhs, rhs, span } => {
+                Stmt::Assign { lhs: self.lvalue(lhs), rhs: self.expr(rhs), span: *span }
+            }
+            Stmt::HashAssign { lhs, inputs, range, span } => Stmt::HashAssign {
+                lhs: self.lvalue(lhs),
+                inputs: inputs.iter().map(|i| self.expr(i)).collect(),
+                range: self.size(range),
+                span: *span,
+            },
+            Stmt::If { cond, then_body, else_body, span } => Stmt::If {
+                cond: self.expr(cond),
+                then_body: then_body.iter().map(|s| self.stmt(s)).collect(),
+                else_body: else_body.iter().map(|s| self.stmt(s)).collect(),
+                span: *span,
+            },
+            Stmt::For { var, bound, body, span } => Stmt::For {
+                var: var.clone(),
+                bound: self.size(bound),
+                body: body.iter().map(|s| self.stmt(s)).collect(),
+                span: *span,
+            },
+            Stmt::CallAction { name, index, span } => Stmt::CallAction {
+                name: self.q(name),
+                index: index.as_ref().map(|i| self.expr(i)),
+                span: *span,
+            },
+            Stmt::ApplyTable { name, span } => {
+                Stmt::ApplyTable { name: self.q(name), span: *span }
+            }
+            Stmt::ApplyControl { name, span } => {
+                Stmt::ApplyControl { name: self.q(name), span: *span }
+            }
+        }
+    }
+}
+
+/// Merge N tenant programs into one joint program.
+///
+/// Tenants are ordered by descending weight (ties keep the given order),
+/// which also fixes the greedy baseline's allocation order: higher-weight
+/// tenants claim resources first. The joint objective is
+/// `Σ weight_t · optimize_t`; a synthetic `control Main` — declared last,
+/// so it is the merged program's entry control — applies each tenant's
+/// entry control in merge order.
+///
+/// Errors on duplicate tenant names (the namespaces would collide).
+pub fn merge_programs(tenants: &[(Tenant, Program)]) -> Result<Program, LangError> {
+    let mut order: Vec<&(Tenant, Program)> = tenants.iter().collect();
+    order.sort_by(|a, b| b.0.weight.partial_cmp(&a.0.weight).unwrap_or(std::cmp::Ordering::Equal));
+
+    for (i, (t, _)) in order.iter().enumerate() {
+        if order[..i].iter().any(|(u, _)| u.name == t.name) {
+            return Err(LangError::new(
+                format!("duplicate tenant name `{}`", t.name),
+                Span::default(),
+            ));
+        }
+    }
+
+    let mut merged = Program::default();
+    let mut objective: Option<Expr> = None;
+    let mut entry_applies: Vec<Stmt> = Vec::new();
+
+    for (tenant, program) in order {
+        let ns = namespace_program(program, &tenant.name);
+        if let Some(entry) = ns.entry_control() {
+            entry_applies.push(Stmt::ApplyControl {
+                name: entry.name.clone(),
+                span: Span::default(),
+            });
+        }
+        if let Some(opt) = &ns.optimize {
+            let term = if (tenant.weight - 1.0).abs() < f64::EPSILON {
+                opt.clone()
+            } else {
+                Expr::Binary {
+                    op: BinOp::Mul,
+                    lhs: Box::new(Expr::Float(tenant.weight)),
+                    rhs: Box::new(opt.clone()),
+                }
+            };
+            objective = Some(match objective {
+                None => term,
+                Some(acc) => Expr::Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(acc),
+                    rhs: Box::new(term),
+                },
+            });
+        }
+        merged.symbolics.extend(ns.symbolics);
+        merged.assumes.extend(ns.assumes);
+        merged.headers.extend(ns.headers);
+        merged.metadata.extend(ns.metadata);
+        merged.registers.extend(ns.registers);
+        merged.actions.extend(ns.actions);
+        merged.tables.extend(ns.tables);
+        merged.controls.extend(ns.controls);
+    }
+
+    merged.optimize = objective;
+    merged.controls.push(ControlDecl {
+        name: "Main".into(),
+        body: entry_applies,
+        span: Span::default(),
+    });
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::print_program;
+
+    const APP: &str = r#"
+        symbolic int rows;
+        symbolic int cols;
+        assume rows >= 1 && rows <= 4;
+        optimize rows * cols;
+        header h { bit<32> key; }
+        struct metadata { bit<32>[rows] index; }
+        register<bit<32>>[cols][rows] cms;
+        action bump()[int i] {
+            meta.index[i] = hash(hdr.key, cols);
+            cms[i][meta.index[i]] = cms[i][meta.index[i]] + 1;
+        }
+        control Main() { apply { for (i < rows) { bump()[i]; } } }
+    "#;
+
+    #[test]
+    fn tenant_display_round_trips() {
+        let t = Tenant::new("cache", 2.5).unwrap();
+        assert_eq!(t.to_string(), "cache:2.5");
+        assert_eq!(Tenant::parse(&t.to_string()).unwrap(), t);
+        assert_eq!(Tenant::parse("fw").unwrap(), Tenant::new("fw", 1.0).unwrap());
+    }
+
+    #[test]
+    fn tenant_validation_rejects_bad_specs() {
+        assert!(Tenant::new("a::b", 1.0).is_err());
+        assert!(Tenant::new("9lives", 1.0).is_err());
+        assert!(Tenant::new("for", 1.0).is_err());
+        assert!(Tenant::new("ok", 0.0).is_err());
+        assert!(Tenant::new("ok", f64::NAN).is_err());
+        assert!(Tenant::parse("x:abc").is_err());
+    }
+
+    #[test]
+    fn qualify_and_split() {
+        assert_eq!(qualify("a", "rows"), "a::rows");
+        assert_eq!(tenant_of("a::rows"), Some("a"));
+        assert_eq!(tenant_of("rows"), None);
+        assert_eq!(local_name("a::rows"), "rows");
+        assert_eq!(local_name("rows"), "rows");
+    }
+
+    #[test]
+    fn namespaced_program_round_trips_through_printer() {
+        let p = parse(APP).unwrap();
+        let ns = namespace_program(&p, "a");
+        assert_eq!(ns.symbolics[0].name, "a::rows");
+        assert_eq!(ns.registers[0].name, "a::cms");
+        assert_eq!(ns.controls[0].name, "a::Main");
+        // Index variables stay local.
+        let Stmt::For { var, bound, .. } = &ns.controls[0].body[0] else {
+            panic!("expected for loop");
+        };
+        assert_eq!(var, "i");
+        assert_eq!(bound, &Size::Symbolic("a::rows".into()));
+
+        let printed = print_program(&ns);
+        let back = parse(&printed).unwrap();
+        assert_eq!(back.strip_spans(), ns.strip_spans());
+    }
+
+    #[test]
+    fn merge_orders_by_weight_and_sums_objectives() {
+        let a = parse(APP).unwrap();
+        let b = parse(APP).unwrap();
+        let merged = merge_programs(&[
+            (Tenant::new("light", 1.0).unwrap(), a),
+            (Tenant::new("heavy", 3.0).unwrap(), b),
+        ])
+        .unwrap();
+
+        // heavy (weight 3) is merged first.
+        assert_eq!(merged.symbolics[0].name, "heavy::rows");
+        assert_eq!(merged.symbolics[2].name, "light::rows");
+
+        // The synthetic entry control applies heavy then light.
+        let main = merged.entry_control().unwrap();
+        assert_eq!(main.name, "Main");
+        let names: Vec<_> = main
+            .body
+            .iter()
+            .map(|s| match s {
+                Stmt::ApplyControl { name, .. } => name.clone(),
+                other => panic!("expected apply, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["heavy::Main".to_string(), "light::Main".to_string()]);
+
+        // Joint objective: 3.0 * heavy + light (weight-1 term unscaled).
+        let Some(Expr::Binary { op: BinOp::Add, lhs, .. }) = &merged.optimize else {
+            panic!("expected summed objective, got {:?}", merged.optimize);
+        };
+        let Expr::Binary { op: BinOp::Mul, lhs: w, .. } = lhs.as_ref() else {
+            panic!("expected weighted term, got {lhs:?}");
+        };
+        assert_eq!(w.as_ref(), &Expr::Float(3.0));
+
+        // The merged program prints and re-parses.
+        let printed = print_program(&merged);
+        let back = parse(&printed).unwrap();
+        assert_eq!(back.strip_spans(), merged.strip_spans());
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_tenants() {
+        let a = parse(APP).unwrap();
+        let b = parse(APP).unwrap();
+        let err = merge_programs(&[
+            (Tenant::new("x", 1.0).unwrap(), a),
+            (Tenant::new("x", 2.0).unwrap(), b),
+        ]);
+        assert!(err.is_err());
+    }
+}

@@ -3,8 +3,12 @@
 //! structures in conflict, the exhausted PISA resource kinds, and anchor
 //! the explanation at source spans (ISSUE acceptance criterion).
 
-use p4all_core::{CompileError, CompileOptions, Compiler, ResourceKind};
+use p4all_core::{
+    CompileCtx, CompileError, CompileOptions, Compiler, ResourceKind, TenantProgram,
+};
 use p4all_elastic::apps::netcache::{self, NetCacheOptions};
+use p4all_elastic::apps::{lpm, vlan};
+use p4all_lang::Tenant;
 use p4all_pisa::presets;
 
 /// NetCache with the §6.2 key-value-store reservation on a target whose
@@ -61,6 +65,102 @@ fn undersized_netcache_explains_the_conflict() {
     assert!(rendered.contains("does not fit"), "got: {rendered}");
     assert!(rendered.contains("(M)"), "memory letter missing: {rendered}");
     assert!(rendered.contains("conflict core:"), "got: {rendered}");
+}
+
+/// Two tenants that each fit the paper-example pipeline alone but cannot
+/// share it: each pins a register structure to two full stages of memory
+/// (the target has three). The joint IIS must name BOTH tenants, the
+/// exhausted resource kind, and anchor a source span for each tenant.
+#[test]
+fn joint_infeasibility_names_both_tenants() {
+    // On a 2048-bit-per-stage target, 64 cells x 32 bits is exactly one
+    // full stage of register memory per bank/level. Three instances each:
+    // either tenant fills 3 of the 4 stages alone, so the pair needs 6 —
+    // two cannot share the pipeline. (A small bespoke target keeps the
+    // symmetric placement search, and the IIS probing on top of it, fast.)
+    let filter_src = vlan::source(&vlan::VlanOptions {
+        acl_size: 16,
+        min_banks: 3,
+        max_banks: 3,
+        min_cells: 64,
+        max_cells: Some(64),
+    });
+    let routes_src = lpm::source(&lpm::LpmOptions {
+        min_levels: 3,
+        max_levels: 3,
+        min_cells: 64,
+        max_cells: Some(64),
+    });
+    let target = p4all_pisa::TargetSpec {
+        name: "joint-infeasibility-test".into(),
+        stages: 4,
+        memory_bits: 2048,
+        stateful_alus: 4,
+        stateless_alus: 100,
+        phv_bits: 4096,
+        phv_fixed_bits: 0,
+        alu_costs: p4all_pisa::AluCostModel::tofino_like(),
+    };
+
+    // Each tenant fits standalone — the conflict only exists jointly.
+    for (name, src) in [("filter", &filter_src), ("routes", &routes_src)] {
+        Compiler::new(target.clone())
+            .compile(src)
+            .unwrap_or_else(|e| panic!("tenant `{name}` must fit alone: {e:?}"));
+    }
+
+    let tenants = [
+        TenantProgram::new(Tenant::new("filter", 2.0).unwrap(), &filter_src),
+        TenantProgram::new(Tenant::new("routes", 1.0).unwrap(), &routes_src),
+    ];
+    let mut ctx = CompileCtx::new(CompileOptions::default());
+    let x = match ctx.compile_joint(&tenants, &target) {
+        Ok(_) => panic!("four full stages of registers cannot share three"),
+        Err(CompileError::Infeasible(x)) => x,
+        Err(other) => panic!("expected Infeasible, got {other:?}"),
+    };
+
+    // Both tenants are implicated by name...
+    assert_eq!(
+        x.tenants,
+        vec!["filter".to_string(), "routes".to_string()],
+        "the conflict core must implicate both tenants"
+    );
+    // ...the diagnostic says so in prose...
+    let rendered = x.diagnostic.render(&x_src(&tenants), "<joint>");
+    assert!(
+        rendered.contains("filter") && rendered.contains("routes"),
+        "rendered explanation must name both tenants: {rendered}"
+    );
+    assert!(
+        rendered.contains("shared pipeline capacity"),
+        "multi-tenant conflicts must be called out as such: {rendered}"
+    );
+    // ...a physical resource kind is named...
+    assert!(
+        x.resources.iter().any(|r| r.is_physical()),
+        "explanation must implicate a physical PISA resource, got {:?}",
+        x.resources
+    );
+    // ...and each tenant contributes at least one spanned anchor.
+    let spanned_rows: Vec<&str> = x
+        .diagnostic
+        .notes
+        .iter()
+        .filter(|n| n.span.is_some())
+        .map(|n| n.message.as_str())
+        .collect();
+    for tenant in ["filter", "routes"] {
+        assert!(
+            spanned_rows.iter().any(|m| m.contains(tenant)),
+            "no spanned anchor for tenant `{tenant}` in {spanned_rows:?}"
+        );
+    }
+}
+
+/// The merged source a joint diagnostic renders against.
+fn x_src(tenants: &[TenantProgram]) -> String {
+    p4all_core::merge_tenants(tenants).expect("tenants merge").src
 }
 
 /// The deletion filter stays within its probe budget even for the full

@@ -1,0 +1,46 @@
+//! The example tenant programs under `examples/p4all/` are generated from
+//! the elastic app library (bounded so a joint compile stays fast); this
+//! test keeps the checked-in files in sync with the generators.
+//!
+//! Regenerate after an intentional app change with:
+//!
+//! ```text
+//! UPDATE_EXAMPLES=1 cargo test -q --test tenant_examples
+//! ```
+
+use p4all_elastic::apps::{lpm, macrewrite, netcache, vlan};
+
+/// The canonical example options: small elastic upper bounds so the
+/// three-tenant joint ILP (NetCache + VLAN + LPM) solves in well under a
+/// second — these files back the CI multi-tenant smoke job.
+fn examples() -> Vec<(&'static str, String)> {
+    let mut nc = netcache::NetCacheOptions::default();
+    nc.cms.max_rows = 2;
+    nc.kvs.max_slices = Some(3);
+    let vlan_opts = vlan::VlanOptions { max_cells: Some(4096), ..Default::default() };
+    let lpm_opts = lpm::LpmOptions { max_cells: Some(4096), ..Default::default() };
+    let mac_opts =
+        macrewrite::MacRewriteOptions { max_cells: Some(4096), ..Default::default() };
+    vec![
+        ("netcache.p4all", netcache::source(&nc)),
+        ("vlan.p4all", vlan::source(&vlan_opts)),
+        ("lpm.p4all", lpm::source(&lpm_opts)),
+        ("mac_rewrite.p4all", macrewrite::source(&mac_opts)),
+    ]
+}
+
+#[test]
+fn example_tenants_match_generators() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/p4all");
+    for (name, want) in examples() {
+        let path = dir.join(name);
+        if std::env::var_os("UPDATE_EXAMPLES").is_some() {
+            std::fs::write(&path, &want).expect("write example");
+            continue;
+        }
+        let got = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing {}: {e}; run with UPDATE_EXAMPLES=1 to create it", path.display())
+        });
+        assert_eq!(got, want, "{name} is stale; regenerate with UPDATE_EXAMPLES=1");
+    }
+}
