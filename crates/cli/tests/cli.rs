@@ -103,7 +103,28 @@ fn sim_threads_shards_the_replay() {
         .expect("p4allc runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("4 thread(s)"), "{stdout}");
+    // The shard count is capped at the machine's parallelism, so the
+    // reported count is min(4, cores).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let want = format!("{} thread(s)", 4.min(cores));
+    assert!(stdout.contains(&want), "expected `{want}` in: {stdout}");
+}
+
+#[test]
+fn sim_batch_reports_batched_replay() {
+    let out = bin()
+        .arg(example("cms.p4all"))
+        .args(["--target", "paper-example", "--emit", "layout"])
+        .args(["--sim", "2000", "--sim-batch", "32", "--json-diagnostics"])
+        .output()
+        .expect("p4allc runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The CMS example is batch-safe, so the requested width runs (the
+    // human line and the JSON replay object both expose it).
+    assert!(stdout.contains("batch width 32"), "{stdout}");
+    assert!(stdout.contains("\"batch_width\":32"), "{stdout}");
+    assert!(stdout.contains("\"overlap_occupancy\":"), "{stdout}");
 }
 
 #[test]

@@ -242,6 +242,11 @@ pub(crate) struct CompiledProgram {
     pub diags: Vec<String>,
     /// Size of the temporary file a packet needs.
     pub temp_count: usize,
+    /// Whether instruction-major SoA batch execution ([`run_batch`]) is
+    /// bit-identical to packet-major execution for this program — see
+    /// [`analyze_batch_safety`]. When false, batched replay falls back to
+    /// the scalar loop.
+    pub batch_safe: bool,
 }
 
 /// Per-executor scratch: the temporary file and the reusable key buffer.
@@ -735,10 +740,95 @@ pub(crate) fn lower(sw: &Switch) -> (CompiledProgram, Vec<CompiledTableState>) {
         action_ids,
         diags: lo.diags,
         temp_count: lo.max_temps,
+        batch_safe: false,
     };
     peephole(&mut prog, &sw.masks, &sw.registers);
     validate(&prog, sw.masks.len(), sw.registers.len());
+    prog.batch_safe = analyze_batch_safety(&prog, sw.registers.len());
     (prog, ctables)
+}
+
+/// Decide whether **instruction-major** batch execution is bit-identical
+/// to packet-major (scalar) execution.
+///
+/// In instruction-major order every lane runs instruction `pc` before any
+/// lane runs `pc + 1`. Per-lane state (PHV slots, temps) never flows
+/// between lanes, so the only cross-lane state is the register file. A
+/// register write at one pc observed by a read at a *different* pc sees a
+/// different interleaving than scalar order would (all lanes' writes land
+/// before any lane's later read), so the program is batch-safe iff every
+/// register that is ever written is touched (read *or* written) from at
+/// most one **atom**:
+///
+/// - a plain top-level instruction is its own atom, and single fused
+///   instructions like [`Instr::SketchStep`] keep their read-modify-
+///   write-readback sequence inside one atom by construction;
+/// - an [`Instr::Apply`] atom conservatively includes **every** action
+///   body (entries bind actions at install time, so any action may run),
+///   because the batch executor runs the whole lookup + action body
+///   scalar per lane, in lane order, inside the one Apply dispatch.
+///
+/// Read-only registers are always safe — nothing mutates them mid-batch.
+/// The batch loop also requires all top-level jumps to be forward (lanes
+/// are reactivated by `pc` *reaching* their wait target), which the
+/// if/else lowering guarantees; this is re-checked here rather than
+/// assumed.
+fn analyze_batch_safety(prog: &CompiledProgram, reg_count: usize) -> bool {
+    fn touch(i: &Instr, f: &mut dyn FnMut(u16, bool)) {
+        match i {
+            Instr::LoadReg { reg, .. } | Instr::RegToSlot { reg, .. } => f(*reg, false),
+            Instr::StoreReg { reg, .. }
+            | Instr::RegAdd { reg, .. }
+            | Instr::SketchStep { reg, .. } => f(*reg, true),
+            _ => {}
+        }
+    }
+
+    // Register accesses of the union of all action bodies: charged to
+    // every Apply atom.
+    let mut action_touch: Vec<(u16, bool)> = Vec::new();
+    for &(s, e) in &prog.action_code {
+        for i in &prog.code[s as usize..e as usize] {
+            touch(i, &mut |r, w| action_touch.push((r, w)));
+        }
+    }
+
+    let mut owner: Vec<Option<u32>> = vec![None; reg_count];
+    let mut multi = vec![false; reg_count];
+    let mut written = vec![false; reg_count];
+    let mut record = |atom: u32, r: u16, w: bool| {
+        let r = r as usize;
+        written[r] |= w;
+        match owner[r] {
+            None => owner[r] = Some(atom),
+            Some(a) if a != atom => multi[r] = true,
+            Some(_) => {}
+        }
+    };
+
+    let (bs, be) = prog.body;
+    for pc in bs as usize..be as usize {
+        let i = &prog.code[pc];
+        match i {
+            Instr::JF { target, .. }
+            | Instr::JT { target, .. }
+            | Instr::JFAnd { target, .. }
+            | Instr::JFOr { target, .. }
+            | Instr::Jmp { target }
+                if *target as usize <= pc =>
+            {
+                return false;
+            }
+            _ => {}
+        }
+        touch(i, &mut |r, w| record(pc as u32, r, w));
+        if matches!(i, Instr::Apply { .. }) {
+            for &(r, w) in &action_touch {
+                record(pc as u32, r, w);
+            }
+        }
+    }
+    (0..reg_count).all(|r| !(multi[r] && written[r]))
 }
 
 /// Try to fuse the CMS idiom at `code[pc..pc + 3]`: hash into an index
@@ -998,42 +1088,104 @@ pub(crate) fn compile_entry(
 
 // ------------------------------------------------------------ execution
 
-/// Temporary-file access. SAFETY: every `Temp` the lowerer emits is below
-/// `temp_count` ([`Lowerer::alloc`] is the only source and tracks the
-/// high-water mark), and [`run_packet`] asserts the scratch is at least
-/// that large — so these indices can never be out of bounds.
-#[inline(always)]
-fn tget(temps: &[u64], i: Temp) -> u64 {
-    unsafe { *temps.get_unchecked(i as usize) }
+/// Uniform access to one packet's PHV slots and temporary file, so the
+/// same dispatch loop ([`exec_range`]) serves both the scalar engine
+/// (one contiguous `Phv` + temp slice) and one **lane** of a
+/// structure-of-arrays batch (stride-`n` columns of the batch buffers).
+/// Monomorphized: both impls compile down to direct indexing with no
+/// per-access dispatch.
+pub(crate) trait PhvView {
+    fn get(&self, slot: usize) -> u64;
+    /// Width-masked store.
+    fn set(&mut self, slot: usize, v: u64);
+    fn temp(&self, t: Temp) -> u64;
+    fn set_temp(&mut self, t: Temp, v: u64);
 }
 
-#[inline(always)]
-fn tset(temps: &mut [u64], i: Temp, v: u64) {
-    unsafe { *temps.get_unchecked_mut(i as usize) = v }
+/// The scalar (one packet, contiguous buffers) view.
+pub(crate) struct ScalarView<'a> {
+    pub phv: &'a mut Phv,
+    pub temps: &'a mut [u64],
 }
 
-/// Resolve an inline operand against the temp file and the PHV.
-///
-/// SAFETY (slot access): every static slot index in a program was checked
-/// against the PHV length by [`validate`] at build time, so the
-/// per-packet bounds check is provably dead and elided.
-#[inline(always)]
-fn ov(temps: &[u64], phv: &Phv, o: &Opnd) -> u64 {
-    match *o {
-        Opnd::T(t) => tget(temps, t),
-        Opnd::S(s) => unsafe { *phv.slots.get_unchecked(s as usize) },
-        Opnd::I(v) => v,
+impl PhvView for ScalarView<'_> {
+    // SAFETY (all four): every static slot index in a program was checked
+    // against the PHV length by [`validate`] at build time, `slots` and
+    // `masks` have equal length (asserted in [`run_packet`]), and every
+    // `Temp` the lowerer emits is below `temp_count` ([`Lowerer::alloc`]
+    // is the only source and tracks the high-water mark) while the
+    // scratch is at least that large — so the bounds checks are provably
+    // dead and elided.
+    #[inline(always)]
+    fn get(&self, slot: usize) -> u64 {
+        unsafe { *self.phv.slots.get_unchecked(slot) }
+    }
+
+    #[inline(always)]
+    fn set(&mut self, slot: usize, v: u64) {
+        unsafe {
+            let m = *self.phv.masks.get_unchecked(slot);
+            *self.phv.slots.get_unchecked_mut(slot) = v & m;
+        }
+    }
+
+    #[inline(always)]
+    fn temp(&self, t: Temp) -> u64 {
+        unsafe { *self.temps.get_unchecked(t as usize) }
+    }
+
+    #[inline(always)]
+    fn set_temp(&mut self, t: Temp, v: u64) {
+        unsafe { *self.temps.get_unchecked_mut(t as usize) = v }
     }
 }
 
-/// Width-masked PHV store. SAFETY: `slot` was validated against the PHV
-/// length at build time ([`validate`]); `masks` and `slots` have equal
-/// length (asserted in [`run_packet`]).
+/// One lane of a column-major SoA batch: slot `s` of lane `l` lives at
+/// `slots[s * n + l]`, temp `t` at `temps[t * n + l]`.
+pub(crate) struct LaneView<'a> {
+    pub slots: &'a mut [u64],
+    pub masks: &'a [u64],
+    pub temps: &'a mut [u64],
+    pub n: usize,
+    pub lane: usize,
+}
+
+impl PhvView for LaneView<'_> {
+    // SAFETY (all four): `slot < phv_len` and `t < temp_count` hold by
+    // [`validate`] / [`Lowerer::alloc`] as for [`ScalarView`]; `lane < n`
+    // and the buffers are at least `phv_len * n` / `temp_count * n` long
+    // (asserted in [`run_batch`]), so `slot * n + lane < phv_len * n`.
+    #[inline(always)]
+    fn get(&self, slot: usize) -> u64 {
+        unsafe { *self.slots.get_unchecked(slot * self.n + self.lane) }
+    }
+
+    #[inline(always)]
+    fn set(&mut self, slot: usize, v: u64) {
+        unsafe {
+            let m = *self.masks.get_unchecked(slot);
+            *self.slots.get_unchecked_mut(slot * self.n + self.lane) = v & m;
+        }
+    }
+
+    #[inline(always)]
+    fn temp(&self, t: Temp) -> u64 {
+        unsafe { *self.temps.get_unchecked(t as usize * self.n + self.lane) }
+    }
+
+    #[inline(always)]
+    fn set_temp(&mut self, t: Temp, v: u64) {
+        unsafe { *self.temps.get_unchecked_mut(t as usize * self.n + self.lane) = v }
+    }
+}
+
+/// Resolve an inline operand against a view.
 #[inline(always)]
-fn phv_set(phv: &mut Phv, slot: usize, v: u64) {
-    unsafe {
-        let m = *phv.masks.get_unchecked(slot);
-        *phv.slots.get_unchecked_mut(slot) = v & m;
+fn ov<V: PhvView>(view: &V, o: &Opnd) -> u64 {
+    match *o {
+        Opnd::T(t) => view.temp(t),
+        Opnd::S(s) => view.get(s as usize),
+        Opnd::I(v) => v,
     }
 }
 
@@ -1071,29 +1223,21 @@ pub(crate) fn run_packet(
     // the initial attribution stage is never actually charged.
     let mut cur = 0usize;
     let (start, end) = prog.body;
-    exec_range(
-        prog,
-        ctables,
-        regs,
-        phv,
-        &mut ctx.temps,
-        &mut ctx.keys,
-        undo,
-        stage_cost,
-        &mut cur,
-        start,
-        end,
-    )
+    let ExecCtx { temps, keys } = ctx;
+    let mut view = ScalarView { phv, temps };
+    exec_range(prog, ctables, regs, &mut view, keys, undo, stage_cost, &mut cur, start, end)
 }
 
 /// Execute `code[start..end]`: the single dispatch loop of the fast path.
+/// Generic over [`PhvView`] so the identical loop runs one contiguous
+/// packet ([`ScalarView`]) or one lane of an SoA batch ([`LaneView`] —
+/// used by [`exec_batch`] for table-dispatched action bodies).
 #[allow(clippy::too_many_arguments)]
-fn exec_range(
+fn exec_range<V: PhvView>(
     prog: &CompiledProgram,
     ctables: &[CompiledTableState],
     regs: &mut [RegState],
-    phv: &mut Phv,
-    temps: &mut [u64],
+    view: &mut V,
     keys: &mut Vec<u64>,
     undo: &mut Vec<RegUndo>,
     stage_cost: &mut [u64],
@@ -1118,7 +1262,7 @@ fn exec_range(
         let instr = unsafe { prog.code.get_unchecked(pc) };
         match instr {
             Instr::LoadSlotDyn { dst, base, count, idx, diag } => {
-                let i = ov(temps, phv, idx);
+                let i = ov(view, idx);
                 if i >= *count as u64 {
                     fault!(SimError::IndexOutOfBounds {
                         what: prog.diags[*diag as usize].clone(),
@@ -1126,17 +1270,16 @@ fn exec_range(
                         len: *count as usize,
                     });
                 }
-                // SAFETY: `i < count` just checked; `base + count <= len`
+                // `i < count` just checked; `base + count <= len`
                 // validated at build.
-                tset(temps, *dst, unsafe {
-                    *phv.slots.get_unchecked(*base as usize + i as usize)
-                });
+                let v = view.get(*base as usize + i as usize);
+                view.set_temp(*dst, v);
             }
             Instr::LoadReg { dst, reg, cell } => {
-                let c = ov(temps, phv, cell) as usize;
+                let c = ov(view, cell) as usize;
                 let r = &regs[*reg as usize];
                 match r.cells.get(c) {
-                    Some(v) => tset(temps, *dst, *v),
+                    Some(v) => view.set_temp(*dst, *v),
                     None => fault!(SimError::IndexOutOfBounds {
                         what: format!("{}[{}]", r.reg, r.instance),
                         index: c as u64,
@@ -1145,8 +1288,8 @@ fn exec_range(
                 }
             }
             Instr::Bin { dst, op, a, b } => {
-                let x = ov(temps, phv, a);
-                let y = ov(temps, phv, b);
+                let x = ov(view, a);
+                let y = ov(view, b);
                 let v = match op {
                     BinOp::Add => x.wrapping_add(y),
                     BinOp::Sub => x.wrapping_sub(y),
@@ -1166,30 +1309,43 @@ fn exec_range(
                     BinOp::And => (x != 0 && y != 0) as u64,
                     BinOp::Or => (x != 0 || y != 0) as u64,
                 };
-                tset(temps, *dst, v);
+                view.set_temp(*dst, v);
             }
-            Instr::Not { dst, a } => tset(temps, *dst, (ov(temps, phv, a) == 0) as u64),
-            Instr::Neg { dst, a } => tset(temps, *dst, ov(temps, phv, a).wrapping_neg()),
-            Instr::HashInit { dst, val } => tset(temps, *dst, *val),
+            Instr::Not { dst, a } => {
+                let v = (ov(view, a) == 0) as u64;
+                view.set_temp(*dst, v);
+            }
+            Instr::Neg { dst, a } => {
+                let v = ov(view, a).wrapping_neg();
+                view.set_temp(*dst, v);
+            }
+            Instr::HashInit { dst, val } => view.set_temp(*dst, *val),
             Instr::HashMix { acc, src } => {
-                tset(temps, *acc, splitmix(tget(temps, *acc) ^ ov(temps, phv, src)));
+                let v = splitmix(view.temp(*acc) ^ ov(view, src));
+                view.set_temp(*acc, v);
             }
-            Instr::HashMod { acc, range } => tset(temps, *acc, tget(temps, *acc) % *range),
-            Instr::HashMask { acc, mask } => tset(temps, *acc, tget(temps, *acc) & *mask),
+            Instr::HashMod { acc, range } => {
+                let v = view.temp(*acc) % *range;
+                view.set_temp(*acc, v);
+            }
+            Instr::HashMask { acc, mask } => {
+                let v = view.temp(*acc) & *mask;
+                view.set_temp(*acc, v);
+            }
             Instr::Hash1Mask { slot, salt, src, mask } => {
-                let h = splitmix(*salt ^ ov(temps, phv, src)) & *mask;
-                phv_set(phv, *slot as usize, h);
+                let h = splitmix(*salt ^ ov(view, src)) & *mask;
+                view.set(*slot as usize, h);
             }
             Instr::Hash1Mod { slot, salt, src, range } => {
-                let h = splitmix(*salt ^ ov(temps, phv, src)) % *range;
-                phv_set(phv, *slot as usize, h);
+                let h = splitmix(*salt ^ ov(view, src)) % *range;
+                view.set(*slot as usize, h);
             }
             Instr::StoreSlot { slot, src } => {
-                let v = ov(temps, phv, src);
-                phv_set(phv, *slot as usize, v);
+                let v = ov(view, src);
+                view.set(*slot as usize, v);
             }
             Instr::StoreSlotDyn { base, count, idx, src, diag } => {
-                let i = ov(temps, phv, idx);
+                let i = ov(view, idx);
                 if i >= *count as u64 {
                     fault!(SimError::IndexOutOfBounds {
                         what: prog.diags[*diag as usize].clone(),
@@ -1197,13 +1353,13 @@ fn exec_range(
                         len: *count as usize,
                     });
                 }
-                let v = ov(temps, phv, src);
-                // SAFETY: as in `LoadSlotDyn` — window validated at build.
-                phv_set(phv, *base as usize + i as usize, v);
+                let v = ov(view, src);
+                // As in `LoadSlotDyn` — window validated at build.
+                view.set(*base as usize + i as usize, v);
             }
             Instr::StoreReg { reg, cell, src } => {
-                let c = ov(temps, phv, cell) as usize;
-                let v = ov(temps, phv, src);
+                let c = ov(view, cell) as usize;
+                let v = ov(view, src);
                 let r = &mut regs[*reg as usize];
                 if c >= r.cells.len() {
                     fault!(SimError::IndexOutOfBounds {
@@ -1216,8 +1372,8 @@ fn exec_range(
                 r.cells[c] = v & r.elem_mask;
             }
             Instr::RegAdd { reg, cell, add } => {
-                let c = ov(temps, phv, cell) as usize;
-                let v = ov(temps, phv, add);
+                let c = ov(view, cell) as usize;
+                let v = ov(view, add);
                 let r = &mut regs[*reg as usize];
                 if c >= r.cells.len() {
                     fault!(SimError::IndexOutOfBounds {
@@ -1231,14 +1387,13 @@ fn exec_range(
                 r.cells[c] = old.wrapping_add(v) & r.elem_mask;
             }
             Instr::SketchStep { idx_slot, salt, src, mask, reg, add, dst_slot } => {
-                let h = splitmix(*salt ^ ov(temps, phv, src)) & *mask;
-                phv_set(phv, *idx_slot as usize, h);
+                let h = splitmix(*salt ^ ov(view, src)) & *mask;
+                view.set(*idx_slot as usize, h);
                 // Read the index back through the slot so the cell matches
                 // what the unfused `RegAdd` would have seen (the slot's own
                 // width mask re-applies on store).
-                // SAFETY: `idx_slot` validated at build ([`validate`]).
-                let c = unsafe { *phv.slots.get_unchecked(*idx_slot as usize) } as usize;
-                let v = ov(temps, phv, add);
+                let c = view.get(*idx_slot as usize) as usize;
+                let v = ov(view, add);
                 let r = &mut regs[*reg as usize];
                 // In bounds by construction: [`peephole`] only forms this
                 // instruction when `mask & slot-mask < cells.len()`, and
@@ -1247,21 +1402,23 @@ fn exec_range(
                 undo.push((*reg as u32, c as u64, old));
                 let new = old.wrapping_add(v) & r.elem_mask;
                 r.cells[c] = new;
-                phv_set(phv, *dst_slot as usize, new);
+                view.set(*dst_slot as usize, new);
             }
             Instr::MinOrInit { slot, src } => {
-                let x = ov(temps, phv, src);
-                // SAFETY: `slot` validated at build ([`validate`]).
-                let cur = unsafe { *phv.slots.get_unchecked(*slot as usize) };
+                let x = ov(view, src);
+                let cur = view.get(*slot as usize);
                 if x < cur || cur == 0 {
-                    phv_set(phv, *slot as usize, x);
+                    view.set(*slot as usize, x);
                 }
             }
             Instr::RegToSlot { slot, reg, cell } => {
-                let c = ov(temps, phv, cell) as usize;
+                let c = ov(view, cell) as usize;
                 let r = &regs[*reg as usize];
                 match r.cells.get(c) {
-                    Some(v) => phv_set(phv, *slot as usize, *v),
+                    Some(v) => {
+                        let v = *v;
+                        view.set(*slot as usize, v);
+                    }
                     None => fault!(SimError::IndexOutOfBounds {
                         what: format!("{}[{}]", r.reg, r.instance),
                         index: c as u64,
@@ -1270,29 +1427,29 @@ fn exec_range(
                 }
             }
             Instr::JFAnd { op1, a1, b1, op2, a2, b2, target } => {
-                if !(cmp(*op1, ov(temps, phv, a1), ov(temps, phv, b1))
-                    && cmp(*op2, ov(temps, phv, a2), ov(temps, phv, b2)))
+                if !(cmp(*op1, ov(view, a1), ov(view, b1))
+                    && cmp(*op2, ov(view, a2), ov(view, b2)))
                 {
                     pc = *target as usize;
                     continue;
                 }
             }
             Instr::JFOr { op1, a1, b1, op2, a2, b2, target } => {
-                if !(cmp(*op1, ov(temps, phv, a1), ov(temps, phv, b1))
-                    || cmp(*op2, ov(temps, phv, a2), ov(temps, phv, b2)))
+                if !(cmp(*op1, ov(view, a1), ov(view, b1))
+                    || cmp(*op2, ov(view, a2), ov(view, b2)))
                 {
                     pc = *target as usize;
                     continue;
                 }
             }
             Instr::JF { op, a, b, target } => {
-                if !cmp(*op, ov(temps, phv, a), ov(temps, phv, b)) {
+                if !cmp(*op, ov(view, a), ov(view, b)) {
                     pc = *target as usize;
                     continue;
                 }
             }
             Instr::JT { op, a, b, target } => {
-                if cmp(*op, ov(temps, phv, a), ov(temps, phv, b)) {
+                if cmp(*op, ov(view, a), ov(view, b)) {
                     pc = *target as usize;
                     continue;
                 }
@@ -1311,12 +1468,12 @@ fn exec_range(
                 let site = &prog.apply_sites[*site as usize];
                 keys.clear();
                 for op in &site.key_ops {
-                    keys.push(ov(temps, phv, op));
+                    keys.push(ov(view, op));
                 }
                 let action = match ctables[site.table as usize].entries.get(keys.as_slice()) {
                     Some(e) => {
                         for &(slot, val) in &e.data {
-                            phv.set(slot as usize, val);
+                            view.set(slot as usize, val);
                         }
                         Some(e.action)
                     }
@@ -1333,7 +1490,7 @@ fn exec_range(
                     stage_cost[*cur] += executed;
                     executed = 0;
                     exec_range(
-                        prog, ctables, regs, phv, temps, keys, undo, stage_cost, cur, bs, be,
+                        prog, ctables, regs, view, keys, undo, stage_cost, cur, bs, be,
                     )?;
                 }
             }
@@ -1341,6 +1498,487 @@ fn exec_range(
         pc += 1;
     }
     stage_cost[*cur] += executed;
+    Ok(())
+}
+
+// ------------------------------------------------------- batch execution
+
+/// Reusable scratch for the SoA batch executor: the column-major slot and
+/// temp matrices plus per-lane divergence state. One per replay worker,
+/// so batch execution allocates nothing per batch.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchCtx {
+    /// Column-major slot matrix (`phv_len * n`): slot `s` of lane `l`
+    /// lives at `slots[s * n + l]`. The caller gathers packet `l`'s input
+    /// into column `l` before [`run_batch`] and may read the final PHV
+    /// back out of the column afterwards.
+    pub slots: Vec<u64>,
+    /// Column-major temp matrix (`temp_count * n`).
+    pub temps: Vec<u64>,
+    /// Per-lane wait target: a lane executes pc iff `wait[lane] <= pc`.
+    pub wait: Vec<u32>,
+    /// Reusable table-key buffer.
+    pub keys: Vec<u64>,
+    /// Stage-cost scratch for the optimistic run, committed only when the
+    /// whole batch retires fault-free.
+    pub cost: Vec<u64>,
+}
+
+impl BatchCtx {
+    /// Size the matrices for an `n`-lane batch of `prog`. The caller
+    /// overwrites every input column before running.
+    pub fn prepare(&mut self, prog: &CompiledProgram, phv_len: usize, n: usize) {
+        self.slots.clear();
+        self.slots.resize(phv_len * n, 0);
+        self.temps.clear();
+        self.temps.resize(prog.temp_count.max(1) * n, 0);
+    }
+}
+
+/// Operand resolve for one lane of the batch matrices — a free function
+/// (rather than a [`LaneView`] method) so the per-instruction lane loops
+/// below can split-borrow `slots`/`temps` around it.
+///
+/// SAFETY: same argument as [`LaneView`] — slot/temp indices validated at
+/// build time, matrix sizes asserted by [`run_batch`], `lane < n`.
+#[inline(always)]
+fn lane_ov(slots: &[u64], temps: &[u64], n: usize, lane: usize, o: &Opnd) -> u64 {
+    match *o {
+        Opnd::T(t) => unsafe { *temps.get_unchecked(t as usize * n + lane) },
+        Opnd::S(s) => unsafe { *slots.get_unchecked(s as usize * n + lane) },
+        Opnd::I(v) => v,
+    }
+}
+
+/// Execute an `n`-lane SoA batch **instruction-major**: each bytecode
+/// instruction runs over every active lane (a tight stride-1 column loop)
+/// before the pc advances. Branch divergence is handled with per-lane
+/// wait targets: all top-level jumps are forward (checked by
+/// [`analyze_batch_safety`]), so a taken jump parks its lane until the pc
+/// reaches the target. Requires `prog.batch_safe` — see
+/// [`analyze_batch_safety`] for why that makes this bit-identical to
+/// running the lanes one packet at a time.
+///
+/// Fault handling is optimistic: the hot path logs register writes in
+/// `undo` as usual, and on the **first** fault in any lane the whole
+/// batch's register writes are rolled back and `Err(())` returned with
+/// nothing committed (stage costs accumulate in scratch and are
+/// discarded). The caller replays the batch's packets through the scalar
+/// path, which reproduces exact per-packet drop/rollback/cost semantics —
+/// faults are rare, so the fault-free fast path pays nothing for them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_batch(
+    prog: &CompiledProgram,
+    ctables: &[CompiledTableState],
+    regs: &mut [RegState],
+    masks: &[u64],
+    n: usize,
+    bctx: &mut BatchCtx,
+    undo: &mut Vec<RegUndo>,
+    stage_cost: &mut [u64],
+) -> Result<(), ()> {
+    assert!(prog.batch_safe, "caller must check CompiledProgram::batch_safe");
+    assert!(n > 0, "empty batch");
+    assert_eq!(bctx.slots.len(), masks.len() * n, "matrices sized by BatchCtx::prepare");
+    assert!(bctx.temps.len() >= prog.temp_count * n, "matrices sized by BatchCtx::prepare");
+    assert!(stage_cost.len() >= prog.stages.len(), "one cost counter per stage");
+    bctx.wait.clear();
+    bctx.wait.resize(n, 0);
+    bctx.cost.clear();
+    bctx.cost.resize(stage_cost.len().max(1), 0);
+    undo.clear();
+
+    let mut cur = 0usize;
+    let (start, end) = prog.body;
+    match exec_batch(prog, ctables, regs, masks, n, bctx, undo, &mut cur, start, end) {
+        Ok(()) => {
+            for (dst, scratch) in stage_cost.iter_mut().zip(&bctx.cost) {
+                *dst += *scratch;
+            }
+            Ok(())
+        }
+        Err(()) => {
+            while let Some((reg, cell, old)) = undo.pop() {
+                regs[reg as usize].cells[cell as usize] = old;
+            }
+            Err(())
+        }
+    }
+}
+
+/// The instruction-major dispatch loop behind [`run_batch`].
+// Lane loops index `wait` alongside `slots`/`temps` at `base * n + lane`
+// offsets; iterator forms would bury the SoA addressing.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn exec_batch(
+    prog: &CompiledProgram,
+    ctables: &[CompiledTableState],
+    regs: &mut [RegState],
+    masks: &[u64],
+    n: usize,
+    bctx: &mut BatchCtx,
+    undo: &mut Vec<RegUndo>,
+    cur: &mut usize,
+    start: u32,
+    end: u32,
+) -> Result<(), ()> {
+    let BatchCtx { slots, temps, wait, keys, cost } = bctx;
+    let end = end as usize;
+    assert!(end <= prog.code.len(), "code range within program");
+    let mut pc = start as usize;
+    // Wait targets of currently parked lanes (one entry per lane with
+    // `wait[lane] > pc`), dropped as the pc reaches them. Bounded by `n`
+    // and usually empty, so `n - parked.len()` is a cheap active count
+    // for stage-cost attribution.
+    let mut parked: Vec<u32> = Vec::new();
+    while pc < end {
+        let pc32 = pc as u32;
+        if !parked.is_empty() {
+            parked.retain(|&t| t > pc32);
+        }
+        let active = (n - parked.len()) as u64;
+        // Every instruction charges one unit per active lane to the
+        // current stage, exactly as the scalar loop's `executed` counter
+        // does per packet (the `Stage` mark un-charges itself below).
+        cost[*cur] += active;
+        // SAFETY: `pc < end <= code.len()` (asserted above); every jump
+        // target is patched to a position within its enclosing range.
+        let instr = unsafe { prog.code.get_unchecked(pc) };
+        match instr {
+            Instr::LoadSlotDyn { dst, base, count, idx, .. } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let i = lane_ov(slots, temps, n, lane, idx);
+                        if i >= *count as u64 {
+                            return Err(());
+                        }
+                        let v = slots[(*base as usize + i as usize) * n + lane];
+                        temps[*dst as usize * n + lane] = v;
+                    }
+                }
+            }
+            Instr::LoadReg { dst, reg, cell } => {
+                let r = &regs[*reg as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let c = lane_ov(slots, temps, n, lane, cell) as usize;
+                        match r.cells.get(c) {
+                            Some(v) => temps[*dst as usize * n + lane] = *v,
+                            None => return Err(()),
+                        }
+                    }
+                }
+            }
+            Instr::Bin { dst, op, a, b } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let x = lane_ov(slots, temps, n, lane, a);
+                        let y = lane_ov(slots, temps, n, lane, b);
+                        let v = match op {
+                            BinOp::Add => x.wrapping_add(y),
+                            BinOp::Sub => x.wrapping_sub(y),
+                            BinOp::Mul => x.wrapping_mul(y),
+                            BinOp::Div => {
+                                if y == 0 {
+                                    return Err(());
+                                }
+                                x / y
+                            }
+                            BinOp::Lt => (x < y) as u64,
+                            BinOp::Le => (x <= y) as u64,
+                            BinOp::Gt => (x > y) as u64,
+                            BinOp::Ge => (x >= y) as u64,
+                            BinOp::Eq => (x == y) as u64,
+                            BinOp::Ne => (x != y) as u64,
+                            BinOp::And => (x != 0 && y != 0) as u64,
+                            BinOp::Or => (x != 0 || y != 0) as u64,
+                        };
+                        temps[*dst as usize * n + lane] = v;
+                    }
+                }
+            }
+            Instr::Not { dst, a } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let v = (lane_ov(slots, temps, n, lane, a) == 0) as u64;
+                        temps[*dst as usize * n + lane] = v;
+                    }
+                }
+            }
+            Instr::Neg { dst, a } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let v = lane_ov(slots, temps, n, lane, a).wrapping_neg();
+                        temps[*dst as usize * n + lane] = v;
+                    }
+                }
+            }
+            Instr::HashInit { dst, val } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        temps[*dst as usize * n + lane] = *val;
+                    }
+                }
+            }
+            Instr::HashMix { acc, src } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let at = *acc as usize * n + lane;
+                        temps[at] = splitmix(temps[at] ^ lane_ov(slots, temps, n, lane, src));
+                    }
+                }
+            }
+            Instr::HashMod { acc, range } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let at = *acc as usize * n + lane;
+                        temps[at] %= *range;
+                    }
+                }
+            }
+            Instr::HashMask { acc, mask } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let at = *acc as usize * n + lane;
+                        temps[at] &= *mask;
+                    }
+                }
+            }
+            Instr::Hash1Mask { slot, salt, src, mask } => {
+                let m = masks[*slot as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let h = splitmix(*salt ^ lane_ov(slots, temps, n, lane, src)) & *mask;
+                        slots[*slot as usize * n + lane] = h & m;
+                    }
+                }
+            }
+            Instr::Hash1Mod { slot, salt, src, range } => {
+                let m = masks[*slot as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let h = splitmix(*salt ^ lane_ov(slots, temps, n, lane, src)) % *range;
+                        slots[*slot as usize * n + lane] = h & m;
+                    }
+                }
+            }
+            Instr::StoreSlot { slot, src } => {
+                let m = masks[*slot as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let v = lane_ov(slots, temps, n, lane, src);
+                        slots[*slot as usize * n + lane] = v & m;
+                    }
+                }
+            }
+            Instr::StoreSlotDyn { base, count, idx, src, .. } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let i = lane_ov(slots, temps, n, lane, idx);
+                        if i >= *count as u64 {
+                            return Err(());
+                        }
+                        let v = lane_ov(slots, temps, n, lane, src);
+                        let s = *base as usize + i as usize;
+                        slots[s * n + lane] = v & masks[s];
+                    }
+                }
+            }
+            Instr::StoreReg { reg, cell, src } => {
+                let r = &mut regs[*reg as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let c = lane_ov(slots, temps, n, lane, cell) as usize;
+                        let v = lane_ov(slots, temps, n, lane, src);
+                        if c >= r.cells.len() {
+                            return Err(());
+                        }
+                        undo.push((*reg as u32, c as u64, r.cells[c]));
+                        r.cells[c] = v & r.elem_mask;
+                    }
+                }
+            }
+            Instr::RegAdd { reg, cell, add } => {
+                let r = &mut regs[*reg as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let c = lane_ov(slots, temps, n, lane, cell) as usize;
+                        let v = lane_ov(slots, temps, n, lane, add);
+                        if c >= r.cells.len() {
+                            return Err(());
+                        }
+                        let old = r.cells[c];
+                        undo.push((*reg as u32, c as u64, old));
+                        r.cells[c] = old.wrapping_add(v) & r.elem_mask;
+                    }
+                }
+            }
+            Instr::SketchStep { idx_slot, salt, src, mask, reg, add, dst_slot } => {
+                let im = masks[*idx_slot as usize];
+                let dm = masks[*dst_slot as usize];
+                let r = &mut regs[*reg as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let h = splitmix(*salt ^ lane_ov(slots, temps, n, lane, src)) & *mask;
+                        // Store, then read the cell index back through the
+                        // slot mask, exactly as the scalar step does.
+                        let h = h & im;
+                        slots[*idx_slot as usize * n + lane] = h;
+                        let v = lane_ov(slots, temps, n, lane, add);
+                        // In bounds by construction ([`peephole`]).
+                        let old = r.cells[h as usize];
+                        undo.push((*reg as u32, h, old));
+                        let new = old.wrapping_add(v) & r.elem_mask;
+                        r.cells[h as usize] = new;
+                        slots[*dst_slot as usize * n + lane] = new & dm;
+                    }
+                }
+            }
+            Instr::MinOrInit { slot, src } => {
+                let m = masks[*slot as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let x = lane_ov(slots, temps, n, lane, src);
+                        let at = *slot as usize * n + lane;
+                        let curv = slots[at];
+                        if x < curv || curv == 0 {
+                            slots[at] = x & m;
+                        }
+                    }
+                }
+            }
+            Instr::RegToSlot { slot, reg, cell } => {
+                let m = masks[*slot as usize];
+                let r = &regs[*reg as usize];
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        let c = lane_ov(slots, temps, n, lane, cell) as usize;
+                        match r.cells.get(c) {
+                            Some(v) => slots[*slot as usize * n + lane] = *v & m,
+                            None => return Err(()),
+                        }
+                    }
+                }
+            }
+            Instr::JF { op, a, b, target } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32
+                        && !cmp(
+                            *op,
+                            lane_ov(slots, temps, n, lane, a),
+                            lane_ov(slots, temps, n, lane, b),
+                        )
+                    {
+                        wait[lane] = *target;
+                        parked.push(*target);
+                    }
+                }
+            }
+            Instr::JT { op, a, b, target } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32
+                        && cmp(
+                            *op,
+                            lane_ov(slots, temps, n, lane, a),
+                            lane_ov(slots, temps, n, lane, b),
+                        )
+                    {
+                        wait[lane] = *target;
+                        parked.push(*target);
+                    }
+                }
+            }
+            Instr::JFAnd { op1, a1, b1, op2, a2, b2, target } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32
+                        && !(cmp(
+                            *op1,
+                            lane_ov(slots, temps, n, lane, a1),
+                            lane_ov(slots, temps, n, lane, b1),
+                        ) && cmp(
+                            *op2,
+                            lane_ov(slots, temps, n, lane, a2),
+                            lane_ov(slots, temps, n, lane, b2),
+                        ))
+                    {
+                        wait[lane] = *target;
+                        parked.push(*target);
+                    }
+                }
+            }
+            Instr::JFOr { op1, a1, b1, op2, a2, b2, target } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32
+                        && !(cmp(
+                            *op1,
+                            lane_ov(slots, temps, n, lane, a1),
+                            lane_ov(slots, temps, n, lane, b1),
+                        ) || cmp(
+                            *op2,
+                            lane_ov(slots, temps, n, lane, a2),
+                            lane_ov(slots, temps, n, lane, b2),
+                        ))
+                    {
+                        wait[lane] = *target;
+                        parked.push(*target);
+                    }
+                }
+            }
+            Instr::Jmp { target } => {
+                for lane in 0..n {
+                    if wait[lane] <= pc32 {
+                        wait[lane] = *target;
+                        parked.push(*target);
+                    }
+                }
+            }
+            Instr::Stage { s } => {
+                // The mark itself is free, as in the scalar loop.
+                cost[*cur] -= active;
+                *cur = *s as usize;
+            }
+            Instr::Apply { site } => {
+                let site = &prog.apply_sites[*site as usize];
+                // The whole lookup + action body runs scalar per lane, in
+                // lane order — safe because `batch_safe` guarantees any
+                // register the actions touch belongs to this atom alone.
+                for lane in 0..n {
+                    if wait[lane] > pc32 {
+                        continue;
+                    }
+                    keys.clear();
+                    for op in &site.key_ops {
+                        keys.push(lane_ov(slots, temps, n, lane, op));
+                    }
+                    let action = match ctables[site.table as usize].entries.get(keys.as_slice())
+                    {
+                        Some(e) => {
+                            for &(slot, val) in &e.data {
+                                slots[slot as usize * n + lane] = val & masks[slot as usize];
+                            }
+                            Some(e.action)
+                        }
+                        None => match &prog.tables[site.table as usize].default_action {
+                            DefaultAction::None => None,
+                            DefaultAction::Run(id) => Some(*id),
+                            DefaultAction::Unknown(_) => return Err(()),
+                        },
+                    };
+                    if let Some(id) = action {
+                        let (abs, abe) = prog.action_code[id as usize];
+                        let mut view =
+                            LaneView { slots: &mut slots[..], masks, temps: &mut temps[..], n, lane };
+                        if exec_range(prog, ctables, regs, &mut view, keys, undo, cost, cur, abs, abe)
+                            .is_err()
+                        {
+                            return Err(());
+                        }
+                    }
+                }
+            }
+        }
+        pc += 1;
+    }
     Ok(())
 }
 

@@ -5,26 +5,45 @@
 //! selected backend); with `threads > 1` it shards the trace by **flow
 //! hash** over the header fields — mirroring how a real switch's CRC
 //! partitions flows across pipes — and executes the shards on worker
-//! threads with private copies of the register file.
+//! threads with private copies of the register file. The shard count is
+//! capped at `available_parallelism`: oversubscription buys nothing (the
+//! extra gather and merge work used to cost ~2% versus sequential on a
+//! small box), so an oversubscribed request degrades to the capped
+//! configuration instead of below the sequential path.
 //!
-//! Sharding is one fused linear sweep: each packet is flow-hashed to its
-//! shard and its slot vector copied into the shard's **contiguous input
-//! buffer**. Workers then stream their buffers with unit stride — no
-//! per-packet pointer chasing through the (heap-scattered) `Phv` list,
-//! which previously cost a cache miss per packet and erased the parallel
-//! win. Shards are executed on at most `available_parallelism` OS threads
-//! (static shard → thread assignment), so an oversubscribed `threads`
-//! request degrades to sequential shard execution instead of thrashing
-//! one core's cache with N register-file copies. One private register
-//! file per OS thread is enough for the merge below: every packet of a
-//! flow lands in one shard, and every shard runs on exactly one thread.
-//! With a single OS thread the whole partition collapses to in-order
-//! sequential replay (one register file holds every flow), skipping the
-//! hash-and-gather sweep entirely.
+//! **SoA batches** ([`Switch::set_batch_width`]): when a batch width is
+//! requested and the program admits it (see
+//! `compiled::analyze_batch_safety`), the bytecode engine gathers
+//! packets into column-major structure-of-arrays batches and runs each
+//! instruction over all lanes before the next dispatch — one tight
+//! stride-1 loop per instruction instead of one full dispatch loop per
+//! packet. Batched replay is bit-identical to scalar replay (enforced by
+//! `tests/batch_equivalence.rs` and the fuzz oracle); a lane fault rolls
+//! the whole batch back and replays it scalar, so per-packet drop and
+//! rollback semantics are preserved exactly. The native backend instead
+//! uses its batched FFI entry point (`p4n_run_batch`), amortizing the
+//! per-packet call and fault-word traffic.
 //!
-//! Merging after the join is the delta-sum rule: for every register cell,
-//! `merged = base + Σ_w (worker_w − base)` (wrapping, element-masked).
-//! This is exact for the two state classes elastic data planes use:
+//! The sharded front end is **pipelined**: the main thread flow-hashes
+//! and gathers chunk `k + 1` into contiguous per-worker segments while
+//! the workers execute chunk `k` (bounded channels provide the
+//! backpressure). Each packet is flow-hashed to its shard and its slot
+//! vector copied into the owning worker's segment in trace order, so
+//! per-flow packet order is preserved; every packet of a flow lands in
+//! one shard, and every shard belongs to exactly one worker, so per-flow
+//! register state stays worker-private by construction. Workers stream
+//! contiguous segments with unit stride — no per-packet pointer chasing
+//! through the heap-scattered `Phv` list.
+//!
+//! Merging is **lock-free delta publication**: there is no join barrier.
+//! Each worker, as it finishes, publishes its register deltas
+//! (`worker − base`, wrapping), drop count, stage costs and final PHV
+//! through an atomic slot, and the main thread consumes and folds each
+//! publication as it lands — a fast worker's delta is merged while slow
+//! workers are still executing. The folded result is the delta-sum rule:
+//! for every register cell, `merged = base + Σ_w (worker_w − base)`
+//! (wrapping, element-masked), exact for the two state classes elastic
+//! data planes use:
 //!
 //! - **mergeable counters** (count-min rows, Bloom/counting-Bloom cells):
 //!   every update is an increment, and increments commute — the summed
@@ -40,10 +59,14 @@
 
 use std::time::{Duration, Instant};
 
-use crate::compiled::{self, ExecCtx};
-use crate::interp::{splitmix, RegUndo, Switch};
-use crate::state::{Phv, RegState};
+use crate::compiled::{self, BatchCtx, ExecCtx};
+use crate::interp::{splitmix, Backend, RegUndo, Switch};
+use crate::state::{gather_lane, scatter_lane, Phv, RegState};
 
+/// Packets hashed and gathered per pipeline step of the sharded front
+/// end: small enough that the gather of chunk `k + 1` overlaps the
+/// execution of chunk `k`, large enough to amortize the channel hop.
+const PIPELINE_CHUNK: usize = 4096;
 
 /// Telemetry of one [`Switch::run_trace`] call.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -52,9 +75,18 @@ pub struct SimStats {
     pub packets: u64,
     /// Packets dropped on a per-packet fault, with their writes undone.
     pub dropped: u64,
-    /// Shards requested (executed on at most `available_parallelism`
-    /// OS threads; the merged result is identical either way).
+    /// Shards executed (the request is capped at `available_parallelism`
+    /// and the trace length; the merged result is identical either way).
     pub threads: usize,
+    /// SoA batch width the replay actually executed with: `0` means the
+    /// scalar per-packet loop ran — either no width was requested
+    /// ([`Switch::set_batch_width`]) or the program's register access
+    /// pattern forced the scalar fallback.
+    pub batch_width: usize,
+    /// Fraction of the replay workers' wall-clock spent executing
+    /// packets (versus waiting on the pipelined gather front end),
+    /// averaged over workers. `1.0` for single-threaded replay.
+    pub overlap_occupancy: f64,
     /// Wall-clock of the replay (excludes trace construction).
     pub elapsed: Duration,
     /// Instructions (bytecode) / statements (interpreter) executed per
@@ -80,6 +112,21 @@ impl SimStats {
     }
 }
 
+/// What one sharded-replay worker publishes when it finishes — everything
+/// the merge needs, so the main thread consumes results as they land
+/// instead of waiting on a join barrier.
+struct ShardDelta {
+    /// Per register, per cell: `worker − base` (wrapping).
+    deltas: Vec<Vec<u64>>,
+    dropped: u64,
+    stage_cost: Vec<u64>,
+    final_phv: Vec<u64>,
+    /// Time spent executing packets (vs waiting on the front end).
+    busy: Duration,
+    /// Worker lifetime, spawn to publish.
+    wall: Duration,
+}
+
 /// One replay worker: a private register file plus all per-packet scratch.
 struct Worker<'a> {
     prog: &'a compiled::CompiledProgram,
@@ -87,12 +134,37 @@ struct Worker<'a> {
     regs: Vec<RegState>,
     cur: Phv,
     ctx: ExecCtx,
+    bctx: BatchCtx,
+    /// Effective SoA batch width (`>= 2` selects the batched path).
+    width: usize,
     undo: Vec<RegUndo>,
     stage_cost: Vec<u64>,
     dropped: u64,
 }
 
-impl Worker<'_> {
+impl<'a> Worker<'a> {
+    fn new(
+        prog: &'a compiled::CompiledProgram,
+        ctables: &'a [compiled::CompiledTableState],
+        base: &[RegState],
+        masks: &[u64],
+        stages: usize,
+        width: usize,
+    ) -> Worker<'a> {
+        Worker {
+            prog,
+            ctables,
+            regs: base.to_vec(),
+            cur: Phv::new(masks.to_vec()),
+            ctx: ExecCtx::for_program(prog),
+            bctx: BatchCtx::default(),
+            width,
+            undo: Vec::new(),
+            stage_cost: vec![0; stages],
+            dropped: 0,
+        }
+    }
+
     /// Execute one packet given its input slot vector.
     #[inline]
     fn step(&mut self, slots: &[u64]) {
@@ -115,11 +187,50 @@ impl Worker<'_> {
         }
     }
 
-    /// Run one shard's gathered inputs: `inputs` holds the packets'
-    /// slot vectors back to back, `stride` slots per packet.
+    /// Run one gathered segment: `inputs` holds the packets' slot vectors
+    /// back to back, `stride` slots per packet.
     fn run_packed(&mut self, inputs: &[u64], stride: usize) {
-        for slots in inputs.chunks_exact(stride) {
-            self.step(slots);
+        if self.width >= 2 && stride > 0 {
+            let rows = inputs.len() / stride;
+            let mut row = 0;
+            while row < rows {
+                let n = self.width.min(rows - row);
+                self.run_batch_rows(&inputs[row * stride..(row + n) * stride], stride, n);
+                row += n;
+            }
+        } else {
+            for slots in inputs.chunks_exact(stride) {
+                self.step(slots);
+            }
+        }
+    }
+
+    /// One SoA batch of `n` packets stored back to back in `rows`.
+    fn run_batch_rows(&mut self, rows: &[u64], stride: usize, n: usize) {
+        self.bctx.prepare(self.prog, stride, n);
+        for (lane, slots) in rows.chunks_exact(stride).enumerate() {
+            scatter_lane(&mut self.bctx.slots, n, lane, slots);
+        }
+        let ok = compiled::run_batch(
+            self.prog,
+            self.ctables,
+            &mut self.regs,
+            &self.cur.masks,
+            n,
+            &mut self.bctx,
+            &mut self.undo,
+            &mut self.stage_cost,
+        );
+        match ok {
+            Ok(()) => gather_lane(&self.bctx.slots, n, n - 1, &mut self.cur.slots),
+            // Some lane faulted. The batch's register writes are already
+            // rolled back; replay the packets through the scalar path for
+            // exact per-packet drop/rollback/cost semantics.
+            Err(()) => {
+                for slots in rows.chunks_exact(stride) {
+                    self.step(slots);
+                }
+            }
         }
     }
 
@@ -127,18 +238,63 @@ impl Worker<'_> {
     /// no hashing or gathering — any shard partition executed on a
     /// single register file in trace order is exactly sequential replay).
     fn run_seq(&mut self, trace: &[Phv]) {
-        for p in trace {
-            self.step(&p.slots);
+        if self.width >= 2 {
+            let stride = self.cur.masks.len();
+            let mut i = 0;
+            while i < trace.len() {
+                let n = self.width.min(trace.len() - i);
+                let chunk = &trace[i..i + n];
+                self.bctx.prepare(self.prog, stride, n);
+                for (lane, p) in chunk.iter().enumerate() {
+                    scatter_lane(&mut self.bctx.slots, n, lane, &p.slots);
+                }
+                let ok = compiled::run_batch(
+                    self.prog,
+                    self.ctables,
+                    &mut self.regs,
+                    &self.cur.masks,
+                    n,
+                    &mut self.bctx,
+                    &mut self.undo,
+                    &mut self.stage_cost,
+                );
+                match ok {
+                    Ok(()) => gather_lane(&self.bctx.slots, n, n - 1, &mut self.cur.slots),
+                    Err(()) => {
+                        for p in chunk {
+                            self.step(&p.slots);
+                        }
+                    }
+                }
+                i += n;
+            }
+        } else {
+            for p in trace {
+                self.step(&p.slots);
+            }
         }
     }
 }
 
 impl Switch {
+    /// The batch width the bytecode engine will actually execute with:
+    /// the requested width when the program's register access pattern
+    /// admits instruction-major batching, else `0` (scalar fallback).
+    fn effective_batch_width(&self) -> usize {
+        if self.batch_width >= 2 && self.compiled.batch_safe && !self.masks.is_empty() {
+            self.batch_width
+        } else {
+            0
+        }
+    }
+
     /// Replay `trace` (inputs built with [`Switch::make_packet`]) and
     /// return throughput + drop + per-stage-cost telemetry. `threads = 0`
     /// uses every available core; `threads = 1` runs in place with the
     /// selected backend; `threads > 1` always runs the bytecode engine
-    /// (the interpreter exists as the single-threaded oracle).
+    /// (the interpreter exists as the single-threaded oracle). Requests
+    /// beyond `available_parallelism` are capped — oversubscription never
+    /// degrades replay below the sequential path.
     ///
     /// Register state after the call reflects the whole trace (sharded
     /// runs are merged by the delta-sum rule — see the module docs for
@@ -146,42 +302,123 @@ impl Switch {
     /// of whichever packet ran last, so per-packet PHV observations only
     /// make sense single-threaded.
     pub fn run_trace(&mut self, trace: &[Phv], threads: usize) -> SimStats {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let threads = match threads {
-            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            0 => cores,
             n => n,
         };
-        let threads = threads.min(trace.len()).max(1);
+        // Never oversubscribe the machine: more shards than cores buys
+        // nothing (same merged result) and the extra gather + merge work
+        // used to cost ~2% versus the sequential path.
+        let threads = threads.min(cores).min(trace.len()).max(1);
         self.stage_cost.iter_mut().for_each(|c| *c = 0);
         let start = Instant::now();
 
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let mut dropped = 0u64;
+        let mut used_width = 0usize;
+        let mut occupancy = 1.0f64;
         if threads == 1 || self.masks.is_empty() {
-            for input in trace {
-                self.cur.slots.copy_from_slice(&input.slots);
-                // `run_packet` rolls the faulting packet's register
-                // writes back before returning the error.
-                if self.run_packet().is_err() {
-                    dropped += 1;
+            let width = match self.backend {
+                // The native engine's batched FFI entry is scalar inside;
+                // it needs no batch-safety analysis.
+                Backend::Native if self.batch_width >= 2 => self.batch_width,
+                Backend::Compiled => self.effective_batch_width(),
+                _ => 0,
+            };
+            let mut scalar = true;
+            if width >= 2 {
+                match self.backend {
+                    Backend::Native => {
+                        if let Some(d) = self.run_trace_native_batched(trace, width) {
+                            dropped = d;
+                            used_width = width;
+                            scalar = false;
+                        }
+                    }
+                    Backend::Compiled => {
+                        dropped = self.run_trace_batched(trace, width);
+                        used_width = width;
+                        scalar = false;
+                    }
+                    _ => {}
+                }
+            }
+            if scalar {
+                for input in trace {
+                    self.cur.slots.copy_from_slice(&input.slots);
+                    // `run_packet` rolls the faulting packet's register
+                    // writes back before returning the error.
+                    if self.run_packet().is_err() {
+                        dropped += 1;
+                    }
                 }
             }
         } else {
-            // Never oversubscribe the machine: extra shards run
-            // sequentially on the available cores (same merged result,
-            // no cache thrash).
-            dropped = self.run_trace_sharded(trace, threads, threads.min(cores).max(1));
+            used_width = self.effective_batch_width();
+            let (d, occ) = self.run_trace_sharded(trace, threads, threads);
+            dropped = d;
+            occupancy = occ;
         }
 
         SimStats {
             packets: trace.len() as u64,
             dropped,
             threads,
+            batch_width: used_width,
+            overlap_occupancy: occupancy,
             elapsed: start.elapsed(),
             stage_cost: self.stage_cost.clone(),
         }
     }
 
-    fn run_trace_sharded(&mut self, trace: &[Phv], shards: usize, os_threads: usize) -> u64 {
+    /// Single-thread SoA batch replay against the live register file.
+    fn run_trace_batched(&mut self, trace: &[Phv], width: usize) -> u64 {
+        let stride = self.masks.len();
+        let mut bctx = BatchCtx::default();
+        let mut dropped = 0u64;
+        let mut i = 0;
+        while i < trace.len() {
+            let n = width.min(trace.len() - i);
+            let chunk = &trace[i..i + n];
+            bctx.prepare(&self.compiled, stride, n);
+            for (lane, p) in chunk.iter().enumerate() {
+                scatter_lane(&mut bctx.slots, n, lane, &p.slots);
+            }
+            let ok = compiled::run_batch(
+                &self.compiled,
+                &self.ctables,
+                &mut self.registers,
+                &self.masks,
+                n,
+                &mut bctx,
+                &mut self.undo,
+                &mut self.stage_cost,
+            );
+            match ok {
+                Ok(()) => gather_lane(&bctx.slots, n, n - 1, &mut self.cur.slots),
+                // A lane faulted: the batch is rolled back; replay its
+                // packets scalar for exact per-packet drop semantics.
+                Err(()) => {
+                    for p in chunk {
+                        self.cur.slots.copy_from_slice(&p.slots);
+                        if self.run_packet().is_err() {
+                            dropped += 1;
+                        }
+                    }
+                }
+            }
+            i += n;
+        }
+        dropped
+    }
+
+    /// Sharded replay: pipelined hash + gather on the main thread,
+    /// execution on `os_threads` workers, lock-free delta publication
+    /// for the merge. Returns `(dropped, overlap occupancy)`.
+    fn run_trace_sharded(&mut self, trace: &[Phv], shards: usize, os_threads: usize) -> (u64, f64) {
+        use std::sync::atomic::{AtomicPtr, Ordering};
+        use std::sync::mpsc;
+
         let header_count = self.header_count;
         let stride = self.masks.len();
         let base = self.registers.clone();
@@ -189,99 +426,159 @@ impl Switch {
         let ctables = &self.ctables;
         let masks = &self.masks;
         let stages = self.stage_cost.len();
+        let width = if self.batch_width >= 2 && prog.batch_safe { self.batch_width } else { 0 };
+        let registers = &mut self.registers;
+        let stage_cost = &mut self.stage_cost;
+        let final_phv = &mut self.cur;
 
-        let workers: Vec<Worker> = if os_threads == 1 {
+        if os_threads == 1 {
             // One OS thread executes every shard on one register file, so
             // the shard partition is irrelevant: run the trace in order
             // with no hashing or gathering. The delta-sum merge below is
             // still exact (one worker holds every flow's state).
-            let mut worker = Worker {
-                prog,
-                ctables,
-                regs: base.clone(),
-                cur: Phv::new(masks.clone()),
-                ctx: ExecCtx::for_program(prog),
-                undo: Vec::new(),
-                stage_cost: vec![0; stages],
-                dropped: 0,
-            };
+            let mut worker = Worker::new(prog, ctables, &base, masks, stages, width);
             worker.run_seq(trace);
-            vec![worker]
-        } else {
-            // One fused sweep: flow-hash each packet over the header
-            // slots (the first `header_count` slots of the layout) and
-            // gather its slot vector into the shard's contiguous input
-            // buffer, in trace order (per-flow packet order preserved;
-            // every packet of a flow lands in the same shard, so
-            // per-flow register state is shard-private by construction).
-            // Workers then stream their buffers with unit stride instead
-            // of chasing `trace[i]` pointers per packet.
-            let per_shard = (trace.len() / shards + trace.len() / (4 * shards) + 16) * stride;
-            let mut packed: Vec<Vec<u64>> =
-                (0..shards).map(|_| Vec::with_capacity(per_shard)).collect();
-            for p in trace {
-                let mut h = 0xa076_1d64_78bd_642fu64;
-                for &v in &p.slots[..header_count] {
-                    h = splitmix(h ^ v);
+            for (ri, reg) in registers.iter_mut().enumerate() {
+                for (ci, cell) in reg.cells.iter_mut().enumerate() {
+                    *cell = worker.regs[ri].cells[ci];
                 }
-                packed[(h % shards as u64) as usize].extend_from_slice(&p.slots);
             }
-
-            let (base_ref, packed_ref) = (&base, &packed);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..os_threads)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            // Build the worker on its own thread so the
-                            // register copy and scratch are allocated
-                            // (and first-touched) thread-locally.
-                            let mut worker = Worker {
-                                prog,
-                                ctables,
-                                regs: base_ref.clone(),
-                                cur: Phv::new(masks.clone()),
-                                ctx: ExecCtx::for_program(prog),
-                                undo: Vec::new(),
-                                stage_cost: vec![0; stages],
-                                dropped: 0,
-                            };
-                            for s in (w..shards).step_by(os_threads) {
-                                worker.run_packed(&packed_ref[s], stride);
-                            }
-                            worker
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("replay worker panicked"))
-                    .collect()
-            })
-        };
-
-        // Delta-sum merge back into the live register file.
-        for (ri, reg) in self.registers.iter_mut().enumerate() {
-            for (ci, cell) in reg.cells.iter_mut().enumerate() {
-                let b = base[ri].cells[ci];
-                let mut v = b;
-                for w in &workers {
-                    v = v.wrapping_add(w.regs[ri].cells[ci].wrapping_sub(b));
-                }
-                *cell = v & reg.elem_mask;
+            for (s, c) in worker.stage_cost.iter().enumerate() {
+                stage_cost[s] += c;
             }
+            final_phv.slots.copy_from_slice(&worker.cur.slots);
+            return (worker.dropped, 1.0);
         }
 
-        let mut dropped = 0;
-        for w in workers {
-            dropped += w.dropped;
-            for (s, c) in w.stage_cost.iter().enumerate() {
-                self.stage_cost[s] += c;
+        // Per-worker publication slots for the lock-free merge.
+        let publish: Vec<AtomicPtr<ShardDelta>> =
+            (0..os_threads).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect();
+        let base_ref = &base;
+        let publish_ref = &publish;
+
+        let mut dropped = 0u64;
+        let mut occ_sum = 0.0f64;
+        std::thread::scope(|scope| {
+            // Bounded channels give the pipeline its backpressure: the
+            // main thread gathers at most a couple of chunks ahead of the
+            // slowest worker.
+            let mut senders = Vec::with_capacity(os_threads);
+            let mut handles = Vec::with_capacity(os_threads);
+            for slot in publish_ref.iter() {
+                let (tx, rx) = mpsc::sync_channel::<Vec<u64>>(2);
+                senders.push(tx);
+                handles.push(Some(scope.spawn(move || {
+                    // Build the worker on its own thread so the register
+                    // copy and scratch are allocated (and first-touched)
+                    // thread-locally.
+                    let spawned = Instant::now();
+                    let mut busy = Duration::ZERO;
+                    let mut worker = Worker::new(prog, ctables, base_ref, masks, stages, width);
+                    while let Ok(seg) = rx.recv() {
+                        let t = Instant::now();
+                        worker.run_packed(&seg, stride);
+                        busy += t.elapsed();
+                    }
+                    let delta = ShardDelta {
+                        deltas: worker
+                            .regs
+                            .iter()
+                            .enumerate()
+                            .map(|(ri, r)| {
+                                r.cells
+                                    .iter()
+                                    .zip(&base_ref[ri].cells)
+                                    .map(|(wv, bv)| wv.wrapping_sub(*bv))
+                                    .collect()
+                            })
+                            .collect(),
+                        dropped: worker.dropped,
+                        stage_cost: worker.stage_cost,
+                        final_phv: worker.cur.slots,
+                        busy,
+                        wall: spawned.elapsed(),
+                    };
+                    // Publish with Release so the merge's Acquire swap
+                    // sees the fully-built delta.
+                    slot.store(Box::into_raw(Box::new(delta)), Ordering::Release);
+                })));
             }
-            // Expose *some* final PHV so post-trace metadata reads don't
-            // see stale single-thread state.
-            self.cur.slots.copy_from_slice(&w.cur.slots);
-        }
-        dropped
+
+            // Pipelined front end: flow-hash and gather chunk k + 1 into
+            // contiguous per-worker segments while the workers execute
+            // chunk k. Packets append in trace order, so per-flow order
+            // is preserved inside each worker.
+            for chunk in trace.chunks(PIPELINE_CHUNK) {
+                let per_worker =
+                    (chunk.len() / os_threads + chunk.len() / (4 * os_threads) + 16) * stride;
+                let mut segs: Vec<Vec<u64>> =
+                    (0..os_threads).map(|_| Vec::with_capacity(per_worker)).collect();
+                for p in chunk {
+                    let mut h = 0xa076_1d64_78bd_642fu64;
+                    for &v in &p.slots[..header_count] {
+                        h = splitmix(h ^ v);
+                    }
+                    let shard = (h % shards as u64) as usize;
+                    segs[shard % os_threads].extend_from_slice(&p.slots);
+                }
+                for (w, seg) in segs.into_iter().enumerate() {
+                    if !seg.is_empty() {
+                        senders[w].send(seg).expect("replay worker hung up");
+                    }
+                }
+            }
+            drop(senders); // close the channels: workers drain and publish
+
+            // Lock-free merge: consume each worker's delta as it lands —
+            // no join barrier, a fast worker's state folds in while slow
+            // workers are still executing.
+            let mut pending: Vec<usize> = (0..os_threads).collect();
+            while !pending.is_empty() {
+                pending.retain(|&w| {
+                    let mut p = publish_ref[w].swap(std::ptr::null_mut(), Ordering::Acquire);
+                    if p.is_null() {
+                        let finished =
+                            handles[w].as_ref().map(|h| h.is_finished()).unwrap_or(false);
+                        if !finished {
+                            return true; // still executing
+                        }
+                        // The worker exited: surface its panic, or pick
+                        // up the publication that exit ordered before us.
+                        handles[w].take().unwrap().join().expect("replay worker panicked");
+                        p = publish_ref[w].swap(std::ptr::null_mut(), Ordering::Acquire);
+                        assert!(!p.is_null(), "worker exited without publishing");
+                    }
+                    // SAFETY: the pointer came from `Box::into_raw` in
+                    // exactly one worker and was swapped out exactly once.
+                    let d = unsafe { Box::from_raw(p) };
+                    for (ri, cells) in d.deltas.iter().enumerate() {
+                        let reg = &mut registers[ri];
+                        for (ci, delta) in cells.iter().enumerate() {
+                            reg.cells[ci] =
+                                reg.cells[ci].wrapping_add(*delta) & reg.elem_mask;
+                        }
+                    }
+                    dropped += d.dropped;
+                    for (s, c) in d.stage_cost.iter().enumerate() {
+                        stage_cost[s] += c;
+                    }
+                    // Expose *some* final PHV so post-trace metadata
+                    // reads don't see stale single-thread state.
+                    final_phv.slots.copy_from_slice(&d.final_phv);
+                    occ_sum += if d.wall > Duration::ZERO {
+                        (d.busy.as_secs_f64() / d.wall.as_secs_f64()).min(1.0)
+                    } else {
+                        1.0
+                    };
+                    false
+                });
+                if !pending.is_empty() {
+                    std::thread::yield_now();
+                }
+            }
+        });
+
+        (dropped, occ_sum / os_threads as f64)
     }
 
     /// Accumulated per-stage execution cost since the last `run_trace`
@@ -302,6 +599,10 @@ mod tests {
         let c = Compiler::new(presets::paper_eval(1 << 14)).compile(src).unwrap();
         let program = p4all_lang::parse(src).unwrap();
         Switch::build(&c.concrete, &program).unwrap()
+    }
+
+    fn cores() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     }
 
     const CMS: &str = r#"
@@ -332,7 +633,9 @@ mod tests {
 
     /// Two independent registers: `a` counts every packet, `b[hdr.i]`
     /// faults when `i` is out of bounds — the faulting packet's increment
-    /// of `a` must be rolled back.
+    /// of `a` must be rolled back. Also batch-*unsafe*: `a` is written by
+    /// one statement and read back by another, so instruction-major
+    /// execution would interleave lanes across that dependency.
     const FAULTY_IDX: &str = r#"
         header h { bit<32> x; bit<32> i; }
         struct metadata { bit<32> t; }
@@ -384,13 +687,29 @@ mod tests {
             let mut par = build(CMS);
             let trace = cms_trace(&par, 400);
             let stats = par.run_trace(&trace, threads);
-            assert_eq!(stats.threads, threads);
+            assert_eq!(stats.threads, threads.min(cores()));
             assert_eq!(
                 seq.registers_snapshot(),
                 par.registers_snapshot(),
                 "merged counters diverge at {threads} threads"
             );
         }
+    }
+
+    /// Satellite of the 8-thread regression fix: an oversubscribed
+    /// request is capped at `available_parallelism` (never more shards
+    /// than cores), so it can never degrade below the sequential path.
+    #[test]
+    fn oversubscribed_request_caps_at_available_parallelism() {
+        let mut seq = build(CMS);
+        let trace = cms_trace(&seq, 400);
+        seq.run_trace(&trace, 1);
+        let mut par = build(CMS);
+        let trace = cms_trace(&par, 400);
+        let stats = par.run_trace(&trace, 64);
+        assert_eq!(stats.threads, 64.min(cores()));
+        assert!(stats.threads <= cores(), "oversubscribed request must be capped");
+        assert_eq!(seq.registers_snapshot(), par.registers_snapshot());
     }
 
     /// The gather + multi-worker merge path, pinned to several OS threads
@@ -405,12 +724,34 @@ mod tests {
         for (shards, os_threads) in [(4, 2), (8, 4), (8, 8)] {
             let mut par = build(CMS);
             let trace = cms_trace(&par, 400);
-            let dropped = par.run_trace_sharded(&trace, shards, os_threads);
+            let (dropped, occupancy) = par.run_trace_sharded(&trace, shards, os_threads);
             assert_eq!(dropped, 0);
+            assert!((0.0..=1.0).contains(&occupancy), "occupancy {occupancy} out of range");
             assert_eq!(
                 seq.registers_snapshot(),
                 par.registers_snapshot(),
                 "merged counters diverge at {shards} shards on {os_threads} threads"
+            );
+        }
+    }
+
+    /// Batched sharded workers (pinned multi-worker path) merge to the
+    /// same state as sequential scalar replay.
+    #[test]
+    fn batched_sharded_replay_matches_sequential() {
+        let mut seq = build(CMS);
+        let trace = cms_trace(&seq, 400);
+        seq.run_trace(&trace, 1);
+        for width in [2, 7, 64] {
+            let mut par = build(CMS);
+            par.set_batch_width(width);
+            let trace = cms_trace(&par, 400);
+            let (dropped, _) = par.run_trace_sharded(&trace, 4, 2);
+            assert_eq!(dropped, 0);
+            assert_eq!(
+                seq.registers_snapshot(),
+                par.registers_snapshot(),
+                "batched sharded replay diverges at width {width}"
             );
         }
     }
@@ -423,6 +764,79 @@ mod tests {
         assert_eq!(stats.stage_cost.len(), sw.stage_count());
         assert!(stats.total_cost() > 0, "cost telemetry must be populated");
         assert!(stats.pkts_per_sec() > 0.0);
+        assert_eq!(stats.batch_width, 0, "no batch width requested");
+        assert_eq!(stats.overlap_occupancy, 1.0, "single-threaded replay");
+    }
+
+    /// Batched replay is bit-identical to scalar replay: registers, final
+    /// PHV, and per-stage cost — across widths that do and do not divide
+    /// the trace length.
+    #[test]
+    fn batched_replay_matches_scalar_bit_for_bit() {
+        let mut scalar = build(CMS);
+        let trace = cms_trace(&scalar, 50);
+        let sstats = scalar.run_trace(&trace, 1);
+        for width in [1, 2, 3, 7, 64] {
+            let mut batched = build(CMS);
+            batched.set_batch_width(width);
+            let trace = cms_trace(&batched, 50);
+            let bstats = batched.run_trace(&trace, 1);
+            assert_eq!(bstats.dropped, 0);
+            assert_eq!(bstats.batch_width, if width >= 2 { width } else { 0 });
+            assert_eq!(scalar.registers_snapshot(), batched.registers_snapshot(), "w={width}");
+            assert_eq!(scalar.phv_snapshot(), batched.phv_snapshot(), "w={width}");
+            assert_eq!(sstats.stage_cost, bstats.stage_cost, "w={width}");
+        }
+    }
+
+    /// A faulting lane rolls the whole batch back and the scalar replay
+    /// reproduces exact per-packet drop + rollback semantics.
+    #[test]
+    fn batched_replay_with_faults_matches_scalar() {
+        let mut scalar = build(FAULTY_DIV);
+        let trace: Vec<Phv> = (0..20u64)
+            .map(|p| {
+                let y = if p % 10 == 3 { 0 } else { 2 };
+                scalar.make_packet(&[("x", 100 + p), ("y", y)]).unwrap()
+            })
+            .collect();
+        let sstats = scalar.run_trace(&trace, 1);
+        assert_eq!(sstats.dropped, 2);
+
+        let mut batched = build(FAULTY_DIV);
+        batched.set_batch_width(4);
+        let bstats = batched.run_trace(&trace, 1);
+        assert_eq!(bstats.batch_width, 4, "FAULTY_DIV is batch-safe");
+        assert_eq!(bstats.dropped, 2);
+        assert_eq!(scalar.registers_snapshot(), batched.registers_snapshot());
+        assert_eq!(sstats.stage_cost, bstats.stage_cost);
+        assert_eq!(batched.read_register("a", 0, 0).unwrap(), 18);
+    }
+
+    /// A program whose register dataflow rules out instruction-major
+    /// execution falls back to the scalar loop — and says so in stats.
+    #[test]
+    fn batch_unsafe_program_falls_back_to_scalar() {
+        let mut scalar = build(FAULTY_IDX);
+        let mk = |sw: &Switch| -> Vec<Phv> {
+            (0..10u64)
+                .map(|p| {
+                    let i = if p == 5 { 9 } else { p % 4 };
+                    sw.make_packet(&[("x", p), ("i", i)]).unwrap()
+                })
+                .collect()
+        };
+        let trace = mk(&scalar);
+        scalar.run_trace(&trace, 1);
+
+        let mut batched = build(FAULTY_IDX);
+        batched.set_batch_width(8);
+        let trace = mk(&batched);
+        let stats = batched.run_trace(&trace, 1);
+        assert_eq!(stats.batch_width, 0, "FAULTY_IDX must fall back to scalar");
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(scalar.registers_snapshot(), batched.registers_snapshot());
+        assert_eq!(batched.read_register("a", 0, 0).unwrap(), 9);
     }
 
     #[test]
@@ -493,7 +907,7 @@ mod tests {
         let trace: Vec<Phv> = (0..64u64)
             .map(|p| sw.make_packet(&[("x", p), ("y", p % 4)]).unwrap())
             .collect();
-        assert_eq!(sw.run_trace_sharded(&trace, 4, 4), 16);
+        assert_eq!(sw.run_trace_sharded(&trace, 4, 4).0, 16);
         assert_eq!(sw.read_register("a", 0, 0).unwrap(), 48);
     }
 }
