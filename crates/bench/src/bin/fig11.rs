@@ -65,8 +65,10 @@ fn main() {
                 };
                 let pivots = c.solve_stats.telemetry.total_pivots();
                 let warm_lps = c.solve_stats.telemetry.total_warm_solves();
+                let cuts = c.solve_stats.telemetry.cuts.applied;
+                let pc_updates = c.solve_stats.telemetry.cuts.pseudocost_updates;
                 rows.push(format!(
-                    "{name}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{par_solve_s}\t{par_threads}\t{}\t{}\t{pivots}\t{warm_lps}\t{:?}",
+                    "{name}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{par_solve_s}\t{par_threads}\t{}\t{}\t{pivots}\t{warm_lps}\t{cuts}\t{pc_updates}\t{:?}",
                     loc(&baseline_src),
                     loc(&elastic_src),
                     loc(&c.p4_text),
@@ -92,7 +94,7 @@ fn main() {
             }
             Err(e) => {
                 rows.push(format!(
-                    "{name}\t{}\t{}\t-\t-\t-\t-\t-\t-\t-\t-\t-\t{e}",
+                    "{name}\t{}\t{}\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\t{e}",
                     loc(&baseline_src),
                     loc(&elastic_src)
                 ));
@@ -102,7 +104,7 @@ fn main() {
     }
     emit_tsv(
         "fig11_applications",
-        "app\tp4_loc\tp4all_loc\tgenerated_loc\tcompile_s\tsolve_1t_s\tsolve_nt_s\tnt_threads\tilp_vars\tilp_constraints\tlp_pivots\twarm_lps\tstatus",
+        "app\tp4_loc\tp4all_loc\tgenerated_loc\tcompile_s\tsolve_1t_s\tsolve_nt_s\tnt_threads\tilp_vars\tilp_constraints\tlp_pivots\twarm_lps\tcuts_applied\tpseudocost_updates\tstatus",
         &rows,
     );
 }

@@ -49,8 +49,9 @@ fn main() {
                 let k = c.layout.symbol_values["kv_cols"];
                 let total = c.layout.total_memory_bits();
                 let pivots = c.solve_stats.telemetry.total_pivots();
+                let cuts = c.solve_stats.telemetry.cuts.applied;
                 rows.push(format!(
-                    "{label}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{total}\t{:.1}\t{:.3}\t{par_solve_s}\t{pivots}",
+                    "{label}\t{r}\t{w}\t{}\t{s}\t{k}\t{}\t{total}\t{:.1}\t{:.3}\t{par_solve_s}\t{pivots}\t{cuts}",
                     r * w,
                     s * k,
                     c.layout.objective,
@@ -66,14 +67,14 @@ fn main() {
                 );
             }
             Err(e) => {
-                rows.push(format!("{label}\t-\t-\t-\t-\t-\t-\t-\t- ({e})\t-\t-\t-"));
+                rows.push(format!("{label}\t-\t-\t-\t-\t-\t-\t-\t- ({e})\t-\t-\t-\t-"));
                 eprintln!("{label}: {e}");
             }
         }
     }
     emit_tsv(
         "fig13_utility_functions",
-        "utility\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\ttotal_bits\tobjective\tsolve_1t_s\tsolve_nt_s\tlp_pivots",
+        "utility\tcms_rows\tcms_cols\tcms_counters\tkv_slices\tkv_cols\tkv_items\ttotal_bits\tobjective\tsolve_1t_s\tsolve_nt_s\tlp_pivots\tcuts_applied",
         &rows,
     );
 }

@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use p4all_bench::bench_netcache_options;
 use p4all_core::{CompileCtx, CompileOptions, Compilation, TenantProgram};
+use p4all_ilp::SolveStatus;
 use p4all_elastic::apps::{conquest, lpm, netcache, precision, sketchlearn, vlan};
 use p4all_lang::Tenant;
 use p4all_pisa::{presets, TargetSpec};
@@ -34,6 +35,8 @@ struct Sample {
     pivots: usize,
     warm_lps: usize,
     fallbacks: usize,
+    cuts_applied: usize,
+    strong_branch_lps: usize,
     objective: f64,
 }
 
@@ -46,6 +49,8 @@ impl Sample {
             pivots: c.solve_stats.telemetry.total_pivots(),
             warm_lps: c.solve_stats.telemetry.total_warm_solves(),
             fallbacks: c.solve_stats.telemetry.total_cold_fallbacks(),
+            cuts_applied: c.solve_stats.telemetry.cuts.applied,
+            strong_branch_lps: c.solve_stats.telemetry.cuts.strong_branch_lps,
             objective: c.layout.objective,
         }
     }
@@ -57,6 +62,8 @@ impl Sample {
         self.pivots += s.pivots;
         self.warm_lps += s.warm_lps;
         self.fallbacks += s.fallbacks;
+        self.cuts_applied += s.cuts_applied;
+        self.strong_branch_lps += s.strong_branch_lps;
         self.objective += s.objective;
     }
 }
@@ -94,6 +101,76 @@ fn solve_joint_once(tenants: &[TenantProgram], target: &TargetSpec, warm: bool) 
     let mut ctx = CompileCtx::new(options(warm));
     let jc = ctx.compile_joint(tenants, target).expect("joint bench workload must compile");
     Sample::of(&jc.compilation)
+}
+
+/// The scaled synthetic joint workload: the same three tenants with
+/// doubled elasticity (CMS up to 4 rows, KVS up to 4 slices, 8192-cell
+/// filter/routing tables) on a 128 Kb/stage target. This is the
+/// "joint-model scale" row the cut engine targets: the plain no-dive
+/// search cannot close it within the node cap, cut-and-branch proves
+/// optimality in a few hundred nodes. (Joint models with 4+ distinct
+/// tenants or the heavyweight sketch apps do not close under *any*
+/// configuration in CI-scale time, so scale comes from elasticity, not
+/// tenant count.)
+fn scaled_joint_workload() -> Vec<TenantProgram> {
+    let mut nc = netcache::NetCacheOptions::default();
+    nc.cms.max_rows = 4;
+    nc.kvs.max_slices = Some(4);
+    let vlan_opts = vlan::VlanOptions { max_cells: Some(8192), ..Default::default() };
+    let lpm_opts = lpm::LpmOptions { max_cells: Some(8192), ..Default::default() };
+    vec![
+        TenantProgram::new(Tenant::new("cache", 2.0).unwrap(), netcache::source(&nc)),
+        TenantProgram::new(Tenant::new("filter", 1.0).unwrap(), vlan::source(&vlan_opts)),
+        TenantProgram::new(Tenant::new("routes", 1.0).unwrap(), lpm::source(&lpm_opts)),
+    ]
+}
+
+/// Node cap for the plain (cuts-off) baseline of the cut-engine rows.
+/// Without cuts the joint trees do not close in any reasonable budget
+/// (the 3-tenant tree passes 150k nodes without proving optimality), so
+/// the baseline runs to this cap and its node count is a lower bound.
+const PLAIN_NODE_CAP: usize = 5_000;
+
+/// Options for the cut-engine comparison: diving is disabled so the node
+/// counts compare the actual search trees, and the cut/pseudocost engine
+/// is toggled as one unit. The plain side is capped (see
+/// [`PLAIN_NODE_CAP`]); the cuts side keeps the default node budget and
+/// is required to prove optimality.
+fn cuts_options(on: bool) -> CompileOptions {
+    let mut o = CompileOptions::default().with_threads(1);
+    o.solver.dive_limit = 0;
+    o.solver.cuts = on;
+    o.solver.pseudocost = on;
+    if !on {
+        o.solver.node_limit = PLAIN_NODE_CAP;
+    }
+    o
+}
+
+/// One joint compile on a fresh context with the cut engine on or off.
+/// Returns the sample plus whether the solve proved optimality.
+fn solve_joint_cuts(
+    tenants: &[TenantProgram],
+    target: &TargetSpec,
+    on: bool,
+) -> (Sample, bool) {
+    let mut ctx = CompileCtx::new(cuts_options(on));
+    let jc = ctx.compile_joint(tenants, target).expect("joint cuts workload must compile");
+    let optimal = jc.compilation.solve_stats.status == SolveStatus::Optimal;
+    (Sample::of(&jc.compilation), optimal)
+}
+
+/// The reference objective for a joint workload: the historical default
+/// configuration (diving on), which proves optimality on these models.
+fn joint_reference_objective(tenants: &[TenantProgram], target: &TargetSpec) -> f64 {
+    let mut ctx = CompileCtx::new(CompileOptions::default().with_threads(1));
+    let jc = ctx.compile_joint(tenants, target).expect("joint reference must compile");
+    assert_eq!(
+        jc.compilation.solve_stats.status,
+        SolveStatus::Optimal,
+        "joint reference solve must prove optimality"
+    );
+    jc.compilation.layout.objective
 }
 
 /// One full pass over the Figure-12 memory sweep (8 points). Warm mode
@@ -207,6 +284,43 @@ fn main() {
         jw.warm_lps, jw.fallbacks, jc.solve_s / jw.solve_s.max(1e-9)
     );
 
+    // Cut-and-branch vs plain branch-and-bound on the joint workloads:
+    // node counts with diving disabled, so the comparison is between the
+    // search trees themselves. Node counts are deterministic at one
+    // thread, so each variant runs once. The cuts side must prove
+    // optimality and match the historical default configuration's
+    // objective; the plain side runs to PLAIN_NODE_CAP (it does not
+    // close these trees), so its node count is a lower bound.
+    let scaled = scaled_joint_workload();
+    let scaled_target = presets::paper_eval(1 << 17);
+    let mut cuts_rows: Vec<(&str, Sample, bool, Sample)> = Vec::new();
+    for (label, tenants, tgt) in
+        [("joint-3tenant", &tenants, &target), ("joint-3tenant-xl", &scaled, &scaled_target)]
+    {
+        let reference = joint_reference_objective(tenants, tgt);
+        let (o, o_opt) = solve_joint_cuts(tenants, tgt, false);
+        let (c, c_opt) = solve_joint_cuts(tenants, tgt, true);
+        assert!(c_opt, "{label}: cut-and-branch must prove optimality");
+        assert!(
+            (c.objective - reference).abs() < 1e-6,
+            "{label}: cuts objective {} != reference {}",
+            c.objective,
+            reference
+        );
+        println!(
+            "  {label:<13} plain {:>6}{} nodes ({} LPs)   cuts {:>5} nodes ({} LPs, {} cuts, {} strong-branch LPs)  {:.0}x fewer nodes",
+            o.nodes,
+            if o_opt { "" } else { "+" },
+            o.lp_solves,
+            c.nodes,
+            c.lp_solves,
+            c.cuts_applied,
+            c.strong_branch_lps,
+            o.nodes as f64 / c.nodes.max(1) as f64
+        );
+        cuts_rows.push((label, o, o_opt, c));
+    }
+
     let mut sweep_cold = Vec::new();
     let mut sweep_warm = Vec::new();
     for _ in 0..reps {
@@ -288,6 +402,24 @@ fn main() {
         jc.pivots,
         jw.pivots
     );
+    json.push_str("  \"cut_engine\": [\n");
+    for (i, (label, o, o_opt, c)) in cuts_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{label}\", \"plain_nodes\": {}, \"plain_optimal\": {o_opt}, \
+             \"cuts_nodes\": {}, \"cuts_lp_solves\": {}, \"cuts_applied\": {}, \
+             \"strong_branch_lps\": {}, \"node_reduction\": {:.1}, \"objective\": {:.4}}}",
+            o.nodes,
+            c.nodes,
+            c.lp_solves,
+            c.cuts_applied,
+            c.strong_branch_lps,
+            o.nodes as f64 / c.nodes.max(1) as f64,
+            c.objective
+        );
+        json.push_str(if i + 1 < cuts_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"fig12_sweep\": {{\"points\": 8, \"cold_solve_s\": {:.4}, \"warm_solve_s\": {:.4}, \
@@ -323,6 +455,34 @@ fn main() {
                         (ratio - 1.0) * 100.0
                     );
                     std::process::exit(1);
+                }
+                // Cut-engine gates: the acceptance bar (>= 2x fewer
+                // nodes than the capped plain tree) plus a node-count
+                // regression tripwire against the committed baseline.
+                for (label, o, _, c) in &cuts_rows {
+                    let reduction = o.nodes as f64 / c.nodes.max(1) as f64;
+                    println!(
+                        "smoke: {label} cut-and-branch {} nodes vs plain {} ({reduction:.1}x)",
+                        c.nodes, o.nodes
+                    );
+                    if reduction < 2.0 {
+                        eprintln!(
+                            "FAIL: {label} node reduction {reduction:.1}x below the 2x acceptance bar"
+                        );
+                        std::process::exit(1);
+                    }
+                    let base_nodes = baseline
+                        .find(label)
+                        .and_then(|at| json_number(&baseline[at..], "cuts_nodes"));
+                    if let Some(b) = base_nodes {
+                        if c.nodes as f64 > b * 1.20 {
+                            eprintln!(
+                                "FAIL: {label} cut-and-branch nodes {} regressed > 20% vs baseline {b}",
+                                c.nodes
+                            );
+                            std::process::exit(1);
+                        }
+                    }
                 }
             }
             Err(e) => {

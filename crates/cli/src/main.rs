@@ -45,6 +45,7 @@
 //! unreadable input), `3` no feasible layout on the target, `4` solver
 //! failure or limit, `5` internal compiler error.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use p4all_core::{
@@ -439,6 +440,13 @@ fn run(args: Args) -> Result<(), Failure> {
     }
     if args.timings {
         print!("{}", c.trace.render());
+        let cc = &c.solve_stats.telemetry.cuts;
+        if *cc != Default::default() {
+            println!(
+                "cut engine: {} cuts separated, {} applied, {} aged out; {} pseudocost updates, {} strong-branch LPs",
+                cc.separated, cc.applied, cc.aged_out, cc.pseudocost_updates, cc.strong_branch_lps
+            );
+        }
         if let Some(reports) = &reports {
             println!("tenant utility split:");
             for r in reports {
@@ -520,12 +528,26 @@ fn run(args: Args) -> Result<(), Failure> {
             Some(rs) => json_tenant_report(rs),
             None => json_report(&[]),
         };
+        // Splice a `solver` object into every success payload: node and
+        // LP counts plus the cut-engine and pseudocost counters.
+        let mut out = base;
+        out.pop();
+        let cc = &c.solve_stats.telemetry.cuts;
+        let _ = write!(
+            out,
+            ",\"solver\":{{\"nodes\":{},\"lp_solves\":{},\"cuts_separated\":{},\"cuts_applied\":{},\"cuts_aged_out\":{},\"pseudocost_updates\":{},\"strong_branch_lps\":{}}}",
+            c.solve_stats.nodes,
+            c.solve_stats.lp_solves,
+            cc.separated,
+            cc.applied,
+            cc.aged_out,
+            cc.pseudocost_updates,
+            cc.strong_branch_lps
+        );
         match &replay_stats {
-            // Splice a `replay` object into the payload when --sim ran,
-            // exposing the batch width and pipeline-overlap occupancy.
+            // And a `replay` object when --sim ran, exposing the batch
+            // width and pipeline-overlap occupancy.
             Some(s) => {
-                let mut out = base;
-                out.pop();
                 println!(
                     "{out},\"replay\":{{\"packets\":{},\"dropped\":{},\"threads\":{},\"batch_width\":{},\"overlap_occupancy\":{:.3},\"pkts_per_sec\":{:.0}}}}}",
                     s.packets,
@@ -536,7 +558,7 @@ fn run(args: Args) -> Result<(), Failure> {
                     s.pkts_per_sec()
                 );
             }
-            None => println!("{base}"),
+            None => println!("{out}}}"),
         }
     }
     Ok(())

@@ -131,7 +131,11 @@ fn json_diagnostics_empty_on_success() {
     let (text, stdout) = run_case("infeasible_target", &["--json-diagnostics", "--stages", "8"]);
     assert!(text.starts_with("exit: 0\n"), "got: {text}");
     assert!(
-        stdout.contains("{\"diagnostics\":[]}"),
-        "expected empty diagnostics array on success: {stdout}"
+        stdout.contains("{\"diagnostics\":[],\"solver\":{"),
+        "expected empty diagnostics array plus solver counters on success: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"cuts_applied\":") && stdout.contains("\"pseudocost_updates\":"),
+        "solver object lacks cut-engine counters: {stdout}"
     );
 }

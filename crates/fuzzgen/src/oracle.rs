@@ -171,12 +171,18 @@ fn make_compiler(
     target: &TargetSpec,
     threads: usize,
     warm_lp: bool,
+    cuts: bool,
     opts: &OracleOptions,
 ) -> Compiler {
     let mut o = CompileOptions::default().with_threads(threads);
     o.solver.node_limit = opts.node_limit;
     o.solver.time_limit = Some(opts.time_limit);
     o.solver.warm_lp = warm_lp;
+    // `cuts` toggles the whole cut-and-branch engine (cut separation and
+    // pseudocost branching) so the cross-check compares it against the
+    // plain historical search.
+    o.solver.cuts = cuts;
+    o.solver.pseudocost = cuts;
     // Infeasibility explanations (IIS probing) cost extra solves the
     // oracle does not read; the *status* is the oracle's input.
     o.explain_infeasible = false;
@@ -222,7 +228,7 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOptions) -> Outcome {
 
     // Phase 1: the exact solver, verified and cross-checked.
     let target = case.target.to_spec();
-    let compiler = make_compiler(&target, 1, true, opts);
+    let compiler = make_compiler(&target, 1, true, true, opts);
     let res = match catch_unwind(AssertUnwindSafe(|| compiler.compile(&src))) {
         Ok(r) => r,
         Err(p) => {
@@ -265,12 +271,14 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOptions) -> Outcome {
             }
 
             if opts.cross_checks && c.solve_stats.status == SolveStatus::Optimal {
-                for (kind, threads, warm) in
-                    [("warm-cold", 1usize, false), ("threads", 4, true)]
-                {
-                    if let Some(d) =
-                        cross_check(&src, &target, opts, kind, threads, warm, c.layout.objective)
-                    {
+                for (kind, threads, warm, cuts) in [
+                    ("warm-cold", 1usize, false, true),
+                    ("threads", 4, true, true),
+                    ("cuts-off", 1, true, false),
+                ] {
+                    if let Some(d) = cross_check(
+                        &src, &target, opts, kind, threads, warm, cuts, c.layout.objective,
+                    ) {
                         return Outcome::Divergence(d);
                     }
                 }
@@ -309,10 +317,13 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOptions) -> Outcome {
                 Ok(Err(_)) => {}
             }
             if opts.cross_checks {
-                for (kind, threads, warm) in
-                    [("warm-cold", 1usize, false), ("threads", 4, true)]
-                {
-                    if let Some(d) = cross_check_infeasible(&src, &target, opts, kind, threads, warm)
+                for (kind, threads, warm, cuts) in [
+                    ("warm-cold", 1usize, false, true),
+                    ("threads", 4, true, true),
+                    ("cuts-off", 1, true, false),
+                ] {
+                    if let Some(d) =
+                        cross_check_infeasible(&src, &target, opts, kind, threads, warm, cuts)
                     {
                         return Outcome::Divergence(d);
                     }
@@ -457,6 +468,7 @@ pub fn run_joint_case(case: &JointFuzzCase, opts: &OracleOptions) -> Outcome {
 /// Re-solve with a different solver configuration; an `Optimal` answer
 /// must match the baseline objective, and no configuration may flip to
 /// infeasible.
+#[allow(clippy::too_many_arguments)]
 fn cross_check(
     src: &str,
     target: &TargetSpec,
@@ -464,9 +476,10 @@ fn cross_check(
     kind: &str,
     threads: usize,
     warm_lp: bool,
+    cuts: bool,
     baseline_objective: f64,
 ) -> Option<Divergence> {
-    let compiler = make_compiler(target, threads, warm_lp, opts);
+    let compiler = make_compiler(target, threads, warm_lp, cuts, opts);
     match catch_unwind(AssertUnwindSafe(|| compiler.compile(src))) {
         Err(p) => Some(Divergence::new("compile-panic", panic_message(p))),
         Ok(Ok(c2)) => {
@@ -476,7 +489,7 @@ fn cross_check(
                 Some(Divergence::new(
                     &format!("{kind}-objective"),
                     format!(
-                        "baseline objective {baseline_objective} vs {} under threads={threads} warm_lp={warm_lp}",
+                        "baseline objective {baseline_objective} vs {} under threads={threads} warm_lp={warm_lp} cuts={cuts}",
                         c2.layout.objective
                     ),
                 ))
@@ -487,7 +500,7 @@ fn cross_check(
         Ok(Err(CompileError::SolverLimit(_))) => None,
         Ok(Err(e)) => Some(Divergence::new(
             &format!("{kind}-status"),
-            format!("baseline feasible but threads={threads} warm_lp={warm_lp} failed: {e}"),
+            format!("baseline feasible but threads={threads} warm_lp={warm_lp} cuts={cuts} failed: {e}"),
         )),
     }
 }
@@ -501,21 +514,22 @@ fn cross_check_infeasible(
     kind: &str,
     threads: usize,
     warm_lp: bool,
+    cuts: bool,
 ) -> Option<Divergence> {
-    let compiler = make_compiler(target, threads, warm_lp, opts);
+    let compiler = make_compiler(target, threads, warm_lp, cuts, opts);
     match catch_unwind(AssertUnwindSafe(|| compiler.compile(src))) {
         Err(p) => Some(Divergence::new("compile-panic", panic_message(p))),
         Ok(Ok(c2)) => Some(Divergence::new(
             &format!("{kind}-status"),
             format!(
-                "baseline infeasible but threads={threads} warm_lp={warm_lp} found objective {}",
+                "baseline infeasible but threads={threads} warm_lp={warm_lp} cuts={cuts} found objective {}",
                 c2.layout.objective
             ),
         )),
         Ok(Err(CompileError::Infeasible(_))) | Ok(Err(CompileError::SolverLimit(_))) => None,
         Ok(Err(e)) => Some(Divergence::new(
             &format!("{kind}-status"),
-            format!("baseline infeasible but threads={threads} warm_lp={warm_lp} errored differently: {e}"),
+            format!("baseline infeasible but threads={threads} warm_lp={warm_lp} cuts={cuts} errored differently: {e}"),
         )),
     }
 }

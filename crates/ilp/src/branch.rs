@@ -14,10 +14,23 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::cuts::{self, CutCounters, CutPool};
 use crate::model::{Model, Sense, Solution, VarKind};
 use crate::presolve::{presolve, Presolved};
-use crate::simplex::{solve_lp_ext, Basis, LpError, LpResult, LpStats};
+use crate::simplex::{solve_lp_ext, solve_lp_tableau, Basis, LpError, LpResult, LpStats};
 use crate::telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry, ThreadTelemetry};
+
+/// Fractional root candidates initialized by reliability (strong)
+/// branching — two LPs each, warm-started from the root basis.
+const STRONG_BRANCH_MAX: usize = 8;
+/// First node count at which the sequential search attempts node-level
+/// cut separation; subsequent events at 4x intervals.
+const NODE_SEP_BASE: usize = 256;
+/// Maximum node-level separation events per sequential solve (each one
+/// invalidates the stacked warm bases, so they are rationed).
+const NODE_SEP_EVENTS: usize = 4;
+/// Relative bound improvement below which the root cut loop stops.
+const CUT_TAILOFF: f64 = 1e-7;
 
 /// Knobs for [`solve_with`].
 #[derive(Debug, Clone)]
@@ -71,6 +84,19 @@ pub struct SolveOptions {
     pub local_branch_radius: u32,
     /// Node budget for the local-branching sub-search.
     pub local_branch_nodes: usize,
+    /// Run the cutting-plane engine (on by default): Gomory mixed-integer
+    /// cuts from the simplex tableau and knapsack cover cuts from
+    /// capacity rows, separated in rounds at the root (and sparingly at
+    /// tree nodes in the sequential search), pooled, and activated by
+    /// violation under a budget. Cuts tighten the LP relaxation so the
+    /// tree search needs fewer nodes; `false` reproduces the historical
+    /// plain branch-and-bound byte-for-byte.
+    pub cuts: bool,
+    /// Branch on pseudocost scores (on by default), reliability-
+    /// initialized by bounded strong branching at the root, instead of
+    /// the historical most-fractional rule. `false` reproduces the
+    /// historical variable selection byte-for-byte.
+    pub pseudocost: bool,
 }
 
 impl Default for SolveOptions {
@@ -89,6 +115,8 @@ impl Default for SolveOptions {
             local_branch: false,
             local_branch_radius: 10,
             local_branch_nodes: 1_000,
+            cuts: true,
+            pseudocost: true,
         }
     }
 }
@@ -148,6 +176,148 @@ pub(crate) struct Node {
     /// the parallel frontier). `None` at the root or when the parent's
     /// basis was not representable; ignored when `warm_lp` is off.
     pub basis: Option<Arc<Basis>>,
+    /// How this node was created, for pseudocost updates once its LP is
+    /// solved. `None` at the root; carried but unused when
+    /// `SolveOptions::pseudocost` is off.
+    pub branch: Option<BranchInfo>,
+}
+
+/// Branching decision that created a node: variable, fractional distance
+/// the bound moved (`f` for the down child, `1 − f` for up), direction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BranchInfo {
+    pub var: usize,
+    pub dist: f64,
+    pub up: bool,
+}
+
+/// Per-variable pseudocost statistics: observed objective degradation per
+/// unit of bound movement, kept separately for the down and up children.
+/// Variables without observations fall back to the average over
+/// initialized ones (or 1.0 when nothing is initialized yet), which
+/// reduces the selection to most-fractional until data arrives.
+#[derive(Debug, Clone)]
+pub(crate) struct Pseudocosts {
+    dn_sum: Vec<f64>,
+    dn_n: Vec<u32>,
+    up_sum: Vec<f64>,
+    up_n: Vec<u32>,
+}
+
+impl Pseudocosts {
+    pub fn new(num_vars: usize) -> Self {
+        Pseudocosts {
+            dn_sum: vec![0.0; num_vars],
+            dn_n: vec![0; num_vars],
+            up_sum: vec![0.0; num_vars],
+            up_n: vec![0; num_vars],
+        }
+    }
+
+    /// Record one observation: branching `var` in `up` direction cost
+    /// `per_unit` objective per unit of bound movement.
+    pub fn record(&mut self, var: usize, up: bool, per_unit: f64) {
+        if up {
+            self.up_sum[var] += per_unit;
+            self.up_n[var] += 1;
+        } else {
+            self.dn_sum[var] += per_unit;
+            self.dn_n[var] += 1;
+        }
+    }
+
+    fn averages(&self) -> (f64, f64) {
+        let mean = |sums: &[f64], ns: &[u32]| {
+            let (mut s, mut n) = (0.0f64, 0u64);
+            for (v, &c) in sums.iter().zip(ns) {
+                if c > 0 {
+                    s += v / c as f64;
+                    n += 1;
+                }
+            }
+            if n > 0 { s / n as f64 } else { 1.0 }
+        };
+        (mean(&self.dn_sum, &self.dn_n), mean(&self.up_sum, &self.up_n))
+    }
+
+    /// Pseudocost branching: among fractional integer variables, pick the
+    /// one with the largest product of estimated down/up degradations.
+    /// Branch priority and the binaries-first class still dominate, like
+    /// the historical most-fractional rule; degradation ties (common when
+    /// every observed move was degenerate) fall back to fractionality, so
+    /// zero information reduces the rule to most-fractional, and exact
+    /// ties keep the lowest index.
+    pub fn pick(&self, ctx: &SearchCtx<'_>, x: &[f64], tol: f64) -> Option<(usize, f64)> {
+        let (avg_dn, avg_up) = self.averages();
+        let mut best: Option<(usize, (i32, u8, f64, f64))> = None;
+        for &j in &ctx.int_vars {
+            let f = (x[j] - x[j].round()).abs();
+            if f > tol {
+                let var = ctx.model.var(crate::VarId(j));
+                let class = match var.kind {
+                    VarKind::Binary => 0u8,
+                    _ => 1,
+                };
+                let fr = x[j] - x[j].floor();
+                let dn = if self.dn_n[j] > 0 { self.dn_sum[j] / self.dn_n[j] as f64 } else { avg_dn };
+                let up = if self.up_n[j] > 0 { self.up_sum[j] / self.up_n[j] as f64 } else { avg_up };
+                let score = (dn * fr).max(1e-6) * (up * (1.0 - fr)).max(1e-6);
+                let fr_score = 0.5 - (fr - 0.5).abs();
+                let key = (-var.branch_priority, class, -score, -fr_score);
+                match &best {
+                    Some((_, bk)) if key >= *bk => {}
+                    _ => best = Some((j, key)),
+                }
+            }
+        }
+        best.map(|(j, _)| (j, x[j]))
+    }
+}
+
+/// State of the cut-and-branch engine threaded through the searches:
+/// the cut-extended model the LPs solve against, the cut pool, shared
+/// pseudocost statistics, and the engine counters. Empty (and inert)
+/// when `SolveOptions { cuts: false, pseudocost: false }`.
+pub(crate) struct SearchAux {
+    /// The original model plus activated cut rows; `None` while no cut
+    /// has been activated (LPs then solve the original model).
+    pub cut_model: Option<Model>,
+    /// Separated-but-inactive cuts, selectable at later events.
+    pub pool: CutPool,
+    /// Pseudocost statistics; `Some` iff `SolveOptions::pseudocost`.
+    pub pseudo: Option<Pseudocosts>,
+    pub counters: CutCounters,
+}
+
+impl SearchAux {
+    pub fn new(num_vars: usize, opts: &SolveOptions) -> Self {
+        SearchAux {
+            cut_model: None,
+            pool: CutPool::default(),
+            pseudo: opts.pseudocost.then(|| Pseudocosts::new(num_vars)),
+            counters: CutCounters::default(),
+        }
+    }
+
+    /// Record a pseudocost observation for a solved child node.
+    pub fn observe(&mut self, node_branch: Option<BranchInfo>, parent_score: f64, score: f64) {
+        if let (Some(pc), Some(b)) = (self.pseudo.as_mut(), node_branch) {
+            if b.dist > 1e-6 {
+                let per_unit = (parent_score - score).max(0.0) / b.dist;
+                pc.record(b.var, b.up, per_unit);
+                self.counters.pseudocost_updates += 1;
+            }
+        }
+    }
+
+    /// Variable selection: pseudocost when enabled, else the historical
+    /// most-fractional rule.
+    pub fn pick(&self, ctx: &SearchCtx<'_>, x: &[f64], tol: f64) -> Option<(usize, f64)> {
+        match &self.pseudo {
+            Some(pc) => pc.pick(ctx, x, tol),
+            None => ctx.pick_branch_var(x, tol),
+        }
+    }
 }
 
 /// Accumulated LP work counters for one worker (pivots, refactorizations,
@@ -521,11 +691,229 @@ pub fn solve_with(model: &Model, opts: &SolveOptions) -> Result<MipOutcome, LpEr
     if opts.local_branch {
         local_branch_improve(&ctx, &mut prepared)?;
     }
-    if opts.effective_threads() <= 1 {
-        solve_sequential(&ctx, prepared)
-    } else {
-        crate::parallel::solve_parallel(&ctx, prepared)
+    let mut aux = SearchAux::new(model.num_vars(), opts);
+    if opts.cuts && !root_gap_closed(&ctx, &prepared) {
+        run_cut_loop(&ctx, &mut prepared, &mut aux)?;
     }
+    if opts.pseudocost && !root_gap_closed(&ctx, &prepared) {
+        reliability_init(&ctx, &mut prepared, &mut aux)?;
+    }
+    if opts.effective_threads() <= 1 {
+        solve_sequential(&ctx, prepared, aux)
+    } else {
+        crate::parallel::solve_parallel(&ctx, prepared, aux)
+    }
+}
+
+/// Whether the incumbent already closes the root gap — then the tree
+/// search terminates immediately and root cut/strong-branching work would
+/// be pure overhead (the common case for warm-started re-solves).
+fn root_gap_closed(ctx: &SearchCtx<'_>, prepared: &Prepared) -> bool {
+    prepared
+        .incumbent
+        .as_ref()
+        .is_some_and(|(s, _)| prepared.root_score <= *s + ctx.prune_gap(*s))
+}
+
+/// Root cut loop: separate Gomory and cover cuts at the (cut-extended)
+/// root LP optimum, activate the most violated pool cuts under the
+/// activation budget, re-solve, and repeat until no violated cut remains,
+/// the bound tails off, or the round budget is exhausted. The LP model
+/// grows monotonically; the incumbent is always validated against the
+/// original model, so cuts tighten the relaxation without touching
+/// correctness.
+fn run_cut_loop(
+    ctx: &SearchCtx<'_>,
+    prepared: &mut Prepared,
+    aux: &mut SearchAux,
+) -> Result<(), LpError> {
+    let opts = ctx.opts;
+    let int_mask: Vec<bool> = ctx.model.vars().iter().map(|v| v.is_integral()).collect();
+    let orig_rows = ctx.model.num_constraints();
+    let mut applied_seq = 0usize;
+    let mut prev_score = prepared.root_score;
+    let mut stalls = 0u32;
+    let saved_basis = prepared.root_basis.clone();
+    let saved_score = prepared.root_score;
+    for round in 0..cuts::MAX_CUT_ROUNDS {
+        let lp_model = aux.cut_model.as_ref().unwrap_or(ctx.model);
+        let warm = if opts.warm_lp { prepared.root_basis.as_deref() } else { None };
+        prepared.lp_solves += 1;
+        let tab = solve_lp_tableau(
+            lp_model,
+            &prepared.root_bounds,
+            warm,
+            &int_mask,
+            opts.int_tol,
+            cuts::GOMORY_ROWS_PER_ROUND,
+        )?;
+        prepared.lp_work.add(&tab.stats);
+        let (x, score) = match &tab.result {
+            // Cuts are valid for every integer point, so an infeasible or
+            // unbounded cut LP here is numerical trouble, not a proof:
+            // throw the cuts away and search the original relaxation.
+            LpResult::Infeasible | LpResult::Unbounded => {
+                aux.cut_model = None;
+                prepared.root_basis = saved_basis;
+                prepared.root_score = saved_score;
+                return Ok(());
+            }
+            LpResult::Optimal { x, obj } => (x.clone(), ctx.sgn * obj),
+        };
+        prepared.root_basis = tab.basis.clone().map(Arc::new);
+        prepared.root_score = prepared.root_score.min(score);
+        // Integral cut-LP optimum: feasible for the original model means
+        // the gap is closed and the search below will only confirm it.
+        if ctx.pick_branch_var(&x, opts.int_tol).is_none() {
+            let vals = ctx.snap(&x);
+            if ctx.model.check_feasible(&vals, 1e-5).is_ok() {
+                let s = ctx.sgn * ctx.model.objective_value(&vals);
+                if prepared.incumbent.as_ref().is_none_or(|(b, _)| s > *b + 1e-12) {
+                    prepared.events.push(IncumbentEvent {
+                        elapsed: ctx.start.elapsed(),
+                        objective: ctx.score_to_objective(s),
+                        thread: 0,
+                        source: IncumbentSource::CutRound,
+                    });
+                    prepared.incumbent = Some((s, vals));
+                }
+            }
+            break;
+        }
+        if root_gap_closed(ctx, prepared) {
+            break;
+        }
+        // Tail-off: two consecutive rounds without meaningful bound
+        // movement mean further rounds only bloat the LP.
+        if round > 0 {
+            if prev_score - score < CUT_TAILOFF * score.abs().max(1.0) {
+                stalls += 1;
+                if stalls >= 2 {
+                    break;
+                }
+            } else {
+                stalls = 0;
+            }
+        }
+        prev_score = score;
+        if round + 1 == cuts::MAX_CUT_ROUNDS {
+            break; // no point separating cuts the loop will never solve
+        }
+        for cut in cuts::separate_gomory(lp_model, &tab, &prepared.root_bounds, &int_mask) {
+            if aux.pool.offer(cut) {
+                aux.counters.separated += 1;
+            }
+        }
+        for cut in cuts::separate_covers(lp_model, orig_rows, &x, &prepared.root_bounds, &int_mask)
+        {
+            if aux.pool.offer(cut) {
+                aux.counters.separated += 1;
+            }
+        }
+        let picked = aux.pool.select(&x, cuts::ACTIVATION_BUDGET, &mut aux.counters);
+        if picked.is_empty() {
+            break;
+        }
+        let work = aux.cut_model.get_or_insert_with(|| ctx.model.clone());
+        for cut in &picked {
+            cuts::apply_cut(work, cut, applied_seq);
+            applied_seq += 1;
+            aux.counters.applied += 1;
+        }
+        // Extend the basis over the new rows (new slacks basic) so the
+        // next round re-solves warm with the dual simplex.
+        prepared.root_basis = prepared
+            .root_basis
+            .take()
+            .map(|b| Arc::new(b.with_new_rows(picked.len())));
+    }
+    Ok(())
+}
+
+/// Reliability initialization of the pseudocosts: bounded strong
+/// branching on the most fractional root candidates — both child LPs of
+/// each, warm-started from the root basis — seeds the statistics the
+/// tree search branches on. A child proven infeasible tightens the root
+/// bound on its variable (globally valid), which can shrink the tree on
+/// its own.
+fn reliability_init(
+    ctx: &SearchCtx<'_>,
+    prepared: &mut Prepared,
+    aux: &mut SearchAux,
+) -> Result<(), LpError> {
+    let Some(pseudo) = aux.pseudo.as_mut() else {
+        return Ok(());
+    };
+    let opts = ctx.opts;
+    let lp_model = aux.cut_model.as_ref().unwrap_or(ctx.model);
+    let warm = if opts.warm_lp { prepared.root_basis.as_deref() } else { None };
+    // Re-derive the root vertex (warm: typically zero pivots).
+    prepared.lp_solves += 1;
+    let sol = solve_lp_ext(lp_model, &prepared.root_bounds, warm)?;
+    prepared.lp_work.add(&sol.stats);
+    let root_basis = sol.basis.map(Arc::new).or_else(|| prepared.root_basis.clone());
+    let (x, root_score) = match sol.result {
+        LpResult::Optimal { x, obj } => (x, ctx.sgn * obj),
+        _ => return Ok(()),
+    };
+    let mut cands: Vec<(f64, usize)> = ctx
+        .int_vars
+        .iter()
+        .filter_map(|&j| {
+            let f = x[j] - x[j].floor();
+            (f > opts.int_tol && f < 1.0 - opts.int_tol)
+                .then(|| (0.5 - (f - 0.5).abs(), j))
+        })
+        .collect();
+    cands.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    cands.truncate(STRONG_BRANCH_MAX);
+    let warm_sb = if opts.warm_lp { root_basis.as_deref() } else { None };
+    for (_, j) in cands {
+        let v = x[j];
+        let f = v - v.floor();
+        // Down child: x_j <= floor(v).
+        let mut down = prepared.root_bounds.to_vec();
+        down[j].1 = down[j].1.min(v.floor());
+        prepared.lp_solves += 1;
+        aux.counters.strong_branch_lps += 1;
+        let d = solve_lp_ext(lp_model, &down, warm_sb)?;
+        prepared.lp_work.add(&d.stats);
+        match d.result {
+            LpResult::Optimal { obj, .. } => {
+                pseudo.record(j, false, (root_score - ctx.sgn * obj).max(0.0) / f.max(1e-6));
+                aux.counters.pseudocost_updates += 1;
+            }
+            LpResult::Infeasible => {
+                // No LP point below: x_j >= ceil(v) everywhere.
+                let lo = v.floor() + 1.0;
+                if lo <= prepared.root_bounds[j].1 {
+                    prepared.root_bounds[j].0 = prepared.root_bounds[j].0.max(lo);
+                }
+            }
+            LpResult::Unbounded => {}
+        }
+        // Up child: x_j >= ceil(v).
+        let mut up = prepared.root_bounds.to_vec();
+        up[j].0 = up[j].0.max(v.floor() + 1.0);
+        prepared.lp_solves += 1;
+        aux.counters.strong_branch_lps += 1;
+        let u = solve_lp_ext(lp_model, &up, warm_sb)?;
+        prepared.lp_work.add(&u.stats);
+        match u.result {
+            LpResult::Optimal { obj, .. } => {
+                pseudo.record(j, true, (root_score - ctx.sgn * obj).max(0.0) / (1.0 - f).max(1e-6));
+                aux.counters.pseudocost_updates += 1;
+            }
+            LpResult::Infeasible => {
+                let hi = v.floor();
+                if hi >= prepared.root_bounds[j].0 {
+                    prepared.root_bounds[j].1 = prepared.root_bounds[j].1.min(hi);
+                }
+            }
+            LpResult::Unbounded => {}
+        }
+    }
+    Ok(())
 }
 
 /// Local-branching improvement between the root phase and the exact
@@ -610,7 +998,11 @@ fn local_branch_improve(ctx: &SearchCtx<'_>, prepared: &mut Prepared) -> Result<
 /// The historical depth-first search, byte-for-byte: node order, prune
 /// rules, and incumbent acceptance are unchanged from the single-threaded
 /// solver, so `threads = 1` explores exactly the same tree it always did.
-fn solve_sequential(ctx: &SearchCtx<'_>, prepared: Prepared) -> Result<MipOutcome, LpError> {
+fn solve_sequential(
+    ctx: &SearchCtx<'_>,
+    prepared: Prepared,
+    mut aux: SearchAux,
+) -> Result<MipOutcome, LpError> {
     let model = ctx.model;
     let opts = ctx.opts;
     let Prepared {
@@ -623,9 +1015,23 @@ fn solve_sequential(ctx: &SearchCtx<'_>, prepared: Prepared) -> Result<MipOutcom
         mut lp_work,
     } = prepared;
 
+    // Node-level separation state (sequential search only): root bounds
+    // keep node cuts globally valid, `int_mask` drives the tableau scan.
+    let mut cut_model = aux.cut_model.take();
+    let sep_root_bounds = opts.cuts.then(|| root_bounds.clone());
+    let int_mask: Vec<bool> = if opts.cuts {
+        model.vars().iter().map(|v| v.is_integral()).collect()
+    } else {
+        Vec::new()
+    };
+    let orig_rows = model.num_constraints();
+    let mut applied_seq = aux.counters.applied;
+    let mut next_sep_at = NODE_SEP_BASE;
+    let mut sep_events = 0usize;
+
     let mut nodes = 0usize;
     let mut stack: Vec<Node> =
-        vec![Node { bounds: root_bounds, parent_score: root_score, basis: root_basis }];
+        vec![Node { bounds: root_bounds, parent_score: root_score, basis: root_basis, branch: None }];
     let mut proven = true;
     let mut remaining_bound: Option<f64> = None;
 
@@ -651,17 +1057,18 @@ fn solve_sequential(ctx: &SearchCtx<'_>, prepared: Prepared) -> Result<MipOutcom
         nodes += 1;
         lp_solves += 1;
         let warm = if opts.warm_lp { node.basis.as_deref() } else { None };
-        let sol = solve_lp_ext(model, &node.bounds, warm)?;
+        let sol = solve_lp_ext(cut_model.as_ref().unwrap_or(model), &node.bounds, warm)?;
         lp_work.add(&sol.stats);
         // Children warm-start from this node's optimal basis; if it was
         // not representable, the grandparent's is still dual-feasible.
-        let child_basis = sol.basis.map(Arc::new).or(node.basis);
+        let mut child_basis = sol.basis.map(Arc::new).or(node.basis);
         let (x, score) = match sol.result {
             LpResult::Infeasible => continue,
             LpResult::Unbounded => {
                 let mut telemetry = SolveTelemetry::trivial(1, opts.deterministic);
                 telemetry.per_thread[0] = lp_work.into_thread(0, nodes, lp_solves);
                 telemetry.incumbents = events;
+                telemetry.cuts = aux.counters;
                 return Ok(MipOutcome {
                     status: SolveStatus::Unbounded,
                     solution: None,
@@ -673,12 +1080,57 @@ fn solve_sequential(ctx: &SearchCtx<'_>, prepared: Prepared) -> Result<MipOutcom
             }
             LpResult::Optimal { x, obj } => (x, ctx.sgn * obj),
         };
+        aux.observe(node.branch, node.parent_score, score);
         if let Some((inc_score, _)) = &incumbent {
             if score <= *inc_score + ctx.prune_gap(*inc_score) {
                 continue;
             }
         }
-        match ctx.pick_branch_var(&x, opts.int_tol) {
+        // Node-level separation: at geometrically spaced node counts,
+        // re-derive the tableau at this vertex (warm: typically zero
+        // pivots) and harvest fresh cuts for the shared LP model.
+        if opts.cuts && sep_events < NODE_SEP_EVENTS && nodes >= next_sep_at {
+            sep_events += 1;
+            next_sep_at *= 4;
+            let warm = if opts.warm_lp { child_basis.as_deref() } else { None };
+            lp_solves += 1;
+            let lpm = cut_model.as_ref().unwrap_or(model);
+            let tab = solve_lp_tableau(
+                lpm,
+                &node.bounds,
+                warm,
+                &int_mask,
+                opts.int_tol,
+                cuts::GOMORY_ROWS_PER_ROUND,
+            )?;
+            lp_work.add(&tab.stats);
+            if let LpResult::Optimal { x: tx, .. } = &tab.result {
+                let rb = sep_root_bounds.as_deref().unwrap_or(&node.bounds);
+                for cut in cuts::separate_gomory(lpm, &tab, rb, &int_mask) {
+                    if aux.pool.offer(cut) {
+                        aux.counters.separated += 1;
+                    }
+                }
+                for cut in cuts::separate_covers(lpm, orig_rows, tx, rb, &int_mask) {
+                    if aux.pool.offer(cut) {
+                        aux.counters.separated += 1;
+                    }
+                }
+                let picked = aux.pool.select(tx, cuts::ACTIVATION_BUDGET, &mut aux.counters);
+                if !picked.is_empty() {
+                    let work = cut_model.get_or_insert_with(|| model.clone());
+                    for cut in &picked {
+                        cuts::apply_cut(work, cut, applied_seq);
+                        applied_seq += 1;
+                        aux.counters.applied += 1;
+                    }
+                    // Keep this subtree warm across the new rows; stale
+                    // bases elsewhere in the stack fall back cold.
+                    child_basis = child_basis.map(|b| Arc::new(b.with_new_rows(picked.len())));
+                }
+            }
+        }
+        match aux.pick(ctx, &x, opts.int_tol) {
             None => {
                 let vals = ctx.snap(&x);
                 if model.check_feasible(&vals, 1e-5).is_ok() {
@@ -704,17 +1156,25 @@ fn solve_sequential(ctx: &SearchCtx<'_>, prepared: Prepared) -> Result<MipOutcom
                     v, j, node.bounds[j]
                 );
                 let floor = v.floor();
+                let f = v - floor;
                 let mut down = node.bounds.clone();
                 down[j].1 = down[j].1.min(floor);
                 let mut up = node.bounds.clone();
                 up[j].0 = up[j].0.max(floor + 1.0);
+                let dn_branch = Some(BranchInfo { var: j, dist: f, up: false });
+                let up_branch = Some(BranchInfo { var: j, dist: 1.0 - f, up: true });
                 // Explore the child nearest the LP value first (pushed last).
-                let (first, second) = if v - floor <= 0.5 { (up, down) } else { (down, up) };
+                let (first, fb, second, sb) = if f <= 0.5 {
+                    (up, up_branch, down, dn_branch)
+                } else {
+                    (down, dn_branch, up, up_branch)
+                };
                 if first[j].0 <= first[j].1 {
                     stack.push(Node {
                         bounds: first,
                         parent_score: score,
                         basis: child_basis.clone(),
+                        branch: fb,
                     });
                 }
                 if second[j].0 <= second[j].1 {
@@ -722,6 +1182,7 @@ fn solve_sequential(ctx: &SearchCtx<'_>, prepared: Prepared) -> Result<MipOutcom
                         bounds: second,
                         parent_score: score,
                         basis: child_basis,
+                        branch: sb,
                     });
                 }
             }
@@ -739,6 +1200,7 @@ fn solve_sequential(ctx: &SearchCtx<'_>, prepared: Prepared) -> Result<MipOutcom
     let mut telemetry = SolveTelemetry::trivial(1, opts.deterministic);
     telemetry.per_thread[0] = lp_work.into_thread(0, nodes, lp_solves);
     telemetry.incumbents = events;
+    telemetry.cuts = aux.counters;
     finish(ctx, incumbent, proven, nodes, lp_solves, elapsed, remaining_bound, telemetry)
 }
 
@@ -930,7 +1392,15 @@ mod tests {
         }
         m.le("cap", cap, 17.0);
         m.set_objective(obj, Sense::Maximize);
-        let opts = SolveOptions { node_limit: 2, dive_limit: 0, ..Default::default() };
+        // Historical configuration: the root cut loop can close this model
+        // at the root, and the point here is the budget-limited statuses.
+        let opts = SolveOptions {
+            node_limit: 2,
+            dive_limit: 0,
+            cuts: false,
+            pseudocost: false,
+            ..Default::default()
+        };
         let out = solve_with(&m, &opts).unwrap();
         assert!(matches!(out.status, SolveStatus::Feasible | SolveStatus::Unknown));
     }

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod branch;
+pub mod cuts;
 pub mod iis;
 pub mod lpwrite;
 pub mod model;
@@ -44,6 +45,7 @@ pub mod simplex;
 pub mod telemetry;
 
 pub use branch::{solve, solve_with, MipOutcome, SolveOptions, SolveStatus};
+pub use cuts::CutCounters;
 pub use iis::{find_iis, IisOptions, IisReport};
 pub use telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry, ThreadTelemetry};
 pub use model::{

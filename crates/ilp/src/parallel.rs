@@ -27,7 +27,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Instant;
 
-use crate::branch::{finish, LpWork, MipOutcome, Node, Prepared, SearchCtx, SolveStatus};
+use crate::branch::{finish, BranchInfo, LpWork, MipOutcome, Node, Prepared, SearchAux, SearchCtx, SolveStatus};
+use crate::cuts::CutCounters;
 use crate::model::Model;
 use crate::simplex::{solve_lp_ext, Basis, LpError, LpResult, LpSolve};
 use crate::telemetry::{IncumbentEvent, IncumbentSource, SolveTelemetry};
@@ -106,16 +107,28 @@ fn push_children(
     basis: &Option<Arc<Basis>>,
 ) -> usize {
     let floor = v.floor();
+    let f = v - floor;
     let mut down = bounds.to_vec();
     down[j].1 = down[j].1.min(floor);
     let mut up = bounds.to_vec();
     up[j].0 = up[j].0.max(floor + 1.0);
-    let (near, far) = if v - floor <= 0.5 { (down, up) } else { (up, down) };
+    let dn_branch = BranchInfo { var: j, dist: f, up: false };
+    let up_branch = BranchInfo { var: j, dist: 1.0 - f, up: true };
+    let (near, nb, far, fb) = if f <= 0.5 {
+        (down, dn_branch, up, up_branch)
+    } else {
+        (up, up_branch, down, dn_branch)
+    };
     let mut pushed = 0;
-    for child in [near, far] {
+    for (child, branch) in [(near, nb), (far, fb)] {
         if child[j].0 <= child[j].1 {
             heap.push(HeapNode {
-                node: Node { bounds: child, parent_score: score, basis: basis.clone() },
+                node: Node {
+                    bounds: child,
+                    parent_score: score,
+                    basis: basis.clone(),
+                    branch: Some(branch),
+                },
                 seq: *next_seq,
             });
             *next_seq += 1;
@@ -129,13 +142,14 @@ fn push_children(
 pub(crate) fn solve_parallel(
     ctx: &SearchCtx<'_>,
     prepared: Prepared,
+    aux: SearchAux,
 ) -> Result<MipOutcome, LpError> {
     let threads = ctx.opts.effective_threads();
     debug_assert!(threads > 1);
     if ctx.opts.deterministic {
-        solve_deterministic(ctx, prepared, threads)
+        solve_deterministic(ctx, prepared, aux, threads)
     } else {
-        solve_free(ctx, prepared, threads)
+        solve_free(ctx, prepared, aux, threads)
     }
 }
 
@@ -144,12 +158,14 @@ fn make_telemetry(
     threads: usize,
     per_thread: &[WorkerCounts],
     events: Vec<IncumbentEvent>,
+    cuts: CutCounters,
 ) -> SolveTelemetry {
     let mut t = SolveTelemetry::trivial(threads, ctx.opts.deterministic);
     for (w, &(nodes, lps, work)) in per_thread.iter().enumerate() {
         t.per_thread[w] = work.into_thread(w, nodes, lps);
     }
     t.incumbents = events;
+    t.cuts = cuts;
     t
 }
 
@@ -158,8 +174,9 @@ fn unbounded_outcome(
     threads: usize,
     per_thread: &[WorkerCounts],
     events: Vec<IncumbentEvent>,
+    cuts: CutCounters,
 ) -> MipOutcome {
-    let telemetry = make_telemetry(ctx, threads, per_thread, events);
+    let telemetry = make_telemetry(ctx, threads, per_thread, events, cuts);
     MipOutcome {
         status: SolveStatus::Unbounded,
         solution: None,
@@ -183,9 +200,15 @@ fn unbounded_outcome(
 fn solve_deterministic(
     ctx: &SearchCtx<'_>,
     prepared: Prepared,
+    mut aux: SearchAux,
     threads: usize,
 ) -> Result<MipOutcome, LpError> {
     let model = ctx.model;
+    // Workers relax against the cut-extended model (fixed for the whole
+    // search: no node-level separation in parallel mode); incumbents are
+    // still validated against the original `model`.
+    let cut_model = aux.cut_model.take();
+    let lp_model: &Model = cut_model.as_ref().unwrap_or(model);
     let opts = ctx.opts;
     let Prepared {
         root_bounds,
@@ -200,7 +223,7 @@ fn solve_deterministic(
     let mut heap = BinaryHeap::new();
     let mut next_seq = 1u64;
     heap.push(HeapNode {
-        node: Node { bounds: root_bounds, parent_score: root_score, basis: root_basis },
+        node: Node { bounds: root_bounds, parent_score: root_score, basis: root_basis, branch: None },
         seq: 0,
     });
 
@@ -239,7 +262,7 @@ fn solve_deterministic(
                 let job = in_slot.lock().unwrap().take();
                 if let Some((bounds, basis)) = job {
                     let warm = if warm_lp { basis.as_deref() } else { None };
-                    let res = solve_lp_ext(model, &bounds, warm);
+                    let res = solve_lp_ext(lp_model, &bounds, warm);
                     *out_slot.lock().unwrap() = Some(res);
                 }
                 barrier.wait(); // round end: results published
@@ -291,7 +314,7 @@ fn solve_deterministic(
             }
             barrier.wait(); // round start
             let own_warm = if warm_lp { batch[0].basis.as_deref() } else { None };
-            let own = solve_lp_ext(model, &batch[0].bounds, own_warm);
+            let own = solve_lp_ext(lp_model, &batch[0].bounds, own_warm);
             *out_slots[0].lock().unwrap() = Some(own);
             barrier.wait(); // round end
 
@@ -322,12 +345,16 @@ fn solve_deterministic(
                         }
                     }
                 };
+                // Pseudocost updates happen here, in batch order, on the
+                // orchestrator's own statistics — scheduling cannot
+                // reorder them, so branching stays deterministic.
+                aux.observe(node.branch, node.parent_score, score);
                 if let Some((inc_score, _)) = &incumbent {
                     if score <= *inc_score + ctx.prune_gap(*inc_score) {
                         continue;
                     }
                 }
-                match ctx.pick_branch_var(&x, opts.int_tol) {
+                match aux.pick(ctx, &x, opts.int_tol) {
                     None => {
                         let vals = ctx.snap(&x);
                         if model.check_feasible(&vals, 1e-5).is_ok() {
@@ -367,7 +394,7 @@ fn solve_deterministic(
         return Err(e);
     }
     if unbounded {
-        return Ok(unbounded_outcome(ctx, threads, &per_thread, events));
+        return Ok(unbounded_outcome(ctx, threads, &per_thread, events, aux.counters));
     }
 
     let remaining_bound = if proven {
@@ -379,7 +406,7 @@ fn solve_deterministic(
     };
     let nodes: usize = per_thread.iter().map(|p| p.0).sum();
     let lp_solves: usize = per_thread.iter().map(|p| p.1).sum();
-    let telemetry = make_telemetry(ctx, threads, &per_thread, events);
+    let telemetry = make_telemetry(ctx, threads, &per_thread, events, aux.counters);
     finish(ctx, incumbent, proven, nodes, lp_solves, ctx.start.elapsed(), remaining_bound, telemetry)
 }
 
@@ -397,6 +424,10 @@ struct FreeShared {
     events: Vec<IncumbentEvent>,
     /// Per-worker (nodes, lp_solves, LP work).
     per_thread: Vec<WorkerCounts>,
+    /// Pseudocost statistics and cut counters, shared by all workers
+    /// (updates land in publication order — free mode is not
+    /// reproducible anyway).
+    aux: SearchAux,
     /// Workers currently waiting for the frontier to refill.
     idle: usize,
     done: bool,
@@ -408,9 +439,12 @@ struct FreeShared {
 fn solve_free(
     ctx: &SearchCtx<'_>,
     prepared: Prepared,
+    mut aux: SearchAux,
     threads: usize,
 ) -> Result<MipOutcome, LpError> {
     let opts = ctx.opts;
+    let cut_model = aux.cut_model.take();
+    let lp_model: &Model = cut_model.as_ref().unwrap_or(ctx.model);
     let Prepared {
         root_bounds,
         root_score,
@@ -423,7 +457,7 @@ fn solve_free(
 
     let mut heap = BinaryHeap::new();
     heap.push(HeapNode {
-        node: Node { bounds: root_bounds, parent_score: root_score, basis: root_basis },
+        node: Node { bounds: root_bounds, parent_score: root_score, basis: root_basis, branch: None },
         seq: 0,
     });
     let mut per_thread: Vec<WorkerCounts> = vec![(0, 0, LpWork::default()); threads];
@@ -436,6 +470,7 @@ fn solve_free(
         incumbent,
         events,
         per_thread,
+        aux,
         idle: 0,
         done: false,
         hit_limit: false,
@@ -448,9 +483,9 @@ fn solve_free(
         for w in 1..threads {
             let shared = &shared;
             let cv = &cv;
-            s.spawn(move || free_worker(ctx, shared, cv, w, opts.node_limit, ctx.start));
+            s.spawn(move || free_worker(ctx, lp_model, shared, cv, w, opts.node_limit, ctx.start));
         }
-        free_worker(ctx, &shared, &cv, 0, opts.node_limit, ctx.start);
+        free_worker(ctx, lp_model, &shared, &cv, 0, opts.node_limit, ctx.start);
     });
 
     let g = shared.into_inner().unwrap();
@@ -458,7 +493,7 @@ fn solve_free(
         return Err(e);
     }
     if g.unbounded {
-        return Ok(unbounded_outcome(ctx, threads, &g.per_thread, g.events));
+        return Ok(unbounded_outcome(ctx, threads, &g.per_thread, g.events, g.aux.counters));
     }
     let proven = !g.hit_limit;
     let remaining_bound = if proven {
@@ -471,7 +506,7 @@ fn solve_free(
     };
     let nodes: usize = g.per_thread.iter().map(|p| p.0).sum();
     let lp_solves: usize = g.per_thread.iter().map(|p| p.1).sum();
-    let telemetry = make_telemetry(ctx, threads, &g.per_thread, g.events);
+    let telemetry = make_telemetry(ctx, threads, &g.per_thread, g.events, g.aux.counters);
     finish(
         ctx,
         g.incumbent,
@@ -491,6 +526,7 @@ fn solve_free(
 /// is flagged.
 fn free_worker(
     ctx: &SearchCtx<'_>,
+    lp_model: &Model,
     shared: &Mutex<FreeShared>,
     cv: &Condvar,
     w: usize,
@@ -524,7 +560,7 @@ fn free_worker(
                 g.per_thread[w].1 += 1;
                 drop(g);
                 let warm = if opts.warm_lp { hn.node.basis.as_deref() } else { None };
-                let lp = solve_lp_ext(model, &hn.node.bounds, warm);
+                let lp = solve_lp_ext(lp_model, &hn.node.bounds, warm);
                 g = shared.lock().unwrap();
                 match lp {
                     Err(e) => {
@@ -547,12 +583,13 @@ fn free_worker(
                                 let score = ctx.sgn * obj;
                                 let child_basis =
                                     sol.basis.map(Arc::new).or_else(|| hn.node.basis.clone());
+                        g.aux.observe(hn.node.branch, hn.node.parent_score, score);
                         if let Some((inc_score, _)) = &g.incumbent {
                             if score <= *inc_score + ctx.prune_gap(*inc_score) {
                                 continue;
                             }
                         }
-                        match ctx.pick_branch_var(&x, opts.int_tol) {
+                        match g.aux.pick(ctx, &x, opts.int_tol) {
                             None => {
                                 let vals = ctx.snap(&x);
                                 if model.check_feasible(&vals, 1e-5).is_ok() {
@@ -693,6 +730,8 @@ mod tests {
         m.le("cap", cap, 9.0);
         m.set_objective(obj, Sense::Maximize);
         for det in [true, false] {
+            // Historical configuration: cover cuts close this model at the
+            // root, and the point here is the budget-limited statuses.
             let out = solve_with(
                 &m,
                 &SolveOptions {
@@ -700,6 +739,8 @@ mod tests {
                     deterministic: det,
                     node_limit: 1,
                     dive_limit: 0,
+                    cuts: false,
+                    pseudocost: false,
                     ..SolveOptions::default()
                 },
             )

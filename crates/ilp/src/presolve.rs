@@ -197,6 +197,68 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_fractional_integer_domain_is_infeasible() {
+        // [2.4, 2.4] holds no integer: rounding gives lb 3 > ub 2.
+        let mut m = Model::new();
+        m.integer("x", 2.4, 2.4);
+        assert!(matches!(presolve(&m), Presolved::Infeasible { .. }));
+    }
+
+    #[test]
+    fn near_integral_degenerate_domain_survives_rounding() {
+        // A point domain a hair off an integer must round to that integer,
+        // not to an empty interval (the 1e-9 rounding tolerance).
+        let mut m = Model::new();
+        let eps = 1e-12;
+        m.integer("x", 2.0 + eps, 2.0 + eps);
+        match presolve(&m) {
+            Presolved::Bounds(b) => assert_eq!(b[0], (2.0, 2.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn integral_rounding_with_unbounded_upper() {
+        // Fractional lower bound rounds up; the infinite upper bound must
+        // pass through untouched (floor(inf) would poison it to NaN-land).
+        let mut m = Model::new();
+        m.integer("x", 1.5, f64::INFINITY);
+        match presolve(&m) {
+            Presolved::Bounds(b) => {
+                assert_eq!(b[0].0, 2.0);
+                assert!(b[0].1.is_infinite() && b[0].1 > 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_shrinking_chain_stops_at_max_rounds() {
+        // x <= y and y <= x - 1 is infeasible, but each propagation round
+        // only shrinks the box by ~1. With wide domains the fixpoint is
+        // beyond MAX_ROUNDS: presolve must terminate with conservative,
+        // still-valid bounds instead of looping to the proof.
+        let mut m = Model::new();
+        let x = m.integer("x", 0.0, 1e6);
+        let y = m.integer("y", 0.0, 1e6);
+        m.le("x_le_y", LinExpr::from(x) - LinExpr::from(y), 0.0);
+        m.le("y_lt_x", LinExpr::from(y) - LinExpr::from(x), -1.0);
+        match presolve(&m) {
+            Presolved::Bounds(b) => {
+                for &(lb, ub) in &b {
+                    assert!(lb <= ub, "presolve returned an empty box [{lb}, {ub}]");
+                }
+                // It made progress every round before giving up.
+                assert!(b[x.index()].1 < 1e6);
+            }
+            // Proving infeasibility this fast would be fine too, but the
+            // pure bound-propagation pass cannot: guard the expectation so
+            // a future smarter presolve updates this test consciously.
+            Presolved::Infeasible { .. } => panic!("bound propagation cannot prove this in 16 rounds"),
+        }
+    }
+
+    #[test]
     fn handles_infinite_bounds_gracefully() {
         let mut m = Model::new();
         let x = m.continuous("x", 0.0, f64::INFINITY);

@@ -117,6 +117,19 @@ impl Basis {
     pub fn is_empty(&self) -> bool {
         self.stat.is_empty()
     }
+
+    /// Extend a snapshot to a model with `extra` rows appended (cut rows):
+    /// the new slacks enter the basis, every old status is kept. The row
+    /// assignment and inverse are dropped — the extended basis matrix
+    /// gains off-diagonal blocks from old basic columns crossing the new
+    /// rows, so a warm install pays one refactorization. The extension is
+    /// dual feasible by construction (the new slacks have zero cost), so
+    /// the dual simplex repairs exactly the rows the new cuts violate.
+    pub(crate) fn with_new_rows(&self, extra: usize) -> Basis {
+        let mut stat = self.stat.clone();
+        stat.extend(std::iter::repeat_n(BStat::Basic, extra));
+        Basis { stat, rows: Vec::new(), binv: Vec::new() }
+    }
 }
 
 /// Work counters of one LP solve.
@@ -234,6 +247,21 @@ fn run_cold(
     bounds: &[(f64, f64)],
     stats: &mut LpStats,
 ) -> Result<(LpResult, Option<Basis>), LpError> {
+    let (result, sx) = run_cold_sx(model, bounds, stats)?;
+    let basis = match &result {
+        LpResult::Optimal { .. } => sx.snapshot_basis(),
+        _ => None,
+    };
+    Ok((result, basis))
+}
+
+/// Cold solve returning the solver state itself, so callers can extract
+/// tableau rows from the optimal basis.
+fn run_cold_sx(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    stats: &mut LpStats,
+) -> Result<(LpResult, Simplex), LpError> {
     let mut sx = Simplex::build(model, bounds);
     let outcome = match sx.solve() {
         Err(LpError::Numerical(_)) => {
@@ -251,11 +279,106 @@ fn run_cold(
     let result = outcome?;
     stats.pivots += sx.pivots;
     stats.refactorizations += sx.refactorizations;
-    let basis = match &result {
-        LpResult::Optimal { .. } => sx.snapshot_basis(),
-        _ => None,
+    Ok((result, sx))
+}
+
+/// Status of one variable in an extracted [`TableauLp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TabStat {
+    Basic,
+    AtLower,
+    AtUpper,
+    Free,
+}
+
+/// One simplex tableau row whose basic variable is a fractional integer:
+/// the raw material for a Gomory mixed-integer cut. The row states the
+/// identity `x_basic + Σ coeffs[j]·x[j] = const` over the affine
+/// space `Ax + s = b` (nonbasic structural and slack columns only;
+/// artificials are fixed at zero and omitted).
+#[derive(Debug, Clone)]
+pub(crate) struct FracRow {
+    /// Value of the fractional basic integer variable at the vertex.
+    pub beta: f64,
+    /// Tableau coefficients `(B⁻¹A)[row][j]` of the nonbasic columns,
+    /// indexed over structural (`< n`) and slack (`n..n+m`) variables.
+    pub coeffs: Vec<(usize, f64)>,
+}
+
+/// An LP solve that also exposes the optimal tableau for cut separation.
+#[derive(Debug, Clone)]
+pub(crate) struct TableauLp {
+    pub result: LpResult,
+    pub basis: Option<Basis>,
+    pub stats: LpStats,
+    /// Rows with fractional basic integer variables, most fractional
+    /// first; empty unless the result is `Optimal`.
+    pub frac_rows: Vec<FracRow>,
+    /// Status of every structural and slack variable (`n + m` entries).
+    pub stat: Vec<TabStat>,
+    /// Current value of every structural and slack variable.
+    pub values: Vec<f64>,
+}
+
+/// Equilibration divisor of a constraint row — must match `Simplex::build`
+/// so cut derivation can reconstruct a slack's definition in structural
+/// variables: `s_i = rhs_i/σ_i − Σ (c/σ_i)·x`.
+pub(crate) fn row_scale(con: &crate::model::Constraint) -> f64 {
+    con.terms.iter().fold(1.0f64, |acc, &(_, c)| acc.max(c.abs()))
+}
+
+/// Solve the LP like [`solve_lp_ext`], additionally extracting up to
+/// `max_rows` fractional tableau rows for Gomory separation when the
+/// result is optimal. `int_mask[j]` marks structural integer variables;
+/// fractionality is judged against `int_tol`.
+pub(crate) fn solve_lp_tableau(
+    model: &Model,
+    bounds: &[(f64, f64)],
+    warm: Option<&Basis>,
+    int_mask: &[bool],
+    int_tol: f64,
+    max_rows: usize,
+) -> Result<TableauLp, LpError> {
+    assert_eq!(bounds.len(), model.num_vars());
+    let mut stats = LpStats::default();
+    if let Some(basis) = warm {
+        let mut sx = Simplex::build(model, bounds);
+        match sx.solve_warm(basis) {
+            Ok(Some(result)) => {
+                stats.pivots += sx.pivots;
+                stats.refactorizations += sx.refactorizations;
+                stats.warm = true;
+                return Ok(finish_tableau(result, &sx, stats, int_mask, int_tol, max_rows));
+            }
+            Ok(None) | Err(_) => {
+                stats.pivots += sx.pivots;
+                stats.refactorizations += sx.refactorizations;
+                stats.fell_back = true;
+            }
+        }
+    }
+    let (result, sx) = run_cold_sx(model, bounds, &mut stats)?;
+    Ok(finish_tableau(result, &sx, stats, int_mask, int_tol, max_rows))
+}
+
+fn finish_tableau(
+    result: LpResult,
+    sx: &Simplex,
+    stats: LpStats,
+    int_mask: &[bool],
+    int_tol: f64,
+    max_rows: usize,
+) -> TableauLp {
+    let (basis, frac_rows, stat, values) = match &result {
+        LpResult::Optimal { .. } => (
+            sx.snapshot_basis(),
+            sx.extract_frac_rows(int_mask, int_tol, max_rows),
+            sx.tab_stats(),
+            sx.all_values(),
+        ),
+        _ => (None, Vec::new(), Vec::new(), Vec::new()),
     };
-    Ok((result, basis))
+    TableauLp { result, basis, stats, frac_rows, stat, values }
 }
 
 struct Simplex {
@@ -315,10 +438,7 @@ impl Simplex {
             // so pivot tolerances are meaningful regardless of the model's
             // units (compiler models mix 0/1 placements with memory
             // capacities in the tens of thousands).
-            let scale = con
-                .terms
-                .iter()
-                .fold(1.0f64, |acc, &(_, c)| acc.max(c.abs()));
+            let scale = row_scale(con);
             rhs[i] = con.rhs / scale;
             for &(v, c) in &con.terms {
                 cols[v.index()].push((i, c / scale));
@@ -835,6 +955,71 @@ impl Simplex {
             (Vec::new(), Vec::new())
         };
         Some(Basis { stat, rows, binv })
+    }
+
+    /// Statuses of the structural and slack variables for [`TableauLp`].
+    fn tab_stats(&self) -> Vec<TabStat> {
+        (0..self.n + self.m)
+            .map(|j| match self.stat[j] {
+                VStat::Basic(_) => TabStat::Basic,
+                VStat::AtLower => TabStat::AtLower,
+                VStat::AtUpper => TabStat::AtUpper,
+                VStat::Free => TabStat::Free,
+            })
+            .collect()
+    }
+
+    /// Current values of the structural and slack variables.
+    fn all_values(&self) -> Vec<f64> {
+        (0..self.n + self.m).map(|j| self.var_value(j)).collect()
+    }
+
+    /// Extract tableau rows whose basic variable is a fractional integer
+    /// structural variable, most fractional first (ties by row index).
+    /// Nonbasic artificials are fixed at zero and never enter the rows.
+    fn extract_frac_rows(&self, int_mask: &[bool], int_tol: f64, max_rows: usize) -> Vec<FracRow> {
+        let (n, m) = (self.n, self.m);
+        let nv = n + m;
+        let mut cands: Vec<(f64, usize)> = (0..m)
+            .filter_map(|i| {
+                let b = self.basis[i];
+                if b >= n || !int_mask[b] {
+                    return None;
+                }
+                let v = self.xb[i];
+                let f = v - v.floor();
+                if f > int_tol && f < 1.0 - int_tol {
+                    // score: distance from integrality, in [0, 0.5]
+                    Some((0.5 - (f - 0.5).abs(), i))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        cands.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        cands.truncate(max_rows);
+        cands
+            .into_iter()
+            .map(|(_, i)| {
+                let mut coeffs = Vec::new();
+                for j in 0..nv {
+                    if matches!(self.stat[j], VStat::Basic(_)) || self.banned[j] {
+                        continue;
+                    }
+                    let mut a = 0.0;
+                    for &(r, c) in &self.cols[j] {
+                        let p = self.binv[i * m + r];
+                        if p != 0.0 {
+                            a += p * c;
+                        }
+                    }
+                    if a.abs() > 1e-12 {
+                        coeffs.push((j, a));
+                    }
+                }
+                FracRow { beta: self.xb[i], coeffs }
+            })
+            .collect()
     }
 
     /// Re-optimize from a caller-supplied basis with the bounded-variable

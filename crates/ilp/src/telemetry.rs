@@ -3,6 +3,7 @@
 //! surfaced by the CLI's solve summary and the bench harness's
 //! compile-time tables.
 
+use crate::cuts::CutCounters;
 use std::fmt;
 use std::time::Duration;
 
@@ -54,6 +55,8 @@ pub enum IncumbentSource {
     Dive,
     /// The local-branching neighborhood search.
     LocalBranch,
+    /// An integral optimum of a root cut-round LP.
+    CutRound,
     /// An integral branch-and-bound node.
     Node,
 }
@@ -64,6 +67,7 @@ impl fmt::Display for IncumbentSource {
             IncumbentSource::WarmStart => write!(f, "warm-start"),
             IncumbentSource::Dive => write!(f, "dive"),
             IncumbentSource::LocalBranch => write!(f, "local-branch"),
+            IncumbentSource::CutRound => write!(f, "cut-round"),
             IncumbentSource::Node => write!(f, "node"),
         }
     }
@@ -88,6 +92,9 @@ pub struct SolveTelemetry {
     pub gap_abs: Option<f64>,
     /// Final relative gap, `gap_abs / max(1, |incumbent|)`.
     pub gap_rel: Option<f64>,
+    /// Cut-engine and pseudocost-branching counters (all zero when
+    /// `SolveOptions { cuts: false, pseudocost: false }`).
+    pub cuts: CutCounters,
 }
 
 impl SolveTelemetry {
@@ -104,6 +111,7 @@ impl SolveTelemetry {
             best_bound: None,
             gap_abs: None,
             gap_rel: None,
+            cuts: CutCounters::default(),
         }
     }
 
@@ -138,6 +146,17 @@ impl SolveTelemetry {
                 s,
                 "  thread {}: {} nodes, {} LP solves, {} pivots ({} warm, {} fallbacks, {} refactorizations)",
                 t.thread, t.nodes, t.lp_solves, t.pivots, t.warm_solves, t.cold_fallbacks, t.refactorizations
+            );
+        }
+        if self.cuts != CutCounters::default() {
+            let _ = writeln!(
+                s,
+                "cuts: {} separated, {} applied, {} aged out; pseudocost: {} updates, {} strong-branch LPs",
+                self.cuts.separated,
+                self.cuts.applied,
+                self.cuts.aged_out,
+                self.cuts.pseudocost_updates,
+                self.cuts.strong_branch_lps
             );
         }
         if self.incumbents.is_empty() {

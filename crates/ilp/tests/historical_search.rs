@@ -1,0 +1,89 @@
+//! Pin the historical branch-and-bound search: with
+//! `SolveOptions { cuts: false, pseudocost: false }` the solver must
+//! reproduce the pre-cutting-plane search byte-for-byte — same node
+//! counts, same LP counts, same objective — on fixed models whose
+//! counts were recorded from the historical solver before the cut
+//! engine landed.
+
+use p4all_ilp::{solve_with, LinExpr, Model, Sense, SolveOptions, SolveStatus};
+
+/// A 14-item knapsack whose root LP is fractional (the model from the
+/// parallel solver's own differential tests). The historical solver
+/// closes it at the root via the cold dive.
+fn knapsack(n: usize) -> Model {
+    let mut m = Model::new();
+    let mut obj = LinExpr::zero();
+    let mut cap = LinExpr::zero();
+    for i in 0..n {
+        let x = m.binary(format!("x{i}"));
+        obj += LinExpr::term(x, ((i * 7 + 3) % 11 + 1) as f64);
+        cap += LinExpr::term(x, ((i * 5 + 2) % 9 + 1) as f64);
+    }
+    m.le("cap", cap, (2 * n) as f64);
+    m.set_objective(obj, Sense::Maximize);
+    m
+}
+
+/// Equal-weight knapsack against an odd capacity: every LP vertex is
+/// fractional, so the historical search branches repeatedly.
+fn branchy() -> Model {
+    let mut m = Model::new();
+    let mut obj = LinExpr::zero();
+    let mut cap = LinExpr::zero();
+    for i in 0..15 {
+        let x = m.binary(format!("x{i}"));
+        obj += LinExpr::term(x, (i + 1) as f64);
+        cap += LinExpr::term(x, 2.0);
+    }
+    m.le("cap", cap, 9.0);
+    m.set_objective(obj, Sense::Maximize);
+    m
+}
+
+fn historical_opts(threads: usize) -> SolveOptions {
+    SolveOptions { threads, cuts: false, pseudocost: false, ..SolveOptions::default() }
+}
+
+/// Counts recorded from the solver before the cut engine existed
+/// (commit b8c335b). `cuts: false, pseudocost: false` must reproduce
+/// them exactly in sequential and deterministic-parallel modes.
+#[test]
+fn historical_counts_pinned() {
+    // (name, model, threads, expected nodes, expected lp_solves, objective)
+    let cases: Vec<(&str, Model, usize, usize, usize, f64)> = vec![
+        ("knapsack14-1t", knapsack(14), 1, 1, 1, 54.0),
+        ("knapsack14-4t", knapsack(14), 4, 1, 1, 54.0),
+        ("branchy-1t", branchy(), 1, 143, 170, 54.0),
+        ("branchy-4t", branchy(), 4, 143, 170, 54.0),
+    ];
+    for (name, m, threads, nodes, lps, obj) in cases {
+        let out = solve_with(&m, &historical_opts(threads)).unwrap();
+        assert_eq!(out.status, SolveStatus::Optimal, "{name}");
+        assert_eq!(out.nodes, nodes, "{name}: node count drifted");
+        assert_eq!(out.lp_solves, lps, "{name}: LP count drifted");
+        assert!((out.solution.unwrap().objective - obj).abs() < 1e-9, "{name}");
+    }
+}
+
+/// Same pin with the root dive disabled — the pure tree search.
+#[test]
+fn historical_counts_pinned_no_dive() {
+    let opts = SolveOptions { dive_limit: 0, ..historical_opts(1) };
+    let out = solve_with(&branchy(), &opts).unwrap();
+    assert_eq!(out.status, SolveStatus::Optimal);
+    assert_eq!(out.nodes, 143);
+    assert_eq!(out.lp_solves, 144);
+}
+
+/// The cut engine must not change the optimum: cuts+pseudocost on vs
+/// off agree on objective and status for the pinned models.
+#[test]
+fn cuts_preserve_objective_on_pinned_models() {
+    for m in [knapsack(14), branchy()] {
+        let off = solve_with(&m, &historical_opts(1)).unwrap();
+        let on = solve_with(&m, &SolveOptions { threads: 1, ..SolveOptions::default() }).unwrap();
+        assert_eq!(off.status, on.status);
+        let (a, b) = (off.solution.unwrap().objective, on.solution.unwrap().objective);
+        assert!((a - b).abs() < 1e-6, "cuts changed objective: {a} vs {b}");
+    }
+}

@@ -30,10 +30,14 @@ fn feasible_warm_start_seeds_incumbent() {
     let out = solve_with(&m, &opts).unwrap();
     assert_eq!(out.status, SolveStatus::Optimal);
     // With node_limit 0 and a warm start, we still get a Feasible answer.
+    // Cuts stay off here: the root cut loop can close this knapsack with
+    // zero nodes, and this test is about the zero-budget path.
     let opts = SolveOptions {
         warm_start: Some(vec![0.0; m.num_vars()]),
         node_limit: 0,
         dive_limit: 0,
+        cuts: false,
+        pseudocost: false,
         ..Default::default()
     };
     let out = solve_with(&m, &opts).unwrap();
